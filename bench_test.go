@@ -1,0 +1,303 @@
+package privacymaxent
+
+// Benchmarks regenerating every figure in the paper's evaluation
+// (Sec. 7), plus micro-benchmarks for the pipeline stages and the two
+// ablations DESIGN.md calls out. Figure benches run a full scaled-down
+// sweep per iteration; run
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for the paper-vs-measured comparison. cmd/
+// experiments prints the same series at configurable (full paper) sizes.
+
+import (
+	"testing"
+
+	"privacymaxent/internal/adult"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/experiments"
+	"privacymaxent/internal/individuals"
+	"privacymaxent/internal/maxent"
+)
+
+// benchConfig is the scaled-down workload shared by the figure benches:
+// 2000 records → 400 buckets of five at 5-diversity (paper: 14,210 →
+// 2,842).
+var benchConfig = experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2}
+
+// benchInstance caches the generated workload across benchmarks; data
+// generation and rule mining are benchmarked separately.
+var benchInstance *experiments.Instance
+
+func getInstance(b *testing.B) *experiments.Instance {
+	b.Helper()
+	if benchInstance == nil {
+		in, err := experiments.NewInstance(benchConfig)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchInstance = in
+	}
+	return benchInstance
+}
+
+// BenchmarkFigure5 regenerates Figure 5: estimation accuracy vs K for
+// the K−, K+ and (K+, K−) curves.
+func BenchmarkFigure5(b *testing.B) {
+	in := getInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (restricted to T = 1..3 so a
+// single iteration stays in benchmark territory; cmd/experiments runs
+// the full T = 1..8 panels).
+func BenchmarkFigure6(b *testing.B) {
+	in := getInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(in, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7a regenerates Figure 7(a): solver cost vs number of
+// background-knowledge constraints.
+func BenchmarkFigure7a(b *testing.B) {
+	in := getInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7a(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7b regenerates Figure 7(b): running time vs number of
+// buckets for several knowledge budgets (7(c), the iteration counterpart,
+// comes from the same sweep and is benchmarked by BenchmarkFigure7c).
+func BenchmarkFigure7b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure7bc(benchConfig, []int{50, 100, 200}, []int{0, 100}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7c regenerates Figure 7(c): iterations vs number of
+// buckets. The sweep is shared with 7(b); benchmarked separately so the
+// two figure IDs both have a regenerator.
+func BenchmarkFigure7c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Figure7bc(benchConfig, []int{50, 100, 200}, []int{0, 100, 500}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlgorithmComparison is the Malouf-style solver ablation
+// (Sec. 3.3): LBFGS vs GIS vs steepest descent vs Newton.
+func BenchmarkAlgorithmComparison(b *testing.B) {
+	in := getInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareAlgorithms(in, 50, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompositionAblation measures the Sec. 5.5 irrelevant-bucket
+// optimization on/off.
+func BenchmarkDecompositionAblation(b *testing.B) {
+	in := getInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CompareDecomposition(in, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- pipeline stage micro-benchmarks ---
+
+// BenchmarkGenerateAdult measures the synthetic data substrate.
+func BenchmarkGenerateAdult(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		adult.Generate(adult.Config{Records: 2000, Seed: int64(i + 1)})
+	}
+}
+
+// BenchmarkAnatomize measures 5-diversity bucketization.
+func BenchmarkAnatomize(b *testing.B) {
+	tbl := adult.Generate(adult.Config{Records: 2000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Anatomize(tbl, BucketOptions{L: 5, ExemptMostFrequent: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineRules measures association-rule mining (subset sizes 1-2).
+func BenchmarkMineRules(b *testing.B) {
+	tbl := adult.Generate(adult.Config{Records: 2000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineRules(tbl, MineOptions{MinSupport: 3, Sizes: []int{1, 2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveNoKnowledge measures the full MaxEnt solve with data
+// invariants only (Theorem 5 territory: presolve + closed form dominate).
+func BenchmarkSolveNoKnowledge(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+		if _, err := maxent.Solve(sys, maxent.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveWithKnowledge measures the dual solve with a Top-100
+// mixed knowledge bound, decomposition on.
+func BenchmarkSolveWithKnowledge(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	selected := TopK(in.Rules, 50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+		for j := range selected {
+			kn := selected[j].Knowledge()
+			c, err := kn.Constraint(sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Add(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPosterior measures folding the joint into P(S|Q).
+func BenchmarkPosterior(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	sol, err := maxent.Solve(sys, maxent.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol.Posterior()
+	}
+}
+
+// BenchmarkEstimationAccuracy measures the Sec. 7.1 metric.
+func BenchmarkEstimationAccuracy(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	sol, err := maxent.Solve(sys, maxent.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := sol.Posterior()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimationAccuracy(in.Truth, post); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMineRulesParallel measures mining with worker goroutines (the
+// rule pool is identical to the sequential one).
+func BenchmarkMineRulesParallel(b *testing.B) {
+	tbl := adult.Generate(adult.Config{Records: 2000, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MineRules(tbl, MineOptions{MinSupport: 3, Sizes: []int{1, 2}, Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveParallelComponents measures the component-parallel solve
+// against BenchmarkSolveWithKnowledge's sequential baseline.
+func BenchmarkSolveParallelComponents(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	selected := TopK(in.Rules, 50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+		for j := range selected {
+			kn := selected[j].Knowledge()
+			c, err := kn.Constraint(sp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sys.Add(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, Workers: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndividualsSolve measures the Sec. 6 pseudonym model on the
+// bench workload's first knowledge statement.
+func BenchmarkIndividualsSolve(b *testing.B) {
+	in := getInstance(b)
+	sp := individuals.NewSpace(in.Data)
+	k := individuals.ValueProbability{Person: individuals.Person{QID: 0}, SAs: []int{0}, P: 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := individuals.Solve(sp, []individuals.Knowledge{k}, maxent.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInequalitySolve measures the Sec. 4.5 box-constrained dual on
+// a Top-20 vague bound.
+func BenchmarkInequalitySolve(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	selected := TopK(in.Rules, 10, 10)
+	var ineqs []maxent.Inequality
+	for i := range selected {
+		kn := selected[i].Knowledge()
+		iq, err := maxent.VagueKnowledge(sp, kn, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ineqs = append(ineqs, iq)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+		if _, err := maxent.SolveWithInequalities(sys, ineqs, maxent.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

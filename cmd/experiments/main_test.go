@@ -1,0 +1,36 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"privacymaxent/internal/experiments"
+)
+
+func TestParseInts(t *testing.T) {
+	got := parseInts(" 1,2 , 30,,x")
+	want := []int{1, 2, 30}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseInts = %v, want %v", got, want)
+	}
+	if out := parseInts(""); out != nil {
+		t.Fatalf("parseInts(\"\") = %v, want nil", out)
+	}
+}
+
+// TestRunBaseline drives the CLI's baseline figure at a tiny size,
+// checking the plumbing end to end.
+func TestRunBaseline(t *testing.T) {
+	cfg := experiments.Config{Records: 200, Seed: 3, MaxRuleSize: 1}
+	if err := run("baseline", cfg, 1, nil, nil, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigureIsNoop(t *testing.T) {
+	// An unrecognized figure name needs no instance and produces no
+	// output; it must not error.
+	if err := run("7b", experiments.Config{Records: 120, Seed: 3, MaxRuleSize: 1}, 1, []int{10, 20}, []int{0}, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/maxent"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]maxent.Algorithm{
+		"lbfgs": maxent.LBFGS, "": maxent.LBFGS, "GIS": maxent.GIS,
+		"iis": maxent.IIS, "steepest": maxent.SteepestDescent, "Newton": maxent.Newton,
+	}
+	for in, want := range cases {
+		got, err := parseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("parseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseAlgorithm("simplex"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parseSizes = %v, %v", got, err)
+	}
+	if out, err := parseSizes(""); err != nil || out != nil {
+		t.Fatalf("empty sizes = %v, %v", out, err)
+	}
+	if _, err := parseSizes("1,x"); err == nil {
+		t.Fatal("expected error for non-numeric size")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty(" a, ,b ,")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("splitNonEmpty = %v", got)
+	}
+}
+
+func TestRunDemo(t *testing.T) {
+	var buf bytes.Buffer
+	o := options{demo: true, diversity: 5, minSupport: 3, kPos: 1, kNeg: 2, top: 5, algorithm: "lbfgs"}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Privacy-MaxEnt report", "Top-(K+=1, K-=2)", "Riskiest QI tuples"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func writePaperCSV(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	var sb strings.Builder
+	if err := dataset.WriteCSV(&sb, dataset.PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCSVFile(t *testing.T) {
+	path := writePaperCSV(t)
+	var buf bytes.Buffer
+	o := options{
+		input: path, saName: "Disease", idNames: "Name",
+		diversity: 3, kPos: 1, kNeg: 1, minSupport: 1,
+		sizes: "1", algorithm: "gis", top: 3,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "knowledge applied:     2 constraints") {
+		t.Fatalf("unexpected report:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writePaperCSV(t)
+	cases := []options{
+		{},                            // no mode selected
+		{input: path},                 // -input without -sa
+		{input: path, saName: "Nope"}, // missing SA column
+		{algorithm: "simplex"},        // bad algorithm
+		{published: "/no/such/file"},  // bad published path
+		{input: "/no/such.csv", saName: "Disease"}, // bad csv path
+	}
+	for i, o := range cases {
+		if o.diversity == 0 {
+			o.diversity = 3
+		}
+		if o.minSupport == 0 {
+			o.minSupport = 1
+		}
+		var buf bytes.Buffer
+		if err := run(&buf, o); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestPublishAndReanalyze is the full round trip: publish a CSV with
+// exported knowledge, then re-analyze the publication without the
+// original data.
+func TestPublishAndReanalyze(t *testing.T) {
+	path := writePaperCSV(t)
+	dir := t.TempDir()
+	pubPath := filepath.Join(dir, "published.json")
+	kPath := filepath.Join(dir, "knowledge.json")
+
+	var buf bytes.Buffer
+	o := options{
+		input: path, saName: "Disease", idNames: "Name",
+		diversity: 3, kNeg: 2, minSupport: 1,
+		publishOut: pubPath, exportKnowledge: kPath, top: 3,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{pubPath, kPath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("expected output file %s: %v", p, err)
+		}
+	}
+
+	buf.Reset()
+	o2 := options{published: pubPath, knowledgeFile: kPath, top: 3}
+	if err := run(&buf, o2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "knowledge applied:     2 constraints") {
+		t.Fatalf("reanalysis lost knowledge:\n%s", out)
+	}
+	if !strings.Contains(out, "estimation accuracy:   n/a") {
+		t.Fatalf("reanalysis should have no ground truth:\n%s", out)
+	}
+	// And without knowledge.
+	buf.Reset()
+	if err := run(&buf, options{published: pubPath, top: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "knowledge applied:     0 constraints") {
+		t.Fatalf("unexpected report:\n%s", buf.String())
+	}
+}
+
+// TestPublishedVagueMode applies the -eps flag: knowledge enters as
+// ε-boxes rather than equalities.
+func TestPublishedVagueMode(t *testing.T) {
+	path := writePaperCSV(t)
+	dir := t.TempDir()
+	pubPath := filepath.Join(dir, "published.json")
+	kPath := filepath.Join(dir, "knowledge.json")
+	var buf bytes.Buffer
+	o := options{
+		input: path, saName: "Disease", idNames: "Name",
+		diversity: 3, kNeg: 2, minSupport: 1,
+		publishOut: pubPath, exportKnowledge: kPath, top: 3,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := run(&buf, options{published: pubPath, knowledgeFile: kPath, eps: 0.2, top: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "knowledge applied:     2 constraints") {
+		t.Fatalf("vague reanalysis report:\n%s", buf.String())
+	}
+}

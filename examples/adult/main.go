@@ -1,0 +1,51 @@
+// Adult runs the paper's evaluation pipeline end to end on the synthetic
+// Adult-like workload (the stand-in for the UCI Adult data set, see
+// DESIGN.md): generate correlated microdata with the education SA,
+// publish it at 5-diversity, mine the Top-(K+, K−) association-rule
+// bound, and print a miniature Figure 5 — estimation accuracy versus the
+// amount of background knowledge, for negative-only, positive-only and
+// mixed rule budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"privacymaxent/internal/experiments"
+)
+
+func main() {
+	records := flag.Int("records", 1000, "synthetic Adult records (paper: 14210)")
+	seed := flag.Int64("seed", 7, "generator seed")
+	flag.Parse()
+
+	in, err := experiments.NewInstance(experiments.Config{
+		Records:     *records,
+		Seed:        *seed,
+		MaxRuleSize: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Adult-like workload: %d records -> %d buckets of 5 (5-diversity),\n",
+		in.Table.Len(), in.Data.NumBuckets())
+	fmt.Printf("%d distinct QI tuples, %d association rules mined (support >= %d)\n\n",
+		in.Data.Universe().Len(), len(in.Rules), in.Config.MinSupport)
+
+	series, err := experiments.Figure5(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.PrintSeries(os.Stdout,
+		"Mini Figure 5: estimation accuracy vs background knowledge K",
+		"K", series); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading the table: every curve falls as K grows (more")
+	fmt.Println("knowledge brings the adversary closer to the truth), drops")
+	fmt.Println("steeply for small K, flattens as rules become redundant, and")
+	fmt.Println("the mixed (K+, K-) budget falls fastest — the three findings")
+	fmt.Println("of the paper's Figure 5.")
+}

@@ -1,0 +1,3 @@
+module privacymaxent
+
+go 1.22

@@ -1,0 +1,240 @@
+// Package adult generates a synthetic stand-in for the UCI Adult data set
+// the paper evaluates on. The real data cannot be bundled here, so we
+// reproduce the properties the experiments actually depend on: the same
+// schema shape (8 categorical quasi-identifiers and the 16-value
+// `education` sensitive attribute), a skewed education marginal, and
+// strong QI↔SA correlations so that high-confidence positive and negative
+// association rules exist at every subset size T — exactly what the
+// Top-(K+, K−) bound needs to bite in Figures 5 and 6.
+//
+// Generation is deterministic for a given Config, so experiments and
+// benchmarks are reproducible.
+package adult
+
+import (
+	"math/rand"
+
+	"privacymaxent/internal/dataset"
+)
+
+// Education is the sensitive attribute's domain, matching UCI Adult's 16
+// education levels, ordered roughly by frequency in the real data.
+var Education = []string{
+	"HS-grad", "Some-college", "Bachelors", "Masters", "Assoc-voc",
+	"11th", "Assoc-acdm", "10th", "7th-8th", "Prof-school",
+	"9th", "12th", "Doctorate", "5th-6th", "1st-4th", "Preschool",
+}
+
+// educationWeights is the skewed marginal (unnormalized), shaped like the
+// real Adult distribution where HS-grad dominates.
+// Compared with the real marginal, Some-college is softened below 1/5 so
+// that strict 5-diversity with only the most frequent value exempted stays
+// satisfiable (a record share above 1/L of a non-exempt value cannot avoid
+// repeating in some bucket of L records).
+var educationWeights = []float64{
+	32, 17, 14, 6, 4.5,
+	4, 3.5, 3, 2.2, 2,
+	1.7, 1.4, 1.3, 1.1, 0.6, 0.2,
+}
+
+// QI attribute domains (8 quasi-identifiers, as in the paper's setup).
+var (
+	ageGroups = []string{"17-22", "23-28", "29-34", "35-40", "41-46", "47-52", "53-58", "59-64", "65+"}
+	workclass = []string{"Private", "Self-emp", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov", "Unemployed"}
+	marital   = []string{"Married", "Never-married", "Divorced", "Separated", "Widowed", "Married-spouse-absent", "Married-AF"}
+	occups    = []string{
+		"Craft-repair", "Prof-specialty", "Exec-managerial", "Adm-clerical", "Sales",
+		"Other-service", "Machine-op-inspct", "Transport-moving", "Handlers-cleaners",
+		"Farming-fishing", "Tech-support", "Protective-serv", "Priv-house-serv", "Armed-Forces",
+	}
+	relations = []string{"Husband", "Not-in-family", "Own-child", "Unmarried", "Wife", "Other-relative"}
+	races     = []string{"White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"}
+	sexes     = []string{"Male", "Female"}
+	countries = []string{"United-States", "Mexico", "Philippines", "Germany", "Canada", "India", "England", "Cuba", "China", "Other"}
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Records is the number of rows; the paper uses 14,210. Default 1000.
+	Records int
+	// Seed drives the deterministic PRNG. Zero means seed 1.
+	Seed int64
+	// Correlation in [0, 1] is the probability that each QI attribute is
+	// drawn from its education-conditioned distribution instead of its
+	// base distribution. Higher correlation yields stronger association
+	// rules (more informative background knowledge). Default 0.7; use a
+	// negative value to force 0.
+	Correlation float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records <= 0 {
+		c.Records = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	switch {
+	case c.Correlation < 0:
+		c.Correlation = 0
+	case c.Correlation == 0:
+		c.Correlation = 0.7
+	case c.Correlation > 1:
+		c.Correlation = 1
+	}
+	return c
+}
+
+// Schema returns the Adult-like schema: 8 QI attributes plus the
+// `education` sensitive attribute.
+func Schema() *dataset.Schema {
+	return dataset.MustSchema(
+		dataset.NewAttribute("age", dataset.QuasiIdentifier, ageGroups),
+		dataset.NewAttribute("workclass", dataset.QuasiIdentifier, workclass),
+		dataset.NewAttribute("marital-status", dataset.QuasiIdentifier, marital),
+		dataset.NewAttribute("occupation", dataset.QuasiIdentifier, occups),
+		dataset.NewAttribute("relationship", dataset.QuasiIdentifier, relations),
+		dataset.NewAttribute("race", dataset.QuasiIdentifier, races),
+		dataset.NewAttribute("sex", dataset.QuasiIdentifier, sexes),
+		dataset.NewAttribute("native-country", dataset.QuasiIdentifier, countries),
+		dataset.NewAttribute("education", dataset.Sensitive, Education),
+	)
+}
+
+// eduTier buckets the 16 education codes into 4 coarse tiers used to tilt
+// the conditional QI distributions: 0 = advanced (Masters, Prof-school,
+// Doctorate), 1 = college (Bachelors, Some-college, Assoc-*), 2 = high
+// school (HS-grad, 11th, 10th, 12th, 9th), 3 = low.
+func eduTier(edu int) int {
+	switch Education[edu] {
+	case "Masters", "Prof-school", "Doctorate":
+		return 0
+	case "Bachelors", "Some-college", "Assoc-voc", "Assoc-acdm":
+		return 1
+	case "HS-grad", "11th", "10th", "12th", "9th":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// tiltTables gives, per QI attribute, per education tier, an unnormalized
+// weight vector over the attribute's domain. These encode the real-world
+// correlations the rules pick up: advanced degrees skew professional
+// occupations, older ages, government/self-employment, etc.
+var tiltTables = map[string][4][]float64{
+	"age": {
+		{0.5, 1, 2, 3, 3, 2.5, 2, 1.5, 1}, // advanced: older
+		{1, 3, 3, 2.5, 2, 1.5, 1, 0.7, 0.5},
+		{2, 2.5, 2, 2, 2, 1.5, 1.2, 1, 0.8},
+		{3, 2, 1.5, 1.5, 1.5, 1.5, 1.2, 1, 1},
+	},
+	"workclass": {
+		{4, 2, 2, 2.5, 2.5, 2.5, 0.3}, // advanced: gov + self-emp-inc
+		{8, 1.5, 1, 1.5, 1.5, 1.5, 0.7},
+		{9, 1.2, 0.5, 0.7, 0.9, 0.8, 1.2},
+		{8, 1, 0.3, 0.4, 0.6, 0.5, 2.5},
+	},
+	"occupation": {
+		{1, 10, 6, 1, 1.5, 0.5, 0.3, 0.3, 0.2, 0.3, 2, 0.7, 0.1, 0.1}, // advanced: professional
+		{2, 4, 4, 3, 3, 1.5, 1, 1, 0.7, 0.7, 2.5, 1.2, 0.2, 0.1},
+		{5, 0.7, 1.5, 2.5, 2.5, 3, 3, 2.5, 2.5, 1.5, 0.7, 1.2, 0.4, 0.1},
+		{4, 0.2, 0.5, 1, 1.5, 4, 3.5, 2.5, 3.5, 3, 0.2, 0.7, 1.2, 0.1},
+	},
+	"marital-status": {
+		{4, 1.5, 1, 0.3, 0.3, 0.3, 0.1},
+		{3, 2.5, 1.2, 0.4, 0.3, 0.3, 0.1},
+		{3, 2.5, 1.5, 0.6, 0.6, 0.4, 0.1},
+		{2.5, 3, 1.2, 0.8, 0.8, 0.6, 0.1},
+	},
+	"relationship": {
+		{4, 2, 0.5, 1, 1.5, 0.5},
+		{3, 2.5, 1.5, 1.5, 1.2, 0.6},
+		{3, 2.5, 2, 1.5, 1, 0.8},
+		{2.5, 2.5, 2.5, 1.5, 0.8, 1.2},
+	},
+	"race": {
+		{10, 0.8, 1.5, 0.2, 0.3},
+		{9, 1.2, 1, 0.3, 0.4},
+		{8.5, 1.5, 0.5, 0.4, 0.5},
+		{7.5, 1.8, 0.6, 0.5, 1},
+	},
+	"sex": {
+		{2, 1},
+		{1.3, 1},
+		{1.5, 1},
+		{1.4, 1},
+	},
+	"native-country": {
+		{20, 0.3, 0.5, 0.4, 0.5, 1, 0.4, 0.2, 0.6, 1},
+		{20, 0.5, 0.6, 0.4, 0.5, 0.6, 0.4, 0.3, 0.4, 1},
+		{18, 1.2, 0.4, 0.4, 0.4, 0.2, 0.3, 0.4, 0.3, 1},
+		{12, 3, 0.6, 0.2, 0.2, 0.3, 0.1, 0.6, 0.8, 2},
+	},
+}
+
+// baseTables gives the unconditional (tier-free) weight per attribute,
+// used with probability 1 − Correlation.
+var baseTables = map[string][]float64{
+	"age":            {2, 2.5, 2.3, 2.2, 2, 1.7, 1.4, 1, 0.9},
+	"workclass":      {8, 1.3, 0.7, 1, 1.2, 1.1, 1},
+	"occupation":     {3, 3, 3, 2.5, 2.5, 2.3, 1.5, 1.2, 1, 0.7, 0.7, 0.5, 0.1, 0.05},
+	"marital-status": {3, 2.5, 1.3, 0.5, 0.5, 0.4, 0.1},
+	"relationship":   {3, 2.5, 1.5, 1.2, 1, 0.7},
+	"race":           {8.5, 1.3, 0.8, 0.3, 0.5},
+	"sex":            {1.5, 1},
+	"native-country": {18, 1, 0.5, 0.4, 0.4, 0.4, 0.3, 0.3, 0.4, 1.3},
+}
+
+// Generate builds the synthetic table. Rows are drawn independently:
+// education first from its skewed marginal, then each QI attribute either
+// from its education-tier-conditioned weights (probability Correlation) or
+// from its base weights.
+func Generate(cfg Config) *dataset.Table {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	schema := Schema()
+	t := dataset.NewTable(schema)
+
+	saPos := schema.SAIndex()
+	row := make([]int, schema.Len())
+	for r := 0; r < cfg.Records; r++ {
+		edu := sampleWeighted(rng, educationWeights)
+		tier := eduTier(edu)
+		row[saPos] = edu
+		for pos := 0; pos < schema.Len(); pos++ {
+			if pos == saPos {
+				continue
+			}
+			name := schema.Attr(pos).Name
+			var w []float64
+			if rng.Float64() < cfg.Correlation {
+				w = tiltTables[name][tier]
+			} else {
+				w = baseTables[name]
+			}
+			row[pos] = sampleWeighted(rng, w)
+		}
+		if err := t.AppendCoded(row); err != nil {
+			panic(err) // all codes are produced within domain bounds
+		}
+	}
+	return t
+}
+
+// sampleWeighted draws an index proportionally to the (unnormalized)
+// weights.
+func sampleWeighted(rng *rand.Rand, w []float64) int {
+	var total float64
+	for _, v := range w {
+		total += v
+	}
+	u := rng.Float64() * total
+	for i, v := range w {
+		u -= v
+		if u < 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}

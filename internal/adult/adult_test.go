@@ -1,0 +1,179 @@
+package adult
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if got := s.NumQI(); got != 8 {
+		t.Fatalf("NumQI = %d, want 8 (paper's setup)", got)
+	}
+	if got := s.SA().Cardinality(); got != 16 {
+		t.Fatalf("SA cardinality = %d, want 16 education levels", got)
+	}
+	if s.SA().Name != "education" {
+		t.Fatalf("SA = %q, want education", s.SA().Name)
+	}
+}
+
+func TestTiltTablesMatchDomains(t *testing.T) {
+	s := Schema()
+	for _, pos := range s.QIIndices() {
+		attr := s.Attr(pos)
+		tilts, ok := tiltTables[attr.Name]
+		if !ok {
+			t.Fatalf("no tilt table for %q", attr.Name)
+		}
+		for tier, w := range tilts {
+			if len(w) != attr.Cardinality() {
+				t.Fatalf("%q tier %d has %d weights, domain has %d", attr.Name, tier, len(w), attr.Cardinality())
+			}
+		}
+		base, ok := baseTables[attr.Name]
+		if !ok || len(base) != attr.Cardinality() {
+			t.Fatalf("%q base table has %d weights, domain has %d", attr.Name, len(base), attr.Cardinality())
+		}
+	}
+	if len(educationWeights) != len(Education) {
+		t.Fatalf("education weights %d, domain %d", len(educationWeights), len(Education))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Records: 200, Seed: 7})
+	b := Generate(Config{Records: 200, Seed: 7})
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for r := 0; r < a.Len(); r++ {
+		for c := 0; c < a.Schema().Len(); c++ {
+			if a.Row(r)[c] != b.Row(r)[c] {
+				t.Fatalf("cell (%d,%d) differs across runs", r, c)
+			}
+		}
+	}
+	c := Generate(Config{Records: 200, Seed: 8})
+	same := true
+	for r := 0; r < a.Len() && same; r++ {
+		for i := range a.Row(r) {
+			if a.Row(r)[i] != c.Row(r)[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tbl := Generate(Config{})
+	if tbl.Len() != 1000 {
+		t.Fatalf("default records = %d, want 1000", tbl.Len())
+	}
+}
+
+func TestEducationMarginalSkewed(t *testing.T) {
+	tbl := Generate(Config{Records: 8000, Seed: 3})
+	counts := make([]int, len(Education))
+	for r := 0; r < tbl.Len(); r++ {
+		counts[tbl.SACode(r)]++
+	}
+	hs := tbl.Schema().SA().MustCode("HS-grad")
+	pre := tbl.Schema().SA().MustCode("Preschool")
+	if counts[hs] < 5*counts[pre] {
+		t.Fatalf("marginal not skewed: HS-grad %d vs Preschool %d", counts[hs], counts[pre])
+	}
+	// Rough agreement with the configured marginal (HS-grad ≈ 32%).
+	frac := float64(counts[hs]) / float64(tbl.Len())
+	if math.Abs(frac-0.32) > 0.05 {
+		t.Fatalf("HS-grad fraction = %g, want ≈ 0.32", frac)
+	}
+}
+
+// TestCorrelationProducesStrongRules checks the property the experiments
+// rely on: the generator yields high-confidence association rules, and
+// more of them than an uncorrelated table.
+func TestCorrelationProducesStrongRules(t *testing.T) {
+	corr := Generate(Config{Records: 3000, Seed: 5, Correlation: 0.9})
+	flat := Generate(Config{Records: 3000, Seed: 5, Correlation: -1})
+
+	strong := func(tbl *dataset.Table) int {
+		rules, err := assoc.Mine(tbl, assoc.Options{MinSupport: 3, Sizes: []int{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range rules {
+			if rules[i].Positive && rules[i].Confidence >= 0.4 {
+				n++
+			}
+		}
+		return n
+	}
+	sc, sf := strong(corr), strong(flat)
+	if sc <= sf {
+		t.Fatalf("correlated table has %d strong positive rules, uncorrelated has %d", sc, sf)
+	}
+}
+
+// TestBucketizable ensures the generated data passes through the paper's
+// 5-diversity Anatomy pipeline (with the footnote-3 exemption).
+func TestBucketizable(t *testing.T) {
+	tbl := Generate(Config{Records: 2000, Seed: 11})
+	d, _, err := bucket.Anatomize(tbl, bucket.Options{L: 5, ExemptMostFrequent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exempt := bucket.ExemptValues(tbl, 5)
+	if err := bucket.CheckDiversity(d, 5, exempt...); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket count is about N/5, as in the paper (14210 -> 2842).
+	want := tbl.Len() / 5
+	if d.NumBuckets() < want*9/10 || d.NumBuckets() > want {
+		t.Fatalf("buckets = %d, want ≈ %d", d.NumBuckets(), want)
+	}
+}
+
+func TestSampleWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := []float64{0, 0, 5}
+	for i := 0; i < 50; i++ {
+		if got := sampleWeighted(rng, w); got != 2 {
+			t.Fatalf("sampleWeighted = %d, want 2", got)
+		}
+	}
+	// Frequencies roughly proportional to weights.
+	w = []float64{1, 3}
+	counts := [2]int{}
+	for i := 0; i < 40000; i++ {
+		counts[sampleWeighted(rng, w)]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %g, want ≈ 3", ratio)
+	}
+}
+
+func TestEduTierCoversDomain(t *testing.T) {
+	seen := map[int]bool{}
+	for e := range Education {
+		tier := eduTier(e)
+		if tier < 0 || tier > 3 {
+			t.Fatalf("eduTier(%d) = %d out of range", e, tier)
+		}
+		seen[tier] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("education tiers used: %v, want all 4", seen)
+	}
+}

@@ -1,0 +1,306 @@
+// Package assoc mines the positive and negative association rules between
+// QI attribute subsets and the sensitive attribute that the paper uses as
+// its bound on background knowledge (Sec. 4.4, Top-(K+, K−) strongest
+// associations). Rules are mined from the original data D, which Sec. 4.2
+// argues is the right source: knowledge inconsistent with D is incorrect
+// for D regardless of its general truth.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/dataset"
+)
+
+// Rule is an association between a QI-subset condition Qv and a sensitive
+// value: positive rules Qv ⇒ s say P(s|Qv) is high; negative rules
+// Qv ⇒ ¬s say it is low (the paper's breast-cancer example).
+type Rule struct {
+	// Attrs are schema positions of the conditioned QI attributes, with
+	// parallel Values; always sorted by attribute position.
+	Attrs  []int
+	Values []int
+	// SA is the sensitive code the rule concerns.
+	SA int
+	// Positive distinguishes Qv ⇒ s from Qv ⇒ ¬s.
+	Positive bool
+	// Confidence is P(s|Qv) for positive rules and P(¬s|Qv) for negative
+	// rules, computed exactly from the mined table.
+	Confidence float64
+	// Support is the number of records witnessing the rule head:
+	// count(Qv ∧ s) for positive, count(Qv ∧ ¬s) for negative.
+	Support int
+	// CondCount is count(Qv), the body support.
+	CondCount int
+}
+
+// PSA returns the conditional probability P(SA | Qv) the rule pins — the
+// value fed to the ME constraint regardless of rule polarity.
+func (r *Rule) PSA() float64 {
+	if r.Positive {
+		return r.Confidence
+	}
+	return 1 - r.Confidence
+}
+
+// Knowledge converts the rule into the background-knowledge statement
+// P(SA | Qv) = PSA() used to build an ME constraint.
+func (r *Rule) Knowledge() constraint.DistributionKnowledge {
+	return constraint.DistributionKnowledge{
+		Attrs:  append([]int(nil), r.Attrs...),
+		Values: append([]int(nil), r.Values...),
+		SA:     r.SA,
+		P:      r.PSA(),
+	}
+}
+
+// String renders the rule, e.g. "{Gender=male} => ¬Breast Cancer (conf 1.00, sup 6)".
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := range r.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "a%d=%d", r.Attrs[i], r.Values[i])
+	}
+	b.WriteString("} => ")
+	if !r.Positive {
+		b.WriteString("¬")
+	}
+	fmt.Fprintf(&b, "s%d (conf %.3f, sup %d)", r.SA, r.Confidence, r.Support)
+	return b.String()
+}
+
+// Options configures mining.
+type Options struct {
+	// MinSupport is the minimum number of witnessing records; the paper
+	// uses 3 ("each association rule must be supported by at least three
+	// records"). Values below 1 default to 1.
+	MinSupport int
+	// Sizes lists the QI-subset sizes T to mine (the paper's Figure 6
+	// varies T from 1 to the number of QI attributes). Empty means every
+	// size from 1 to NumQI.
+	Sizes []int
+	// Workers bounds how many attribute subsets are mined concurrently;
+	// values below 2 mine sequentially. The final rule order is
+	// deterministic either way (rules are fully ordered before Top-K
+	// selection).
+	Workers int
+}
+
+// Mine enumerates every QI attribute subset of the requested sizes,
+// groups records by the subset's projected values, and emits the positive
+// and negative rules meeting the support threshold.
+func Mine(t *dataset.Table, opts Options) ([]Rule, error) {
+	schema := t.Schema()
+	if schema.SAIndex() < 0 {
+		return nil, fmt.Errorf("assoc: table has no sensitive attribute")
+	}
+	qi := schema.QIIndices()
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("assoc: table has no quasi-identifier attributes")
+	}
+	minSup := opts.MinSupport
+	if minSup < 1 {
+		minSup = 1
+	}
+	sizes := opts.Sizes
+	if len(sizes) == 0 {
+		for k := 1; k <= len(qi); k++ {
+			sizes = append(sizes, k)
+		}
+	}
+	for _, k := range sizes {
+		if k < 1 || k > len(qi) {
+			return nil, fmt.Errorf("assoc: subset size %d out of range [1,%d]", k, len(qi))
+		}
+	}
+
+	// Collect every subset up front so the work can be distributed.
+	var subsets [][]int
+	for _, k := range sizes {
+		forEachSubset(len(qi), k, func(idx []int) {
+			attrs := make([]int, len(idx))
+			for i, p := range idx {
+				attrs[i] = qi[p]
+			}
+			subsets = append(subsets, attrs)
+		})
+	}
+
+	var rules []Rule
+	if opts.Workers < 2 || len(subsets) < 2 {
+		for _, attrs := range subsets {
+			rules = append(rules, mineSubset(t, attrs, minSup)...)
+		}
+	} else {
+		perSubset := make([][]Rule, len(subsets))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opts.Workers)
+		for i := range subsets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				perSubset[i] = mineSubset(t, subsets[i], minSup)
+			}(i)
+		}
+		wg.Wait()
+		for _, rs := range perSubset {
+			rules = append(rules, rs...)
+		}
+	}
+	sortRules(rules)
+	return rules, nil
+}
+
+// mineSubset emits the rules of one QI attribute subset.
+func mineSubset(t *dataset.Table, attrs []int, minSup int) []Rule {
+	saCard := t.Schema().SA().Cardinality()
+	type group struct {
+		values []int
+		count  int
+		perSA  []int
+	}
+	groups := map[string]*group{}
+	var keyBuf strings.Builder
+	for row := 0; row < t.Len(); row++ {
+		r := t.Row(row)
+		keyBuf.Reset()
+		for _, a := range attrs {
+			fmt.Fprintf(&keyBuf, "%d|", r[a])
+		}
+		key := keyBuf.String()
+		g := groups[key]
+		if g == nil {
+			values := make([]int, len(attrs))
+			for i, a := range attrs {
+				values[i] = r[a]
+			}
+			g = &group{values: values, perSA: make([]int, saCard)}
+			groups[key] = g
+		}
+		g.count++
+		g.perSA[t.SACode(row)]++
+	}
+	var rules []Rule
+	for _, g := range groups {
+		for s := 0; s < saCard; s++ {
+			pos := g.perSA[s]
+			neg := g.count - pos
+			if pos >= minSup {
+				rules = append(rules, Rule{
+					Attrs: attrs, Values: g.values, SA: s,
+					Positive:   true,
+					Confidence: float64(pos) / float64(g.count),
+					Support:    pos,
+					CondCount:  g.count,
+				})
+			}
+			if neg >= minSup {
+				rules = append(rules, Rule{
+					Attrs: attrs, Values: g.values, SA: s,
+					Positive:   false,
+					Confidence: float64(neg) / float64(g.count),
+					Support:    neg,
+					CondCount:  g.count,
+				})
+			}
+		}
+	}
+	return rules
+}
+
+// forEachSubset calls fn with every size-k index subset of [0, n) in
+// lexicographic order. The slice passed to fn is reused.
+func forEachSubset(n, k int, fn func(idx []int)) {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// sortRules orders by confidence (desc), then support (desc), then a
+// deterministic structural key, so Top-K selections are reproducible.
+func sortRules(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := &rules[i], &rules[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		if len(a.Attrs) != len(b.Attrs) {
+			return len(a.Attrs) < len(b.Attrs)
+		}
+		for k := range a.Attrs {
+			if a.Attrs[k] != b.Attrs[k] {
+				return a.Attrs[k] < b.Attrs[k]
+			}
+			if a.Values[k] != b.Values[k] {
+				return a.Values[k] < b.Values[k]
+			}
+		}
+		if a.SA != b.SA {
+			return a.SA < b.SA
+		}
+		return a.Positive && !b.Positive
+	})
+}
+
+// TopK implements the paper's Top-(K+, K−) bound: the kPos strongest
+// positive rules and the kNeg strongest negative rules by confidence.
+// Rules must already be sorted (as Mine returns them).
+func TopK(rules []Rule, kPos, kNeg int) []Rule {
+	out := make([]Rule, 0, kPos+kNeg)
+	nPos, nNeg := 0, 0
+	for i := range rules {
+		if rules[i].Positive {
+			if nPos < kPos {
+				out = append(out, rules[i])
+				nPos++
+			}
+		} else if nNeg < kNeg {
+			out = append(out, rules[i])
+			nNeg++
+		}
+		if nPos == kPos && nNeg == kNeg {
+			break
+		}
+	}
+	return out
+}
+
+// Split partitions rules by polarity, preserving order.
+func Split(rules []Rule) (positive, negative []Rule) {
+	for i := range rules {
+		if rules[i].Positive {
+			positive = append(positive, rules[i])
+		} else {
+			negative = append(negative, rules[i])
+		}
+	}
+	return positive, negative
+}

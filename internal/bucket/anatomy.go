@@ -1,0 +1,227 @@
+package bucket
+
+import (
+	"fmt"
+	"sort"
+
+	"privacymaxent/internal/dataset"
+)
+
+// Options configures the Anatomy-style bucketizer.
+type Options struct {
+	// L is the diversity parameter; it is also the target bucket size, as
+	// in the paper's evaluation (buckets of five records, 5-diversity).
+	L int
+	// ExemptMostFrequent applies the paper's footnote-3 relaxation: "the
+	// most frequent values of SA" are not considered sensitive and are
+	// excluded when checking diversity, so they may repeat within a
+	// bucket. Concretely, the single most frequent value is always
+	// exempt, as is any value too frequent for strict diversity to be
+	// satisfiable (count exceeding the bucket count ⌊N/L⌋).
+	ExemptMostFrequent bool
+}
+
+// ExemptValues returns the SA codes Anatomize exempts from the diversity
+// check for this table under Options.ExemptMostFrequent: the most
+// frequent value plus any value with more records than buckets.
+func ExemptValues(t *dataset.Table, l int) []int {
+	counts := make([]int, t.Schema().SA().Cardinality())
+	for row := 0; row < t.Len(); row++ {
+		counts[t.SACode(row)]++
+	}
+	numBuckets := t.Len() / l
+	best, arg := -1, 0
+	for s, n := range counts {
+		if n > best {
+			best, arg = n, s
+		}
+	}
+	var out []int
+	for s, n := range counts {
+		if s == arg || n > numBuckets {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Anatomize partitions the table into ⌊N/L⌋ buckets of L records (the
+// first N mod L buckets absorb one extra) such that no non-exempt
+// sensitive value repeats within a bucket.
+//
+// The construction concatenates the SA groups — non-exempt groups largest
+// first, the exempt group last — into one sequence and deals it
+// column-major into a grid of B = ⌊N/L⌋ buckets: record i of the sequence
+// goes to bucket i mod B. A group occupying consecutive positions of
+// length at most B lands on distinct residues, hence at most once per
+// bucket; only the exempt group (placed last, allowed to repeat) may
+// exceed B. The N mod L tail records are placed individually into buckets
+// that do not yet contain their value.
+//
+// It returns the published view and the row partition that produced it.
+// The partition is deterministic for a given table.
+func Anatomize(t *dataset.Table, opts Options) (*Bucketized, [][]int, error) {
+	if opts.L < 2 {
+		return nil, nil, fmt.Errorf("bucket: diversity parameter L must be >= 2, got %d", opts.L)
+	}
+	if t.Schema().SAIndex() < 0 {
+		return nil, nil, fmt.Errorf("bucket: table has no sensitive attribute")
+	}
+	if t.Len() < opts.L {
+		return nil, nil, fmt.Errorf("bucket: table has %d rows, need at least L=%d", t.Len(), opts.L)
+	}
+
+	saCard := t.Schema().SA().Cardinality()
+	groups := make([][]int, saCard) // SA code -> row indices (FIFO)
+	for row := 0; row < t.Len(); row++ {
+		s := t.SACode(row)
+		groups[s] = append(groups[s], row)
+	}
+
+	isExempt := make([]bool, saCard)
+	if opts.ExemptMostFrequent {
+		for _, s := range ExemptValues(t, opts.L) {
+			isExempt[s] = true
+		}
+	}
+
+	numBuckets := t.Len() / opts.L
+
+	// Feasibility: a non-exempt value appearing in more than one record
+	// per bucket cannot be avoided once its count exceeds the bucket
+	// count.
+	for s, g := range groups {
+		if !isExempt[s] && len(g) > numBuckets {
+			return nil, nil, fmt.Errorf("bucket: SA value %q appears in %d records but only %d buckets are possible with L=%d; cannot satisfy diversity",
+				t.Schema().SA().Value(s), len(g), numBuckets, opts.L)
+		}
+	}
+
+	// Group order: non-exempt largest-first (ties by code), exempt
+	// groups last (they may repeat, and a tail drawn from them can be
+	// placed anywhere).
+	order := make([]int, 0, saCard)
+	for s := range groups {
+		if len(groups[s]) > 0 && !isExempt[s] {
+			order = append(order, s)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := order[i], order[j]
+		if len(groups[si]) != len(groups[sj]) {
+			return len(groups[si]) > len(groups[sj])
+		}
+		return si < sj
+	})
+	for s := range groups {
+		if len(groups[s]) > 0 && isExempt[s] {
+			order = append(order, s)
+		}
+	}
+	sequence := make([]int, 0, t.Len())
+	for _, s := range order {
+		sequence = append(sequence, groups[s]...)
+	}
+
+	// Column-major deal of the first B·L records.
+	partition := make([][]int, numBuckets)
+	dealt := numBuckets * opts.L
+	for i := 0; i < dealt; i++ {
+		b := i % numBuckets
+		partition[b] = append(partition[b], sequence[i])
+	}
+	// Tail records (N mod L of them) come from the end of the sequence —
+	// the exempt group when it is non-empty — and are placed one per
+	// bucket without repeating a non-exempt value.
+	if err := placeLeftovers(t, partition, sequence[dealt:], isExempt); err != nil {
+		return nil, nil, err
+	}
+
+	d, err := FromPartition(t, partition)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, partition, nil
+}
+
+// placeLeftovers appends each leftover row to some existing bucket that
+// does not already contain the row's SA value (any bucket, for exempt
+// values). Buckets are filled in round-robin order to keep sizes balanced.
+func placeLeftovers(t *dataset.Table, partition [][]int, leftovers []int, isExempt []bool) error {
+	if len(leftovers) == 0 {
+		return nil
+	}
+	if len(partition) == 0 {
+		return fmt.Errorf("bucket: %d leftover records but no buckets to place them in", len(leftovers))
+	}
+	contains := func(bucket []int, s int) bool {
+		for _, row := range bucket {
+			if t.SACode(row) == s {
+				return true
+			}
+		}
+		return false
+	}
+	next := 0
+	for _, row := range leftovers {
+		s := t.SACode(row)
+		placed := false
+		for probe := 0; probe < len(partition); probe++ {
+			b := (next + probe) % len(partition)
+			if (isExempt != nil && isExempt[s]) || !contains(partition[b], s) {
+				partition[b] = append(partition[b], row)
+				next = b + 1
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("bucket: cannot place leftover record with SA value %q without violating diversity",
+				t.Schema().SA().Value(s))
+		}
+	}
+	return nil
+}
+
+// CheckDiversity verifies the bucketization's diversity property: within
+// every bucket, each non-exempt SA value appears at most once (pass no
+// exempt codes to check plain distinct diversity) and the bucket holds at
+// least l records. It returns a descriptive error for the first
+// violation.
+func CheckDiversity(d *Bucketized, l int, exempt ...int) error {
+	isExempt := make(map[int]bool, len(exempt))
+	for _, s := range exempt {
+		isExempt[s] = true
+	}
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		if bk.Size() < l {
+			return fmt.Errorf("bucket %d has %d records, want >= %d", b, bk.Size(), l)
+		}
+		for s := 0; s < d.SACardinality(); s++ {
+			if isExempt[s] {
+				continue
+			}
+			if n := bk.SACount(s); n > 1 {
+				return fmt.Errorf("bucket %d has SA value %q repeated %d times", b, d.Schema().SA().Value(s), n)
+			}
+		}
+	}
+	return nil
+}
+
+// MostFrequentSA returns the SA code with the highest count in the table,
+// the value the paper's footnote-3 relaxation exempts from diversity.
+func MostFrequentSA(t *dataset.Table) int {
+	counts := make([]int, t.Schema().SA().Cardinality())
+	for row := 0; row < t.Len(); row++ {
+		counts[t.SACode(row)]++
+	}
+	best, arg := -1, 0
+	for s, n := range counts {
+		if n > best {
+			best, arg = n, s
+		}
+	}
+	return arg
+}

@@ -1,0 +1,323 @@
+package bucket
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"privacymaxent/internal/dataset"
+)
+
+func paperBucketized(t *testing.T) *Bucketized {
+	t.Helper()
+	d, err := FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromPartitionPaperExample(t *testing.T) {
+	d := paperBucketized(t)
+	if d.NumBuckets() != 3 {
+		t.Fatalf("NumBuckets = %d, want 3", d.NumBuckets())
+	}
+	if d.N() != 10 {
+		t.Fatalf("N = %d, want 10", d.N())
+	}
+	// Figure 1(c): bucket 1 holds {q1, q1, q2, q3} and SA multiset
+	// {s1, s2, s2, s3}.
+	b1 := d.Bucket(0)
+	if got := b1.Size(); got != 4 {
+		t.Fatalf("bucket 1 size = %d, want 4", got)
+	}
+	if got := b1.DistinctQIDs(); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("bucket 1 distinct qids = %v, want [0 1 2]", got)
+	}
+	sa := d.Schema().SA()
+	if got := b1.SACount(sa.MustCode("Flu")); got != 2 {
+		t.Fatalf("bucket 1 Flu count = %d, want 2 (s2 appears twice)", got)
+	}
+	if got := b1.SACount(sa.MustCode("Breast Cancer")); got != 1 {
+		t.Fatalf("bucket 1 Breast Cancer count = %d, want 1", got)
+	}
+	if got := b1.SACount(sa.MustCode("HIV")); got != 0 {
+		t.Fatalf("bucket 1 HIV count = %d, want 0", got)
+	}
+	// Paper Sec. 5.2 examples: P(q1, 1) = 2/10, P(s4, 2) = 1/10.
+	if got := d.PQB(0, 0); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("P(q1, b1) = %g, want 0.2", got)
+	}
+	if got := d.PSB(sa.MustCode("HIV"), 1); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("P(s4, b2) = %g, want 0.1", got)
+	}
+	// Zero-invariant examples: q1 and s1 do not appear in bucket 3.
+	if got := d.PQB(0, 2); got != 0 {
+		t.Fatalf("P(q1, b3) = %g, want 0", got)
+	}
+	if got := d.PSB(sa.MustCode("Breast Cancer"), 2); got != 0 {
+		t.Fatalf("P(s1, b3) = %g, want 0", got)
+	}
+}
+
+func TestFromPartitionValidation(t *testing.T) {
+	tbl := dataset.PaperExample()
+	cases := []struct {
+		name   string
+		groups [][]int
+	}{
+		{"empty group", [][]int{{0, 1}, {}}},
+		{"row out of range", [][]int{{0, 99}}},
+		{"duplicate row", [][]int{{0, 1}, {1, 2}}},
+		{"missing row", [][]int{{0, 1, 2}}},
+	}
+	for _, tc := range cases {
+		if _, err := FromPartition(tbl, tc.groups); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestBucketsWith(t *testing.T) {
+	d := paperBucketized(t)
+	// q1 appears in buckets 1 and 2 (0-based 0, 1).
+	if got := d.BucketsWithQID(0); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("BucketsWithQID(q1) = %v, want [0 1]", got)
+	}
+	flu := d.Schema().SA().MustCode("Flu")
+	if got := d.BucketsWithSA(flu); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("BucketsWithSA(Flu) = %v, want [0 2]", got)
+	}
+}
+
+func TestPBSumsToOne(t *testing.T) {
+	d := paperBucketized(t)
+	var sum float64
+	for b := 0; b < d.NumBuckets(); b++ {
+		sum += d.PB(b)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum P(b) = %g, want 1", sum)
+	}
+}
+
+// randomTable builds a table with nQI quasi-identifier attributes of the
+// given cardinality and an SA attribute whose values are drawn from a
+// skewed distribution, mimicking real microdata.
+func randomTable(rng *rand.Rand, rows, nQI, qiCard, saCard int) *dataset.Table {
+	attrs := make([]*dataset.Attribute, 0, nQI+1)
+	for i := 0; i < nQI; i++ {
+		dom := make([]string, qiCard)
+		for v := range dom {
+			dom[v] = string(rune('a'+i)) + strconv.Itoa(v)
+		}
+		attrs = append(attrs, dataset.NewAttribute(string(rune('A'+i)), dataset.QuasiIdentifier, dom))
+	}
+	saDom := make([]string, saCard)
+	for v := range saDom {
+		saDom[v] = "s" + strconv.Itoa(v)
+	}
+	attrs = append(attrs, dataset.NewAttribute("SA", dataset.Sensitive, saDom))
+	t := dataset.NewTable(dataset.MustSchema(attrs...))
+	row := make([]int, nQI+1)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < nQI; i++ {
+			row[i] = rng.Intn(qiCard)
+		}
+		// Zipf-ish skew on the SA value.
+		s := rng.Intn(saCard)
+		if rng.Intn(3) == 0 {
+			s = 0
+		}
+		row[nQI] = s
+		if err := t.AppendCoded(row); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func TestAnatomizeDiversityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		rows := 40 + rng.Intn(200)
+		saCard := 6 + rng.Intn(8)
+		tbl := randomTable(rng, rows, 2, 3, saCard)
+		exempt := MostFrequentSA(tbl)
+		d, partition, err := Anatomize(tbl, Options{L: 4, ExemptMostFrequent: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := CheckDiversity(d, 4, exempt); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Partition covers each row exactly once.
+		seen := make([]bool, tbl.Len())
+		for _, g := range partition {
+			for _, row := range g {
+				if seen[row] {
+					t.Fatalf("trial %d: row %d duplicated", trial, row)
+				}
+				seen[row] = true
+			}
+		}
+		for row, ok := range seen {
+			if !ok {
+				t.Fatalf("trial %d: row %d missing", trial, row)
+			}
+		}
+		if d.N() != tbl.Len() {
+			t.Fatalf("trial %d: N = %d, want %d", trial, d.N(), tbl.Len())
+		}
+	}
+}
+
+func TestAnatomizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := randomTable(rng, 120, 3, 3, 8)
+	_, p1, err := Anatomize(tbl, Options{L: 5, ExemptMostFrequent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, p2, err := Anatomize(tbl, Options{L: 5, ExemptMostFrequent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("Anatomize is not deterministic")
+	}
+}
+
+func TestAnatomizeErrors(t *testing.T) {
+	tbl := dataset.PaperExample()
+	if _, _, err := Anatomize(tbl, Options{L: 1}); err == nil {
+		t.Fatal("expected error for L < 2")
+	}
+	if _, _, err := Anatomize(tbl, Options{L: 100}); err == nil {
+		t.Fatal("expected error for L > number of rows")
+	}
+	// A table whose records all share one SA value cannot be diversified
+	// without the exemption.
+	g := dataset.NewAttribute("g", dataset.QuasiIdentifier, []string{"x", "y"})
+	s := dataset.NewAttribute("s", dataset.Sensitive, []string{"only", "unused"})
+	mono := dataset.NewTable(dataset.MustSchema(g, s))
+	for i := 0; i < 10; i++ {
+		mono.MustAppend([]string{"x", "y"}[i%2], "only")
+	}
+	if _, _, err := Anatomize(mono, Options{L: 3}); err == nil {
+		t.Fatal("expected error for single-valued SA without exemption")
+	}
+	// With the exemption it becomes trivially bucketizable.
+	d, _, err := Anatomize(mono, Options{L: 3, ExemptMostFrequent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckDiversity(d, 3, MostFrequentSA(mono)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMostFrequentSA(t *testing.T) {
+	tbl := dataset.PaperExample()
+	// Flu appears three times, more than any other disease.
+	want := tbl.Schema().SA().MustCode("Flu")
+	if got := MostFrequentSA(tbl); got != want {
+		t.Fatalf("MostFrequentSA = %d, want %d (Flu)", got, want)
+	}
+}
+
+func TestAnatomizeBucketSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tbl := randomTable(rng, 203, 2, 4, 10) // deliberately not divisible by L
+	_, partition, err := Anatomize(tbl, Options{L: 5, ExemptMostFrequent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range partition {
+		if len(g) < 5 {
+			t.Fatalf("bucket %d has %d records, want >= 5", i, len(g))
+		}
+	}
+}
+
+// TestAnatomizeQuick is the quick-check form of the diversity property:
+// for any seeded random table, Anatomize either errors or produces a
+// diversity-respecting partition covering each row exactly once.
+func TestAnatomizeQuick(t *testing.T) {
+	f := func(seed int64, sizeHint uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 20 + int(sizeHint)%180
+		tbl := randomTable(rng, rows, 2, 3, 4+rng.Intn(6))
+		d, partition, err := Anatomize(tbl, Options{L: 3, ExemptMostFrequent: true})
+		if err != nil {
+			// Anatomize may legitimately reject infeasible inputs; with
+			// the exemption and these shapes it should not, so treat an
+			// error as a failure to keep the property sharp.
+			return false
+		}
+		if err := CheckDiversity(d, 3, ExemptValues(tbl, 3)...); err != nil {
+			return false
+		}
+		seen := make([]bool, tbl.Len())
+		for _, g := range partition {
+			for _, r := range g {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		for _, ok := range seen {
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMarginalsQuick: for any partition, P(q,b) sums over buckets to
+// P(q), and P(s,b) sums to the SA marginal.
+func TestMarginalsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := randomTable(rng, 30+rng.Intn(90), 2, 3, 5)
+		d, _, err := Anatomize(tbl, Options{L: 3, ExemptMostFrequent: true})
+		if err != nil {
+			return false
+		}
+		u := d.Universe()
+		for qid := 0; qid < u.Len(); qid++ {
+			var sum float64
+			for b := 0; b < d.NumBuckets(); b++ {
+				sum += d.PQB(qid, b)
+			}
+			if math.Abs(sum-u.P(qid)) > 1e-12 {
+				return false
+			}
+		}
+		counts := make([]int, d.SACardinality())
+		for r := 0; r < tbl.Len(); r++ {
+			counts[tbl.SACode(r)]++
+		}
+		for s := 0; s < d.SACardinality(); s++ {
+			var sum float64
+			for b := 0; b < d.NumBuckets(); b++ {
+				sum += d.PSB(s, b)
+			}
+			if math.Abs(sum-float64(counts[s])/float64(tbl.Len())) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package bucket implements the bucketization publishing method the paper
+// analyzes (Xiao & Tao's Anatomy, further studied by Martin et al.): records
+// are partitioned into buckets, and within each bucket the sensitive values
+// are mixed together so any QI row could bind to any SA value in its bucket.
+//
+// Bucketized is the published data set D′: per bucket, the multiset of QI
+// tuples and the multiset of SA values, with the bindings between them
+// destroyed. All the joint probabilities a constraint system may treat as
+// constants — P(q,b), P(s,b), P(b) — are exposed here.
+package bucket
+
+import (
+	"fmt"
+	"sort"
+
+	"privacymaxent/internal/dataset"
+)
+
+// Bucket holds one published bucket: the QI tuples of its records (as qids
+// into the shared Universe, order preserved) and the counts of each SA code
+// appearing in the bucket. The pairing between the two sides is exactly the
+// information bucketization removes.
+type Bucket struct {
+	qids     []int
+	saCounts []int // indexed by SA code; len = SA cardinality
+	size     int
+}
+
+// Size reports the number of records in the bucket (N_b in the paper).
+func (b *Bucket) Size() int { return b.size }
+
+// QIDs returns the qid of each record in the bucket, one entry per record.
+// The slice must not be modified.
+func (b *Bucket) QIDs() []int { return b.qids }
+
+// SACount returns how many records in the bucket carry SA code s.
+func (b *Bucket) SACount(s int) int { return b.saCounts[s] }
+
+// DistinctQIDs returns the sorted distinct qids in the bucket — the paper's
+// QI(b) = {q_1, ..., q_g}.
+func (b *Bucket) DistinctQIDs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, q := range b.qids {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DistinctSAs returns the sorted distinct SA codes in the bucket — the
+// paper's SA(b) = {s_1, ..., s_h}.
+func (b *Bucket) DistinctSAs() []int {
+	var out []int
+	for s, n := range b.saCounts {
+		if n > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// QIDCount returns how many records in the bucket carry the given qid.
+func (b *Bucket) QIDCount(qid int) int {
+	n := 0
+	for _, q := range b.qids {
+		if q == qid {
+			n++
+		}
+	}
+	return n
+}
+
+// Bucketized is the published data set D′.
+type Bucketized struct {
+	schema   *dataset.Schema
+	universe *dataset.Universe
+	buckets  []*Bucket
+	total    int
+}
+
+// FromPartition builds D′ from an explicit partition of table rows into
+// buckets. Every row index must appear in exactly one group. The universe
+// is built from the table, so qids agree with dataset.NewUniverse(t).
+func FromPartition(t *dataset.Table, groups [][]int) (*Bucketized, error) {
+	if t.Schema().SAIndex() < 0 {
+		return nil, fmt.Errorf("bucket: table has no sensitive attribute")
+	}
+	u := dataset.NewUniverse(t)
+	d := &Bucketized{
+		schema:   t.Schema(),
+		universe: u,
+	}
+	seen := make([]bool, t.Len())
+	saCard := t.Schema().SA().Cardinality()
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("bucket: group %d is empty", gi)
+		}
+		b := &Bucket{saCounts: make([]int, saCard)}
+		for _, row := range g {
+			if row < 0 || row >= t.Len() {
+				return nil, fmt.Errorf("bucket: group %d references row %d out of range", gi, row)
+			}
+			if seen[row] {
+				return nil, fmt.Errorf("bucket: row %d appears in more than one bucket", row)
+			}
+			seen[row] = true
+			qid, ok := u.QID(t.QIKey(row))
+			if !ok {
+				return nil, fmt.Errorf("bucket: row %d QI tuple missing from universe", row)
+			}
+			b.qids = append(b.qids, qid)
+			b.saCounts[t.SACode(row)]++
+			b.size++
+		}
+		d.buckets = append(d.buckets, b)
+		d.total += b.size
+	}
+	for row, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("bucket: row %d not assigned to any bucket", row)
+		}
+	}
+	return d, nil
+}
+
+// Schema returns the schema of the underlying data.
+func (d *Bucketized) Schema() *dataset.Schema { return d.schema }
+
+// Universe returns the QI universe shared with the original table.
+func (d *Bucketized) Universe() *dataset.Universe { return d.universe }
+
+// NumBuckets reports m, the number of buckets.
+func (d *Bucketized) NumBuckets() int { return len(d.buckets) }
+
+// N reports the total number of records.
+func (d *Bucketized) N() int { return d.total }
+
+// Bucket returns bucket b (0-based; the paper's indices are 1-based).
+func (d *Bucketized) Bucket(b int) *Bucket { return d.buckets[b] }
+
+// PB returns P(B = b), the fraction of records in bucket b.
+func (d *Bucketized) PB(b int) float64 {
+	return float64(d.buckets[b].size) / float64(d.total)
+}
+
+// PQB returns the joint probability P(Q = qid, B = b), a constant directly
+// countable from D′ (the right-hand side of QI-invariant equations).
+func (d *Bucketized) PQB(qid, b int) float64 {
+	return float64(d.buckets[b].QIDCount(qid)) / float64(d.total)
+}
+
+// PSB returns the joint probability P(S = s, B = b), a constant directly
+// countable from D′ (the right-hand side of SA-invariant equations).
+func (d *Bucketized) PSB(s, b int) float64 {
+	return float64(d.buckets[b].saCounts[s]) / float64(d.total)
+}
+
+// SACardinality reports the size of the SA domain.
+func (d *Bucketized) SACardinality() int { return d.schema.SA().Cardinality() }
+
+// BucketsWithQID returns the buckets (sorted) in which qid appears.
+func (d *Bucketized) BucketsWithQID(qid int) []int {
+	var out []int
+	for b, bk := range d.buckets {
+		if bk.QIDCount(qid) > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// BucketsWithSA returns the buckets (sorted) in which SA code s appears.
+func (d *Bucketized) BucketsWithSA(s int) []int {
+	var out []int
+	for b, bk := range d.buckets {
+		if bk.saCounts[s] > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package bucket
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"privacymaxent/internal/dataset"
+)
+
+// The JSON wire format of a published data set D′. It carries exactly
+// what a bucketized release makes public: the QI schema with each record's
+// QI values grouped by bucket, and each bucket's sensitive-value multiset
+// with the record linkage removed.
+type publishedJSON struct {
+	QI      []jsonAttr   `json:"qi"`
+	SA      jsonAttr     `json:"sa"`
+	Buckets []jsonBucket `json:"buckets"`
+}
+
+type jsonAttr struct {
+	Name   string   `json:"name"`
+	Domain []string `json:"domain"`
+}
+
+type jsonBucket struct {
+	// QIRows holds one row per record: the record's QI values in schema
+	// order.
+	QIRows [][]string `json:"qi_rows"`
+	// SAValues is the bucket's sensitive multiset, deliberately sorted so
+	// no residual ordering can leak the original bindings.
+	SAValues []string `json:"sa_values"`
+}
+
+// WriteJSON serializes the published view. Only information that the
+// bucketization model releases is written; in particular the pairing of
+// QI rows with SA values inside a bucket is not represented.
+func WriteJSON(w io.Writer, d *Bucketized) error {
+	schema := d.Schema()
+	doc := publishedJSON{SA: jsonAttr{Name: schema.SA().Name, Domain: schema.SA().Domain}}
+	for _, pos := range schema.QIIndices() {
+		a := schema.Attr(pos)
+		doc.QI = append(doc.QI, jsonAttr{Name: a.Name, Domain: a.Domain})
+	}
+	u := d.Universe()
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		jb := jsonBucket{}
+		for _, qid := range bk.QIDs() {
+			codes := u.Codes(qid)
+			row := make([]string, len(codes))
+			for i, pos := range schema.QIIndices() {
+				row[i] = schema.Attr(pos).Value(codes[i])
+			}
+			jb.QIRows = append(jb.QIRows, row)
+		}
+		for s := 0; s < d.SACardinality(); s++ {
+			for k := 0; k < bk.SACount(s); k++ {
+				jb.SAValues = append(jb.SAValues, schema.SA().Value(s))
+			}
+		}
+		doc.Buckets = append(doc.Buckets, jb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// validDomain rejects attribute descriptors that could not have been
+// produced by WriteJSON (empty or duplicated domains), turning what would
+// be constructor panics into load errors.
+func validDomain(a jsonAttr) error {
+	if len(a.Domain) == 0 {
+		return fmt.Errorf("bucket: attribute %q has an empty domain", a.Name)
+	}
+	seen := make(map[string]bool, len(a.Domain))
+	for _, v := range a.Domain {
+		if seen[v] {
+			return fmt.Errorf("bucket: attribute %q has duplicate domain value %q", a.Name, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// ReadJSON reconstructs a published view from its wire format. Because
+// the true bindings are unknown (that is the point of bucketization), the
+// internal backing table pairs QI rows with SA values in listed order —
+// an arbitrary assignment with exactly the published marginals, which is
+// all the constraint machinery ever reads.
+func ReadJSON(r io.Reader) (*Bucketized, error) {
+	var doc publishedJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bucket: decoding published JSON: %w", err)
+	}
+	if len(doc.QI) == 0 {
+		return nil, fmt.Errorf("bucket: published data has no QI attributes")
+	}
+	if len(doc.Buckets) == 0 {
+		return nil, fmt.Errorf("bucket: published data has no buckets")
+	}
+	attrs := make([]*dataset.Attribute, 0, len(doc.QI)+1)
+	for _, a := range doc.QI {
+		if err := validDomain(a); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, dataset.NewAttribute(a.Name, dataset.QuasiIdentifier, a.Domain))
+	}
+	if err := validDomain(doc.SA); err != nil {
+		return nil, err
+	}
+	attrs = append(attrs, dataset.NewAttribute(doc.SA.Name, dataset.Sensitive, doc.SA.Domain))
+	schema, err := dataset.NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("bucket: rebuilding schema: %w", err)
+	}
+
+	tbl := dataset.NewTable(schema)
+	var groups [][]int
+	next := 0
+	for bi, jb := range doc.Buckets {
+		if len(jb.QIRows) != len(jb.SAValues) {
+			return nil, fmt.Errorf("bucket: bucket %d has %d QI rows but %d SA values", bi, len(jb.QIRows), len(jb.SAValues))
+		}
+		if len(jb.QIRows) == 0 {
+			return nil, fmt.Errorf("bucket: bucket %d is empty", bi)
+		}
+		var group []int
+		for ri, qiRow := range jb.QIRows {
+			if len(qiRow) != len(doc.QI) {
+				return nil, fmt.Errorf("bucket: bucket %d row %d has %d QI values, want %d", bi, ri, len(qiRow), len(doc.QI))
+			}
+			values := append(append([]string(nil), qiRow...), jb.SAValues[ri])
+			if err := tbl.Append(values...); err != nil {
+				return nil, fmt.Errorf("bucket: bucket %d row %d: %w", bi, ri, err)
+			}
+			group = append(group, next)
+			next++
+		}
+		groups = append(groups, group)
+	}
+	return FromPartition(tbl, groups)
+}

@@ -1,0 +1,97 @@
+package bucket
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/dataset"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tbl := dataset.PaperExample()
+	orig, err := FromPartition(tbl, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBuckets() != orig.NumBuckets() || got.N() != orig.N() {
+		t.Fatalf("shape = (%d, %d), want (%d, %d)", got.NumBuckets(), got.N(), orig.NumBuckets(), orig.N())
+	}
+	// All published marginals survive: P(b), P(s,b), and P(q,b) matched
+	// through QI keys (qids may be renumbered).
+	for b := 0; b < orig.NumBuckets(); b++ {
+		if math.Abs(got.PB(b)-orig.PB(b)) > 1e-12 {
+			t.Fatalf("P(b%d) = %g, want %g", b+1, got.PB(b), orig.PB(b))
+		}
+		for s := 0; s < orig.SACardinality(); s++ {
+			if math.Abs(got.PSB(s, b)-orig.PSB(s, b)) > 1e-12 {
+				t.Fatalf("P(s%d, b%d) mismatch", s+1, b+1)
+			}
+		}
+		for qid := 0; qid < orig.Universe().Len(); qid++ {
+			gotQID, ok := got.Universe().QID(orig.Universe().Key(qid))
+			if !ok {
+				t.Fatalf("QI tuple %s lost", orig.Universe().Display(qid))
+			}
+			if math.Abs(got.PQB(gotQID, b)-orig.PQB(qid, b)) > 1e-12 {
+				t.Fatalf("P(q, b%d) mismatch for %s", b+1, orig.Universe().Display(qid))
+			}
+		}
+	}
+	// The SA multiset order is sorted in the wire format: no binding leak.
+	if !strings.Contains(buf.String(), `"sa_values"`) {
+		t.Fatalf("unexpected wire format: %s", buf.String())
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad json":     `{`,
+		"no qi":        `{"qi":[],"sa":{"name":"s","domain":["a"]},"buckets":[{"qi_rows":[["x"]],"sa_values":["a"]}]}`,
+		"no buckets":   `{"qi":[{"name":"g","domain":["x"]}],"sa":{"name":"s","domain":["a"]},"buckets":[]}`,
+		"arity":        `{"qi":[{"name":"g","domain":["x"]}],"sa":{"name":"s","domain":["a"]},"buckets":[{"qi_rows":[["x"]],"sa_values":["a","a"]}]}`,
+		"empty bucket": `{"qi":[{"name":"g","domain":["x"]}],"sa":{"name":"s","domain":["a"]},"buckets":[{"qi_rows":[],"sa_values":[]}]}`,
+		"row arity":    `{"qi":[{"name":"g","domain":["x"]}],"sa":{"name":"s","domain":["a"]},"buckets":[{"qi_rows":[["x","y"]],"sa_values":["a"]}]}`,
+		"bad value":    `{"qi":[{"name":"g","domain":["x"]}],"sa":{"name":"s","domain":["a"]},"buckets":[{"qi_rows":[["zzz"]],"sa_values":["a"]}]}`,
+		"unknown key":  `{"qi":[],"sa":{},"buckets":[],"extra":1}`,
+	}
+	for name, doc := range cases {
+		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestJSONSortedSAHidesBindings(t *testing.T) {
+	// The wire format must not reveal which QI row owned which SA value:
+	// SA values are emitted grouped by code, independent of record order.
+	tbl := dataset.PaperExample()
+	d, err := FromPartition(tbl, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	// Bucket 1's multiset is {Breast Cancer, Flu, Flu, Pneumonia}: the
+	// original record order was Flu, Pneumonia, Breast Cancer, Flu.
+	s := buf.String()
+	i := strings.Index(s, `"sa_values"`)
+	j := strings.Index(s[i:], "]")
+	window := s[i : i+j]
+	first := strings.Index(window, "Breast Cancer")
+	second := strings.Index(window, "Flu")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("SA multiset not in canonical order: %s", window)
+	}
+}

@@ -1,0 +1,71 @@
+package constraint
+
+import (
+	"fmt"
+
+	"privacymaxent/internal/linalg"
+)
+
+// BucketMatrix returns the dense constraint matrix of one bucket's base
+// invariants (QI-invariants then SA-invariants, none dropped), with
+// columns in the order of Space.TermsInBucket(b) — the paper's Figure 3.
+// It also returns the local column order (global term indices).
+func BucketMatrix(sp *Space, b int) (rows [][]float64, cols []int) {
+	cols = sp.TermsInBucket(b)
+	local := make(map[int]int, len(cols))
+	for i, id := range cols {
+		local[id] = i
+	}
+	sys := NewSystem(sp)
+	appendBucketInvariants(sys, sp, sp.Data(), sp.Data().Bucket(b), b, InvariantOptions{})
+	rows = make([][]float64, sys.Len())
+	for i := 0; i < sys.Len(); i++ {
+		c := sys.At(i)
+		row := make([]float64, len(cols))
+		for k, id := range c.Terms {
+			row[local[id]] += c.Coeffs[k]
+		}
+		rows[i] = row
+	}
+	return rows, cols
+}
+
+// VerifyConciseness checks Theorem 3 for bucket b: the g+h base
+// invariants have rank g+h−1 (exactly one dependency — the sum of
+// QI-invariants equals the sum of SA-invariants), and removing any single
+// row leaves a linearly independent, hence minimal, set.
+func VerifyConciseness(sp *Space, b int) error {
+	rows, _ := BucketMatrix(sp, b)
+	n := len(rows)
+	if n == 0 {
+		return fmt.Errorf("constraint: bucket %d has no invariants", b)
+	}
+	want := n - 1
+	if got := linalg.Rank(rows, 0); got != want {
+		return fmt.Errorf("constraint: bucket %d invariant rank = %d, want %d", b, got, want)
+	}
+	for drop := 0; drop < n; drop++ {
+		sub := make([][]float64, 0, n-1)
+		for i, r := range rows {
+			if i != drop {
+				sub = append(sub, r)
+			}
+		}
+		if got := linalg.Rank(sub, 0); got != n-1 {
+			return fmt.Errorf("constraint: bucket %d minus row %d has rank %d, want %d (not minimal)", b, drop, got, n-1)
+		}
+	}
+	return nil
+}
+
+// IsInvariant reports whether a probability expression over bucket b's
+// terms is an invariant, using the completeness criterion of Theorem 2:
+// F is an invariant iff its coefficient vector lies in the row space of
+// the base invariants. coeffs is indexed like Space.TermsInBucket(b).
+func IsInvariant(sp *Space, b int, coeffs []float64) (bool, error) {
+	rows, cols := BucketMatrix(sp, b)
+	if len(coeffs) != len(cols) {
+		return false, fmt.Errorf("constraint: expression has %d coefficients, bucket has %d terms", len(coeffs), len(cols))
+	}
+	return linalg.InRowSpace(rows, coeffs, 0), nil
+}

@@ -1,0 +1,97 @@
+package constraint
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+// Assignment realizes Definitions 5.2 and 5.3: for every bucket, a
+// bijection between the bucket's QI instances and its SA instances
+// (multiset elements pair one-to-one). The original data D is one such
+// assignment; invariants are exactly the probability expressions whose
+// value is the same under every assignment.
+type Assignment struct {
+	d *bucket.Bucketized
+	// joint[b] maps (qid, sa) to the number of paired instances in
+	// bucket b under this assignment.
+	joint []map[[2]int]int
+}
+
+// RandomAssignment draws an assignment uniformly at random by shuffling
+// each bucket's SA multiset against its QI instance list.
+func RandomAssignment(d *bucket.Bucketized, rng *rand.Rand) *Assignment {
+	a := &Assignment{d: d, joint: make([]map[[2]int]int, d.NumBuckets())}
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		// Expand the SA multiset.
+		sas := make([]int, 0, bk.Size())
+		for s := 0; s < d.SACardinality(); s++ {
+			for n := 0; n < bk.SACount(s); n++ {
+				sas = append(sas, s)
+			}
+		}
+		rng.Shuffle(len(sas), func(i, j int) { sas[i], sas[j] = sas[j], sas[i] })
+		m := make(map[[2]int]int)
+		for i, q := range bk.QIDs() {
+			m[[2]int{q, sas[i]}]++
+		}
+		a.joint[b] = m
+	}
+	return a
+}
+
+// AssignmentFromTable reconstructs the true assignment — the original data
+// D — given the table and the partition that produced the bucketization.
+func AssignmentFromTable(t *dataset.Table, d *bucket.Bucketized, partition [][]int) (*Assignment, error) {
+	if len(partition) != d.NumBuckets() {
+		return nil, fmt.Errorf("constraint: partition has %d groups, data has %d buckets", len(partition), d.NumBuckets())
+	}
+	u := d.Universe()
+	a := &Assignment{d: d, joint: make([]map[[2]int]int, d.NumBuckets())}
+	for b, g := range partition {
+		if len(g) != d.Bucket(b).Size() {
+			return nil, fmt.Errorf("constraint: group %d has %d rows, bucket has %d", b, len(g), d.Bucket(b).Size())
+		}
+		m := make(map[[2]int]int)
+		for _, row := range g {
+			qid, ok := u.QID(t.QIKey(row))
+			if !ok {
+				return nil, fmt.Errorf("constraint: row %d QI tuple missing from universe", row)
+			}
+			m[[2]int{qid, t.SACode(row)}]++
+		}
+		a.joint[b] = m
+	}
+	return a, nil
+}
+
+// Joint returns P_Λ(q, s, b): the fraction of all records that bucket b
+// pairs as (qid, sa) under this assignment.
+func (a *Assignment) Joint(qid, sa, b int) float64 {
+	return float64(a.joint[b][[2]int{qid, sa}]) / float64(a.d.N())
+}
+
+// Eval computes a probability expression F(Λ): the constraint's left-hand
+// side with every term replaced by its probability under the assignment.
+func (a *Assignment) Eval(sp *Space, c *Constraint) float64 {
+	var sum float64
+	for k, id := range c.Terms {
+		t := sp.Term(id)
+		sum += c.Coeffs[k] * a.Joint(t.QID, t.SA, t.Bucket)
+	}
+	return sum
+}
+
+// Vector expands the assignment into a full variable vector over the
+// space, for feeding MaxViolation and rank analyses.
+func (a *Assignment) Vector(sp *Space) []float64 {
+	x := make([]float64, sp.Len())
+	for i := 0; i < sp.Len(); i++ {
+		t := sp.Term(i)
+		x[i] = a.Joint(t.QID, t.SA, t.Bucket)
+	}
+	return x
+}

@@ -1,0 +1,169 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"privacymaxent/internal/linalg"
+)
+
+// Kind classifies a linear constraint by its provenance.
+type Kind int
+
+const (
+	// QIInvariant rows come from Eq. (4): Σ_s P(q,s,b) = P(q,b).
+	QIInvariant Kind = iota
+	// SAInvariant rows come from Eq. (5): Σ_q P(q,s,b) = P(s,b).
+	SAInvariant
+	// Knowledge rows encode background knowledge about the data
+	// distribution (Sec. 4.1) or about individuals (Sec. 6).
+	Knowledge
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case QIInvariant:
+		return "QI-invariant"
+	case SAInvariant:
+		return "SA-invariant"
+	case Knowledge:
+		return "knowledge"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Constraint is one linear equation Σ_k Coeffs[k]·x[Terms[k]] = RHS over
+// the dense term indices of a Space. Terms must be distinct within a
+// constraint.
+type Constraint struct {
+	Kind   Kind
+	Label  string
+	Terms  []int
+	Coeffs []float64
+	RHS    float64
+}
+
+// Eval computes the left-hand side under the full variable vector x.
+func (c *Constraint) Eval(x []float64) float64 {
+	var s float64
+	for k, t := range c.Terms {
+		s += c.Coeffs[k] * x[t]
+	}
+	return s
+}
+
+// Residual returns Eval(x) − RHS.
+func (c *Constraint) Residual(x []float64) float64 { return c.Eval(x) - c.RHS }
+
+// String renders the constraint in the paper's notation.
+func (c *Constraint) String() string {
+	var b strings.Builder
+	for k, t := range c.Terms {
+		if k > 0 {
+			b.WriteString(" + ")
+		}
+		if c.Coeffs[k] != 1 {
+			fmt.Fprintf(&b, "%g·", c.Coeffs[k])
+		}
+		fmt.Fprintf(&b, "x%d", t)
+	}
+	if len(c.Terms) == 0 {
+		b.WriteString("0")
+	}
+	fmt.Fprintf(&b, " = %g", c.RHS)
+	if c.Label != "" {
+		return c.Label + ": " + b.String()
+	}
+	return b.String()
+}
+
+// System is a set of constraints over one term space: the ME problem's
+// h_1, ..., h_w.
+type System struct {
+	space *Space
+	cons  []Constraint
+}
+
+// NewSystem creates an empty system over the space.
+func NewSystem(sp *Space) *System {
+	return &System{space: sp}
+}
+
+// Space returns the term space.
+func (s *System) Space() *Space { return s.space }
+
+// Len reports the number of constraints.
+func (s *System) Len() int { return len(s.cons) }
+
+// At returns constraint i.
+func (s *System) At(i int) *Constraint { return &s.cons[i] }
+
+// Add appends a constraint after validating its term indices.
+func (s *System) Add(c Constraint) error {
+	if len(c.Terms) != len(c.Coeffs) {
+		return fmt.Errorf("constraint: %d terms but %d coefficients", len(c.Terms), len(c.Coeffs))
+	}
+	seen := make(map[int]bool, len(c.Terms))
+	for _, t := range c.Terms {
+		if t < 0 || t >= s.space.Len() {
+			return fmt.Errorf("constraint: term index %d out of range [0,%d)", t, s.space.Len())
+		}
+		if seen[t] {
+			return fmt.Errorf("constraint: duplicate term index %d", t)
+		}
+		seen[t] = true
+	}
+	s.cons = append(s.cons, c)
+	return nil
+}
+
+// MustAdd is Add but panics on error; for builders whose inputs are
+// already validated.
+func (s *System) MustAdd(c Constraint) {
+	if err := s.Add(c); err != nil {
+		panic(err)
+	}
+}
+
+// CountKind reports how many constraints have the given kind.
+func (s *System) CountKind(k Kind) int {
+	n := 0
+	for i := range s.cons {
+		if s.cons[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Matrix assembles the system as a CSR matrix A and right-hand side c so
+// that the feasible set is {x : A x = c, x ≥ 0}.
+func (s *System) Matrix() (*linalg.CSR, []float64) {
+	m := linalg.NewCSR(s.space.Len())
+	rhs := make([]float64, 0, len(s.cons))
+	for i := range s.cons {
+		c := &s.cons[i]
+		if err := m.AppendRow(c.Terms, c.Coeffs); err != nil {
+			// Add validated indices already; this is unreachable.
+			panic(err)
+		}
+		rhs = append(rhs, c.RHS)
+	}
+	return m, rhs
+}
+
+// MaxViolation returns the largest |residual| across constraints for a
+// candidate solution, used by tests and the solver's feasibility report.
+func (s *System) MaxViolation(x []float64) float64 {
+	var worst float64
+	for i := range s.cons {
+		if r := s.cons[i].Residual(x); r > worst {
+			worst = r
+		} else if -r > worst {
+			worst = -r
+		}
+	}
+	return worst
+}

@@ -1,0 +1,579 @@
+package constraint
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/linalg"
+)
+
+// paperSpace builds the running-example space used throughout the paper.
+func paperSpace(t *testing.T) (*dataset.Table, *bucket.Bucketized, *Space) {
+	t.Helper()
+	tbl := dataset.PaperExample()
+	d, err := bucket.FromPartition(tbl, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, d, NewSpace(d)
+}
+
+func TestSpacePaperExample(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	// Bucket 1 has 3 distinct QIs and 3 distinct SAs, buckets 2 and 3
+	// likewise: 9 terms each.
+	if got := sp.Len(); got != 27 {
+		t.Fatalf("space size = %d, want 27", got)
+	}
+	// Zero-invariants cover the rest of the 6*5*3 cross product (Eq. 6).
+	if got := sp.NumZeroInvariants(); got != 90-27 {
+		t.Fatalf("zero invariants = %d, want 63", got)
+	}
+	// Paper examples: q1 does not appear in bucket 3, s1 does not appear
+	// in bucket 3.
+	if !sp.IsZeroInvariant(Term{QID: 0, SA: 1, Bucket: 2}) {
+		t.Fatal("P(q1, s2, 3) should be a zero-invariant")
+	}
+	if !sp.IsZeroInvariant(Term{QID: 1, SA: 0, Bucket: 2}) {
+		t.Fatal("P(q2, s1, 3) should be a zero-invariant")
+	}
+	// In-space terms round-trip through the index.
+	for i := 0; i < sp.Len(); i++ {
+		id, ok := sp.Index(sp.Term(i))
+		if !ok || id != i {
+			t.Fatalf("term %d round-trips to (%d, %v)", i, id, ok)
+		}
+	}
+	// Terms per bucket partition the space.
+	total := 0
+	for b := 0; b < d.NumBuckets(); b++ {
+		total += len(sp.TermsInBucket(b))
+	}
+	if total != sp.Len() {
+		t.Fatalf("bucket term lists cover %d terms, want %d", total, sp.Len())
+	}
+	if got := sp.Label(0); got != "P(q1, s1, 1)" {
+		t.Fatalf("Label(0) = %q", got)
+	}
+}
+
+func TestDataInvariantsPaperExample(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	sys := DataInvariants(sp, InvariantOptions{})
+	// 3 QI + 3 SA invariants per bucket, 3 buckets.
+	if got := sys.Len(); got != 18 {
+		t.Fatalf("system size = %d, want 18", got)
+	}
+	if got := sys.CountKind(QIInvariant); got != 9 {
+		t.Fatalf("QI invariants = %d, want 9", got)
+	}
+	if got := sys.CountKind(SAInvariant); got != 9 {
+		t.Fatalf("SA invariants = %d, want 9", got)
+	}
+
+	// Paper Sec. 5.2: P(q1,s1,1)+P(q1,s2,1)+P(q1,s3,1) = P(q1,1) = 2/10.
+	found := false
+	for i := 0; i < sys.Len(); i++ {
+		c := sys.At(i)
+		if c.Kind == QIInvariant && c.Label == "QI q1 b1" {
+			found = true
+			if len(c.Terms) != 3 {
+				t.Fatalf("QI q1 b1 has %d terms, want 3", len(c.Terms))
+			}
+			if math.Abs(c.RHS-0.2) > 1e-12 {
+				t.Fatalf("QI q1 b1 RHS = %g, want 0.2", c.RHS)
+			}
+		}
+		// Paper Sec. 5.2: P(q1,s4,2)+P(q3,s4,2)+P(q4,s4,2) = P(s4,2) = 1/10.
+		if c.Kind == SAInvariant && c.Label == "SA s4 b2" {
+			if len(c.Terms) != 3 {
+				t.Fatalf("SA s4 b2 has %d terms, want 3", len(c.Terms))
+			}
+			if math.Abs(c.RHS-0.1) > 1e-12 {
+				t.Fatalf("SA s4 b2 RHS = %g, want 0.1", c.RHS)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("QI q1 b1 invariant not found")
+	}
+	_ = d
+}
+
+func TestDropRedundant(t *testing.T) {
+	_, _, sp := paperSpace(t)
+	full := DataInvariants(sp, InvariantOptions{})
+	concise := DataInvariants(sp, InvariantOptions{DropRedundant: true})
+	if got, want := concise.Len(), full.Len()-3; got != want {
+		t.Fatalf("concise system has %d rows, want %d (one dropped per bucket)", got, want)
+	}
+	// Dropping must not lose information: ranks agree.
+	fm, _ := full.Matrix()
+	cm, _ := concise.Matrix()
+	if fr, cr := linalg.Rank(fm.Dense(), 0), linalg.Rank(cm.Dense(), 0); fr != cr {
+		t.Fatalf("rank changed after drop: %d vs %d", fr, cr)
+	}
+}
+
+func TestSystemAddValidation(t *testing.T) {
+	_, _, sp := paperSpace(t)
+	sys := NewSystem(sp)
+	if err := sys.Add(Constraint{Terms: []int{0}, Coeffs: []float64{1, 2}}); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if err := sys.Add(Constraint{Terms: []int{999}, Coeffs: []float64{1}}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := sys.Add(Constraint{Terms: []int{0, 0}, Coeffs: []float64{1, 1}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if err := sys.Add(Constraint{Terms: []int{0, 1}, Coeffs: []float64{1, 1}, RHS: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintEvalAndString(t *testing.T) {
+	c := Constraint{Terms: []int{0, 2}, Coeffs: []float64{1, 2}, RHS: 0.5, Label: "demo"}
+	x := []float64{0.1, 9, 0.2}
+	if got := c.Eval(x); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Eval = %g, want 0.5", got)
+	}
+	if got := c.Residual(x); math.Abs(got) > 1e-12 {
+		t.Fatalf("Residual = %g, want 0", got)
+	}
+	s := c.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "2·x2") {
+		t.Fatalf("String = %q", s)
+	}
+	empty := Constraint{RHS: 1}
+	if got := empty.String(); !strings.Contains(got, "0 = 1") {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+// TestBackgroundKnowledgeExpansionPaperExample reproduces the worked
+// example of Sec. 4.1: P(Flu | male) = 0.3 expands to an ME constraint
+// with right-hand side 0.3 · P(male) = 0.18. The in-space terms are
+// P(q1,Flu,1), P(q3,Flu,1) and P(q6,Flu,3); the paper's rendering also
+// lists P({male,college},Flu,3), which is pinned to zero by a
+// Zero-invariant (q1 does not occur in bucket 3) and therefore omitted.
+func TestBackgroundKnowledgeExpansionPaperExample(t *testing.T) {
+	tbl, d, sp := paperSpace(t)
+	gender := tbl.Schema().Index("Gender")
+	male := tbl.Schema().Attr(gender).MustCode("male")
+	flu := tbl.Schema().SA().MustCode("Flu")
+	k := DistributionKnowledge{Attrs: []int{gender}, Values: []int{male}, SA: flu, P: 0.3}
+	c, err := k.Constraint(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.RHS-0.18) > 1e-12 {
+		t.Fatalf("RHS = %g, want 0.18", c.RHS)
+	}
+	if len(c.Terms) != 3 {
+		t.Fatalf("terms = %d, want 3", len(c.Terms))
+	}
+	wantTerms := map[Term]bool{
+		{QID: 0, SA: flu, Bucket: 0}: true, // q1 = {male, college} in bucket 1
+		{QID: 2, SA: flu, Bucket: 0}: true, // q3 = {male, high school} in bucket 1
+		{QID: 5, SA: flu, Bucket: 2}: true, // q6 = {male, graduate} in bucket 3
+	}
+	for _, id := range c.Terms {
+		if !wantTerms[sp.Term(id)] {
+			t.Fatalf("unexpected term %v", sp.Term(id))
+		}
+	}
+	if got := c.Label; !strings.Contains(got, "Flu") || !strings.Contains(got, "male") {
+		t.Fatalf("label = %q", got)
+	}
+	_ = d
+}
+
+// TestKnowledgeSection55Example reproduces the optimization example of
+// Sec. 5.5: P(s3 | q3) = 0.5 becomes P(q3,s3,1) + P(q3,s3,2) = 0.1.
+func TestKnowledgeSection55Example(t *testing.T) {
+	tbl, _, sp := paperSpace(t)
+	gender := tbl.Schema().Index("Gender")
+	degree := tbl.Schema().Index("Degree")
+	// q3 = {male, high school}.
+	k := DistributionKnowledge{
+		Attrs:  []int{gender, degree},
+		Values: []int{tbl.Schema().Attr(gender).MustCode("male"), tbl.Schema().Attr(degree).MustCode("high school")},
+		SA:     tbl.Schema().SA().MustCode("Pneumonia"), // s3
+		P:      0.5,
+	}
+	c, err := k.Constraint(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.RHS-0.1) > 1e-12 {
+		t.Fatalf("RHS = %g, want 0.1 (= 0.5 * 2/10)", c.RHS)
+	}
+	if len(c.Terms) != 2 {
+		t.Fatalf("terms = %d, want 2", len(c.Terms))
+	}
+	for _, id := range c.Terms {
+		tm := sp.Term(id)
+		if tm.QID != 2 || tm.SA != 2 || tm.Bucket > 1 {
+			t.Fatalf("unexpected term %v", tm)
+		}
+	}
+}
+
+func TestKnowledgeValidation(t *testing.T) {
+	tbl, _, sp := paperSpace(t)
+	gender := tbl.Schema().Index("Gender")
+	male := tbl.Schema().Attr(gender).MustCode("male")
+	cases := []DistributionKnowledge{
+		{Attrs: nil, Values: nil, SA: 0, P: 0.5},                                 // no condition
+		{Attrs: []int{gender}, Values: []int{male, male}, SA: 0, P: 0.5},         // arity
+		{Attrs: []int{99}, Values: []int{0}, SA: 0, P: 0.5},                      // bad attr
+		{Attrs: []int{0}, Values: []int{0}, SA: 0, P: 0.5},                       // Name is an ID, not QI
+		{Attrs: []int{gender, gender}, Values: []int{male, male}, SA: 0, P: 0.5}, // duplicate attr
+		{Attrs: []int{gender}, Values: []int{99}, SA: 0, P: 0.5},                 // bad value
+		{Attrs: []int{gender}, Values: []int{male}, SA: 99, P: 0.5},              // bad SA
+		{Attrs: []int{gender}, Values: []int{male}, SA: 0, P: 1.5},               // bad prob
+	}
+	for i, k := range cases {
+		if _, err := k.Constraint(sp); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestAddKnowledgeAndRelevantBuckets(t *testing.T) {
+	tbl, _, sp := paperSpace(t)
+	sys := DataInvariants(sp, InvariantOptions{DropRedundant: true})
+	gender := tbl.Schema().Index("Gender")
+	degree := tbl.Schema().Index("Degree")
+	k := DistributionKnowledge{
+		Attrs:  []int{gender, degree},
+		Values: []int{tbl.Schema().Attr(gender).MustCode("male"), tbl.Schema().Attr(degree).MustCode("high school")},
+		SA:     tbl.Schema().SA().MustCode("Pneumonia"),
+		P:      0.5,
+	}
+	if err := AddKnowledge(sys, k); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.CountKind(Knowledge); got != 1 {
+		t.Fatalf("knowledge constraints = %d, want 1", got)
+	}
+	// q3 and s3 live in buckets 1 and 2; bucket 3 is irrelevant
+	// (Definition 5.6).
+	got := RelevantBuckets(sys)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("RelevantBuckets = %v, want [0 1]", got)
+	}
+}
+
+// TestInvariantSoundness is the property behind Theorem 1: every QI-, SA-
+// (and, structurally, Zero-) invariant evaluates to its right-hand side
+// under every assignment of SA values to QI values.
+func TestInvariantSoundness(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	sys := DataInvariants(sp, InvariantOptions{})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := RandomAssignment(d, rng)
+		for i := 0; i < sys.Len(); i++ {
+			c := sys.At(i)
+			if got := a.Eval(sp, c); math.Abs(got-c.RHS) > 1e-12 {
+				t.Fatalf("trial %d: %s evaluates to %g, want %g", trial, c.Label, got, c.RHS)
+			}
+		}
+		// The full vector also satisfies the assembled system.
+		if v := sys.MaxViolation(a.Vector(sp)); v > 1e-12 {
+			t.Fatalf("trial %d: max violation %g", trial, v)
+		}
+	}
+}
+
+// TestInvariantSoundnessRandomData extends the soundness property to
+// randomly generated bucketizations.
+func TestInvariantSoundnessRandomData(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		tbl := randomTestTable(rng, 30+rng.Intn(60), 2, 3, 5)
+		d, _, err := bucket.Anatomize(tbl, bucket.Options{L: 3, ExemptMostFrequent: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sp := NewSpace(d)
+		sys := DataInvariants(sp, InvariantOptions{})
+		for inner := 0; inner < 10; inner++ {
+			a := RandomAssignment(d, rng)
+			if v := sys.MaxViolation(a.Vector(sp)); v > 1e-12 {
+				t.Fatalf("trial %d: violation %g", trial, v)
+			}
+		}
+	}
+}
+
+// TestSingleTermNotInvariant checks the paper's Sec. 5.1 example: a lone
+// probability term such as P(q1, s1, 1) is not an invariant — different
+// assignments give it different values — and the completeness machinery
+// agrees.
+func TestSingleTermNotInvariant(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	id, ok := sp.Index(Term{QID: 0, SA: 0, Bucket: 0})
+	if !ok {
+		t.Fatal("term missing")
+	}
+	c := Constraint{Terms: []int{id}, Coeffs: []float64{1}}
+	rng := rand.New(rand.NewSource(1))
+	values := map[float64]bool{}
+	for trial := 0; trial < 100; trial++ {
+		a := RandomAssignment(d, rng)
+		values[a.Eval(sp, &c)] = true
+	}
+	if len(values) < 2 {
+		t.Fatal("P(q1,s1,1) appears invariant across 100 random assignments")
+	}
+	// Completeness check agrees: the lone-term coefficient vector is not
+	// in the row space of the base invariants.
+	cols := sp.TermsInBucket(0)
+	coeffs := make([]float64, len(cols))
+	for i, termID := range cols {
+		if termID == id {
+			coeffs[i] = 1
+		}
+	}
+	inv, err := IsInvariant(sp, 0, coeffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv {
+		t.Fatal("IsInvariant(P(q1,s1,1)) = true, want false")
+	}
+}
+
+// TestCompletenessLinearCombos is the "if" direction of Theorem 2 plus a
+// behavioural check of the "only if" direction: random linear combinations
+// of base invariants are reported as invariants and evaluate to a constant
+// across random assignments.
+func TestCompletenessLinearCombos(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	rng := rand.New(rand.NewSource(17))
+	for b := 0; b < d.NumBuckets(); b++ {
+		rows, _ := BucketMatrix(sp, b)
+		for trial := 0; trial < 25; trial++ {
+			combo := make([]float64, len(rows[0]))
+			for _, row := range rows {
+				w := float64(rng.Intn(5) - 2)
+				linalg.Axpy(w, row, combo)
+			}
+			inv, err := IsInvariant(sp, b, combo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !inv {
+				t.Fatalf("bucket %d: linear combo not recognized as invariant", b)
+			}
+			// Behaviourally constant too.
+			cols := sp.TermsInBucket(b)
+			c := Constraint{Terms: cols, Coeffs: combo}
+			first := RandomAssignment(d, rng).Eval(sp, &c)
+			for inner := 0; inner < 20; inner++ {
+				if got := RandomAssignment(d, rng).Eval(sp, &c); math.Abs(got-first) > 1e-12 {
+					t.Fatalf("bucket %d: combo value varies: %g vs %g", b, got, first)
+				}
+			}
+		}
+	}
+}
+
+// TestConcisenessPaperExample verifies Theorem 3 on every bucket of the
+// running example, including the Figure 3 identity
+// (C1+C2+C3) − (C4+C5+C6) = 0 for bucket 1.
+func TestConcisenessPaperExample(t *testing.T) {
+	_, d, sp := paperSpace(t)
+	for b := 0; b < d.NumBuckets(); b++ {
+		if err := VerifyConciseness(sp, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, _ := BucketMatrix(sp, 0)
+	if len(rows) != 6 {
+		t.Fatalf("bucket 1 has %d invariants, want 6 (g=3, h=3)", len(rows))
+	}
+	diff := make([]float64, len(rows[0]))
+	for i, row := range rows {
+		sign := 1.0
+		if i >= 3 { // SA-invariants
+			sign = -1
+		}
+		linalg.Axpy(sign, row, diff)
+	}
+	if linalg.NormInf(diff) > 1e-12 {
+		t.Fatalf("Figure 3 identity violated: %v", diff)
+	}
+}
+
+func TestConcisenessRandomBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 15; trial++ {
+		tbl := randomTestTable(rng, 24+rng.Intn(40), 2, 3, 6)
+		d, _, err := bucket.Anatomize(tbl, bucket.Options{L: 4, ExemptMostFrequent: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sp := NewSpace(d)
+		for b := 0; b < d.NumBuckets(); b++ {
+			if err := VerifyConciseness(sp, b); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestAssignmentFromTable(t *testing.T) {
+	tbl, d, sp := paperSpace(t)
+	a, err := AssignmentFromTable(tbl, d, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original data is an assignment, so it satisfies every invariant.
+	sys := DataInvariants(sp, InvariantOptions{})
+	if v := sys.MaxViolation(a.Vector(sp)); v > 1e-12 {
+		t.Fatalf("true data violates invariants by %g", v)
+	}
+	// Allen is (q1, Flu) in bucket 1; Brian is (q1, Pneumonia).
+	flu := tbl.Schema().SA().MustCode("Flu")
+	if got := a.Joint(0, flu, 0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("Joint(q1, Flu, b1) = %g, want 0.1", got)
+	}
+	// Mismatched partitions are rejected.
+	if _, err := AssignmentFromTable(tbl, d, [][]int{{0}}); err == nil {
+		t.Fatal("expected partition arity error")
+	}
+	bad := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8}}
+	if _, err := AssignmentFromTable(tbl, d, bad); err == nil {
+		t.Fatal("expected group size error")
+	}
+}
+
+func TestIsInvariantArityError(t *testing.T) {
+	_, _, sp := paperSpace(t)
+	if _, err := IsInvariant(sp, 0, []float64{1}); err == nil {
+		t.Fatal("expected coefficient arity error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if QIInvariant.String() != "QI-invariant" || SAInvariant.String() != "SA-invariant" || Knowledge.String() != "knowledge" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+// randomTestTable builds a random microdata table for property tests.
+func randomTestTable(rng *rand.Rand, rows, nQI, qiCard, saCard int) *dataset.Table {
+	attrs := make([]*dataset.Attribute, 0, nQI+1)
+	for i := 0; i < nQI; i++ {
+		dom := make([]string, qiCard)
+		for v := range dom {
+			dom[v] = strconv.Itoa(v)
+		}
+		attrs = append(attrs, dataset.NewAttribute("Q"+strconv.Itoa(i), dataset.QuasiIdentifier, dom))
+	}
+	saDom := make([]string, saCard)
+	for v := range saDom {
+		saDom[v] = "s" + strconv.Itoa(v)
+	}
+	attrs = append(attrs, dataset.NewAttribute("SA", dataset.Sensitive, saDom))
+	tbl := dataset.NewTable(dataset.MustSchema(attrs...))
+	row := make([]int, nQI+1)
+	for r := 0; r < rows; r++ {
+		for i := 0; i < nQI; i++ {
+			row[i] = rng.Intn(qiCard)
+		}
+		s := rng.Intn(saCard)
+		if rng.Intn(3) == 0 {
+			s = 0
+		}
+		row[nQI] = s
+		if err := tbl.AppendCoded(row); err != nil {
+			panic(err)
+		}
+	}
+	return tbl
+}
+
+// TestNegatedConditionKnowledge covers the Sec. 4.4 rule forms ¬Q ⇒ S and
+// ¬Q ⇒ ¬S: the condition matches every full QI tuple that differs from Qv.
+func TestNegatedConditionKnowledge(t *testing.T) {
+	tbl, d, sp := paperSpace(t)
+	gender := tbl.Schema().Index("Gender")
+	male := tbl.Schema().Attr(gender).MustCode("male")
+	flu := tbl.Schema().SA().MustCode("Flu")
+
+	// P(Flu | ¬male) = P(Flu | female) in a binary domain.
+	neg := DistributionKnowledge{Attrs: []int{gender}, Values: []int{male}, Negated: true, SA: flu, P: 0.25}
+	female := DistributionKnowledge{Attrs: []int{gender}, Values: []int{tbl.Schema().Attr(gender).MustCode("female")}, SA: flu, P: 0.25}
+	cNeg, err := neg.Constraint(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cFem, err := female.Constraint(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cNeg.RHS-cFem.RHS) > 1e-15 {
+		t.Fatalf("RHS mismatch: ¬male %g vs female %g", cNeg.RHS, cFem.RHS)
+	}
+	if len(cNeg.Terms) != len(cFem.Terms) {
+		t.Fatalf("terms differ: %d vs %d", len(cNeg.Terms), len(cFem.Terms))
+	}
+	for i := range cNeg.Terms {
+		if cNeg.Terms[i] != cFem.Terms[i] {
+			t.Fatalf("term %d differs", i)
+		}
+	}
+	if !strings.Contains(cNeg.Label, "¬(") {
+		t.Fatalf("label = %q, want negated rendering", cNeg.Label)
+	}
+	// P(¬male) = 4/10 females, so RHS = 0.25 * 0.4 = 0.1.
+	if math.Abs(cNeg.RHS-0.1) > 1e-15 {
+		t.Fatalf("RHS = %g, want 0.1", cNeg.RHS)
+	}
+	_ = d
+}
+
+// TestNegatedMultiAttribute: ¬(male ∧ college) matches everyone except q1.
+func TestNegatedMultiAttribute(t *testing.T) {
+	tbl, d, sp := paperSpace(t)
+	gender := tbl.Schema().Index("Gender")
+	degree := tbl.Schema().Index("Degree")
+	k := DistributionKnowledge{
+		Attrs: []int{gender, degree},
+		Values: []int{
+			tbl.Schema().Attr(gender).MustCode("male"),
+			tbl.Schema().Attr(degree).MustCode("college"),
+		},
+		Negated: true,
+		SA:      tbl.Schema().SA().MustCode("Flu"),
+		P:       0.5,
+	}
+	c, err := k.Constraint(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(¬q1) = 7/10 (q1 = {male, college} has three records).
+	if math.Abs(c.RHS-0.35) > 1e-12 {
+		t.Fatalf("RHS = %g, want 0.5 * 0.7", c.RHS)
+	}
+	// No term involves q1.
+	for _, id := range c.Terms {
+		if sp.Term(id).QID == 0 {
+			t.Fatal("negated condition must exclude q1")
+		}
+	}
+	_ = d
+}

@@ -1,0 +1,86 @@
+package constraint
+
+import (
+	"fmt"
+
+	"privacymaxent/internal/bucket"
+)
+
+// InvariantOptions tunes the data-constraint builder.
+type InvariantOptions struct {
+	// DropRedundant removes one SA-invariant per bucket. Theorem 3
+	// (conciseness) proves that the g+h base invariants of a bucket have
+	// exactly one linear dependency — the sum of QI-invariants equals the
+	// sum of SA-invariants — so dropping any single one leaves a minimal
+	// complete set. Redundant rows are harmless to MaxEnt but cost
+	// iterations, as the paper's Sec. 5.4 notes.
+	DropRedundant bool
+}
+
+// DataInvariants builds the complete set of invariant equations of D′
+// (Sec. 5.2): one QI-invariant per distinct QI value per bucket (Eq. 4)
+// and one SA-invariant per distinct SA value per bucket (Eq. 5).
+// Zero-invariants (Eq. 6) are represented structurally: the Space simply
+// has no variable for terms outside a bucket's support.
+func DataInvariants(sp *Space, opts InvariantOptions) *System {
+	sys := NewSystem(sp)
+	d := sp.Data()
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		appendBucketInvariants(sys, sp, d, bk, b, opts)
+	}
+	return sys
+}
+
+// appendBucketInvariants adds bucket b's QI- and SA-invariants to sys.
+func appendBucketInvariants(sys *System, sp *Space, d *bucket.Bucketized, bk *bucket.Bucket, b int, opts InvariantOptions) {
+	qids := bk.DistinctQIDs()
+	sas := bk.DistinctSAs()
+
+	for _, q := range qids {
+		terms := make([]int, 0, len(sas))
+		coeffs := make([]float64, 0, len(sas))
+		for _, s := range sas {
+			id, ok := sp.Index(Term{QID: q, SA: s, Bucket: b})
+			if !ok {
+				panic("constraint: bucket term missing from space")
+			}
+			terms = append(terms, id)
+			coeffs = append(coeffs, 1)
+		}
+		sys.MustAdd(Constraint{
+			Kind:   QIInvariant,
+			Label:  fmt.Sprintf("QI q%d b%d", q+1, b+1),
+			Terms:  terms,
+			Coeffs: coeffs,
+			RHS:    d.PQB(q, b),
+		})
+	}
+
+	// Per Theorem 3, dropping any one row per bucket keeps completeness;
+	// we drop the last SA-invariant.
+	limit := len(sas)
+	if opts.DropRedundant && len(qids) > 0 {
+		limit--
+	}
+	for k := 0; k < limit; k++ {
+		s := sas[k]
+		terms := make([]int, 0, len(qids))
+		coeffs := make([]float64, 0, len(qids))
+		for _, q := range qids {
+			id, ok := sp.Index(Term{QID: q, SA: s, Bucket: b})
+			if !ok {
+				panic("constraint: bucket term missing from space")
+			}
+			terms = append(terms, id)
+			coeffs = append(coeffs, 1)
+		}
+		sys.MustAdd(Constraint{
+			Kind:   SAInvariant,
+			Label:  fmt.Sprintf("SA s%d b%d", s+1, b+1),
+			Terms:  terms,
+			Coeffs: coeffs,
+			RHS:    d.PSB(s, b),
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package constraint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"privacymaxent/internal/dataset"
+)
+
+// knowledgeDoc is the JSON form of one distribution-knowledge statement:
+//
+//	{"if": {"Gender": "male"}, "then": "Breast Cancer", "p": 0}
+//
+// reads as P(Breast Cancer | Gender=male) = 0. Setting "not": true
+// negates the condition: P(... | ¬(Gender=male)) = p.
+type knowledgeDoc struct {
+	If   map[string]string `json:"if"`
+	Not  bool              `json:"not,omitempty"`
+	Then string            `json:"then"`
+	P    float64           `json:"p"`
+}
+
+// ParseKnowledgeJSON reads a JSON array of knowledge statements and
+// resolves attribute and value names against the schema. This is how
+// external adversary models (or the data publisher's assumptions) enter
+// the CLI without access to the original data.
+func ParseKnowledgeJSON(r io.Reader, schema *dataset.Schema) ([]DistributionKnowledge, error) {
+	var docs []knowledgeDoc
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&docs); err != nil {
+		return nil, fmt.Errorf("constraint: decoding knowledge JSON: %w", err)
+	}
+	out := make([]DistributionKnowledge, 0, len(docs))
+	for i, doc := range docs {
+		k, err := resolveKnowledge(doc, schema)
+		if err != nil {
+			return nil, fmt.Errorf("constraint: knowledge %d: %w", i, err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func resolveKnowledge(doc knowledgeDoc, schema *dataset.Schema) (DistributionKnowledge, error) {
+	if len(doc.If) == 0 {
+		return DistributionKnowledge{}, fmt.Errorf(`empty "if" condition`)
+	}
+	if schema.SAIndex() < 0 {
+		return DistributionKnowledge{}, fmt.Errorf("schema has no sensitive attribute")
+	}
+	k := DistributionKnowledge{P: doc.P, Negated: doc.Not}
+	// Resolve conditions in schema order for determinism.
+	for _, pos := range schema.QIIndices() {
+		attr := schema.Attr(pos)
+		value, ok := doc.If[attr.Name]
+		if !ok {
+			continue
+		}
+		code, ok := attr.Code(value)
+		if !ok {
+			return DistributionKnowledge{}, fmt.Errorf("value %q not in domain of %q", value, attr.Name)
+		}
+		k.Attrs = append(k.Attrs, pos)
+		k.Values = append(k.Values, code)
+	}
+	if len(k.Attrs) != len(doc.If) {
+		for name := range doc.If {
+			if a, ok := schema.AttrByName(name); !ok || a.Role != dataset.QuasiIdentifier {
+				return DistributionKnowledge{}, fmt.Errorf("%q is not a quasi-identifier attribute", name)
+			}
+		}
+		return DistributionKnowledge{}, fmt.Errorf("condition references a non-QI attribute")
+	}
+	sa, ok := schema.SA().Code(doc.Then)
+	if !ok {
+		return DistributionKnowledge{}, fmt.Errorf("value %q not in the sensitive domain", doc.Then)
+	}
+	k.SA = sa
+	return k, nil
+}
+
+// WriteKnowledgeJSON serializes knowledge statements in the same format
+// ParseKnowledgeJSON reads, so mined Top-(K+, K−) bounds can be exported,
+// audited and replayed.
+func WriteKnowledgeJSON(w io.Writer, schema *dataset.Schema, ks []DistributionKnowledge) error {
+	docs := make([]knowledgeDoc, 0, len(ks))
+	for i, k := range ks {
+		if len(k.Attrs) != len(k.Values) {
+			return fmt.Errorf("constraint: knowledge %d has mismatched attrs/values", i)
+		}
+		doc := knowledgeDoc{If: make(map[string]string, len(k.Attrs)), Not: k.Negated, P: k.P}
+		for j, pos := range k.Attrs {
+			if pos < 0 || pos >= schema.Len() {
+				return fmt.Errorf("constraint: knowledge %d attribute %d out of range", i, pos)
+			}
+			attr := schema.Attr(pos)
+			doc.If[attr.Name] = attr.Value(k.Values[j])
+		}
+		if k.SA < 0 || k.SA >= schema.SA().Cardinality() {
+			return fmt.Errorf("constraint: knowledge %d SA code out of range", i)
+		}
+		doc.Then = schema.SA().Value(k.SA)
+		docs = append(docs, doc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(docs)
+}

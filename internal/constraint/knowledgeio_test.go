@@ -1,0 +1,129 @@
+package constraint
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/dataset"
+)
+
+func TestParseKnowledgeJSON(t *testing.T) {
+	schema := dataset.PaperExample().Schema()
+	doc := `[
+	  {"if": {"Gender": "male"}, "then": "Breast Cancer", "p": 0},
+	  {"if": {"Gender": "male", "Degree": "high school"}, "then": "Pneumonia", "p": 0.5}
+	]`
+	ks, err := ParseKnowledgeJSON(strings.NewReader(doc), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 {
+		t.Fatalf("parsed %d statements, want 2", len(ks))
+	}
+	if ks[0].P != 0 || ks[0].SA != schema.SA().MustCode("Breast Cancer") {
+		t.Fatalf("first statement = %+v", ks[0])
+	}
+	if len(ks[1].Attrs) != 2 || ks[1].P != 0.5 {
+		t.Fatalf("second statement = %+v", ks[1])
+	}
+	// Conditions resolve in schema order regardless of JSON map order.
+	gender := schema.Index("Gender")
+	degree := schema.Index("Degree")
+	if !reflect.DeepEqual(ks[1].Attrs, []int{gender, degree}) {
+		t.Fatalf("attrs = %v, want [%d %d]", ks[1].Attrs, gender, degree)
+	}
+}
+
+func TestParseKnowledgeJSONErrors(t *testing.T) {
+	schema := dataset.PaperExample().Schema()
+	cases := map[string]string{
+		"bad json":      `[`,
+		"unknown field": `[{"if": {"Gender": "male"}, "then": "Flu", "p": 0, "why": "x"}]`,
+		"empty if":      `[{"if": {}, "then": "Flu", "p": 0}]`,
+		"bad attribute": `[{"if": {"Shoe": "male"}, "then": "Flu", "p": 0}]`,
+		"id attribute":  `[{"if": {"Name": "Allen"}, "then": "Flu", "p": 0}]`,
+		"bad value":     `[{"if": {"Gender": "robot"}, "then": "Flu", "p": 0}]`,
+		"bad sa":        `[{"if": {"Gender": "male"}, "then": "Scurvy", "p": 0}]`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseKnowledgeJSON(strings.NewReader(doc), schema); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestKnowledgeJSONRoundTrip(t *testing.T) {
+	schema := dataset.PaperExample().Schema()
+	gender := schema.Index("Gender")
+	degree := schema.Index("Degree")
+	ks := []DistributionKnowledge{
+		{Attrs: []int{gender}, Values: []int{schema.Attr(gender).MustCode("female")}, SA: 0, P: 0.25},
+		{Attrs: []int{gender, degree}, Values: []int{
+			schema.Attr(gender).MustCode("male"), schema.Attr(degree).MustCode("college"),
+		}, SA: 1, P: 0.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteKnowledgeJSON(&buf, schema, ks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseKnowledgeJSON(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ks) {
+		t.Fatalf("round trip lost statements: %d vs %d", len(got), len(ks))
+	}
+	for i := range ks {
+		if !reflect.DeepEqual(got[i].Attrs, ks[i].Attrs) ||
+			!reflect.DeepEqual(got[i].Values, ks[i].Values) ||
+			got[i].SA != ks[i].SA || math.Abs(got[i].P-ks[i].P) > 1e-15 {
+			t.Fatalf("statement %d: got %+v, want %+v", i, got[i], ks[i])
+		}
+	}
+}
+
+func TestWriteKnowledgeJSONValidation(t *testing.T) {
+	schema := dataset.PaperExample().Schema()
+	var buf bytes.Buffer
+	bad := []DistributionKnowledge{{Attrs: []int{0}, Values: nil, SA: 0, P: 0}}
+	if err := WriteKnowledgeJSON(&buf, schema, bad); err == nil {
+		t.Fatal("expected arity error")
+	}
+	bad = []DistributionKnowledge{{Attrs: []int{99}, Values: []int{0}, SA: 0, P: 0}}
+	if err := WriteKnowledgeJSON(&buf, schema, bad); err == nil {
+		t.Fatal("expected range error")
+	}
+	bad = []DistributionKnowledge{{Attrs: []int{1}, Values: []int{0}, SA: 99, P: 0}}
+	if err := WriteKnowledgeJSON(&buf, schema, bad); err == nil {
+		t.Fatal("expected SA range error")
+	}
+}
+
+func TestKnowledgeJSONNegated(t *testing.T) {
+	schema := dataset.PaperExample().Schema()
+	doc := `[{"if": {"Gender": "male"}, "not": true, "then": "Flu", "p": 0.25}]`
+	ks, err := ParseKnowledgeJSON(strings.NewReader(doc), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 || !ks[0].Negated {
+		t.Fatalf("parsed = %+v, want negated", ks)
+	}
+	var buf bytes.Buffer
+	if err := WriteKnowledgeJSON(&buf, schema, ks); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"not": true`) {
+		t.Fatalf("serialized form lost negation: %s", buf.String())
+	}
+	back, err := ParseKnowledgeJSON(&buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back[0].Negated {
+		t.Fatal("round trip lost negation")
+	}
+}

@@ -1,0 +1,104 @@
+// Package constraint implements the paper's constraint language: the
+// variable space of probability terms P(q, s, b), probability expressions,
+// the sound/complete/concise invariant equations derived from the
+// published data D′ (Section 5), ME constraints formulated from background
+// knowledge about data distributions (Section 4) and about individuals
+// (Section 6), plus the assignment semantics (Definitions 5.2–5.5) that
+// property tests use to verify soundness and completeness.
+package constraint
+
+import (
+	"fmt"
+
+	"privacymaxent/internal/bucket"
+)
+
+// Term identifies one probability term P(q, s, b): a QI tuple (by qid), an
+// SA code, and a 0-based bucket index.
+type Term struct {
+	QID    int
+	SA     int
+	Bucket int
+}
+
+// Space enumerates the probability terms that can be non-zero for a given
+// published data set: exactly those (q, s, b) with q ∈ QI(b) and
+// s ∈ SA(b). Every other term is pinned to zero by a Zero-invariant
+// (Eq. 6) and never becomes a solver variable. Terms get dense indices so
+// the MaxEnt problem can use flat vectors.
+type Space struct {
+	data  *bucket.Bucketized
+	terms []Term
+	index map[Term]int
+
+	// byBucket[b] lists the indices of the terms of bucket b, so
+	// per-bucket decomposition can carve out sub-problems.
+	byBucket [][]int
+}
+
+// NewSpace builds the term space of D′. Terms are ordered bucket-major,
+// then by qid, then by SA code, deterministically.
+func NewSpace(d *bucket.Bucketized) *Space {
+	sp := &Space{
+		data:     d,
+		index:    make(map[Term]int),
+		byBucket: make([][]int, d.NumBuckets()),
+	}
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		qids := bk.DistinctQIDs()
+		sas := bk.DistinctSAs()
+		for _, q := range qids {
+			for _, s := range sas {
+				t := Term{QID: q, SA: s, Bucket: b}
+				id := len(sp.terms)
+				sp.index[t] = id
+				sp.terms = append(sp.terms, t)
+				sp.byBucket[b] = append(sp.byBucket[b], id)
+			}
+		}
+	}
+	return sp
+}
+
+// Data returns the published data set the space was built from.
+func (sp *Space) Data() *bucket.Bucketized { return sp.data }
+
+// Len reports the number of terms (solver variables before presolve).
+func (sp *Space) Len() int { return len(sp.terms) }
+
+// Term returns the term with dense index i.
+func (sp *Space) Term(i int) Term { return sp.terms[i] }
+
+// Index maps a term to its dense index. ok is false when the term is
+// outside the space, i.e. pinned to zero by a Zero-invariant.
+func (sp *Space) Index(t Term) (int, bool) {
+	i, ok := sp.index[t]
+	return i, ok
+}
+
+// TermsInBucket returns the dense indices of bucket b's terms. The slice
+// must not be modified.
+func (sp *Space) TermsInBucket(b int) []int { return sp.byBucket[b] }
+
+// IsZeroInvariant reports whether P(q, s, b) = 0 is forced by Eq. (6),
+// i.e. q or s does not appear in bucket b. Callers must pass a bucket
+// index within range.
+func (sp *Space) IsZeroInvariant(t Term) bool {
+	_, inSpace := sp.index[t]
+	return !inSpace
+}
+
+// NumZeroInvariants counts the Zero-invariant equations over the full
+// cross product QI × SA × buckets, as the paper's Eq. (6) enumerates them.
+func (sp *Space) NumZeroInvariants() int {
+	full := sp.data.Universe().Len() * sp.data.SACardinality() * sp.data.NumBuckets()
+	return full - len(sp.terms)
+}
+
+// Label renders a term in the paper's notation, e.g. "P(q1, s2, 1)" with
+// 1-based bucket indices.
+func (sp *Space) Label(i int) string {
+	t := sp.terms[i]
+	return fmt.Sprintf("P(q%d, s%d, %d)", t.QID+1, t.SA+1, t.Bucket+1)
+}

@@ -1,0 +1,327 @@
+// Package core assembles the Privacy-MaxEnt pipeline — the paper's
+// contribution — from its substrates: bucketize the microdata (Anatomy,
+// L-diversity), mine the Top-(K+, K−) strongest association rules as the
+// bound on adversary background knowledge, formulate the published data's
+// invariants and the knowledge as linear ME constraints, solve for the
+// maximum-entropy joint P(Q,S,B), and report the adversary posterior
+// P(S|Q) together with privacy scores.
+//
+// The outcome of privacy quantification is deliberately a pair (bound,
+// scores), per Sec. 4.3: users judge whether the assumed knowledge bound
+// is acceptable and read the scores under that assumption.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/individuals"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/metrics"
+)
+
+// Config tunes the pipeline. The zero value reproduces the paper's
+// evaluation setup (5-diversity buckets of five with the most frequent SA
+// value exempted, minimum rule support 3, LBFGS with decomposition).
+type Config struct {
+	// Diversity is the L parameter and bucket size. Default 5.
+	Diversity int
+	// NoExemption disables the footnote-3 relaxation (by default the most
+	// frequent SA value is exempt from the diversity check).
+	NoExemption bool
+	// MinSupport is the association-rule support threshold. Default 3.
+	MinSupport int
+	// RuleSizes restricts mined rules to given QI-subset sizes T
+	// (Figure 6). Empty mines every size.
+	RuleSizes []int
+	// Solve configures the MaxEnt solver. Decomposition (Sec. 5.5) is on
+	// unless NoDecompose is set.
+	Solve maxent.Options
+	// NoDecompose turns off the irrelevant-bucket optimization.
+	NoDecompose bool
+	// KeepRedundant keeps the one redundant invariant per bucket that
+	// Theorem 3 identifies (useful for ablations; default drops it).
+	KeepRedundant bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Diversity <= 0 {
+		c.Diversity = 5
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 3
+	}
+	return c
+}
+
+// Bound records the background-knowledge assumption a report was computed
+// under: the Top-(K+, K−) association-rule budget (Sec. 4.4).
+type Bound struct {
+	KPos, KNeg int
+}
+
+// Report is the outcome of a quantification run: the knowledge bound, the
+// adversary's MaxEnt posterior, and the privacy scores derived from it.
+type Report struct {
+	// Bound is the knowledge assumption used.
+	Bound Bound
+	// Knowledge lists the ME knowledge statements that were applied.
+	Knowledge []constraint.DistributionKnowledge
+	// Posterior is the estimated P*(S|Q).
+	Posterior *dataset.Conditional
+	// Solution carries the joint P(Q,S,B) and solver statistics.
+	Solution *maxent.Solution
+	// MaxDisclosure is max P*(s|q) — worst-case linking confidence.
+	MaxDisclosure float64
+	// PosteriorEntropy is the adversary's average residual uncertainty
+	// (bits).
+	PosteriorEntropy float64
+	// EstimationAccuracy is the paper's weighted KL distance between the
+	// true P(S|Q) and the posterior; it is negative-one when no ground
+	// truth was supplied.
+	EstimationAccuracy float64
+}
+
+// Quantifier runs Privacy-MaxEnt quantifications under one configuration.
+type Quantifier struct {
+	cfg Config
+}
+
+// New creates a Quantifier; see Config for defaults.
+func New(cfg Config) *Quantifier {
+	return &Quantifier{cfg: cfg.withDefaults()}
+}
+
+// Config reports the effective (defaulted) configuration.
+func (q *Quantifier) Config() Config { return q.cfg }
+
+// Bucketize publishes the table with the configured Anatomy bucketizer
+// and returns the published view plus the row partition (the partition is
+// the ground-truth assignment and must not be published).
+func (q *Quantifier) Bucketize(t *dataset.Table) (*bucket.Bucketized, [][]int, error) {
+	return bucket.Anatomize(t, bucket.Options{
+		L:                  q.cfg.Diversity,
+		ExemptMostFrequent: !q.cfg.NoExemption,
+	})
+}
+
+// MineRules mines all association rules from the original data, sorted
+// strongest-first, ready for Top-(K+, K−) selection.
+func (q *Quantifier) MineRules(t *dataset.Table) ([]assoc.Rule, error) {
+	return assoc.Mine(t, assoc.Options{MinSupport: q.cfg.MinSupport, Sizes: q.cfg.RuleSizes})
+}
+
+// Quantify estimates the adversary posterior for published data under the
+// given knowledge statements and scores it. truth may be nil; when
+// supplied (computed from the original data) the report includes the
+// paper's Estimation Accuracy.
+func (q *Quantifier) Quantify(d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+	sp := constraint.NewSpace(d)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
+	if err := constraint.AddKnowledge(sys, knowledge...); err != nil {
+		return nil, fmt.Errorf("core: adding knowledge: %w", err)
+	}
+	opts := q.cfg.Solve
+	opts.Decompose = !q.cfg.NoDecompose
+	sol, err := maxent.Solve(sys, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: maxent solve: %w", err)
+	}
+	post := sol.Posterior()
+	rep := &Report{
+		Knowledge:          knowledge,
+		Posterior:          post,
+		Solution:           sol,
+		MaxDisclosure:      metrics.MaxDisclosure(post),
+		PosteriorEntropy:   metrics.PosteriorEntropy(post),
+		EstimationAccuracy: -1,
+	}
+	if truth != nil {
+		acc, err := metrics.EstimationAccuracy(truth, post)
+		if err != nil {
+			return nil, fmt.Errorf("core: estimation accuracy: %w", err)
+		}
+		rep.EstimationAccuracy = acc
+	}
+	return rep, nil
+}
+
+// QuantifyVague is the Sec. 4.5 variant of Quantify: every knowledge
+// statement carries a vagueness ε, entering the solve as the two-sided
+// box (P−ε)·P(Qv) ≤ Σ P(Qv,Q⁻,s,B) ≤ (P+ε)·P(Qv) instead of an equality.
+// eps applies to all statements; pass 0 to recover exact knowledge.
+// Decomposition does not apply to inequality solves.
+func (q *Quantifier) QuantifyVague(d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, eps float64, truth *dataset.Conditional) (*Report, error) {
+	sp := constraint.NewSpace(d)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
+	ineqs := make([]maxent.Inequality, 0, len(knowledge))
+	for i := range knowledge {
+		iq, err := maxent.VagueKnowledge(sp, knowledge[i], eps)
+		if err != nil {
+			return nil, fmt.Errorf("core: vague knowledge %d: %w", i, err)
+		}
+		ineqs = append(ineqs, iq)
+	}
+	sol, err := maxent.SolveWithInequalities(sys, ineqs, q.cfg.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("core: inequality solve: %w", err)
+	}
+	post := sol.Posterior()
+	rep := &Report{
+		Knowledge:          knowledge,
+		Posterior:          post,
+		Solution:           sol,
+		MaxDisclosure:      metrics.MaxDisclosure(post),
+		PosteriorEntropy:   metrics.PosteriorEntropy(post),
+		EstimationAccuracy: -1,
+	}
+	if truth != nil {
+		acc, err := metrics.EstimationAccuracy(truth, post)
+		if err != nil {
+			return nil, fmt.Errorf("core: estimation accuracy: %w", err)
+		}
+		rep.EstimationAccuracy = acc
+	}
+	return rep, nil
+}
+
+// QuantifyWithRules applies the Top-(KPos, KNeg) strongest rules from the
+// pre-mined, sorted rule list as the knowledge bound and quantifies.
+func (q *Quantifier) QuantifyWithRules(d *bucket.Bucketized, rules []assoc.Rule, bound Bound, truth *dataset.Conditional) (*Report, error) {
+	selected := assoc.TopK(rules, bound.KPos, bound.KNeg)
+	knowledge := make([]constraint.DistributionKnowledge, len(selected))
+	for i := range selected {
+		knowledge[i] = selected[i].Knowledge()
+	}
+	rep, err := q.Quantify(d, knowledge, truth)
+	if err != nil {
+		return nil, err
+	}
+	rep.Bound = bound
+	return rep, nil
+}
+
+// Run is the end-to-end convenience: bucketize the original data, mine
+// rules, apply the Top-(KPos, KNeg) bound, and score against the true
+// conditional computed from the original table.
+func (q *Quantifier) Run(t *dataset.Table, bound Bound) (*Report, error) {
+	d, _, err := q.Bucketize(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: bucketize: %w", err)
+	}
+	rules, err := q.MineRules(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: mining rules: %w", err)
+	}
+	truth, err := dataset.TrueConditional(t, d.Universe())
+	if err != nil {
+		return nil, fmt.Errorf("core: true conditional: %w", err)
+	}
+	return q.QuantifyWithRules(d, rules, bound, truth)
+}
+
+// IndividualReport is the Sec. 6 counterpart of Report: per-person
+// posteriors under knowledge about individuals, over the
+// pseudonym-expanded model.
+type IndividualReport struct {
+	// Space is the pseudonym term space (persons, their QI groups).
+	Space *individuals.Space
+	// Solution holds the joint P(i, Q, S, B) and solver statistics.
+	Solution *individuals.Solution
+	// MaxDisclosure is the largest single-person, single-value posterior.
+	MaxDisclosure float64
+	// AverageEntropy is the mean per-person posterior entropy in bits.
+	AverageEntropy float64
+}
+
+// QuantifyIndividuals runs the pseudonym-expanded MaxEnt model (Sec. 6)
+// under the given individual-knowledge statements.
+func (q *Quantifier) QuantifyIndividuals(d *bucket.Bucketized, knowledge []individuals.Knowledge) (*IndividualReport, error) {
+	sp := individuals.NewSpace(d)
+	opts := q.cfg.Solve
+	sol, err := individuals.Solve(sp, knowledge, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: individuals solve: %w", err)
+	}
+	rep := &IndividualReport{Space: sp, Solution: sol}
+	var totalH float64
+	for person := 0; person < sp.NumPersons(); person++ {
+		post := sol.PersonPosterior(person)
+		var h float64
+		for _, p := range post {
+			if p > rep.MaxDisclosure {
+				rep.MaxDisclosure = p
+			}
+			if p > 0 {
+				h -= p * math.Log2(p)
+			}
+		}
+		totalH += h
+	}
+	if sp.NumPersons() > 0 {
+		rep.AverageEntropy = totalH / float64(sp.NumPersons())
+	}
+	return rep, nil
+}
+
+// BreakingBound searches for the smallest mixed knowledge budget K (split
+// K/2 positive, K−K/2 negative) at which the adversary's maximum
+// disclosure reaches the threshold tau, probing a geometric grid up to
+// maxK and then binary-searching the bracketing interval. It returns the
+// bound and its report, or (nil report, maxK+1) when even maxK keeps
+// disclosure below tau — the publisher-facing "how much knowledge can
+// this release withstand?" question of Sec. 4.3.
+//
+// Disclosure is not perfectly monotone in K (each extra rule reshapes the
+// whole MaxEnt distribution), so the result is the first grid/bisection
+// point that crosses tau, not a certified minimum.
+func (q *Quantifier) BreakingBound(d *bucket.Bucketized, rules []assoc.Rule, tau float64, maxK int) (int, *Report, error) {
+	if tau <= 0 || tau > 1 {
+		return 0, nil, fmt.Errorf("core: threshold %g outside (0, 1]", tau)
+	}
+	if maxK < 1 {
+		return 0, nil, fmt.Errorf("core: maxK %d below 1", maxK)
+	}
+	at := func(k int) (*Report, error) {
+		return q.QuantifyWithRules(d, rules, Bound{KPos: k / 2, KNeg: k - k/2}, nil)
+	}
+	// Geometric probe for a bracket [lo, hi] with disclosure(hi) >= tau.
+	lo := 0
+	hi := -1
+	var hiRep *Report
+	for k := 1; ; k *= 2 {
+		if k > maxK {
+			k = maxK
+		}
+		rep, err := at(k)
+		if err != nil {
+			return 0, nil, err
+		}
+		if rep.MaxDisclosure >= tau {
+			hi, hiRep = k, rep
+			break
+		}
+		lo = k
+		if k == maxK {
+			return maxK + 1, nil, nil
+		}
+	}
+	// Bisect (lo, hi].
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		rep, err := at(mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		if rep.MaxDisclosure >= tau {
+			hi, hiRep = mid, rep
+		} else {
+			lo = mid
+		}
+	}
+	return hi, hiRep, nil
+}

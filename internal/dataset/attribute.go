@@ -1,0 +1,101 @@
+// Package dataset provides the microdata substrate used throughout the
+// Privacy-MaxEnt library: attribute schemas with ID/QI/SA roles, encoded
+// tables, CSV input and output, empirical distributions, and the abstract
+// q_i/s_j form the paper uses to present bucketized data.
+package dataset
+
+import "fmt"
+
+// Role classifies an attribute in a microdata table, following the PPDP
+// taxonomy from the paper's introduction: identifiers are removed before
+// publishing, quasi-identifiers are published in the clear, and sensitive
+// attributes are what adversaries try to link to individuals.
+type Role int
+
+const (
+	// Identifier attributes (names, SSNs) are stripped before publishing.
+	Identifier Role = iota
+	// QuasiIdentifier attributes (gender, zip, age, ...) are published
+	// unmodified and can be cross-referenced with external sources.
+	QuasiIdentifier
+	// Sensitive attributes (disease, salary, ...) are what the
+	// bucketization protects.
+	Sensitive
+)
+
+// String returns the conventional short name for the role.
+func (r Role) String() string {
+	switch r {
+	case Identifier:
+		return "ID"
+	case QuasiIdentifier:
+		return "QI"
+	case Sensitive:
+		return "SA"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Attribute describes a single categorical column: its name, its role, and
+// its domain of admissible values. Values are stored in tables as indices
+// into Domain, so the order of Domain is significant and must not change
+// once rows have been encoded against it.
+type Attribute struct {
+	Name   string
+	Role   Role
+	Domain []string
+
+	index map[string]int
+}
+
+// NewAttribute builds an attribute with the given categorical domain.
+// Domain values must be distinct; duplicates cause a panic because they
+// would make decoding ambiguous.
+func NewAttribute(name string, role Role, domain []string) *Attribute {
+	a := &Attribute{
+		Name:   name,
+		Role:   role,
+		Domain: append([]string(nil), domain...),
+		index:  make(map[string]int, len(domain)),
+	}
+	for i, v := range a.Domain {
+		if _, dup := a.index[v]; dup {
+			panic(fmt.Sprintf("dataset: attribute %q has duplicate domain value %q", name, v))
+		}
+		a.index[v] = i
+	}
+	return a
+}
+
+// Cardinality reports the number of distinct values in the domain.
+func (a *Attribute) Cardinality() int { return len(a.Domain) }
+
+// Code returns the integer code for a domain value.
+func (a *Attribute) Code(value string) (int, bool) {
+	c, ok := a.index[value]
+	return c, ok
+}
+
+// MustCode is Code but panics on unknown values; intended for literals in
+// tests and examples where the value is known to be in the domain.
+func (a *Attribute) MustCode(value string) int {
+	c, ok := a.index[value]
+	if !ok {
+		panic(fmt.Sprintf("dataset: value %q not in domain of attribute %q", value, a.Name))
+	}
+	return c
+}
+
+// Value returns the domain string for a code.
+func (a *Attribute) Value(code int) string {
+	if code < 0 || code >= len(a.Domain) {
+		panic(fmt.Sprintf("dataset: code %d out of range for attribute %q (cardinality %d)", code, a.Name, len(a.Domain)))
+	}
+	return a.Domain[code]
+}
+
+// clone returns a deep copy, so schemas can be shared safely.
+func (a *Attribute) clone() *Attribute {
+	return NewAttribute(a.Name, a.Role, a.Domain)
+}

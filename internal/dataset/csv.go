@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ReadCSV reads a table from CSV. The first record must be a header naming
+// every column. Roles assigns a role to each column name; columns missing
+// from the map default to QuasiIdentifier (the safe choice for privacy
+// analysis: treating a column as QI never under-reports risk). Attribute
+// domains are inferred from the data, sorted for determinism.
+func ReadCSV(r io.Reader, roles map[string]Role) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no header row")
+	}
+	header := records[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("dataset: csv header is empty")
+	}
+	body := records[1:]
+
+	// Infer domains column by column.
+	domains := make([][]string, len(header))
+	for col := range header {
+		seen := map[string]bool{}
+		for rowNum, rec := range body {
+			if len(rec) != len(header) {
+				return nil, fmt.Errorf("dataset: row %d has %d fields, header has %d", rowNum+2, len(rec), len(header))
+			}
+			seen[rec[col]] = true
+		}
+		dom := make([]string, 0, len(seen))
+		for v := range seen {
+			dom = append(dom, v)
+		}
+		sort.Strings(dom)
+		domains[col] = dom
+	}
+
+	attrs := make([]*Attribute, len(header))
+	for col, name := range header {
+		role, ok := roles[name]
+		if !ok {
+			role = QuasiIdentifier
+		}
+		attrs[col] = NewAttribute(name, role, domains[col])
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(schema)
+	for _, rec := range body {
+		if err := t.Append(rec...); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table as CSV with a header row.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema().Len())
+	for i := range header {
+		header[i] = t.Schema().Attr(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	rec := make([]string, len(header))
+	for row := 0; row < t.Len(); row++ {
+		for col := range header {
+			rec[col] = t.Value(row, col)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", row, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

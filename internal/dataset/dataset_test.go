@@ -1,0 +1,292 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttributeCoding(t *testing.T) {
+	a := NewAttribute("Degree", QuasiIdentifier, []string{"junior", "college", "graduate"})
+	if got := a.Cardinality(); got != 3 {
+		t.Fatalf("Cardinality = %d, want 3", got)
+	}
+	c, ok := a.Code("college")
+	if !ok || c != 1 {
+		t.Fatalf("Code(college) = %d, %v; want 1, true", c, ok)
+	}
+	if _, ok := a.Code("phd"); ok {
+		t.Fatal("Code(phd) unexpectedly found")
+	}
+	if got := a.Value(2); got != "graduate" {
+		t.Fatalf("Value(2) = %q, want graduate", got)
+	}
+}
+
+func TestAttributeDuplicateDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate domain value")
+		}
+	}()
+	NewAttribute("X", Sensitive, []string{"a", "a"})
+}
+
+func TestRoleString(t *testing.T) {
+	cases := map[Role]string{Identifier: "ID", QuasiIdentifier: "QI", Sensitive: "SA", Role(9): "Role(9)"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Role(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestSchemaRoles(t *testing.T) {
+	tbl := PaperExample()
+	s := tbl.Schema()
+	if got := s.NumQI(); got != 2 {
+		t.Fatalf("NumQI = %d, want 2", got)
+	}
+	if got := s.SA().Name; got != "Disease" {
+		t.Fatalf("SA attribute = %q, want Disease", got)
+	}
+	if got := len(s.IDIndices()); got != 1 {
+		t.Fatalf("ID attributes = %d, want 1", got)
+	}
+	if got := s.Index("Gender"); got != 1 {
+		t.Fatalf("Index(Gender) = %d, want 1", got)
+	}
+	if got := s.Index("nope"); got != -1 {
+		t.Fatalf("Index(nope) = %d, want -1", got)
+	}
+	if _, ok := s.AttrByName("Degree"); !ok {
+		t.Fatal("AttrByName(Degree) not found")
+	}
+}
+
+func TestSchemaRejectsTwoSensitive(t *testing.T) {
+	a := NewAttribute("a", Sensitive, []string{"x"})
+	b := NewAttribute("b", Sensitive, []string{"y"})
+	if _, err := NewSchema(a, b); err == nil {
+		t.Fatal("expected error for two sensitive attributes")
+	}
+}
+
+func TestSchemaRejectsDuplicateNames(t *testing.T) {
+	a := NewAttribute("a", QuasiIdentifier, []string{"x"})
+	b := NewAttribute("a", Sensitive, []string{"y"})
+	if _, err := NewSchema(a, b); err == nil {
+		t.Fatal("expected error for duplicate attribute names")
+	}
+}
+
+func TestTableAppendValidation(t *testing.T) {
+	tbl := NewTable(PaperExample().Schema())
+	if err := tbl.Append("Allen", "male", "college"); err == nil {
+		t.Fatal("expected arity error")
+	}
+	if err := tbl.Append("Allen", "male", "phd", "Flu"); err == nil {
+		t.Fatal("expected domain error")
+	}
+	if err := tbl.AppendCoded([]int{0, 0, 99, 0}); err == nil {
+		t.Fatal("expected out-of-range code error")
+	}
+	if err := tbl.AppendCoded([]int{0, 0}); err == nil {
+		t.Fatal("expected arity error on coded append")
+	}
+}
+
+func TestPaperExampleAbstractForm(t *testing.T) {
+	tbl := PaperExample()
+	u := NewUniverse(tbl)
+	if u.Len() != 6 {
+		t.Fatalf("distinct QI tuples = %d, want 6", u.Len())
+	}
+	if u.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", u.Total())
+	}
+	// q1 = {male, college} appears three times (paper, Sec. 3.1).
+	q1, ok := u.QID(tbl.QIKey(0))
+	if !ok {
+		t.Fatal("q1 not found")
+	}
+	if got := u.Count(q1); got != 3 {
+		t.Fatalf("Count(q1) = %d, want 3", got)
+	}
+	if got := u.P(q1); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("P(q1) = %g, want 0.3", got)
+	}
+	if got := u.Label(q1); got != "q1" {
+		t.Fatalf("Label = %q, want q1", got)
+	}
+	if got := u.Display(q1); got != "{male, college}" {
+		t.Fatalf("Display(q1) = %q", got)
+	}
+	// s-symbols follow the Disease domain order.
+	sa := tbl.Schema().SA()
+	wantSA := []string{"Breast Cancer", "Flu", "Pneumonia", "HIV", "Lung Cancer"}
+	if !reflect.DeepEqual(sa.Domain, wantSA) {
+		t.Fatalf("SA domain = %v, want %v", sa.Domain, wantSA)
+	}
+}
+
+func TestTrueConditionalPaperExample(t *testing.T) {
+	tbl := PaperExample()
+	u := NewUniverse(tbl)
+	truth, err := TrueConditional(tbl, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q1 = {male, college}: Allen has Flu, Brian Pneumonia, Ethan HIV.
+	q1, _ := u.QID(tbl.QIKey(0))
+	flu := tbl.Schema().SA().MustCode("Flu")
+	hiv := tbl.Schema().SA().MustCode("HIV")
+	bc := tbl.Schema().SA().MustCode("Breast Cancer")
+	third := 1.0 / 3.0
+	if got := truth.P(q1, flu); math.Abs(got-third) > 1e-12 {
+		t.Fatalf("P(Flu|q1) = %g, want 1/3", got)
+	}
+	if got := truth.P(q1, hiv); math.Abs(got-third) > 1e-12 {
+		t.Fatalf("P(HIV|q1) = %g, want 1/3", got)
+	}
+	if got := truth.P(q1, bc); got != 0 {
+		t.Fatalf("P(BreastCancer|q1) = %g, want 0", got)
+	}
+	// Every row sums to 1.
+	for qid := 0; qid < u.Len(); qid++ {
+		var sum float64
+		for s := 0; s < truth.NumSA(); s++ {
+			sum += truth.P(qid, s)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", qid, sum)
+		}
+	}
+}
+
+func TestConditionalNormalize(t *testing.T) {
+	tbl := PaperExample()
+	u := NewUniverse(tbl)
+	c := NewConditional(u, 3)
+	c.Add(0, 0, 2)
+	c.Add(0, 1, 2)
+	c.Normalize()
+	if got := c.P(0, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("P = %g, want 0.5", got)
+	}
+	// Zero rows stay zero.
+	if got := c.P(1, 0); got != 0 {
+		t.Fatalf("zero row changed: %g", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tbl := PaperExample()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	roles := map[string]Role{
+		"Name":    Identifier,
+		"Gender":  QuasiIdentifier,
+		"Degree":  QuasiIdentifier,
+		"Disease": Sensitive,
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()), roles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tbl.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), tbl.Len())
+	}
+	for row := 0; row < tbl.Len(); row++ {
+		for col := 0; col < tbl.Schema().Len(); col++ {
+			if got.Value(row, col) != tbl.Value(row, col) {
+				t.Fatalf("cell (%d,%d) = %q, want %q", row, col, got.Value(row, col), tbl.Value(row, col))
+			}
+		}
+	}
+	if got.Schema().SA().Name != "Disease" {
+		t.Fatalf("SA role lost in round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), nil); err == nil {
+		t.Fatal("expected error for empty csv")
+	}
+	ragged := "a,b\n1,2\n3\n"
+	if _, err := ReadCSV(strings.NewReader(ragged), nil); err == nil {
+		t.Fatal("expected error for ragged csv")
+	}
+}
+
+func TestReadCSVDefaultsToQI(t *testing.T) {
+	in := "color,size\nred,small\nblue,large\n"
+	tbl, err := ReadCSV(strings.NewReader(in), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Schema().NumQI() != 2 {
+		t.Fatalf("NumQI = %d, want 2", tbl.Schema().NumQI())
+	}
+	if tbl.Schema().SAIndex() != -1 {
+		t.Fatal("unexpected SA attribute")
+	}
+}
+
+func TestQIKeyDistinguishesTuples(t *testing.T) {
+	// Property: two rows share a QIKey iff their QI projections are equal.
+	f := func(a, b uint8) bool {
+		g := NewAttribute("g", QuasiIdentifier, []string{"0", "1", "2", "3"})
+		d := NewAttribute("d", QuasiIdentifier, []string{"0", "1", "2", "3"})
+		s := NewAttribute("s", Sensitive, []string{"x"})
+		tbl := NewTable(MustSchema(g, d, s))
+		av, bv := int(a%4), int(b%4)
+		if err := tbl.AppendCoded([]int{av, bv, 0}); err != nil {
+			return false
+		}
+		if err := tbl.AppendCoded([]int{bv, av, 0}); err != nil {
+			return false
+		}
+		equalKeys := tbl.QIKey(0) == tbl.QIKey(1)
+		equalTuples := av == bv
+		return equalKeys == equalTuples
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", 1234567: "1234567", -5: "-5"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tbl := PaperExample()
+	c := tbl.Clone()
+	if c.Len() != tbl.Len() {
+		t.Fatalf("clone rows = %d, want %d", c.Len(), tbl.Len())
+	}
+	c.Row(0)[0] = 3
+	if tbl.Row(0)[0] == 3 {
+		t.Fatal("clone shares row storage with original")
+	}
+}
+
+func TestQICodes(t *testing.T) {
+	tbl := PaperExample()
+	got := tbl.QICodes(0) // Allen: male, college
+	want := []int{tbl.Schema().Attr(1).MustCode("male"), tbl.Schema().Attr(2).MustCode("college")}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("QICodes = %v, want %v", got, want)
+	}
+}

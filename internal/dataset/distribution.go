@@ -1,0 +1,90 @@
+package dataset
+
+import "fmt"
+
+// Conditional holds a conditional distribution P(S | Q): one row per qid
+// in a Universe, one column per SA domain value. It is the common currency
+// between the MaxEnt estimate P*(S|Q) and the ground truth P(S|Q) computed
+// from the original data, which the Estimation Accuracy metric compares.
+type Conditional struct {
+	universe *Universe
+	numSA    int
+	rows     [][]float64
+}
+
+// NewConditional allocates a zero conditional distribution over the
+// universe's QI tuples and an SA attribute with numSA values.
+func NewConditional(u *Universe, numSA int) *Conditional {
+	rows := make([][]float64, u.Len())
+	flat := make([]float64, u.Len()*numSA)
+	for i := range rows {
+		rows[i], flat = flat[:numSA:numSA], flat[numSA:]
+	}
+	return &Conditional{universe: u, numSA: numSA, rows: rows}
+}
+
+// TrueConditional computes the ground-truth P(S|Q) directly from the
+// original table D, the reference the paper compares MaxEnt estimates to.
+func TrueConditional(t *Table, u *Universe) (*Conditional, error) {
+	if t.Schema().SAIndex() < 0 {
+		return nil, fmt.Errorf("dataset: table has no sensitive attribute")
+	}
+	c := NewConditional(u, t.Schema().SA().Cardinality())
+	counts := make([]int, u.Len())
+	for row := 0; row < t.Len(); row++ {
+		qid, ok := u.QID(t.QIKey(row))
+		if !ok {
+			return nil, fmt.Errorf("dataset: row %d has QI tuple %s not in universe", row, t.QIString(row))
+		}
+		c.rows[qid][t.SACode(row)]++
+		counts[qid]++
+	}
+	for qid, n := range counts {
+		if n == 0 {
+			continue
+		}
+		inv := 1 / float64(n)
+		for s := range c.rows[qid] {
+			c.rows[qid][s] *= inv
+		}
+	}
+	return c, nil
+}
+
+// Universe returns the QI universe the distribution is indexed by.
+func (c *Conditional) Universe() *Universe { return c.universe }
+
+// NumSA reports the SA cardinality (columns).
+func (c *Conditional) NumSA() int { return c.numSA }
+
+// P returns P(S = s | Q = qid).
+func (c *Conditional) P(qid, s int) float64 { return c.rows[qid][s] }
+
+// Set assigns P(S = s | Q = qid).
+func (c *Conditional) Set(qid, s int, p float64) { c.rows[qid][s] = p }
+
+// Add accumulates into P(S = s | Q = qid); used when folding bucket joints
+// P(q,s,b) into the posterior P(s|q) = Σ_b P(q,s,b)/P(q).
+func (c *Conditional) Add(qid, s int, p float64) { c.rows[qid][s] += p }
+
+// Row returns the distribution over SA values for a qid. The slice must
+// not be modified by callers that do not own the Conditional.
+func (c *Conditional) Row(qid int) []float64 { return c.rows[qid] }
+
+// Normalize rescales every row to sum to 1 (rows summing to 0 are left
+// untouched). Useful after accumulating joints with Add.
+func (c *Conditional) Normalize() {
+	for _, row := range c.rows {
+		var sum float64
+		for _, p := range row {
+			sum += p
+		}
+		if sum <= 0 {
+			continue
+		}
+		inv := 1 / sum
+		for s := range row {
+			row[s] *= inv
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV loader: it must never
+// panic, and any table it accepts must round-trip through WriteCSV into
+// an equal table.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b\n1,2\n")
+	f.Add("Name,Gender,Disease\nAllen,male,Flu\nBrian,male,Flu\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Add("a,b\n1\n")
+	f.Add("a,a\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tbl, err := ReadCSV(strings.NewReader(input), map[string]Role{"Disease": Sensitive})
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tbl); err != nil {
+			t.Fatalf("accepted table failed to serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()), map[string]Role{"Disease": Sensitive})
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.Len() != tbl.Len() || back.Schema().Len() != tbl.Schema().Len() {
+			t.Fatalf("round trip changed shape: (%d,%d) vs (%d,%d)",
+				back.Len(), back.Schema().Len(), tbl.Len(), tbl.Schema().Len())
+		}
+		for r := 0; r < tbl.Len(); r++ {
+			for c := 0; c < tbl.Schema().Len(); c++ {
+				if back.Value(r, c) != tbl.Value(r, c) {
+					t.Fatalf("cell (%d,%d) changed", r, c)
+				}
+			}
+		}
+	})
+}

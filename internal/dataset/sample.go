@@ -1,0 +1,55 @@
+package dataset
+
+// PaperExample returns the 10-record data set of the paper's Figure 1(a):
+// Gender and Degree as quasi-identifiers, Disease as the sensitive
+// attribute, and Name as the identifier. The distinct QI tuples and SA
+// values map to the paper's abstract symbols as
+//
+//	q1 = {male, college}    s1 = Breast Cancer
+//	q2 = {female, college}  s2 = Flu
+//	q3 = {male, high school} s3 = Pneumonia
+//	q4 = {female, junior}   s4 = HIV
+//	q5 = {female, graduate} s5 = Lung Cancer
+//	q6 = {male, graduate}
+//
+// when indexed by a Universe in row order (see TestPaperExampleAbstractForm).
+func PaperExample() *Table {
+	name := NewAttribute("Name", Identifier, []string{
+		"Allen", "Brian", "Cathy", "David", "Ethan",
+		"Frank", "Grace", "Helen", "Iris", "James",
+	})
+	gender := NewAttribute("Gender", QuasiIdentifier, []string{"male", "female"})
+	degree := NewAttribute("Degree", QuasiIdentifier, []string{"junior", "high school", "college", "graduate"})
+	disease := NewAttribute("Disease", Sensitive, []string{
+		"Breast Cancer", "Flu", "Pneumonia", "HIV", "Lung Cancer",
+	})
+	t := NewTable(MustSchema(name, gender, degree, disease))
+	t.MustAppend("Allen", "male", "college", "Flu")
+	t.MustAppend("Brian", "male", "college", "Pneumonia")
+	t.MustAppend("Cathy", "female", "college", "Breast Cancer")
+	t.MustAppend("David", "male", "high school", "Flu")
+	t.MustAppend("Ethan", "male", "college", "HIV")
+	t.MustAppend("Frank", "male", "high school", "Pneumonia")
+	t.MustAppend("Grace", "female", "junior", "Breast Cancer")
+	t.MustAppend("Helen", "female", "college", "HIV")
+	t.MustAppend("Iris", "female", "graduate", "Lung Cancer")
+	t.MustAppend("James", "male", "graduate", "Flu")
+	return t
+}
+
+// PaperBuckets returns the paper's Figure 1(b)/(c) bucketization of the
+// PaperExample table as row-index groups. In abstract form the buckets are
+//
+//	bucket 1: {q1, q1, q2, q3} with SA multiset {s1, s2, s2, s3}
+//	bucket 2: {q1, q3, q4}     with SA multiset {s1, s3, s4}
+//	bucket 3: {q2, q5, q6}     with SA multiset {s2, s4, s5}
+//
+// matching every worked example in the paper (P(q1,1) = 2/10, P(s4,2) =
+// 1/10, q1 and s1 absent from bucket 3, ...).
+func PaperBuckets() [][]int {
+	return [][]int{
+		{0, 1, 2, 3}, // Allen, Brian, Cathy, David
+		{4, 5, 6},    // Ethan, Frank, Grace
+		{7, 8, 9},    // Helen, Iris, James
+	}
+}

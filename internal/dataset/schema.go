@@ -1,0 +1,106 @@
+package dataset
+
+import "fmt"
+
+// Schema is an ordered collection of attributes. The Privacy-MaxEnt model
+// requires exactly one sensitive attribute (the paper's SA column); any
+// number of QI and ID attributes are allowed.
+type Schema struct {
+	attrs  []*Attribute
+	byName map[string]int
+
+	qiIdx []int // positions of QI attributes, in schema order
+	saIdx int   // position of the SA attribute, -1 if none
+	idIdx []int // positions of ID attributes
+}
+
+// NewSchema builds a schema from the given attributes. It returns an error
+// if names collide or if more than one sensitive attribute is declared.
+func NewSchema(attrs ...*Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs:  make([]*Attribute, 0, len(attrs)),
+		byName: make(map[string]int, len(attrs)),
+		saIdx:  -1,
+	}
+	for _, a := range attrs {
+		if a == nil {
+			return nil, fmt.Errorf("dataset: nil attribute in schema")
+		}
+		if _, dup := s.byName[a.Name]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+		}
+		pos := len(s.attrs)
+		s.byName[a.Name] = pos
+		s.attrs = append(s.attrs, a.clone())
+		switch a.Role {
+		case QuasiIdentifier:
+			s.qiIdx = append(s.qiIdx, pos)
+		case Sensitive:
+			if s.saIdx >= 0 {
+				return nil, fmt.Errorf("dataset: schema has more than one sensitive attribute (%q and %q)",
+					s.attrs[s.saIdx].Name, a.Name)
+			}
+			s.saIdx = pos
+		case Identifier:
+			s.idIdx = append(s.idIdx, pos)
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error; for literals in tests.
+func MustSchema(attrs ...*Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len reports the number of attributes.
+func (s *Schema) Len() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) *Attribute { return s.attrs[i] }
+
+// AttrByName returns the attribute with the given name.
+func (s *Schema) AttrByName(name string) (*Attribute, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return s.attrs[i], true
+}
+
+// Index returns the position of the named attribute, or -1.
+func (s *Schema) Index(name string) int {
+	i, ok := s.byName[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// QIIndices returns the positions of quasi-identifier attributes in schema
+// order. The returned slice must not be modified.
+func (s *Schema) QIIndices() []int { return s.qiIdx }
+
+// NumQI reports the number of quasi-identifier attributes (the paper's
+// "entire QI attribute set" Q that every ME constraint must range over).
+func (s *Schema) NumQI() int { return len(s.qiIdx) }
+
+// SAIndex returns the position of the sensitive attribute, or -1 if the
+// schema has none.
+func (s *Schema) SAIndex() int { return s.saIdx }
+
+// SA returns the sensitive attribute; it panics if the schema has none,
+// since every Privacy-MaxEnt pipeline requires one.
+func (s *Schema) SA() *Attribute {
+	if s.saIdx < 0 {
+		panic("dataset: schema has no sensitive attribute")
+	}
+	return s.attrs[s.saIdx]
+}
+
+// IDIndices returns the positions of identifier attributes.
+func (s *Schema) IDIndices() []int { return s.idIdx }

@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an encoded microdata table: every cell stores the integer code
+// of its value in the corresponding attribute domain. Encoding makes the
+// hot paths (grouping by QI tuple, counting SA values) allocation-light.
+type Table struct {
+	schema *Schema
+	rows   [][]int
+}
+
+// NewTable creates an empty table over the schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{schema: schema}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len reports the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the coded row at index i. The slice must not be modified.
+func (t *Table) Row(i int) []int { return t.rows[i] }
+
+// AppendCoded appends a row of pre-encoded values. The row length must
+// match the schema and every code must be within its attribute's domain.
+func (t *Table) AppendCoded(row []int) error {
+	if len(row) != t.schema.Len() {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(row), t.schema.Len())
+	}
+	for i, c := range row {
+		if c < 0 || c >= t.schema.Attr(i).Cardinality() {
+			return fmt.Errorf("dataset: code %d out of range for attribute %q", c, t.schema.Attr(i).Name)
+		}
+	}
+	t.rows = append(t.rows, append([]int(nil), row...))
+	return nil
+}
+
+// Append encodes and appends a row of string values in schema order.
+func (t *Table) Append(values ...string) error {
+	if len(values) != t.schema.Len() {
+		return fmt.Errorf("dataset: row has %d values, schema has %d attributes", len(values), t.schema.Len())
+	}
+	coded := make([]int, len(values))
+	for i, v := range values {
+		c, ok := t.schema.Attr(i).Code(v)
+		if !ok {
+			return fmt.Errorf("dataset: value %q not in domain of attribute %q", v, t.schema.Attr(i).Name)
+		}
+		coded[i] = c
+	}
+	t.rows = append(t.rows, coded)
+	return nil
+}
+
+// MustAppend is Append but panics on error; for literals in tests.
+func (t *Table) MustAppend(values ...string) {
+	if err := t.Append(values...); err != nil {
+		panic(err)
+	}
+}
+
+// Value decodes the cell at (row, attribute position).
+func (t *Table) Value(row, attr int) string {
+	return t.schema.Attr(attr).Value(t.rows[row][attr])
+}
+
+// SACode returns the coded sensitive value of a row.
+func (t *Table) SACode(row int) int {
+	return t.rows[row][t.schema.SAIndex()]
+}
+
+// QIKey returns a canonical string key for the full QI projection of a
+// row. Two rows share a key exactly when they agree on every QI attribute;
+// the paper denotes such shared projections q_1, q_2, ....
+func (t *Table) QIKey(row int) string {
+	return qiKey(t.rows[row], t.schema.QIIndices())
+}
+
+// qiKey builds the canonical key for the projection of a coded row onto
+// the given attribute positions.
+func qiKey(row []int, idx []int) string {
+	var b strings.Builder
+	for k, i := range idx {
+		if k > 0 {
+			b.WriteByte('|')
+		}
+		// Codes are small non-negative ints; render in decimal.
+		b.WriteString(itoa(row[i]))
+	}
+	return b.String()
+}
+
+// itoa is a minimal positive-int formatter to keep qiKey off the
+// fmt/strconv allocation paths in tight grouping loops.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// QICodes returns the coded QI projection of a row as a fresh slice, in
+// the order of Schema.QIIndices.
+func (t *Table) QICodes(row int) []int {
+	idx := t.schema.QIIndices()
+	out := make([]int, len(idx))
+	for k, i := range idx {
+		out[k] = t.rows[row][i]
+	}
+	return out
+}
+
+// QIString renders the QI projection of a row for human consumption, e.g.
+// "{male, college}".
+func (t *Table) QIString(row int) string {
+	idx := t.schema.QIIndices()
+	parts := make([]string, len(idx))
+	for k, i := range idx {
+		parts[k] = t.Value(row, i)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.schema)
+	c.rows = make([][]int, len(t.rows))
+	for i, r := range t.rows {
+		c.rows[i] = append([]int(nil), r...)
+	}
+	return c
+}

@@ -1,0 +1,83 @@
+package dataset
+
+import "fmt"
+
+// Universe indexes the distinct QI tuples of a data set. The paper writes
+// them q_1, ..., q_n; we assign each a dense integer id (qid) so that
+// distributions over QI values can live in flat slices. A Universe built
+// from the original data D is also valid for its bucketization D′, because
+// bucketization never alters QI values.
+type Universe struct {
+	schema  *Schema
+	keys    []string
+	byKey   map[string]int
+	counts  []int
+	display []string
+	codes   [][]int
+	total   int
+}
+
+// NewUniverse scans the table and indexes every distinct QI tuple in
+// first-appearance order.
+func NewUniverse(t *Table) *Universe {
+	u := &Universe{
+		schema: t.Schema(),
+		byKey:  make(map[string]int),
+	}
+	for row := 0; row < t.Len(); row++ {
+		key := t.QIKey(row)
+		id, ok := u.byKey[key]
+		if !ok {
+			id = len(u.keys)
+			u.byKey[key] = id
+			u.keys = append(u.keys, key)
+			u.counts = append(u.counts, 0)
+			u.display = append(u.display, t.QIString(row))
+			u.codes = append(u.codes, t.QICodes(row))
+		}
+		u.counts[id]++
+		u.total++
+	}
+	return u
+}
+
+// Schema returns the schema the universe was built against.
+func (u *Universe) Schema() *Schema { return u.schema }
+
+// Len reports the number of distinct QI tuples.
+func (u *Universe) Len() int { return len(u.keys) }
+
+// Total reports the number of records scanned (N in the paper).
+func (u *Universe) Total() int { return u.total }
+
+// QID maps a canonical QI key (Table.QIKey) to its dense id.
+func (u *Universe) QID(key string) (int, bool) {
+	id, ok := u.byKey[key]
+	return id, ok
+}
+
+// Key returns the canonical key of a qid.
+func (u *Universe) Key(qid int) string { return u.keys[qid] }
+
+// Count returns the number of records sharing the qid's QI tuple.
+func (u *Universe) Count(qid int) int { return u.counts[qid] }
+
+// P returns the empirical probability P(q) of the qid's QI tuple, the
+// sample approximation the paper adopts for the population distribution.
+func (u *Universe) P(qid int) float64 {
+	if u.total == 0 {
+		return 0
+	}
+	return float64(u.counts[qid]) / float64(u.total)
+}
+
+// Display returns a human-readable rendering such as "{male, college}".
+func (u *Universe) Display(qid int) string { return u.display[qid] }
+
+// Codes returns the coded QI projection of a qid, in Schema.QIIndices
+// order. The slice must not be modified. Knowledge constraints use this to
+// match a QI-subset condition Qv against every full QI tuple Q = (Qv, Q⁻).
+func (u *Universe) Codes(qid int) []int { return u.codes[qid] }
+
+// Label returns the paper's abstract symbol for a qid: q1, q2, ....
+func (u *Universe) Label(qid int) string { return fmt.Sprintf("q%d", qid+1) }

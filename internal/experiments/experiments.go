@@ -1,0 +1,406 @@
+// Package experiments regenerates the data series behind every figure in
+// the paper's evaluation (Sec. 7): Figure 5 (estimation accuracy vs the
+// amount of background knowledge, for positive, negative and mixed
+// association rules), Figure 6 (the effect of the number of QI attributes
+// T in the knowledge), and Figures 7(a)–(c) (running time and iteration
+// counts versus knowledge size and data size). It also provides the two
+// ablations DESIGN.md calls out: the solver comparison the paper cites
+// from Malouf, and the Sec. 5.5 irrelevant-bucket optimization.
+//
+// The paper's full-size experiment (14,210 records, knowledge sweeps to
+// 3·10⁵ rules, 2008-era C++) is scaled down by default so the whole suite
+// runs in seconds; Config restores any size. Shapes, not absolute
+// numbers, are the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"privacymaxent/internal/adult"
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/metrics"
+	"privacymaxent/internal/solver"
+)
+
+// Config sizes an experiment run.
+type Config struct {
+	// Records is the synthetic Adult table size. Default 1500 (paper:
+	// 14,210).
+	Records int
+	// Seed drives data generation. Default 1.
+	Seed int64
+	// Diversity is the bucket size / L parameter. Default 5 (paper).
+	Diversity int
+	// MinSupport is the rule-support threshold. Default 3 (paper).
+	MinSupport int
+	// MaxRuleSize caps the QI-subset size mined for knowledge. Default 3
+	// (mining all 8 sizes is only needed for Figure 6; the accuracy
+	// figures saturate well before that).
+	MaxRuleSize int
+	// MaxIterations bounds the LBFGS iterations of the accuracy solves.
+	// Default 6000; paper-scale sweeps with heavily coupled knowledge can
+	// need more to avoid boundary-convergence artifacts in the KL metric.
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Records <= 0 {
+		c.Records = 1500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Diversity <= 0 {
+		c.Diversity = 5
+	}
+	if c.MinSupport <= 0 {
+		c.MinSupport = 3
+	}
+	if c.MaxRuleSize <= 0 {
+		c.MaxRuleSize = 3
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 6000
+	}
+	return c
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve, as plotted in the paper's figures.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Instance bundles the generated workload every figure shares: the
+// original data D, its bucketization D′, the true conditional, and the
+// mined rule pool.
+type Instance struct {
+	Config Config
+	Table  *dataset.Table
+	Data   *bucket.Bucketized
+	Truth  *dataset.Conditional
+	Rules  []assoc.Rule
+}
+
+// NewInstance generates and prepares the workload.
+func NewInstance(cfg Config) (*Instance, error) {
+	cfg = cfg.withDefaults()
+	tbl := adult.Generate(adult.Config{Records: cfg.Records, Seed: cfg.Seed})
+	d, _, err := bucket.Anatomize(tbl, bucket.Options{L: cfg.Diversity, ExemptMostFrequent: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: bucketize: %w", err)
+	}
+	truth, err := dataset.TrueConditional(tbl, d.Universe())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: truth: %w", err)
+	}
+	sizes := make([]int, 0, cfg.MaxRuleSize)
+	for k := 1; k <= cfg.MaxRuleSize && k <= tbl.Schema().NumQI(); k++ {
+		sizes = append(sizes, k)
+	}
+	rules, err := assoc.Mine(tbl, assoc.Options{MinSupport: cfg.MinSupport, Sizes: sizes})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mining: %w", err)
+	}
+	return &Instance{Config: cfg, Table: tbl, Data: d, Truth: truth, Rules: rules}, nil
+}
+
+// quantifier builds the standard pipeline configuration.
+func (in *Instance) quantifier() *core.Quantifier {
+	return core.New(core.Config{
+		Diversity:  in.Config.Diversity,
+		MinSupport: in.Config.MinSupport,
+		Solve: maxent.Options{
+			Solver: solver.Options{MaxIterations: in.Config.MaxIterations, GradTol: 1e-8},
+		},
+	})
+}
+
+// accuracyAt runs one quantification under the Top-(kPos, kNeg) bound and
+// returns the estimation accuracy.
+func (in *Instance) accuracyAt(rules []assoc.Rule, kPos, kNeg int) (float64, error) {
+	rep, err := in.quantifier().QuantifyWithRules(in.Data, rules, core.Bound{KPos: kPos, KNeg: kNeg}, in.Truth)
+	if err != nil {
+		return 0, err
+	}
+	return rep.EstimationAccuracy, nil
+}
+
+// defaultKSweep produces the K grid for accuracy figures, scaled to the
+// available rule pool: 0 plus roughly geometric steps.
+func defaultKSweep(maxRules int) []int {
+	grid := []int{0, 5, 10, 25, 50, 100, 200, 400, 800, 1600, 3200}
+	out := grid[:0]
+	for _, k := range grid {
+		if k <= maxRules {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Figure5 reproduces "Positive and negative association rules":
+// estimation accuracy versus K for the K− curve (K negative rules), the
+// K+ curve (K positive rules), and the (K+, K−) curve (K/2 of each).
+// ks overrides the K grid; nil uses the default sweep.
+func Figure5(in *Instance, ks ...int) ([]Series, error) {
+	pos, neg := assoc.Split(in.Rules)
+	maxK := len(pos)
+	if len(neg) < maxK {
+		maxK = len(neg)
+	}
+	if len(ks) == 0 {
+		ks = defaultKSweep(maxK)
+	}
+	series := []Series{{Name: "K-"}, {Name: "K+"}, {Name: "(K+, K-)"}}
+	for _, k := range ks {
+		accNeg, err := in.accuracyAt(in.Rules, 0, k)
+		if err != nil {
+			return nil, fmt.Errorf("figure5 K-=%d: %w", k, err)
+		}
+		accPos, err := in.accuracyAt(in.Rules, k, 0)
+		if err != nil {
+			return nil, fmt.Errorf("figure5 K+=%d: %w", k, err)
+		}
+		accMix, err := in.accuracyAt(in.Rules, k/2, k-k/2)
+		if err != nil {
+			return nil, fmt.Errorf("figure5 mix=%d: %w", k, err)
+		}
+		series[0].Points = append(series[0].Points, Point{X: float64(k), Y: accNeg})
+		series[1].Points = append(series[1].Points, Point{X: float64(k), Y: accPos})
+		series[2].Points = append(series[2].Points, Point{X: float64(k), Y: accMix})
+	}
+	return series, nil
+}
+
+// Figure6 reproduces "Number of QI attributes in knowledge": estimation
+// accuracy versus K where the knowledge contains only rules with exactly
+// T QI attributes, one series per T from 1 to maxT. ks overrides the K
+// grid; nil uses the default sweep per T.
+func Figure6(in *Instance, maxT int, ks ...int) ([]Series, error) {
+	if maxT <= 0 {
+		maxT = in.Table.Schema().NumQI()
+	}
+	var series []Series
+	for t := 1; t <= maxT; t++ {
+		rules, err := assoc.Mine(in.Table, assoc.Options{MinSupport: in.Config.MinSupport, Sizes: []int{t}})
+		if err != nil {
+			return nil, fmt.Errorf("figure6 T=%d: %w", t, err)
+		}
+		pos, neg := assoc.Split(rules)
+		maxK := len(pos)
+		if len(neg) < maxK {
+			maxK = len(neg)
+		}
+		grid := ks
+		if len(grid) == 0 {
+			grid = defaultKSweep(2 * maxK)
+		}
+		s := Series{Name: fmt.Sprintf("T=%d", t)}
+		for _, k := range grid {
+			acc, err := in.accuracyAt(rules, k/2, k-k/2)
+			if err != nil {
+				return nil, fmt.Errorf("figure6 T=%d K=%d: %w", t, k, err)
+			}
+			s.Points = append(s.Points, Point{X: float64(k), Y: acc})
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// solveWithTopK builds the constraint system for the Top-K mixed bound
+// and solves it without decomposition (as the paper's performance section
+// notes, the Sec. 5.5 optimizations are off in Figure 7), returning the
+// solver statistics.
+func (in *Instance) solveWithTopK(k int) (maxent.Stats, error) {
+	sp := constraint.NewSpace(in.Data)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	selected := assoc.TopK(in.Rules, k/2, k-k/2)
+	for i := range selected {
+		kn := selected[i].Knowledge()
+		c, err := kn.Constraint(sp)
+		if err != nil {
+			return maxent.Stats{}, err
+		}
+		if err := sys.Add(c); err != nil {
+			return maxent.Stats{}, err
+		}
+	}
+	sol, err := maxent.Solve(sys, maxent.Options{Solver: solver.Options{MaxIterations: 3000, GradTol: 1e-6}})
+	if err != nil {
+		return maxent.Stats{}, err
+	}
+	return sol.Stats, nil
+}
+
+// Figure7a reproduces "Performance vs. Knowledge": running time (seconds)
+// and iteration count versus the number of background-knowledge
+// constraints, on a fixed data set. The x grid is geometric, matching the
+// paper's log-scaled axis.
+func Figure7a(in *Instance) ([]Series, error) {
+	grid := []int{10, 30, 100, 300, 1000, 3000, 10000}
+	timeSeries := Series{Name: "Running time (seconds)"}
+	iterSeries := Series{Name: "Number of iterations"}
+	for _, k := range grid {
+		if k > len(in.Rules) {
+			break
+		}
+		stats, err := in.solveWithTopK(k)
+		if err != nil {
+			return nil, fmt.Errorf("figure7a K=%d: %w", k, err)
+		}
+		timeSeries.Points = append(timeSeries.Points, Point{X: float64(k), Y: stats.Duration.Seconds()})
+		iterSeries.Points = append(iterSeries.Points, Point{X: float64(k), Y: float64(stats.Iterations)})
+	}
+	return []Series{timeSeries, iterSeries}, nil
+}
+
+// Figure7bc reproduces "Running time vs. Data Size" and "Iteration vs.
+// Data Size": for each knowledge budget (number of constraints), sweep
+// the number of buckets by growing the data set. It returns the running
+// time series (Figure 7b) and iteration series (Figure 7c), one per
+// knowledge budget.
+func Figure7bc(cfg Config, bucketCounts []int, constraintCounts []int) (timeSeries, iterSeries []Series, err error) {
+	cfg = cfg.withDefaults()
+	if len(bucketCounts) == 0 {
+		bucketCounts = []int{50, 100, 200, 400}
+	}
+	if len(constraintCounts) == 0 {
+		constraintCounts = []int{0, 100, 1000}
+	}
+	for _, kc := range constraintCounts {
+		timeSeries = append(timeSeries, Series{Name: fmt.Sprintf("#Constraints = %d", kc)})
+		iterSeries = append(iterSeries, Series{Name: fmt.Sprintf("#Constraints = %d", kc)})
+	}
+	for _, nb := range bucketCounts {
+		sub := cfg
+		sub.Records = nb * cfg.Diversity
+		in, err := NewInstance(sub)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figure7bc buckets=%d: %w", nb, err)
+		}
+		for ci, kc := range constraintCounts {
+			stats, err := in.solveWithTopK(kc)
+			if err != nil {
+				return nil, nil, fmt.Errorf("figure7bc buckets=%d constraints=%d: %w", nb, kc, err)
+			}
+			x := float64(in.Data.NumBuckets())
+			timeSeries[ci].Points = append(timeSeries[ci].Points, Point{X: x, Y: stats.Duration.Seconds()})
+			iterSeries[ci].Points = append(iterSeries[ci].Points, Point{X: x, Y: float64(stats.Iterations)})
+		}
+	}
+	return timeSeries, iterSeries, nil
+}
+
+// AlgorithmComparison is the Malouf-style ablation the paper cites in
+// Sec. 3.3: solve the same Top-K problem with each dual algorithm and
+// report (iterations, seconds, max violation).
+type AlgorithmResult struct {
+	Algorithm    maxent.Algorithm
+	Iterations   int
+	Duration     time.Duration
+	MaxViolation float64
+	Converged    bool
+}
+
+// CompareAlgorithms runs LBFGS, GIS, steepest descent and Newton on the
+// instance's Top-K problem.
+func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]AlgorithmResult, error) {
+	if len(algs) == 0 {
+		algs = []maxent.Algorithm{maxent.LBFGS, maxent.GIS, maxent.IIS, maxent.SteepestDescent, maxent.Newton}
+	}
+	var out []AlgorithmResult
+	for _, alg := range algs {
+		sp := constraint.NewSpace(in.Data)
+		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+		selected := assoc.TopK(in.Rules, k/2, k-k/2)
+		for i := range selected {
+			kn := selected[i].Knowledge()
+			c, err := kn.Constraint(sp)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.Add(c); err != nil {
+				return nil, err
+			}
+		}
+		// Decompose so Newton's dense Hessian only sees the relevant
+		// buckets' constraints.
+		sol, err := maxent.Solve(sys, maxent.Options{
+			Algorithm: alg,
+			Decompose: true,
+			Solver:    solver.Options{MaxIterations: 3000, GradTol: 1e-7},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("algorithm %v: %w", alg, err)
+		}
+		out = append(out, AlgorithmResult{
+			Algorithm:    alg,
+			Iterations:   sol.Stats.Iterations,
+			Duration:     sol.Stats.Duration,
+			MaxViolation: sol.Stats.MaxViolation,
+			Converged:    sol.Stats.Converged,
+		})
+	}
+	return out, nil
+}
+
+// DecompositionAblation measures the Sec. 5.5 optimization: the same
+// Top-K solve with and without the irrelevant-bucket decomposition.
+type DecompositionResult struct {
+	Decomposed        bool
+	ActiveVariables   int
+	IrrelevantBuckets int
+	Duration          time.Duration
+	Accuracy          float64
+}
+
+// CompareDecomposition quantifies with and without decomposition.
+func CompareDecomposition(in *Instance, k int) ([]DecompositionResult, error) {
+	var out []DecompositionResult
+	for _, dec := range []bool{true, false} {
+		q := core.New(core.Config{
+			Diversity:   in.Config.Diversity,
+			MinSupport:  in.Config.MinSupport,
+			NoDecompose: !dec,
+			Solve: maxent.Options{
+				Solver: solver.Options{MaxIterations: 6000, GradTol: 1e-8},
+			},
+		})
+		rep, err := q.QuantifyWithRules(in.Data, in.Rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DecompositionResult{
+			Decomposed:        dec,
+			ActiveVariables:   rep.Solution.Stats.ActiveVariables,
+			IrrelevantBuckets: rep.Solution.Stats.IrrelevantBuckets,
+			Duration:          rep.Solution.Stats.Duration,
+			Accuracy:          rep.EstimationAccuracy,
+		})
+	}
+	return out, nil
+}
+
+// BaselineAccuracy reports the no-knowledge estimation accuracy plus
+// bucket-level diversity scores, the reference point of every curve.
+func BaselineAccuracy(in *Instance) (accuracy float64, distinctL int, entropyL float64, err error) {
+	acc, err := in.accuracyAt(in.Rules, 0, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return acc, metrics.DistinctDiversity(in.Data), metrics.EntropyDiversity(in.Data), nil
+}

@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/maxent"
+)
+
+// smallInstance keeps test runtime reasonable while preserving the
+// qualitative shapes the figures show.
+func smallInstance(t *testing.T) *Instance {
+	t.Helper()
+	in, err := NewInstance(Config{Records: 400, Seed: 2, MaxRuleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestNewInstance(t *testing.T) {
+	in := smallInstance(t)
+	if in.Data.NumBuckets() != 80 {
+		t.Fatalf("buckets = %d, want 80", in.Data.NumBuckets())
+	}
+	if len(in.Rules) == 0 {
+		t.Fatal("no rules mined")
+	}
+}
+
+// TestFigure5Shape verifies the paper's headline curve shapes: accuracy
+// decreases (estimation improves) as K grows, and the mixed (K+, K−)
+// curve is at or below the single-polarity curves at the largest K.
+func TestFigure5Shape(t *testing.T) {
+	in := smallInstance(t)
+	series, err := Figure5(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) < 3 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Points))
+		}
+		first := s.Points[0].Y
+		last := s.Points[len(s.Points)-1].Y
+		if last > first {
+			t.Fatalf("series %q: accuracy rose from %g to %g; more knowledge must not hurt the adversary", s.Name, first, last)
+		}
+		// The K = 0 anchor is the same for every curve.
+		if s.Points[0].X != 0 {
+			t.Fatalf("series %q does not start at K=0", s.Name)
+		}
+	}
+	base := series[0].Points[0].Y
+	for _, s := range series[1:] {
+		if s.Points[0].Y != base {
+			t.Fatalf("K=0 anchors differ: %g vs %g", s.Points[0].Y, base)
+		}
+	}
+	// Mixed knowledge is the most informative at the end of the sweep
+	// (the paper: "the curve for (K+, K−) drops the fastest").
+	end := func(i int) float64 { return series[i].Points[len(series[i].Points)-1].Y }
+	if end(2) > end(0)+1e-9 || end(2) > end(1)+1e-9 {
+		t.Fatalf("mixed curve ends at %g, above K-=%g or K+=%g", end(2), end(0), end(1))
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	in := smallInstance(t)
+	series, err := Figure6(in, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3 (T=1..3)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			t.Fatalf("series %q empty", s.Name)
+		}
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last > first {
+			t.Fatalf("series %q: accuracy rose with more knowledge", s.Name)
+		}
+	}
+}
+
+func TestFigure7aShape(t *testing.T) {
+	in := smallInstance(t)
+	series, err := Figure7a(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d, want 2 (time, iterations)", len(series))
+	}
+	for _, s := range series {
+		if len(s.Points) < 2 {
+			t.Fatalf("series %q has %d points", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 {
+				t.Fatalf("series %q has negative value %g", s.Name, p.Y)
+			}
+		}
+	}
+}
+
+func TestFigure7bcShape(t *testing.T) {
+	timeS, iterS, err := Figure7bc(Config{Records: 400, Seed: 2, MaxRuleSize: 2}, []int{20, 40, 80}, []int{0, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timeS) != 2 || len(iterS) != 2 {
+		t.Fatalf("series = %d/%d, want 2/2", len(timeS), len(iterS))
+	}
+	// Zero-knowledge solves take zero iterations only if presolve does
+	// everything; what the paper shows is a roughly flat iteration curve.
+	// Here we simply require every x grid point to be present.
+	for _, s := range append(timeS, iterS...) {
+		if len(s.Points) != 3 {
+			t.Fatalf("series %q has %d points, want 3", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestCompareAlgorithms(t *testing.T) {
+	in := smallInstance(t)
+	res, err := CompareAlgorithms(in, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results = %d, want 5", len(res))
+	}
+	var lbfgs, steepest AlgorithmResult
+	for _, r := range res {
+		if r.MaxViolation > 1e-4 {
+			t.Fatalf("%v violation %g", r.Algorithm, r.MaxViolation)
+		}
+		switch r.Algorithm {
+		case maxent.LBFGS:
+			lbfgs = r
+		case maxent.SteepestDescent:
+			steepest = r
+		}
+	}
+	// Malouf's finding, reproduced: LBFGS needs no more iterations than
+	// steepest descent.
+	if lbfgs.Iterations > steepest.Iterations {
+		t.Fatalf("LBFGS took %d iterations, steepest descent %d", lbfgs.Iterations, steepest.Iterations)
+	}
+}
+
+func TestCompareDecomposition(t *testing.T) {
+	in := smallInstance(t)
+	res, err := CompareDecomposition(in, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2", len(res))
+	}
+	dec, full := res[0], res[1]
+	if !dec.Decomposed || full.Decomposed {
+		t.Fatal("result order: want decomposed first")
+	}
+	if dec.IrrelevantBuckets == 0 {
+		t.Fatal("expected irrelevant buckets with only 6 rules")
+	}
+	if dec.ActiveVariables >= full.ActiveVariables {
+		t.Fatalf("decomposition did not shrink: %d vs %d", dec.ActiveVariables, full.ActiveVariables)
+	}
+	// Same answer either way.
+	if diff := dec.Accuracy - full.Accuracy; diff > 1e-4 || diff < -1e-4 {
+		t.Fatalf("accuracy differs: %g vs %g", dec.Accuracy, full.Accuracy)
+	}
+}
+
+func TestBaselineAccuracy(t *testing.T) {
+	in := smallInstance(t)
+	acc, distinct, entropy, err := BaselineAccuracy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= 0 {
+		t.Fatalf("baseline accuracy = %g, want > 0 (bucketization hides information)", acc)
+	}
+	if distinct < 1 || entropy <= 0 {
+		t.Fatalf("diversity scores: distinct=%d entropy=%g", distinct, entropy)
+	}
+}
+
+func TestPrintSeries(t *testing.T) {
+	series := []Series{
+		{Name: "a", Points: []Point{{X: 0, Y: 1}, {X: 10, Y: 0.5}}},
+		{Name: "b", Points: []Point{{X: 0, Y: 1}}},
+	}
+	var buf bytes.Buffer
+	if err := PrintSeries(&buf, "demo", "K", series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "K", "a", "b", "0.5", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintAblations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintAlgorithmComparison(&buf, []AlgorithmResult{{Algorithm: maxent.LBFGS, Iterations: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lbfgs") {
+		t.Fatalf("missing algorithm name: %s", buf.String())
+	}
+	buf.Reset()
+	if err := PrintDecomposition(&buf, []DecompositionResult{{Decomposed: true, ActiveVariables: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true") {
+		t.Fatalf("missing row: %s", buf.String())
+	}
+}
+
+func TestFigure5CustomKGrid(t *testing.T) {
+	in := smallInstance(t)
+	series, err := Figure5(in, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 || s.Points[0].X != 0 || s.Points[1].X != 10 {
+			t.Fatalf("series %q grid = %+v, want [0 10]", s.Name, s.Points)
+		}
+	}
+}
+
+func TestFigure6CustomKGrid(t *testing.T) {
+	in := smallInstance(t)
+	series, err := Figure6(in, 2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+}
+
+func TestDefaultKSweep(t *testing.T) {
+	got := defaultKSweep(120)
+	want := []int{0, 5, 10, 25, 50, 100}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v, want %v", got, want)
+		}
+	}
+	if got := defaultKSweep(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("empty-pool sweep = %v, want [0]", got)
+	}
+}
+
+func TestSeriesLookup(t *testing.T) {
+	s := Series{Points: []Point{{X: 1, Y: 2}}}
+	if v, ok := lookup(s, 1); !ok || v != 2 {
+		t.Fatalf("lookup hit = %g, %v", v, ok)
+	}
+	if _, ok := lookup(s, 3); ok {
+		t.Fatal("lookup miss should report false")
+	}
+}

@@ -1,0 +1,226 @@
+// Package generalize implements the generalization disguising method the
+// paper's future work (Sec. 8) targets: Mondrian-style multidimensional
+// k-anonymity (LeFevre et al., cited as [14]). Records are recursively
+// partitioned into equivalence classes of at least k records; within a
+// class every QI tuple is coarsened to the class signature, so — exactly
+// as in bucketization — the adversary cannot tell which class member owns
+// which sensitive value.
+//
+// That observation is the bridge into Privacy-MaxEnt: a partition-based
+// generalization of categorical microdata induces the same ambiguity
+// structure as a bucketization whose buckets are the equivalence classes.
+// Publish therefore returns a bucket.Bucketized view of the classes, and
+// the entire constraint/MaxEnt machinery — invariants, background
+// knowledge, Top-(K+, K−) bounds — applies unchanged.
+package generalize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+// Class describes one equivalence class of the generalization: the rows
+// it contains and, per QI attribute, the set of original codes it covers
+// (the published, coarsened signature).
+type Class struct {
+	Rows   []int
+	Covers [][]int // indexed by position in Schema.QIIndices
+}
+
+// Signature renders the class's generalized QI tuple, e.g.
+// "Sex∈{male,female}, Age∈{35-49}".
+func (c *Class) Signature(schema *dataset.Schema) string {
+	qi := schema.QIIndices()
+	parts := make([]string, len(qi))
+	for i, attrPos := range qi {
+		attr := schema.Attr(attrPos)
+		vals := make([]string, len(c.Covers[i]))
+		for j, code := range c.Covers[i] {
+			vals[j] = attr.Value(code)
+		}
+		parts[i] = fmt.Sprintf("%s∈{%s}", attr.Name, strings.Join(vals, ","))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Mondrian partitions the table's records into equivalence classes of at
+// least k records using greedy multidimensional recursion: each class is
+// split on the QI attribute with the most distinct values in it, at the
+// value-frequency median, as long as both halves keep k records. The
+// partition is deterministic.
+func Mondrian(t *dataset.Table, k int) ([]Class, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("generalize: k must be >= 1, got %d", k)
+	}
+	if t.Len() < k {
+		return nil, fmt.Errorf("generalize: table has %d rows, need at least k=%d", t.Len(), k)
+	}
+	qi := t.Schema().QIIndices()
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("generalize: table has no quasi-identifier attributes")
+	}
+
+	all := make([]int, t.Len())
+	for i := range all {
+		all[i] = i
+	}
+	var classes []Class
+	var recurse func(rows []int)
+	recurse = func(rows []int) {
+		if left, right, ok := bestSplit(t, qi, rows, k); ok {
+			recurse(left)
+			recurse(right)
+			return
+		}
+		classes = append(classes, makeClass(t, qi, rows))
+	}
+	recurse(all)
+	return classes, nil
+}
+
+// bestSplit tries to cut rows on the QI attribute with the widest spread
+// of values; ok is false when no attribute admits a cut leaving >= k rows
+// on both sides.
+func bestSplit(t *dataset.Table, qi []int, rows []int, k int) (left, right []int, ok bool) {
+	if len(rows) < 2*k {
+		return nil, nil, false
+	}
+	// Try attributes in order of preference (widest spread first) until
+	// one yields a valid cut.
+	type cand struct{ attr, distinct int }
+	var cands []cand
+	for _, attrPos := range qi {
+		seen := map[int]bool{}
+		for _, r := range rows {
+			seen[t.Row(r)[attrPos]] = true
+		}
+		if len(seen) > 1 {
+			cands = append(cands, cand{attr: attrPos, distinct: len(seen)})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].distinct != cands[j].distinct {
+			return cands[i].distinct > cands[j].distinct
+		}
+		return cands[i].attr < cands[j].attr
+	})
+	for _, c := range cands {
+		if l, r, valid := medianCut(t, c.attr, rows, k); valid {
+			return l, r, true
+		}
+	}
+	return nil, nil, false
+}
+
+// medianCut orders the class's rows by their code on attr and cuts at the
+// frequency median, keeping equal codes on one side (categorical Mondrian
+// with deterministic code order).
+func medianCut(t *dataset.Table, attr int, rows []int, k int) (left, right []int, ok bool) {
+	sorted := append([]int(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ci, cj := t.Row(sorted[i])[attr], t.Row(sorted[j])[attr]
+		if ci != cj {
+			return ci < cj
+		}
+		return sorted[i] < sorted[j]
+	})
+	// Candidate cut positions are the boundaries between distinct codes;
+	// choose the one closest to the middle that leaves k on both sides.
+	bestPos, bestDist := -1, len(sorted)+1
+	for pos := 1; pos < len(sorted); pos++ {
+		if t.Row(sorted[pos-1])[attr] == t.Row(sorted[pos])[attr] {
+			continue
+		}
+		if pos < k || len(sorted)-pos < k {
+			continue
+		}
+		dist := pos - len(sorted)/2
+		if dist < 0 {
+			dist = -dist
+		}
+		if dist < bestDist {
+			bestDist = dist
+			bestPos = pos
+		}
+	}
+	if bestPos < 0 {
+		return nil, nil, false
+	}
+	return sorted[:bestPos], sorted[bestPos:], true
+}
+
+// makeClass summarizes the rows' QI coverage.
+func makeClass(t *dataset.Table, qi []int, rows []int) Class {
+	covers := make([][]int, len(qi))
+	for i, attrPos := range qi {
+		seen := map[int]bool{}
+		for _, r := range rows {
+			seen[t.Row(r)[attrPos]] = true
+		}
+		codes := make([]int, 0, len(seen))
+		for c := range seen {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		covers[i] = codes
+	}
+	return Class{Rows: append([]int(nil), rows...), Covers: covers}
+}
+
+// CheckKAnonymity verifies every class holds at least k records.
+func CheckKAnonymity(classes []Class, k int) error {
+	for i, c := range classes {
+		if len(c.Rows) < k {
+			return fmt.Errorf("generalize: class %d has %d records, want >= %d", i, len(c.Rows), k)
+		}
+	}
+	return nil
+}
+
+// Publish generalizes the table to k-anonymity with Mondrian and returns
+// the equivalence classes together with their bucketized view, ready for
+// the Privacy-MaxEnt pipeline. The induced buckets are the classes.
+func Publish(t *dataset.Table, k int) (*bucket.Bucketized, []Class, error) {
+	classes, err := Mondrian(t, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	groups := make([][]int, len(classes))
+	for i := range classes {
+		groups[i] = classes[i].Rows
+	}
+	d, err := bucket.FromPartition(t, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, classes, nil
+}
+
+// Precision is the LeFevre-style utility measure of a generalization: the
+// average, over records and QI attributes, of 1 − (covered−1)/(domain−1)
+// — 1 when nothing is generalized, 0 when every attribute is fully
+// suppressed. Single-valued domains count as precision 1.
+func Precision(t *dataset.Table, classes []Class) float64 {
+	qi := t.Schema().QIIndices()
+	if len(qi) == 0 || t.Len() == 0 {
+		return 1
+	}
+	var total float64
+	var count int
+	for _, c := range classes {
+		for i, attrPos := range qi {
+			card := t.Schema().Attr(attrPos).Cardinality()
+			var p float64 = 1
+			if card > 1 {
+				p = 1 - float64(len(c.Covers[i])-1)/float64(card-1)
+			}
+			total += p * float64(len(c.Rows))
+			count += len(c.Rows)
+		}
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,116 @@
+package individuals
+
+import (
+	"fmt"
+	"sort"
+
+	"privacymaxent/internal/constraint"
+)
+
+// Knowledge is a background-knowledge statement about specific people
+// that can be expressed as one linear ME constraint over pseudonym terms
+// (the paper's Sec. 6 catalogue).
+type Knowledge interface {
+	// Constraint renders the statement over the space.
+	Constraint(sp *Space) (constraint.Constraint, error)
+}
+
+// ValueProbability is forms (1) and (2) of the paper's list: the
+// probability that a person's sensitive value lies in SAs equals P.
+//
+//   - Form 1, "the probability that Alice has Breast Cancer is 0.2":
+//     SAs = {BreastCancer}, P = 0.2.
+//   - Form 2, "Alice has either Breast Cancer or HIV":
+//     SAs = {BreastCancer, HIV}, P = 1.
+//   - "Bob does not have HIV": SAs = {HIV}, P = 0.
+type ValueProbability struct {
+	Person Person
+	SAs    []int
+	P      float64
+}
+
+// Constraint builds Σ_{s∈SAs} Σ_b P(i, q_i, s, b) = P/N.
+func (k ValueProbability) Constraint(sp *Space) (constraint.Constraint, error) {
+	if len(k.SAs) == 0 {
+		return constraint.Constraint{}, fmt.Errorf("individuals: no sensitive values given")
+	}
+	if k.P < 0 || k.P > 1 {
+		return constraint.Constraint{}, fmt.Errorf("individuals: probability %g outside [0,1]", k.P)
+	}
+	person, err := sp.PersonID(k.Person)
+	if err != nil {
+		return constraint.Constraint{}, err
+	}
+	saCard := sp.Data().SACardinality()
+	want := make(map[int]bool, len(k.SAs))
+	for _, s := range k.SAs {
+		if s < 0 || s >= saCard {
+			return constraint.Constraint{}, fmt.Errorf("individuals: SA code %d out of range", s)
+		}
+		if want[s] {
+			return constraint.Constraint{}, fmt.Errorf("individuals: SA code %d repeated", s)
+		}
+		want[s] = true
+	}
+	var terms []int
+	for _, id := range sp.TermsOfPerson(person) {
+		if want[sp.Term(id).SA] {
+			terms = append(terms, id)
+		}
+	}
+	sort.Ints(terms)
+	return constraint.Constraint{
+		Kind:   constraint.Knowledge,
+		Label:  fmt.Sprintf("P(SA∈%v | i%d) = %g", k.SAs, person+1, k.P),
+		Terms:  terms,
+		Coeffs: ones(len(terms)),
+		RHS:    k.P / float64(sp.Data().N()),
+	}, nil
+}
+
+// GroupCount is form (3): exactly Count people among Persons carry the
+// sensitive value SA ("two people among Alice, Bob and Charlie have
+// HIV"). Count may be fractional to express an expected count.
+type GroupCount struct {
+	Persons []Person
+	SA      int
+	Count   float64
+}
+
+// Constraint builds Σ_{i∈Persons} Σ_b P(i, q_i, SA, b) = Count/N.
+func (k GroupCount) Constraint(sp *Space) (constraint.Constraint, error) {
+	if len(k.Persons) == 0 {
+		return constraint.Constraint{}, fmt.Errorf("individuals: empty person group")
+	}
+	if k.SA < 0 || k.SA >= sp.Data().SACardinality() {
+		return constraint.Constraint{}, fmt.Errorf("individuals: SA code %d out of range", k.SA)
+	}
+	if k.Count < 0 || k.Count > float64(len(k.Persons)) {
+		return constraint.Constraint{}, fmt.Errorf("individuals: count %g outside [0, %d]", k.Count, len(k.Persons))
+	}
+	var terms []int
+	seen := map[int]bool{}
+	for _, p := range k.Persons {
+		person, err := sp.PersonID(p)
+		if err != nil {
+			return constraint.Constraint{}, err
+		}
+		if seen[person] {
+			return constraint.Constraint{}, fmt.Errorf("individuals: person (q%d,%d) listed twice", p.QID+1, p.Index)
+		}
+		seen[person] = true
+		for _, id := range sp.TermsOfPerson(person) {
+			if sp.Term(id).SA == k.SA {
+				terms = append(terms, id)
+			}
+		}
+	}
+	sort.Ints(terms)
+	return constraint.Constraint{
+		Kind:   constraint.Knowledge,
+		Label:  fmt.Sprintf("count(s%d among %d people) = %g", k.SA+1, len(k.Persons), k.Count),
+		Terms:  terms,
+		Coeffs: ones(len(terms)),
+		RHS:    k.Count / float64(sp.Data().N()),
+	}, nil
+}

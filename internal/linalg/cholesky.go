@@ -1,0 +1,63 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveSPD solves the symmetric positive-definite system H y = b in place
+// via Cholesky factorization (H = L Lᵀ). H is given as dense rows and is
+// overwritten with the factor; b is overwritten with the solution, which
+// is also returned. It reports an error when H is not (numerically)
+// positive definite, which callers like Newton's method treat as a signal
+// to fall back to gradient descent.
+func SolveSPD(h [][]float64, b []float64) ([]float64, error) {
+	n := len(h)
+	if n == 0 {
+		return b, nil
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveSPD dims: matrix %d, rhs %d", n, len(b))
+	}
+	for _, row := range h {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: SolveSPD matrix is not square")
+		}
+	}
+	// In-place Cholesky: lower triangle of h becomes L.
+	for j := 0; j < n; j++ {
+		d := h[j][j]
+		for k := 0; k < j; k++ {
+			d -= h[j][k] * h[j][k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (%g)", j, d)
+		}
+		h[j][j] = math.Sqrt(d)
+		inv := 1 / h[j][j]
+		for i := j + 1; i < n; i++ {
+			s := h[i][j]
+			for k := 0; k < j; k++ {
+				s -= h[i][k] * h[j][k]
+			}
+			h[i][j] = s * inv
+		}
+	}
+	// Forward substitution: L z = b.
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= h[i][k] * b[k]
+		}
+		b[i] = s / h[i][i]
+	}
+	// Back substitution: Lᵀ y = z.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= h[k][i] * b[k]
+		}
+		b[i] = s / h[i][i]
+	}
+	return b, nil
+}

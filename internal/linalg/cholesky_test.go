@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSolveSPDIdentity(t *testing.T) {
+	h := [][]float64{{1, 0}, {0, 1}}
+	b := []float64{3, -4}
+	y, err := SolveSPD(h, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-3) > 1e-12 || math.Abs(y[1]+4) > 1e-12 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSolveSPDKnownSystem(t *testing.T) {
+	// H = [[4, 2], [2, 3]], b = [2, 5] → y = [-0.5, 2].
+	h := [][]float64{{4, 2}, {2, 3}}
+	b := []float64{2, 5}
+	y, err := SolveSPD(h, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]+0.5) > 1e-12 || math.Abs(y[1]-2) > 1e-12 {
+		t.Fatalf("y = %v, want [-0.5, 2]", y)
+	}
+}
+
+func TestSolveSPDNotPositiveDefinite(t *testing.T) {
+	h := [][]float64{{1, 2}, {2, 1}} // eigenvalues 3, -1
+	if _, err := SolveSPD(h, []float64{1, 1}); err == nil {
+		t.Fatal("expected non-PD error")
+	}
+	zero := [][]float64{{0}}
+	if _, err := SolveSPD(zero, []float64{1}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveSPDDimErrors(t *testing.T) {
+	if _, err := SolveSPD([][]float64{{1, 0}, {0, 1}}, []float64{1}); err == nil {
+		t.Fatal("expected rhs dim error")
+	}
+	if _, err := SolveSPD([][]float64{{1, 0}}, []float64{1}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if y, err := SolveSPD(nil, nil); err != nil || len(y) != 0 {
+		t.Fatalf("empty system: %v %v", y, err)
+	}
+}
+
+// TestSolveSPDRandom builds random SPD matrices H = MᵀM + I and checks
+// the residual of the computed solution.
+func TestSolveSPDRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+			for j := range m[i] {
+				m[i][j] = rng.NormFloat64()
+			}
+		}
+		h := make([][]float64, n)
+		orig := make([][]float64, n)
+		for i := range h {
+			h[i] = make([]float64, n)
+			orig[i] = make([]float64, n)
+			for j := range h[i] {
+				var s float64
+				for k := 0; k < n; k++ {
+					s += m[k][i] * m[k][j]
+				}
+				if i == j {
+					s++
+				}
+				h[i][j] = s
+				orig[i][j] = s
+			}
+		}
+		b := make([]float64, n)
+		want := make([]float64, n)
+		for i := range b {
+			want[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			for j := range want {
+				b[i] += orig[i][j] * want[j]
+			}
+		}
+		y, err := SolveSPD(h, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range y {
+			if math.Abs(y[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: y[%d] = %g, want %g", trial, i, y[i], want[i])
+			}
+		}
+	}
+}

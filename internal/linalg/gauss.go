@@ -1,0 +1,62 @@
+package linalg
+
+import "math"
+
+// RankEps is the default pivot threshold for rank computations. The
+// constraint matrices we analyze have entries in {0, 1} (and small
+// rationals after knowledge expansion), so anything below this after
+// partial-pivot elimination is numerical noise.
+const RankEps = 1e-9
+
+// Rank returns the numerical rank of the dense matrix (rows of equal
+// length) via Gaussian elimination with partial pivoting. The input is not
+// modified.
+func Rank(rows [][]float64, eps float64) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	if eps <= 0 {
+		eps = RankEps
+	}
+	m := make([][]float64, len(rows))
+	for i, r := range rows {
+		m[i] = CopyOf(r)
+	}
+	nCols := len(m[0])
+	rank := 0
+	for col := 0; col < nCols && rank < len(m); col++ {
+		// Partial pivot: largest |entry| in this column at or below rank.
+		pivot, pivotAbs := -1, eps
+		for r := rank; r < len(m); r++ {
+			if a := math.Abs(m[r][col]); a > pivotAbs {
+				pivot, pivotAbs = r, a
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		m[rank], m[pivot] = m[pivot], m[rank]
+		pv := m[rank][col]
+		for r := rank + 1; r < len(m); r++ {
+			f := m[r][col] / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < nCols; c++ {
+				m[r][c] -= f * m[rank][c]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// InRowSpace reports whether v lies in the row space of the matrix, i.e.
+// whether v is a linear combination of the rows. This is the paper's
+// completeness criterion (Theorem 2): an expression F is an invariant iff
+// its coefficient vector is in the span of the base invariants.
+func InRowSpace(rows [][]float64, v []float64, eps float64) bool {
+	base := Rank(rows, eps)
+	aug := append(append([][]float64(nil), rows...), v)
+	return Rank(aug, eps) == base
+}

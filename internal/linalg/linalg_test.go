@@ -1,0 +1,238 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) <= 1e-12*math.Max(1, math.Abs(a)+math.Abs(b)) }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); !almost(got, 32) {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %g, want 0", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpyScaleFill(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if !almost(y[i], want[i]) {
+			t.Fatalf("Axpy[%d] = %g, want %g", i, y[i], want[i])
+		}
+	}
+	Scale(0.5, y)
+	if !almost(y[2], 3.5) {
+		t.Fatalf("Scale: %g, want 3.5", y[2])
+	}
+	Fill(y, 0)
+	if NormInf(y) != 0 {
+		t.Fatal("Fill(0) left nonzero entries")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if got := Norm2(x); !almost(got, 5) {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(x); !almost(got, 4) {
+		t.Fatalf("NormInf = %g, want 4", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Fatalf("Norm2(nil) = %g", got)
+	}
+	// Overflow guard: components near MaxFloat64 must not produce +Inf.
+	big := []float64{math.MaxFloat64 / 2, math.MaxFloat64 / 2}
+	if got := Norm2(big); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %g", got)
+	}
+}
+
+func TestCSRBasics(t *testing.T) {
+	m := NewCSR(4)
+	if err := m.AppendRow([]int{0, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AppendRow([]int{1, 3}, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 4 || m.NNZ() != 4 {
+		t.Fatalf("dims = (%d,%d,%d), want (2,4,4)", m.Rows(), m.Cols(), m.NNZ())
+	}
+	cols, vals := m.Row(1)
+	if cols[0] != 1 || vals[1] != 4 {
+		t.Fatalf("Row(1) = %v %v", cols, vals)
+	}
+
+	x := []float64{1, 1, 1, 1}
+	y := make([]float64, 2)
+	m.MulVec(x, y)
+	if !almost(y[0], 3) || !almost(y[1], 7) {
+		t.Fatalf("MulVec = %v, want [3 7]", y)
+	}
+	yt := make([]float64, 4)
+	m.MulTVec([]float64{1, 2}, yt)
+	want := []float64{1, 6, 2, 8}
+	for i := range want {
+		if !almost(yt[i], want[i]) {
+			t.Fatalf("MulTVec[%d] = %g, want %g", i, yt[i], want[i])
+		}
+	}
+
+	d := m.Dense()
+	if !almost(d[0][2], 2) || !almost(d[1][3], 4) || !almost(d[0][1], 0) {
+		t.Fatalf("Dense = %v", d)
+	}
+}
+
+func TestCSRAppendRowErrors(t *testing.T) {
+	m := NewCSR(2)
+	if err := m.AppendRow([]int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+	if err := m.AppendRow([]int{5}, []float64{1}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestCSRDuplicateColumnsAccumulateInDense(t *testing.T) {
+	m := NewCSR(2)
+	if err := m.AppendRow([]int{0, 0}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Dense(); !almost(d[0][0], 3) {
+		t.Fatalf("Dense accumulation = %g, want 3", d[0][0])
+	}
+	y := make([]float64, 1)
+	m.MulVec([]float64{2, 0}, y)
+	if !almost(y[0], 6) {
+		t.Fatalf("MulVec with duplicate cols = %g, want 6", y[0])
+	}
+}
+
+func TestRankSimple(t *testing.T) {
+	rows := [][]float64{
+		{1, 0, 0},
+		{0, 1, 0},
+		{1, 1, 0},
+	}
+	if got := Rank(rows, 0); got != 2 {
+		t.Fatalf("Rank = %d, want 2", got)
+	}
+	if got := Rank(nil, 0); got != 0 {
+		t.Fatalf("Rank(nil) = %d, want 0", got)
+	}
+	id := [][]float64{{1, 0}, {0, 1}}
+	if got := Rank(id, 0); got != 2 {
+		t.Fatalf("Rank(I) = %d, want 2", got)
+	}
+}
+
+func TestRankDoesNotModifyInput(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	Rank(rows, 0)
+	if rows[1][0] != 3 {
+		t.Fatal("Rank modified its input")
+	}
+}
+
+func TestInRowSpace(t *testing.T) {
+	rows := [][]float64{
+		{1, 1, 0},
+		{0, 1, 1},
+	}
+	if !InRowSpace(rows, []float64{1, 2, 1}, 0) { // row0 + row1
+		t.Fatal("expected member of row space")
+	}
+	if InRowSpace(rows, []float64{1, 0, 1}, 0) {
+		t.Fatal("expected non-member")
+	}
+	if !InRowSpace(rows, []float64{0, 0, 0}, 0) {
+		t.Fatal("zero vector must be in every row space")
+	}
+}
+
+// Property: MulTVec agrees with the dense transpose product.
+func TestMulTVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nRows, nCols := 1+r.Intn(6), 1+r.Intn(6)
+		m := NewCSR(nCols)
+		for i := 0; i < nRows; i++ {
+			var cols []int
+			var vals []float64
+			for c := 0; c < nCols; c++ {
+				if r.Intn(2) == 0 {
+					cols = append(cols, c)
+					vals = append(vals, r.NormFloat64())
+				}
+			}
+			if err := m.AppendRow(cols, vals); err != nil {
+				return false
+			}
+		}
+		x := make([]float64, nRows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got := make([]float64, nCols)
+		m.MulTVec(x, got)
+		dense := m.Dense()
+		for c := 0; c < nCols; c++ {
+			var want float64
+			for rI := 0; rI < nRows; rI++ {
+				want += dense[rI][c] * x[rI]
+			}
+			if math.Abs(got[c]-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank of [A; A] equals rank of A (duplicating rows never adds
+// rank), and rank is at most min(rows, cols).
+func TestRankProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nRows, nCols := 1+r.Intn(5), 1+r.Intn(5)
+		rows := make([][]float64, nRows)
+		for i := range rows {
+			rows[i] = make([]float64, nCols)
+			for c := range rows[i] {
+				rows[i][c] = float64(r.Intn(3) - 1)
+			}
+		}
+		rk := Rank(rows, 0)
+		if rk > nRows || rk > nCols {
+			return false
+		}
+		doubled := append(append([][]float64(nil), rows...), rows...)
+		return Rank(doubled, 0) == rk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package linalg
+
+import "fmt"
+
+// CSR is a compressed sparse row matrix. Rows are appended once, in order,
+// via AppendRow; the matrix is then immutable. This matches how the MaxEnt
+// constraint system is assembled: each invariant or knowledge constraint
+// becomes one sparse row of A.
+type CSR struct {
+	numCols int
+	rowPtr  []int
+	colIdx  []int
+	vals    []float64
+}
+
+// NewCSR creates an empty matrix with a fixed column count.
+func NewCSR(numCols int) *CSR {
+	return &CSR{numCols: numCols, rowPtr: []int{0}}
+}
+
+// Rows reports the number of rows appended so far.
+func (m *CSR) Rows() int { return len(m.rowPtr) - 1 }
+
+// Cols reports the column count.
+func (m *CSR) Cols() int { return m.numCols }
+
+// NNZ reports the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// AppendRow appends a sparse row given parallel column-index and value
+// slices. Indices must be in range; they need not be sorted.
+func (m *CSR) AppendRow(cols []int, vals []float64) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("linalg: row has %d columns but %d values", len(cols), len(vals))
+	}
+	for _, c := range cols {
+		if c < 0 || c >= m.numCols {
+			return fmt.Errorf("linalg: column %d out of range [0,%d)", c, m.numCols)
+		}
+	}
+	m.colIdx = append(m.colIdx, cols...)
+	m.vals = append(m.vals, vals...)
+	m.rowPtr = append(m.rowPtr, len(m.vals))
+	return nil
+}
+
+// Row returns the column indices and values of row r. The slices alias the
+// matrix storage and must not be modified.
+func (m *CSR) Row(r int) (cols []int, vals []float64) {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	return m.colIdx[lo:hi], m.vals[lo:hi]
+}
+
+// MulVec computes y = A x. The output slice must have length Rows().
+func (m *CSR) MulVec(x, y []float64) {
+	if len(x) != m.numCols || len(y) != m.Rows() {
+		panic(fmt.Sprintf("linalg: MulVec dims: x %d (want %d), y %d (want %d)", len(x), m.numCols, len(y), m.Rows()))
+	}
+	for r := 0; r < m.Rows(); r++ {
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.vals[k] * x[m.colIdx[k]]
+		}
+		y[r] = s
+	}
+}
+
+// MulTVec computes y = Aᵀ x. The output slice must have length Cols() and
+// is overwritten.
+func (m *CSR) MulTVec(x, y []float64) {
+	if len(x) != m.Rows() || len(y) != m.numCols {
+		panic(fmt.Sprintf("linalg: MulTVec dims: x %d (want %d), y %d (want %d)", len(x), m.Rows(), len(y), m.numCols))
+	}
+	Fill(y, 0)
+	for r := 0; r < m.Rows(); r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			y[m.colIdx[k]] += m.vals[k] * xr
+		}
+	}
+}
+
+// Dense expands the matrix to dense row-major form; intended for the small
+// per-bucket matrices in rank analyses and tests, not for solver paths.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.Rows())
+	for r := range out {
+		row := make([]float64, m.numCols)
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			row[m.colIdx[k]] += m.vals[k]
+		}
+		out[r] = row
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package maxent
+
+import "privacymaxent/internal/constraint"
+
+// Uniform returns the closed-form maximum-entropy solution when no
+// background knowledge is present (Theorem 5 / Eq. 9 / Appendix B): within
+// every bucket the QI and SA sides are independent,
+//
+//	P(q, s, b) = P(q, b) · P(s, b) / P(b),
+//
+// which is exactly the "portion of S in bucket B" rule existing work uses.
+// It satisfies every QI- and SA-invariant by construction.
+func Uniform(sp *constraint.Space) []float64 {
+	d := sp.Data()
+	x := make([]float64, sp.Len())
+	for i := 0; i < sp.Len(); i++ {
+		t := sp.Term(i)
+		pb := d.PB(t.Bucket)
+		if pb == 0 {
+			continue
+		}
+		x[i] = d.PQB(t.QID, t.Bucket) * d.PSB(t.SA, t.Bucket) / pb
+	}
+	return x
+}

@@ -1,0 +1,112 @@
+// Package maxent solves the paper's Maximum Entropy modeling problem
+// (Definition 3.1): maximize H(x) = −Σ x log x over the probability terms
+// x = P(Q,S,B), subject to the linear constraint system A x = c assembled
+// from the published data's invariants and from background knowledge.
+//
+// The Lagrangian dual is used, exactly as the paper's evaluation does
+// ("we apply the method of Lagrange multipliers to convert this
+// constrained optimization problem to an unconstrained optimization
+// problem, which is then solved using LBFGS"). Stationarity of
+//
+//	L(x, λ) = −Σ_j x_j log x_j + Σ_i λ_i ((A x)_i − c_i)
+//
+// gives x_j(λ) = exp((Aᵀλ)_j − 1), and the convex dual to minimize is
+//
+//	g(λ) = Σ_j exp((Aᵀλ)_j − 1) − λᵀc,   ∇g(λ) = A x(λ) − c.
+//
+// No explicit normalization is needed: the QI-invariant right-hand sides
+// sum to 1, so feasibility of A x = c already pins the total mass.
+package maxent
+
+import (
+	"math"
+
+	"privacymaxent/internal/linalg"
+)
+
+// dualObjective implements solver.Objective for g(λ) over a reduced
+// (presolved) constraint system.
+type dualObjective struct {
+	a   *linalg.CSR // m rows (constraints) × n cols (active variables)
+	c   []float64   // right-hand sides, length m
+	eta []float64   // scratch: (Aᵀλ), length n
+	x   []float64   // scratch: primal x(λ), length n
+	ax  []float64   // scratch: A x, length m
+}
+
+func newDualObjective(a *linalg.CSR, c []float64) *dualObjective {
+	return &dualObjective{
+		a:   a,
+		c:   c,
+		eta: make([]float64, a.Cols()),
+		x:   make([]float64, a.Cols()),
+		ax:  make([]float64, a.Rows()),
+	}
+}
+
+// Dim is the number of Lagrange multipliers (one per constraint).
+func (d *dualObjective) Dim() int { return d.a.Rows() }
+
+// Eval computes g(λ) and its gradient. Exponents are evaluated directly;
+// if λ wanders into overflow territory the +Inf propagates and the
+// strong-Wolfe line search backs off.
+func (d *dualObjective) Eval(lambda, grad []float64) float64 {
+	d.a.MulTVec(lambda, d.eta)
+	var sumExp float64
+	for j, e := range d.eta {
+		v := math.Exp(e - 1)
+		d.x[j] = v
+		sumExp += v
+	}
+	f := sumExp - linalg.Dot(lambda, d.c)
+	d.a.MulVec(d.x, d.ax)
+	for i := range grad {
+		grad[i] = d.ax[i] - d.c[i]
+	}
+	return f
+}
+
+// Primal recovers x(λ) into dst (length = number of active variables).
+func (d *dualObjective) Primal(lambda, dst []float64) {
+	d.a.MulTVec(lambda, d.eta)
+	for j, e := range d.eta {
+		dst[j] = math.Exp(e - 1)
+	}
+}
+
+// Hessian writes ∇²g(λ) = A·diag(x(λ))·Aᵀ into h, enabling Newton's
+// method on duals with few constraints.
+func (d *dualObjective) Hessian(lambda []float64, h [][]float64) {
+	d.a.MulTVec(lambda, d.eta)
+	for j, e := range d.eta {
+		d.x[j] = math.Exp(e - 1)
+	}
+	m := d.a.Rows()
+	for i := 0; i < m; i++ {
+		row := h[i]
+		for k := range row {
+			row[k] = 0
+		}
+	}
+	// Accumulate Σ_j x_j a_j a_jᵀ column by column: for every variable j,
+	// the rows touching it contribute pairwise products.
+	touch := make([][]int, d.a.Cols())
+	coeff := make([][]float64, d.a.Cols())
+	for r := 0; r < m; r++ {
+		cols, vals := d.a.Row(r)
+		for k, cIdx := range cols {
+			touch[cIdx] = append(touch[cIdx], r)
+			coeff[cIdx] = append(coeff[cIdx], vals[k])
+		}
+	}
+	for j := range touch {
+		xj := d.x[j]
+		rows := touch[j]
+		cs := coeff[j]
+		for a := range rows {
+			for b := range rows {
+				h[rows[a]][rows[b]] += xj * cs[a] * cs[b]
+			}
+		}
+	}
+}

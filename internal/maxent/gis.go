@@ -1,0 +1,179 @@
+package maxent
+
+import (
+	"fmt"
+	"math"
+
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/linalg"
+)
+
+// gisResult reports a generalized-iterative-scaling run.
+type gisResult struct {
+	x          []float64
+	iterations int
+	converged  bool
+}
+
+// runGIS solves the reduced MaxEnt system with Darroch & Ratcliff's
+// generalized iterative scaling [8], one of the maxent-specific methods
+// the paper cites. GIS works on normalized models with non-negative
+// features summing to a constant, so we (a) recover the active variables'
+// total mass M from the surviving QI-invariant rows (every active
+// variable appears in exactly one), (b) rescale targets to expectations
+// c'_i = c_i / M, and (c) append the standard slack feature
+// f₀(j) = C − Σ_i A_ij with C = max_j Σ_i A_ij.
+//
+// GIS requires every coefficient to be non-negative; systems with signed
+// knowledge constraints must use LBFGS instead.
+func runGIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, error) {
+	n := a.Cols()
+	m := a.Rows()
+
+	// Validate coefficients and recover the active mass M.
+	var mass float64
+	haveQI := false
+	for i, row := range red.rows {
+		for _, v := range row.coeffs {
+			if v < 0 {
+				return gisResult{}, fmt.Errorf("maxent: GIS requires non-negative coefficients; constraint %q has %g (use LBFGS)", row.label, v)
+			}
+		}
+		if row.kind == constraint.QIInvariant {
+			mass += c[i]
+			haveQI = true
+		}
+	}
+	if !haveQI || mass <= 0 {
+		return gisResult{}, fmt.Errorf("maxent: GIS could not determine total mass (no surviving QI-invariants)")
+	}
+
+	// Column feature sums and the slack feature.
+	colSum := make([]float64, n)
+	for r := 0; r < m; r++ {
+		cols, vals := a.Row(r)
+		for k, col := range cols {
+			colSum[col] += vals[k]
+		}
+	}
+	bigC := 0.0
+	for _, s := range colSum {
+		if s > bigC {
+			bigC = s
+		}
+	}
+	if bigC == 0 {
+		return gisResult{}, fmt.Errorf("maxent: GIS given an all-zero constraint matrix")
+	}
+	slack := make([]float64, n)
+	for j := range slack {
+		slack[j] = bigC - colSum[j]
+	}
+
+	// Rescaled targets.
+	target := make([]float64, m)
+	var targetSum float64
+	for i := range c {
+		target[i] = c[i] / mass
+		if target[i] < -presolveTol {
+			return gisResult{}, &ErrInfeasible{Reason: fmt.Sprintf("constraint %q has negative target %g", red.rows[i].label, c[i])}
+		}
+		targetSum += target[i]
+	}
+	slackTarget := bigC - targetSum
+	if slackTarget < -1e-9 {
+		return gisResult{}, &ErrInfeasible{Reason: fmt.Sprintf("targets exceed feature budget by %g", -slackTarget)}
+	}
+	if slackTarget < 0 {
+		slackTarget = 0
+	}
+
+	lambda := make([]float64, m)
+	lambdaSlack := 0.0
+	logp := make([]float64, n)
+	p := make([]float64, n)
+	expect := make([]float64, m)
+
+	maxIter := opts.Solver.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	tol := opts.Solver.GradTol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+
+	res := gisResult{x: make([]float64, n)}
+	for iter := 0; iter < maxIter; iter++ {
+		// Model distribution p_j ∝ exp(Σ_i λ_i A_ij + λ₀ f₀(j)),
+		// normalized via log-sum-exp for stability.
+		for j := range logp {
+			logp[j] = lambdaSlack * slack[j]
+		}
+		for r := 0; r < m; r++ {
+			if lambda[r] == 0 {
+				continue
+			}
+			cols, vals := a.Row(r)
+			for k, col := range cols {
+				logp[col] += lambda[r] * vals[k]
+			}
+		}
+		maxLog := math.Inf(-1)
+		for _, v := range logp {
+			if v > maxLog {
+				maxLog = v
+			}
+		}
+		var z float64
+		for j, v := range logp {
+			p[j] = math.Exp(v - maxLog)
+			z += p[j]
+		}
+		inv := 1 / z
+		for j := range p {
+			p[j] *= inv
+		}
+
+		// Expectations and convergence check (in original mass units, so
+		// the tolerance is comparable to the dual gradient norm).
+		a.MulVec(p, expect)
+		var slackExpect float64
+		for j := range p {
+			slackExpect += slack[j] * p[j]
+		}
+		worst := math.Abs(slackExpect-slackTarget) * mass
+		for i := range expect {
+			if dev := math.Abs(expect[i]-target[i]) * mass; dev > worst {
+				worst = dev
+			}
+		}
+		res.iterations = iter + 1
+		if worst <= tol {
+			res.converged = true
+			break
+		}
+
+		// Scaling update: λ_i += ln(target_i / E_i) / C.
+		for i := range lambda {
+			switch {
+			case target[i] <= presolveTol:
+				// Presolve removes zero-target positive rows; a residual
+				// one means the mass must vanish: push hard.
+				lambda[i] -= 50
+			case expect[i] <= 0:
+				return gisResult{}, &ErrInfeasible{Reason: fmt.Sprintf("constraint %q wants mass %g but model can place none", red.rows[i].label, c[i])}
+			default:
+				lambda[i] += math.Log(target[i]/expect[i]) / bigC
+			}
+		}
+		if slackTarget > presolveTol && slackExpect > 0 {
+			lambdaSlack += math.Log(slackTarget/slackExpect) / bigC
+		}
+	}
+
+	for j := range p {
+		res.x[j] = mass * p[j]
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package maxent
+
+import (
+	"fmt"
+	"math"
+
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/linalg"
+)
+
+// runIIS solves the reduced MaxEnt system with improved iterative scaling
+// (Della Pietra, Della Pietra & Lafferty [20]), the second maxent-specific
+// method the paper cites. Where GIS divides every update by the global
+// feature-sum bound C, IIS solves, per constraint i, the one-dimensional
+// equation
+//
+//	Σ_j p_j(λ) · f_i(j) · exp(δ_i · f#(j)) = c'_i,   f#(j) = Σ_i f_i(j),
+//
+// for the step δ_i (here by a guarded 1-D Newton iteration), which makes
+// much longer steps than GIS when feature sums vary across variables.
+// Like GIS it requires non-negative coefficients and recovers the total
+// mass from the surviving QI-invariant rows.
+func runIIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, error) {
+	n := a.Cols()
+	m := a.Rows()
+
+	var mass float64
+	haveQI := false
+	for i, row := range red.rows {
+		for _, v := range row.coeffs {
+			if v < 0 {
+				return gisResult{}, fmt.Errorf("maxent: IIS requires non-negative coefficients; constraint %q has %g (use LBFGS)", row.label, v)
+			}
+		}
+		if row.kind == constraint.QIInvariant {
+			mass += c[i]
+			haveQI = true
+		}
+	}
+	if !haveQI || mass <= 0 {
+		return gisResult{}, fmt.Errorf("maxent: IIS could not determine total mass (no surviving QI-invariants)")
+	}
+
+	// Feature sums f#(j).
+	fsum := make([]float64, n)
+	for r := 0; r < m; r++ {
+		cols, vals := a.Row(r)
+		for k, col := range cols {
+			fsum[col] += vals[k]
+		}
+	}
+
+	target := make([]float64, m)
+	for i := range c {
+		target[i] = c[i] / mass
+		if target[i] < -presolveTol {
+			return gisResult{}, &ErrInfeasible{Reason: fmt.Sprintf("constraint %q has negative target %g", red.rows[i].label, c[i])}
+		}
+	}
+
+	lambda := make([]float64, m)
+	logp := make([]float64, n)
+	p := make([]float64, n)
+	expect := make([]float64, m)
+
+	maxIter := opts.Solver.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	tol := opts.Solver.GradTol
+	if tol <= 0 {
+		tol = 1e-9
+	}
+
+	res := gisResult{x: make([]float64, n)}
+	for iter := 0; iter < maxIter; iter++ {
+		// Model p_j ∝ exp(Σ_i λ_i A_ij), normalized by log-sum-exp.
+		linalg.Fill(logp, 0)
+		for r := 0; r < m; r++ {
+			if lambda[r] == 0 {
+				continue
+			}
+			cols, vals := a.Row(r)
+			for k, col := range cols {
+				logp[col] += lambda[r] * vals[k]
+			}
+		}
+		maxLog := math.Inf(-1)
+		for _, v := range logp {
+			if v > maxLog {
+				maxLog = v
+			}
+		}
+		var z float64
+		for j, v := range logp {
+			p[j] = math.Exp(v - maxLog)
+			z += p[j]
+		}
+		inv := 1 / z
+		for j := range p {
+			p[j] *= inv
+		}
+
+		a.MulVec(p, expect)
+		var worst float64
+		for i := range expect {
+			if dev := math.Abs(expect[i]-target[i]) * mass; dev > worst {
+				worst = dev
+			}
+		}
+		res.iterations = iter + 1
+		if worst <= tol {
+			res.converged = true
+			break
+		}
+
+		// Per-constraint Newton solve for δ_i.
+		for i := 0; i < m; i++ {
+			if target[i] <= presolveTol {
+				lambda[i] -= 50
+				continue
+			}
+			if expect[i] <= 0 {
+				return gisResult{}, &ErrInfeasible{Reason: fmt.Sprintf("constraint %q wants mass %g but model can place none", red.rows[i].label, c[i])}
+			}
+			cols, vals := a.Row(i)
+			delta := 0.0
+			for newton := 0; newton < 25; newton++ {
+				var g, dg float64
+				for k, col := range cols {
+					e := math.Exp(delta * fsum[col])
+					t := p[col] * vals[k] * e
+					g += t
+					dg += t * fsum[col]
+				}
+				g -= target[i]
+				if math.Abs(g) <= 1e-14 || dg <= 0 {
+					break
+				}
+				step := g / dg
+				// Damp huge steps to stay in exp's sane range.
+				if step > 30 {
+					step = 30
+				} else if step < -30 {
+					step = -30
+				}
+				delta -= step
+			}
+			lambda[i] += delta
+		}
+	}
+
+	for j := range p {
+		res.x[j] = mass * p[j]
+	}
+	return res, nil
+}

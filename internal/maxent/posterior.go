@@ -1,0 +1,88 @@
+package maxent
+
+import (
+	"math"
+
+	"privacymaxent/internal/dataset"
+)
+
+// Posterior folds the joint solution P(Q,S,B) into the adversary's
+// posterior P(S | Q) = Σ_B P(Q,S,B) / P(Q), the quantity privacy metrics
+// consume (Sec. 3.1). P(Q) comes straight from the published data because
+// QI attributes are not disguised.
+func (s *Solution) Posterior() *dataset.Conditional {
+	d := s.space.Data()
+	u := d.Universe()
+	cond := dataset.NewConditional(u, d.SACardinality())
+	for i := 0; i < s.space.Len(); i++ {
+		t := s.space.Term(i)
+		cond.Add(t.QID, t.SA, s.X[i])
+	}
+	for qid := 0; qid < u.Len(); qid++ {
+		pq := u.P(qid)
+		if pq <= 0 {
+			continue
+		}
+		row := cond.Row(qid)
+		for sa := range row {
+			row[sa] /= pq
+		}
+	}
+	// Project out residual solver drift: each row is a conditional
+	// distribution and must sum to exactly one.
+	cond.Normalize()
+	return cond
+}
+
+// JointEntropy returns H(Q,S,B) = −Σ P(Q,S,B) log₂ P(Q,S,B), the
+// objective of Eq. (3). Zero terms contribute zero by the usual
+// convention.
+func (s *Solution) JointEntropy() float64 {
+	var h float64
+	for _, v := range s.X {
+		if v > 0 {
+			h -= v * math.Log2(v)
+		}
+	}
+	return h
+}
+
+// ConditionalEntropy returns H(S | Q,B) from Eq. (2), which differs from
+// the joint entropy by the constant H(Q,B) of the published data.
+func (s *Solution) ConditionalEntropy() float64 {
+	d := s.space.Data()
+	var h float64
+	for i := 0; i < s.space.Len(); i++ {
+		v := s.X[i]
+		if v <= 0 {
+			continue
+		}
+		t := s.space.Term(i)
+		pqb := d.PQB(t.QID, t.Bucket)
+		if pqb <= 0 {
+			continue
+		}
+		// P(Q,B)·P(S|Q,B)·log P(S|Q,B) with P(S|Q,B) = v / P(Q,B).
+		h -= v * math.Log2(v/pqb)
+	}
+	return h
+}
+
+// ConditionalInBucket returns P(S | Q = qid, B = b) over all SA codes —
+// the per-bucket posterior of Eq. (1)'s generalization. The slice is
+// freshly allocated; rows for (q, b) pairs with no mass return zeros.
+func (s *Solution) ConditionalInBucket(qid, b int) []float64 {
+	d := s.space.Data()
+	out := make([]float64, d.SACardinality())
+	pqb := d.PQB(qid, b)
+	if pqb <= 0 {
+		return out
+	}
+	for _, id := range s.space.TermsInBucket(b) {
+		t := s.space.Term(id)
+		if t.QID == qid {
+			out[t.SA] = s.X[id] / pqb
+		}
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package maxent
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privacymaxent/internal/constraint"
+)
+
+// row is a test helper building rowData.
+func row(rhs float64, kind constraint.Kind, label string, terms ...int) rowData {
+	coeffs := make([]float64, len(terms))
+	for i := range coeffs {
+		coeffs[i] = 1
+	}
+	return rowData{terms: terms, coeffs: coeffs, rhs: rhs, label: label, kind: kind}
+}
+
+func TestPresolveZeroPropagation(t *testing.T) {
+	// x0 + x1 = 0 pins both; then x2 + x1 = 0.3 becomes a singleton
+	// pinning x2; x3 stays active via x3 + x4 = 0.5.
+	rows := []rowData{
+		row(0, constraint.Knowledge, "zero", 0, 1),
+		row(0.3, constraint.QIInvariant, "single", 2, 1),
+		row(0.5, constraint.QIInvariant, "free", 3, 4),
+	}
+	red, err := presolve(5, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{0, 1, 2} {
+		if !red.fixed[j] {
+			t.Fatalf("x%d not fixed", j)
+		}
+	}
+	if red.value[0] != 0 || red.value[1] != 0 {
+		t.Fatalf("zero row values = %v", red.value[:2])
+	}
+	if math.Abs(red.value[2]-0.3) > 1e-15 {
+		t.Fatalf("x2 = %g, want 0.3", red.value[2])
+	}
+	if len(red.active) != 2 || red.numFixed() != 3 {
+		t.Fatalf("active = %v, fixed = %d", red.active, red.numFixed())
+	}
+	if len(red.rows) != 1 || red.rows[0].label != "free" {
+		t.Fatalf("surviving rows = %+v", red.rows)
+	}
+}
+
+func TestPresolveSingletonChain(t *testing.T) {
+	// A chain of singletons: x0 = 0.1; x0 + x1 = 0.3 -> x1 = 0.2;
+	// x1 + x2 = 0.6 -> x2 = 0.4.
+	rows := []rowData{
+		row(0.1, constraint.QIInvariant, "a", 0),
+		row(0.3, constraint.QIInvariant, "b", 0, 1),
+		row(0.6, constraint.QIInvariant, "c", 1, 2),
+	}
+	red, err := presolve(3, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.1, 0.2, 0.4}
+	for j, w := range want {
+		if !red.fixed[j] || math.Abs(red.value[j]-w) > 1e-12 {
+			t.Fatalf("x%d = (%v, %g), want %g", j, red.fixed[j], red.value[j], w)
+		}
+	}
+	if len(red.active) != 0 {
+		t.Fatalf("active = %v, want none", red.active)
+	}
+}
+
+func TestPresolveInfeasibleEmptyRow(t *testing.T) {
+	rows := []rowData{
+		row(0, constraint.Knowledge, "zero", 0, 1),
+		row(0.5, constraint.QIInvariant, "conflict", 0, 1),
+	}
+	_, err := presolve(2, rows)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPresolveInfeasibleNegativeSingleton(t *testing.T) {
+	rows := []rowData{
+		row(0.5, constraint.QIInvariant, "a", 0),
+		row(0.2, constraint.QIInvariant, "b", 0, 1), // forces x1 = -0.3
+	}
+	_, err := presolve(2, rows)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestPresolveRePinConflict(t *testing.T) {
+	rows := []rowData{
+		row(0.1, constraint.Knowledge, "a", 0),
+		row(0.2, constraint.Knowledge, "b", 0),
+	}
+	_, err := presolve(1, rows)
+	var inf *ErrInfeasible
+	if !errors.As(err, &inf) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	// Re-pinning to the same value is fine.
+	rows = []rowData{
+		row(0.1, constraint.Knowledge, "a", 0),
+		row(0.1, constraint.Knowledge, "b", 0),
+	}
+	if _, err := presolve(1, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPresolveNegativeCoefficientRowsSurvive(t *testing.T) {
+	// A zero-RHS row with a negative coefficient must NOT zero its
+	// variables (x0 − x1 = 0 admits any x0 = x1).
+	rows := []rowData{
+		{terms: []int{0, 1}, coeffs: []float64{1, -1}, rhs: 0, label: "diff"},
+		row(0.4, constraint.QIInvariant, "mass", 0, 1),
+	}
+	red, err := presolve(2, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.numFixed() != 0 || len(red.rows) != 2 {
+		t.Fatalf("fixed = %d, rows = %d; want 0, 2", red.numFixed(), len(red.rows))
+	}
+}
+
+func TestPresolveUnmentionedVariablesStayInert(t *testing.T) {
+	rows := []rowData{row(0.5, constraint.QIInvariant, "a", 0, 1)}
+	red, err := presolve(4, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.newIdx[2] != -1 || red.newIdx[3] != -1 {
+		t.Fatal("unmentioned variables should not become active")
+	}
+	if red.fixed[2] || red.fixed[3] {
+		t.Fatal("unmentioned variables should not be fixed")
+	}
+}
+
+// TestPresolvePreservesSolutions is the key safety property: any
+// non-negative solution of the original system assigns exactly the pinned
+// values to the variables presolve fixes.
+func TestPresolvePreservesSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Build a random feasible system: draw x* >= 0, derive RHS from
+		// random subsets. Sparsify x* so zero rows appear.
+		n := 3 + r.Intn(6)
+		xStar := make([]float64, n)
+		for j := range xStar {
+			if r.Intn(2) == 0 {
+				xStar[j] = r.Float64()
+			}
+		}
+		var rows []rowData
+		for i := 0; i < 2+r.Intn(5); i++ {
+			var terms []int
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					terms = append(terms, j)
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			var rhs float64
+			for _, j := range terms {
+				rhs += xStar[j]
+			}
+			rows = append(rows, row(rhs, constraint.QIInvariant, "r", terms...))
+		}
+		red, err := presolve(n, rows)
+		if err != nil {
+			// Feasible by construction; presolve must not reject.
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if red.fixed[j] && math.Abs(red.value[j]-xStar[j]) > 1e-9 {
+				// Presolve may only pin a variable when every feasible
+				// point agrees; since x* is feasible, pins must match it.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

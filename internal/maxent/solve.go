@@ -1,0 +1,456 @@
+package maxent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/linalg"
+	"privacymaxent/internal/solver"
+)
+
+// Algorithm selects the numerical method for the dual minimization.
+type Algorithm int
+
+const (
+	// LBFGS is the paper's choice (Nocedal's limited-memory BFGS) and
+	// the default.
+	LBFGS Algorithm = iota
+	// SteepestDescent is the slow first-order baseline.
+	SteepestDescent
+	// GIS is Darroch & Ratcliff's generalized iterative scaling, one of
+	// the maxent-specific methods the paper cites (Sec. 3.3).
+	GIS
+	// Newton is the damped Newton method (dense Hessian + Cholesky);
+	// suited to duals with few constraints.
+	Newton
+	// IIS is Della Pietra et al.'s improved iterative scaling, the other
+	// maxent-specific method the paper cites (Sec. 3.3).
+	IIS
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case LBFGS:
+		return "lbfgs"
+	case SteepestDescent:
+		return "steepest"
+	case GIS:
+		return "gis"
+	case Newton:
+		return "newton"
+	case IIS:
+		return "iis"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Algorithm picks the dual solver; default LBFGS.
+	Algorithm Algorithm
+	// Solver tunes the underlying optimizer.
+	Solver solver.Options
+	// Decompose enables the Sec. 5.5 optimization: buckets irrelevant to
+	// the background knowledge (Definition 5.6) take their closed-form
+	// within-bucket MaxEnt distribution (Theorem 5 / Proposition 1), and
+	// the relevant buckets split into connected components — groups of
+	// buckets linked through shared knowledge constraints, the converse
+	// of Lemma 2's independence — each solved as an independent
+	// sub-problem.
+	Decompose bool
+	// Workers bounds how many components are solved concurrently when
+	// Decompose is on; values below 2 solve sequentially. Components
+	// touch disjoint variables, so parallel solves need no locking of
+	// the solution vector.
+	Workers int
+}
+
+// Stats reports how a solve went — the quantities behind the paper's
+// Figure 7 (running time and iteration counts).
+type Stats struct {
+	// Iterations is the number of optimizer iterations (GIS: scaling
+	// rounds).
+	Iterations int
+	// Evaluations counts objective/gradient evaluations.
+	Evaluations int
+	// Duration is wall-clock solve time including presolve.
+	Duration time.Duration
+	// Converged reports whether the optimizer met its tolerance.
+	Converged bool
+	// MaxViolation is the worst |A x − c| entry over the *original*
+	// system at the returned solution.
+	MaxViolation float64
+	// ActiveVariables is the number of variables given to the optimizer
+	// after presolve (0 means presolve solved everything).
+	ActiveVariables int
+	// FixedVariables is the number of variables pinned by presolve.
+	FixedVariables int
+	// IrrelevantBuckets counts buckets excluded by decomposition.
+	IrrelevantBuckets int
+	// Components counts the independent sub-problems decomposition
+	// produced (0 when decomposition is off or nothing needed solving).
+	Components int
+}
+
+// ConstraintDual pairs a constraint with its Lagrange multiplier at the
+// solution — its shadow price. Large-magnitude multipliers mark the
+// constraints that most strongly shape the MaxEnt distribution; for
+// knowledge rows this is a direct influence measure of each background
+// fact (only available from the dual algorithms, i.e. not GIS/IIS
+// scaling paths, and only for rows that survive presolve).
+type ConstraintDual struct {
+	Label  string
+	Kind   constraint.Kind
+	Lambda float64
+}
+
+// Solution is a maximum-entropy assignment of every probability term.
+type Solution struct {
+	space *constraint.Space
+	// X holds P(Q,S,B) for every term in the space.
+	X []float64
+	// Stats describes the solve.
+	Stats Stats
+	// Duals holds the Lagrange multipliers of the surviving constraints
+	// (empty for scaling algorithms, which do not expose a meaningful
+	// per-row multiplier in the same normalization).
+	Duals []ConstraintDual
+}
+
+// Space returns the term space the solution is indexed by.
+func (s *Solution) Space() *constraint.Space { return s.space }
+
+// Joint returns P(q, s, b), zero for terms outside the space.
+func (s *Solution) Joint(t constraint.Term) float64 {
+	id, ok := s.space.Index(t)
+	if !ok {
+		return 0
+	}
+	return s.X[id]
+}
+
+// SolveConstraints is the low-level entry point: it maximizes entropy
+// over n variables subject to the given constraints, starting the
+// bookkeeping from init (variables never mentioned by any constraint keep
+// their init value; everything else is determined by presolve or the
+// dual). It powers both the standard P(Q,S,B) model and the
+// pseudonym-expanded P(i,Q,S,B) model of Sec. 6.
+func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts Options) ([]float64, Stats, error) {
+	if len(init) != n {
+		return nil, Stats{}, fmt.Errorf("maxent: init has %d values, want %d", len(init), n)
+	}
+	start := time.Now()
+	x := make([]float64, n)
+	copy(x, init)
+
+	rows := make([]rowData, 0, len(cons))
+	for i := range cons {
+		c := &cons[i]
+		rows = append(rows, rowData{
+			terms:  append([]int(nil), c.Terms...),
+			coeffs: append([]float64(nil), c.Coeffs...),
+			rhs:    c.RHS,
+			label:  c.Label,
+			kind:   c.Kind,
+		})
+	}
+	red, err := presolve(n, rows)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+	for j := 0; j < red.n; j++ {
+		if red.fixed[j] {
+			x[j] = red.value[j]
+		}
+	}
+	stats.FixedVariables = red.numFixed()
+	stats.ActiveVariables = len(red.active)
+
+	if len(red.active) > 0 {
+		sol := &Solution{X: x}
+		if err := solveReduced(sol, red, opts); err != nil {
+			return nil, Stats{}, err
+		}
+		stats.Iterations = sol.Stats.Iterations
+		stats.Evaluations = sol.Stats.Evaluations
+		stats.Converged = sol.Stats.Converged
+	} else {
+		stats.Converged = true
+	}
+
+	var worst float64
+	for i := range cons {
+		if r := cons[i].Residual(x); r > worst {
+			worst = r
+		} else if -r > worst {
+			worst = -r
+		}
+	}
+	stats.MaxViolation = worst
+	stats.Duration = time.Since(start)
+	return x, stats, nil
+}
+
+// Solve computes the maximum-entropy distribution subject to the system's
+// constraints. The system must contain the data invariants (and any
+// knowledge constraints); zero-invariants are implicit in the space.
+func Solve(sys *constraint.System, opts Options) (*Solution, error) {
+	start := time.Now()
+	sp := sys.Space()
+	sol := &Solution{space: sp, X: Uniform(sp)}
+
+	if opts.Decompose {
+		relevant := constraint.RelevantBuckets(sys)
+		sol.Stats.IrrelevantBuckets = sp.Data().NumBuckets() - len(relevant)
+		if len(relevant) == 0 {
+			// No knowledge at all: the closed form is exact (Theorem 4).
+			sol.Stats.Converged = true
+			sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
+			sol.Stats.Duration = time.Since(start)
+			return sol, nil
+		}
+		components := componentRows(sys, relevant)
+		sol.Stats.Components = len(components)
+		sol.Stats.Converged = true
+		if err := solveComponents(sol, components, opts); err != nil {
+			return nil, err
+		}
+		sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
+		sol.Stats.Duration = time.Since(start)
+		return sol, nil
+	}
+
+	red, err := presolve(sp.Len(), systemRows(sys, nil))
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < red.n; j++ {
+		if red.fixed[j] {
+			sol.X[j] = red.value[j]
+		}
+	}
+	sol.Stats.FixedVariables = red.numFixed()
+	sol.Stats.ActiveVariables = len(red.active)
+
+	if len(red.active) > 0 {
+		if err := solveReduced(sol, red, opts); err != nil {
+			return nil, err
+		}
+	} else {
+		sol.Stats.Converged = true
+	}
+
+	sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
+	sol.Stats.Duration = time.Since(start)
+	return sol, nil
+}
+
+// componentRows groups the relevant buckets into connected components:
+// every knowledge constraint links all the buckets it touches (union by
+// rank would be overkill at these sizes; plain union-find with path
+// compression). Each component receives its buckets' data invariants and
+// its knowledge rows.
+func componentRows(sys *constraint.System, relevant []int) [][]rowData {
+	sp := sys.Space()
+	parent := make(map[int]int, len(relevant))
+	for _, b := range relevant {
+		parent[b] = b
+	}
+	var find func(int) int
+	find = func(b int) int {
+		if parent[b] != b {
+			parent[b] = find(parent[b])
+		}
+		return parent[b]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for i := 0; i < sys.Len(); i++ {
+		c := sys.At(i)
+		if c.Kind != constraint.Knowledge || len(c.Terms) == 0 {
+			continue
+		}
+		first := sp.Term(c.Terms[0]).Bucket
+		for _, t := range c.Terms[1:] {
+			union(first, sp.Term(t).Bucket)
+		}
+	}
+
+	// Partition constraints among component roots.
+	rowsByRoot := map[int][]rowData{}
+	addRow := func(root int, c *constraint.Constraint) {
+		rowsByRoot[root] = append(rowsByRoot[root], rowData{
+			terms:  append([]int(nil), c.Terms...),
+			coeffs: append([]float64(nil), c.Coeffs...),
+			rhs:    c.RHS,
+			label:  c.Label,
+			kind:   c.Kind,
+		})
+	}
+	relevantSet := make(map[int]bool, len(relevant))
+	for _, b := range relevant {
+		relevantSet[b] = true
+	}
+	for i := 0; i < sys.Len(); i++ {
+		c := sys.At(i)
+		if len(c.Terms) == 0 {
+			continue
+		}
+		b := sp.Term(c.Terms[0]).Bucket
+		if c.Kind == constraint.Knowledge {
+			addRow(find(b), c)
+			continue
+		}
+		if relevantSet[b] {
+			addRow(find(b), c)
+		}
+	}
+	out := make([][]rowData, 0, len(rowsByRoot))
+	// Deterministic order: ascending root bucket.
+	roots := make([]int, 0, len(rowsByRoot))
+	for r := range rowsByRoot {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		out = append(out, rowsByRoot[r])
+	}
+	return out
+}
+
+// solveComponents presolves and solves each component, sequentially or
+// with up to opts.Workers goroutines. Components write disjoint slices of
+// sol.X; the stats are merged under a mutex.
+func solveComponents(sol *Solution, components [][]rowData, opts Options) error {
+	n := sol.space.Len()
+	var mu sync.Mutex
+	var firstErr error
+	run := func(rows []rowData) {
+		red, err := presolve(n, rows)
+		if err == nil && len(red.active) > 0 {
+			// solveReduced mutates only this component's entries of
+			// sol.X (disjoint across components) and local stats.
+			local := &Solution{X: sol.X}
+			err = solveReduced(local, red, opts)
+			mu.Lock()
+			sol.Stats.Iterations += local.Stats.Iterations
+			sol.Stats.Evaluations += local.Stats.Evaluations
+			if !local.Stats.Converged {
+				sol.Stats.Converged = false
+			}
+			mu.Unlock()
+		}
+		mu.Lock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err == nil {
+			for j := 0; j < red.n; j++ {
+				if red.fixed[j] {
+					sol.X[j] = red.value[j]
+				}
+			}
+			sol.Stats.FixedVariables += red.numFixed()
+			sol.Stats.ActiveVariables += len(red.active)
+		}
+		mu.Unlock()
+	}
+
+	if opts.Workers < 2 || len(components) < 2 {
+		for _, rows := range components {
+			run(rows)
+			if firstErr != nil {
+				return firstErr
+			}
+		}
+		return firstErr
+	}
+
+	sem := make(chan struct{}, opts.Workers)
+	var wg sync.WaitGroup
+	for _, rows := range components {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rows []rowData) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run(rows)
+		}(rows)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// solveReduced runs the selected algorithm on the presolved system and
+// writes the active variables' values into sol.X.
+func solveReduced(sol *Solution, red *reduced, opts Options) error {
+	// Assemble A over active columns.
+	a := linalg.NewCSR(len(red.active))
+	rhs := make([]float64, 0, len(red.rows))
+	for _, row := range red.rows {
+		cols := make([]int, len(row.terms))
+		for k, j := range row.terms {
+			cols[k] = red.newIdx[j]
+			if cols[k] < 0 {
+				return fmt.Errorf("maxent: internal error: surviving row %q references non-active variable", row.label)
+			}
+		}
+		if err := a.AppendRow(cols, row.coeffs); err != nil {
+			return fmt.Errorf("maxent: assembling reduced system: %w", err)
+		}
+		rhs = append(rhs, row.rhs)
+	}
+
+	xActive := make([]float64, len(red.active))
+	switch opts.Algorithm {
+	case GIS, IIS:
+		run := runGIS
+		if opts.Algorithm == IIS {
+			run = runIIS
+		}
+		res, err := run(a, rhs, red, opts)
+		if err != nil {
+			return err
+		}
+		copy(xActive, res.x)
+		sol.Stats.Iterations = res.iterations
+		sol.Stats.Evaluations = res.iterations
+		sol.Stats.Converged = res.converged
+	case LBFGS, SteepestDescent, Newton:
+		obj := newDualObjective(a, rhs)
+		lambda0 := make([]float64, a.Rows())
+		var res solver.Result
+		var err error
+		switch opts.Algorithm {
+		case LBFGS:
+			res, err = solver.LBFGS(obj, lambda0, opts.Solver)
+		case Newton:
+			res, err = solver.Newton(obj, lambda0, opts.Solver)
+		default:
+			res, err = solver.SteepestDescent(obj, lambda0, opts.Solver)
+		}
+		if err != nil {
+			return fmt.Errorf("maxent: dual optimization: %w", err)
+		}
+		obj.Primal(res.X, xActive)
+		sol.Stats.Iterations = res.Iterations
+		sol.Stats.Evaluations = res.Evaluations
+		sol.Stats.Converged = res.Converged
+		for i, row := range red.rows {
+			sol.Duals = append(sol.Duals, ConstraintDual{Label: row.label, Kind: row.kind, Lambda: res.X[i]})
+		}
+	default:
+		return fmt.Errorf("maxent: unknown algorithm %v", opts.Algorithm)
+	}
+
+	for pos, j := range red.active {
+		sol.X[j] = xActive[pos]
+	}
+	return nil
+}

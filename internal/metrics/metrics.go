@@ -1,0 +1,200 @@
+// Package metrics implements the privacy and accuracy measures of the
+// paper's evaluation (Sec. 7): the Estimation Accuracy (a weighted
+// Kullback–Leibler distance between the true conditional P(S|Q) and the
+// MaxEnt estimate P*(S|Q)), plus the classic bucket-level privacy scores —
+// distinct/entropy L-diversity and maximum posterior disclosure — that the
+// estimated posterior feeds.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+// EstimationEps floors the estimated probability inside the KL logarithm
+// so that a (near-)zero estimate against non-zero truth yields a large
+// but bounded penalty (≈ 30 bits per unit of true mass) instead of +Inf,
+// keeping the weighted sum stable when the solver parks probabilities at
+// the numerical boundary.
+const EstimationEps = 1e-9
+
+// EstimationAccuracy computes the paper's Sec. 7.1 measure
+//
+//	Σ_{q} P(q) · Σ_{s} P(s|q) · log( P(s|q) / P*(s|q) )
+//
+// — the KL distance between truth and estimate per QI tuple, weighted by
+// the tuple's sample probability. Lower is better (0 means the adversary's
+// MaxEnt estimate equals the true conditional; the paper reads larger
+// values as more privacy). Logarithms are base 2.
+//
+// Both conditionals must be indexed by the same universe.
+func EstimationAccuracy(truth, estimate *dataset.Conditional) (float64, error) {
+	if truth.Universe() != estimate.Universe() {
+		return 0, fmt.Errorf("metrics: truth and estimate use different universes")
+	}
+	if truth.NumSA() != estimate.NumSA() {
+		return 0, fmt.Errorf("metrics: SA cardinality mismatch: %d vs %d", truth.NumSA(), estimate.NumSA())
+	}
+	u := truth.Universe()
+	var total float64
+	for qid := 0; qid < u.Len(); qid++ {
+		total += u.P(qid) * klRow(truth.Row(qid), estimate.Row(qid))
+	}
+	return total, nil
+}
+
+// klRow is Σ_s p_s log2(p_s/q_s) with the zero conventions: p=0 terms
+// vanish; q is floored at EstimationEps.
+func klRow(p, q []float64) float64 {
+	var kl float64
+	for s, ps := range p {
+		if ps <= 0 {
+			continue
+		}
+		qs := q[s]
+		if qs < EstimationEps {
+			qs = EstimationEps
+		}
+		kl += ps * math.Log2(ps/qs)
+	}
+	return kl
+}
+
+// MaxDisclosure returns max_{q,s} P*(s|q): the adversary's best single
+// guess confidence anywhere in the table. 1 means some individual's
+// sensitive value is fully disclosed.
+func MaxDisclosure(estimate *dataset.Conditional) float64 {
+	var worst float64
+	u := estimate.Universe()
+	for qid := 0; qid < u.Len(); qid++ {
+		for _, p := range estimate.Row(qid) {
+			if p > worst {
+				worst = p
+			}
+		}
+	}
+	return worst
+}
+
+// PosteriorEntropy returns Σ_q P(q) H(S|Q=q) in bits under the estimate:
+// the adversary's average residual uncertainty about a sensitive value.
+func PosteriorEntropy(estimate *dataset.Conditional) float64 {
+	u := estimate.Universe()
+	var h float64
+	for qid := 0; qid < u.Len(); qid++ {
+		var hq float64
+		for _, p := range estimate.Row(qid) {
+			if p > 0 {
+				hq -= p * math.Log2(p)
+			}
+		}
+		h += u.P(qid) * hq
+	}
+	return h
+}
+
+// DistinctDiversity returns the smallest number of distinct SA values in
+// any bucket — the distinct-L-diversity level of the published data.
+func DistinctDiversity(d *bucket.Bucketized) int {
+	best := math.MaxInt
+	for b := 0; b < d.NumBuckets(); b++ {
+		if n := len(d.Bucket(b).DistinctSAs()); n < best {
+			best = n
+		}
+	}
+	if best == math.MaxInt {
+		return 0
+	}
+	return best
+}
+
+// EntropyDiversity returns min_b 2^{H(S in bucket b)}: the entropy
+// L-diversity level (Machanavajjhala et al.), using the SA multiset's
+// empirical distribution per bucket.
+func EntropyDiversity(d *bucket.Bucketized) float64 {
+	best := math.Inf(1)
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		var h float64
+		for s := 0; s < d.SACardinality(); s++ {
+			n := bk.SACount(s)
+			if n == 0 {
+				continue
+			}
+			p := float64(n) / float64(bk.Size())
+			h -= p * math.Log2(p)
+		}
+		if l := math.Exp2(h); l < best {
+			best = l
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0
+	}
+	return best
+}
+
+// TCloseness returns the t-closeness level of the publication (Li et
+// al.): the largest earth-mover distance between a bucket's SA
+// distribution and the table-wide SA distribution. For categorical SA
+// with the equal-distance ground metric, EMD reduces to total variation,
+// ½ Σ_s |P_b(s) − P(s)|. Smaller is better; 0 means every bucket mirrors
+// the global distribution exactly.
+func TCloseness(d *bucket.Bucketized) float64 {
+	m := d.SACardinality()
+	overall := make([]float64, m)
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		for s := 0; s < m; s++ {
+			overall[s] += float64(bk.SACount(s))
+		}
+	}
+	n := float64(d.N())
+	for s := range overall {
+		overall[s] /= n
+	}
+	var worst float64
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		size := float64(bk.Size())
+		var tv float64
+		for s := 0; s < m; s++ {
+			tv += math.Abs(float64(bk.SACount(s))/size - overall[s])
+		}
+		tv /= 2
+		if tv > worst {
+			worst = tv
+		}
+	}
+	return worst
+}
+
+// AlphaK checks (α, k)-anonymity (Wong et al., cited by the paper's
+// related work): every bucket must hold at least k records and no single
+// SA value may exceed an α fraction of any bucket. It returns the first
+// violation, or nil when the publication satisfies the model.
+func AlphaK(d *bucket.Bucketized, alpha float64, k int) error {
+	if alpha <= 0 || alpha > 1 {
+		return fmt.Errorf("metrics: alpha %g outside (0, 1]", alpha)
+	}
+	if k < 1 {
+		return fmt.Errorf("metrics: k %d below 1", k)
+	}
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		if bk.Size() < k {
+			return fmt.Errorf("metrics: bucket %d has %d records, want >= %d", b, bk.Size(), k)
+		}
+		for s := 0; s < d.SACardinality(); s++ {
+			frac := float64(bk.SACount(s)) / float64(bk.Size())
+			if frac > alpha+1e-12 {
+				return fmt.Errorf("metrics: bucket %d has SA value %q at fraction %.3f > alpha %.3f",
+					b, d.Schema().SA().Value(s), frac, alpha)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+func paperData(t *testing.T) (*dataset.Table, *bucket.Bucketized, *dataset.Universe) {
+	t.Helper()
+	tbl := dataset.PaperExample()
+	d, err := bucket.FromPartition(tbl, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, d, d.Universe()
+}
+
+func TestEstimationAccuracyZeroForPerfectEstimate(t *testing.T) {
+	tbl, _, u := paperData(t)
+	truth, err := dataset.TrueConditional(tbl, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EstimationAccuracy(truth, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 1e-12 {
+		t.Fatalf("KL(truth, truth) = %g, want 0", got)
+	}
+}
+
+func TestEstimationAccuracyPositiveAndFinite(t *testing.T) {
+	tbl, d, u := paperData(t)
+	truth, err := dataset.TrueConditional(tbl, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad estimate: uniform over SA values.
+	est := dataset.NewConditional(u, d.SACardinality())
+	for qid := 0; qid < u.Len(); qid++ {
+		for s := 0; s < d.SACardinality(); s++ {
+			est.Set(qid, s, 1.0/float64(d.SACardinality()))
+		}
+	}
+	got, err := EstimationAccuracy(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("accuracy = %g, want positive finite", got)
+	}
+	// Against all-zero estimates, the epsilon floor keeps it finite.
+	zero := dataset.NewConditional(u, d.SACardinality())
+	got, err = EstimationAccuracy(truth, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("accuracy vs zero estimate = %g, want finite", got)
+	}
+}
+
+func TestEstimationAccuracyMismatchErrors(t *testing.T) {
+	tbl, d, u := paperData(t)
+	truth, err := dataset.TrueConditional(tbl, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherU := dataset.NewUniverse(tbl)
+	if _, err := EstimationAccuracy(truth, dataset.NewConditional(otherU, d.SACardinality())); err == nil {
+		t.Fatal("expected universe mismatch error")
+	}
+	if _, err := EstimationAccuracy(truth, dataset.NewConditional(u, 2)); err == nil {
+		t.Fatal("expected SA cardinality mismatch error")
+	}
+}
+
+// Property: KL(p, q) >= 0 for random distributions (Gibbs' inequality).
+func TestKLNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		p := randomDist(r, n)
+		q := randomDist(r, n)
+		return klRow(p, q) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomDist(r *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	var sum float64
+	for i := range p {
+		p[i] = r.Float64() + 1e-3
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+func TestMaxDisclosure(t *testing.T) {
+	_, d, u := paperData(t)
+	est := dataset.NewConditional(u, d.SACardinality())
+	est.Set(0, 1, 0.4)
+	est.Set(3, 0, 0.9)
+	if got := MaxDisclosure(est); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("MaxDisclosure = %g, want 0.9", got)
+	}
+}
+
+func TestPosteriorEntropy(t *testing.T) {
+	_, d, u := paperData(t)
+	est := dataset.NewConditional(u, d.SACardinality())
+	for qid := 0; qid < u.Len(); qid++ {
+		est.Set(qid, 0, 0.5)
+		est.Set(qid, 1, 0.5)
+	}
+	// Every row is a fair coin: 1 bit everywhere, weights sum to 1.
+	if got := PosteriorEntropy(est); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PosteriorEntropy = %g, want 1", got)
+	}
+	// Deterministic posterior: zero bits.
+	det := dataset.NewConditional(u, d.SACardinality())
+	for qid := 0; qid < u.Len(); qid++ {
+		det.Set(qid, 2, 1)
+	}
+	if got := PosteriorEntropy(det); got != 0 {
+		t.Fatalf("deterministic entropy = %g, want 0", got)
+	}
+}
+
+func TestDiversityScores(t *testing.T) {
+	_, d, _ := paperData(t)
+	// Buckets have 3, 3, 3 distinct SA values.
+	if got := DistinctDiversity(d); got != 3 {
+		t.Fatalf("DistinctDiversity = %d, want 3", got)
+	}
+	// Bucket 1 has SA multiset {s1, s2, s2, s3}: H = 1.5 bits, 2^1.5 ≈ 2.83;
+	// buckets 2 and 3 are uniform over 3 values: 2^log2(3) = 3.
+	want := math.Exp2(1.5)
+	if got := EntropyDiversity(d); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EntropyDiversity = %g, want %g", got, want)
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	_, d, _ := paperData(t)
+	got := TCloseness(d)
+	if got <= 0 || got > 1 {
+		t.Fatalf("TCloseness = %g, want in (0, 1]", got)
+	}
+	// A single-bucket publication mirrors the overall distribution
+	// exactly: t-closeness 0.
+	tbl := dataset.PaperExample()
+	rows := make([]int, tbl.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	whole, err := bucket.FromPartition(tbl, [][]int{rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TCloseness(whole); got != 0 {
+		t.Fatalf("single-bucket TCloseness = %g, want 0", got)
+	}
+}
+
+func TestAlphaK(t *testing.T) {
+	_, d, _ := paperData(t)
+	// Bucket 1 has s2 at 2/4 = 0.5; all buckets hold >= 3 records.
+	if err := AlphaK(d, 0.5, 3); err != nil {
+		t.Fatalf("expected (0.5, 3)-anonymity to hold: %v", err)
+	}
+	if err := AlphaK(d, 0.4, 3); err == nil {
+		t.Fatal("expected alpha violation at 0.4")
+	}
+	if err := AlphaK(d, 0.5, 4); err == nil {
+		t.Fatal("expected k violation at 4")
+	}
+	if err := AlphaK(d, 0, 1); err == nil {
+		t.Fatal("expected alpha validation error")
+	}
+	if err := AlphaK(d, 0.5, 0); err == nil {
+		t.Fatal("expected k validation error")
+	}
+}

@@ -1,0 +1,193 @@
+// Package randomize implements the randomization disguising method the
+// paper's future work (Sec. 8) targets: uniform randomized response on
+// the sensitive attribute (the Agrawal/Evfimievski line of work the
+// related-work section cites). Each published record keeps its true
+// sensitive value with probability ρ and otherwise reports a value drawn
+// uniformly from the whole SA domain; ρ is public.
+//
+// Privacy-MaxEnt extends naturally: the unknowns are the true joints
+// P(Q, S); the QI marginals give exact equality constraints
+// Σ_s P(q,s) = P(q); and each observed perturbed count pins an expected
+// linear combination Σ_s M(s′|s)·P(q,s) of the unknowns. Because the
+// observation is a sample (not an expectation), equality would be
+// infeasible, so the counts enter as sampling-tolerance *boxes* — the
+// Sec. 4.5 inequality machinery — and the maximum-entropy distribution
+// inside the box is the least-biased reconstruction.
+package randomize
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/maxent"
+)
+
+// Mechanism is uniform randomized response over an SA domain of
+// cardinality M: report the truth with probability Rho, otherwise a
+// uniform draw from the whole domain (which may repeat the truth).
+type Mechanism struct {
+	Rho float64
+	M   int
+}
+
+// Prob returns P(observe = o | true = s).
+func (m Mechanism) Prob(o, s int) float64 {
+	p := (1 - m.Rho) / float64(m.M)
+	if o == s {
+		p += m.Rho
+	}
+	return p
+}
+
+// Validate checks the mechanism parameters.
+func (m Mechanism) Validate() error {
+	if m.Rho < 0 || m.Rho > 1 {
+		return fmt.Errorf("randomize: retention probability %g outside [0,1]", m.Rho)
+	}
+	if m.M < 2 {
+		return fmt.Errorf("randomize: SA domain of size %d cannot be randomized", m.M)
+	}
+	return nil
+}
+
+// Perturb publishes the table under the mechanism: the SA column of every
+// record is re-drawn per Mechanism, QI columns are untouched.
+// Deterministic for a given seed.
+func Perturb(t *dataset.Table, rho float64, seed int64) (*dataset.Table, Mechanism, error) {
+	if t.Schema().SAIndex() < 0 {
+		return nil, Mechanism{}, fmt.Errorf("randomize: table has no sensitive attribute")
+	}
+	mech := Mechanism{Rho: rho, M: t.Schema().SA().Cardinality()}
+	if err := mech.Validate(); err != nil {
+		return nil, Mechanism{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := dataset.NewTable(t.Schema())
+	saPos := t.Schema().SAIndex()
+	row := make([]int, t.Schema().Len())
+	for r := 0; r < t.Len(); r++ {
+		copy(row, t.Row(r))
+		if rng.Float64() >= rho {
+			row[saPos] = rng.Intn(mech.M)
+		}
+		if err := out.AppendCoded(row); err != nil {
+			return nil, Mechanism{}, err
+		}
+	}
+	return out, mech, nil
+}
+
+// Estimate reconstructs the adversary's MaxEnt posterior P(S | Q) from a
+// perturbed publication. z sets the sampling-tolerance width (the box
+// half-width per observed cell is z·σ̂ + 1/N, with σ̂ the binomial standard
+// error of the observed share); z ≤ 0 defaults to 3. The returned stats
+// describe the box-constrained dual solve.
+func Estimate(published *dataset.Table, mech Mechanism, z float64, opts maxent.Options) (*dataset.Conditional, maxent.Stats, error) {
+	if err := mech.Validate(); err != nil {
+		return nil, maxent.Stats{}, err
+	}
+	if published.Schema().SAIndex() < 0 {
+		return nil, maxent.Stats{}, fmt.Errorf("randomize: published table has no sensitive attribute")
+	}
+	if mech.M != published.Schema().SA().Cardinality() {
+		return nil, maxent.Stats{}, fmt.Errorf("randomize: mechanism domain %d does not match SA cardinality %d",
+			mech.M, published.Schema().SA().Cardinality())
+	}
+	if z <= 0 {
+		z = 3
+	}
+	u := dataset.NewUniverse(published)
+	m := mech.M
+	n := u.Len() * m
+	bigN := float64(published.Len())
+	varIdx := func(qid, s int) int { return qid*m + s }
+
+	// Observed perturbed counts per (q, s′).
+	observed := make([]int, n)
+	for r := 0; r < published.Len(); r++ {
+		qid, ok := u.QID(published.QIKey(r))
+		if !ok {
+			return nil, maxent.Stats{}, fmt.Errorf("randomize: row %d missing from universe", r)
+		}
+		observed[varIdx(qid, published.SACode(r))]++
+	}
+
+	// Equalities: Σ_s P(q,s) = P(q) (exact — QI values are unperturbed).
+	var cons []constraint.Constraint
+	for qid := 0; qid < u.Len(); qid++ {
+		terms := make([]int, m)
+		coeffs := make([]float64, m)
+		for s := 0; s < m; s++ {
+			terms[s] = varIdx(qid, s)
+			coeffs[s] = 1
+		}
+		cons = append(cons, constraint.Constraint{
+			Kind:   constraint.QIInvariant,
+			Label:  fmt.Sprintf("QI q%d", qid+1),
+			Terms:  terms,
+			Coeffs: coeffs,
+			RHS:    u.P(qid),
+		})
+	}
+
+	// Boxes: for each (q, s′), Σ_s M(s′|s)·P(q,s) within sampling
+	// tolerance of the observed share.
+	var ineqs []maxent.Inequality
+	for qid := 0; qid < u.Len(); qid++ {
+		for o := 0; o < m; o++ {
+			terms := make([]int, m)
+			coeffs := make([]float64, m)
+			for s := 0; s < m; s++ {
+				terms[s] = varIdx(qid, s)
+				coeffs[s] = mech.Prob(o, s)
+			}
+			target := float64(observed[varIdx(qid, o)]) / bigN
+			sigma := math.Sqrt(math.Max(target*(1-target), target) / bigN) // binomial SE of the share
+			eps := z*sigma + 1/bigN
+			ineqs = append(ineqs, maxent.Inequality{
+				Label:  fmt.Sprintf("obs q%d s'%d", qid+1, o+1),
+				Terms:  terms,
+				Coeffs: coeffs,
+				Lo:     math.Max(0, target-eps),
+				Hi:     target + eps,
+			})
+		}
+	}
+
+	// Initialize from the independent joint P(q)·P̂(s): any variable the
+	// solver leaves untouched stays at a sane prior.
+	init := make([]float64, n)
+	for qid := 0; qid < u.Len(); qid++ {
+		for s := 0; s < m; s++ {
+			init[varIdx(qid, s)] = u.P(qid) / float64(m)
+		}
+	}
+
+	x, stats, err := maxent.SolveConstraintsWithInequalities(n, cons, ineqs, init, opts)
+	if err != nil {
+		return nil, maxent.Stats{}, err
+	}
+	cond := dataset.NewConditional(u, m)
+	for qid := 0; qid < u.Len(); qid++ {
+		pq := u.P(qid)
+		if pq <= 0 {
+			continue
+		}
+		for s := 0; s < m; s++ {
+			cond.Set(qid, s, math.Max(0, x[varIdx(qid, s)])/pq)
+		}
+	}
+	cond.Normalize()
+	return cond, stats, nil
+}
+
+// ObservedConditional is the naive baseline: read P(S|Q) off the
+// perturbed table as if it were the truth. It is biased toward uniform
+// by the mechanism; Estimate should beat it whenever ρ < 1.
+func ObservedConditional(published *dataset.Table) (*dataset.Conditional, error) {
+	u := dataset.NewUniverse(published)
+	return dataset.TrueConditional(published, u)
+}

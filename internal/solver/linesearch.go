@@ -1,0 +1,116 @@
+package solver
+
+import (
+	"math"
+
+	"privacymaxent/internal/linalg"
+)
+
+// Line-search constants for the strong Wolfe conditions (Nocedal & Wright,
+// Numerical Optimization, Algorithms 3.5/3.6). c1 is the sufficient
+// decrease (Armijo) parameter, c2 the curvature parameter recommended for
+// quasi-Newton directions.
+const (
+	wolfeC1       = 1e-4
+	wolfeC2       = 0.9
+	maxLineEvals  = 40
+	maxZoomRounds = 40
+)
+
+// lineFunc evaluates φ(α) = f(x + α d) and φ'(α) = ∇f(x + α d)·d,
+// tracking evaluation counts for the Result report.
+type lineFunc struct {
+	obj   Objective
+	x     []float64 // base point
+	d     []float64 // search direction
+	xTmp  []float64
+	gTmp  []float64
+	evals int
+
+	// lastX/lastG hold the point and gradient of the most recent
+	// evaluation so the caller can reuse them without re-evaluating.
+	lastF float64
+}
+
+func newLineFunc(obj Objective, x, d []float64) *lineFunc {
+	n := obj.Dim()
+	return &lineFunc{obj: obj, x: x, d: d, xTmp: make([]float64, n), gTmp: make([]float64, n)}
+}
+
+// eval returns φ(α) and φ'(α).
+func (lf *lineFunc) eval(alpha float64) (phi, dphi float64) {
+	copy(lf.xTmp, lf.x)
+	linalg.Axpy(alpha, lf.d, lf.xTmp)
+	phi = lf.obj.Eval(lf.xTmp, lf.gTmp)
+	lf.evals++
+	lf.lastF = phi
+	return phi, linalg.Dot(lf.gTmp, lf.d)
+}
+
+// strongWolfe searches for a step length satisfying the strong Wolfe
+// conditions along descent direction d. phi0 and dphi0 are φ(0) and φ'(0)
+// (dphi0 must be negative). It returns the accepted step, φ at that step,
+// and whether a satisfying step was found; on failure the best step seen
+// is returned so the optimizer can still make progress or bail out.
+func strongWolfe(lf *lineFunc, alpha0, phi0, dphi0 float64) (alpha, phi float64, ok bool) {
+	if dphi0 >= 0 {
+		return 0, phi0, false
+	}
+	alphaPrev, phiPrev := 0.0, phi0
+	alpha = alpha0
+	const maxAlpha = 1e10
+	for i := 0; i < maxLineEvals; i++ {
+		phiA, dphiA := lf.eval(alpha)
+		if !finite(phiA) {
+			// Overstepped into an overflow region: shrink hard.
+			alpha = alphaPrev + (alpha-alphaPrev)/10
+			continue
+		}
+		if phiA > phi0+wolfeC1*alpha*dphi0 || (i > 0 && phiA >= phiPrev) {
+			return zoom(lf, alphaPrev, alpha, phiPrev, phi0, dphi0)
+		}
+		if math.Abs(dphiA) <= -wolfeC2*dphi0 {
+			return alpha, phiA, true
+		}
+		if dphiA >= 0 {
+			return zoom(lf, alpha, alphaPrev, phiA, phi0, dphi0)
+		}
+		alphaPrev, phiPrev = alpha, phiA
+		alpha *= 2
+		if alpha > maxAlpha {
+			return alphaPrev, phiPrev, false
+		}
+	}
+	return alphaPrev, phiPrev, false
+}
+
+// zoom narrows [lo, hi] (in the sense of Nocedal & Wright Alg. 3.6; lo has
+// the lower φ) until a strong-Wolfe point is found.
+func zoom(lf *lineFunc, alphaLo, alphaHi, phiLo, phi0, dphi0 float64) (alpha, phi float64, ok bool) {
+	for i := 0; i < maxZoomRounds; i++ {
+		alpha = 0.5 * (alphaLo + alphaHi)
+		phiA, dphiA := lf.eval(alpha)
+		switch {
+		case !finite(phiA) || phiA > phi0+wolfeC1*alpha*dphi0 || phiA >= phiLo:
+			alphaHi = alpha
+		default:
+			if math.Abs(dphiA) <= -wolfeC2*dphi0 {
+				return alpha, phiA, true
+			}
+			if dphiA*(alphaHi-alphaLo) >= 0 {
+				alphaHi = alphaLo
+			}
+			alphaLo, phiLo = alpha, phiA
+		}
+		if math.Abs(alphaHi-alphaLo) < 1e-16*(1+math.Abs(alphaLo)) {
+			break
+		}
+	}
+	// Accept the best lower point even if curvature wasn't certified;
+	// Armijo decrease still holds there.
+	if alphaLo > 0 {
+		phiA, _ := lf.eval(alphaLo)
+		return alphaLo, phiA, finite(phiA) && phiA <= phi0+wolfeC1*alphaLo*dphi0
+	}
+	return 0, phi0, false
+}

@@ -1,0 +1,90 @@
+// Package solver provides the unconstrained numerical optimizers used to
+// minimize the MaxEnt dual: a hand-rolled limited-memory BFGS (the paper
+// solves its Lagrangian dual with Nocedal's LBFGS [16]) with a strong-Wolfe
+// line search, and a steepest-descent baseline for the Malouf-style
+// algorithm comparison referenced in Sec. 3.3.
+package solver
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Objective is a smooth function f: ℝⁿ → ℝ with gradient. Eval must write
+// the gradient at x into grad (len == Dim) and return f(x).
+type Objective interface {
+	Dim() int
+	Eval(x, grad []float64) float64
+}
+
+// Options tunes an optimizer run. Zero values select the defaults noted
+// on each field.
+type Options struct {
+	// MaxIterations bounds outer iterations. Default 500.
+	MaxIterations int
+	// GradTol declares convergence when the gradient's infinity norm
+	// falls below it. Default 1e-9.
+	GradTol float64
+	// Memory is the number of (s, y) correction pairs LBFGS keeps.
+	// Default 10, as in Nocedal's reference implementation.
+	Memory int
+	// InitialStep is the first trial step of the very first line search.
+	// Default 1.
+	InitialStep float64
+	// Trace, when non-nil, is invoked once per outer iteration with the
+	// iteration number, current objective value and gradient infinity
+	// norm — a lightweight progress hook for long solves.
+	Trace func(iteration int, f, gradNorm float64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 500
+	}
+	if o.GradTol <= 0 {
+		o.GradTol = 1e-9
+	}
+	if o.Memory <= 0 {
+		o.Memory = 10
+	}
+	if o.InitialStep <= 0 {
+		o.InitialStep = 1
+	}
+	return o
+}
+
+// Result reports the outcome of an optimizer run.
+type Result struct {
+	// X is the final iterate.
+	X []float64
+	// F is the objective value at X.
+	F float64
+	// GradNorm is the infinity norm of the gradient at X.
+	GradNorm float64
+	// Iterations is the number of outer iterations performed; the paper's
+	// Figure 7 reports this quantity.
+	Iterations int
+	// Evaluations counts calls to Objective.Eval.
+	Evaluations int
+	// Converged reports whether GradTol was reached (as opposed to
+	// stopping on the iteration budget or a stalled line search).
+	Converged bool
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// ErrNonFinite is returned when the objective produces NaN or ±Inf at the
+// starting point, which indicates an infeasible or mis-scaled problem.
+var ErrNonFinite = errors.New("solver: objective is not finite at the starting point")
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func allFinite(x []float64) bool {
+	for _, v := range x {
+		if !finite(v) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,297 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is f(x) = ½ Σ w_i (x_i − c_i)², a strictly convex test
+// function with known minimizer c.
+type quadratic struct {
+	w, c []float64
+}
+
+func (q *quadratic) Dim() int { return len(q.w) }
+
+func (q *quadratic) Eval(x, grad []float64) float64 {
+	var f float64
+	for i := range x {
+		d := x[i] - q.c[i]
+		f += 0.5 * q.w[i] * d * d
+		grad[i] = q.w[i] * d
+	}
+	return f
+}
+
+// rosenbrock is the classic nonconvex banana function (n = 2), a standard
+// line-search stress test with minimum at (1, 1).
+type rosenbrock struct{}
+
+func (rosenbrock) Dim() int { return 2 }
+
+func (rosenbrock) Eval(x, grad []float64) float64 {
+	a, b := x[0], x[1]
+	f := (1-a)*(1-a) + 100*(b-a*a)*(b-a*a)
+	grad[0] = -2*(1-a) - 400*a*(b-a*a)
+	grad[1] = 200 * (b - a*a)
+	return f
+}
+
+// expSum mimics the MaxEnt dual's structure: f(λ) = Σ_j exp(a_j·λ − 1) −
+// c·λ, smooth and convex with exponentials that can overflow if the line
+// search is careless.
+type expSum struct {
+	a [][]float64 // a[j] is row j
+	c []float64
+}
+
+func (e *expSum) Dim() int { return len(e.c) }
+
+func (e *expSum) Eval(x, grad []float64) float64 {
+	for i := range grad {
+		grad[i] = -e.c[i]
+	}
+	f := -dot(e.c, x)
+	for _, row := range e.a {
+		v := math.Exp(dot(row, x) - 1)
+		f += v
+		for i := range row {
+			grad[i] += row[i] * v
+		}
+	}
+	return f
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func TestLBFGSQuadratic(t *testing.T) {
+	q := &quadratic{w: []float64{1, 10, 100}, c: []float64{3, -2, 0.5}}
+	res, err := LBFGS(q, []float64{0, 0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i, want := range q.c {
+		if math.Abs(res.X[i]-want) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], want)
+		}
+	}
+	if res.Iterations == 0 || res.Evaluations == 0 {
+		t.Fatalf("bookkeeping: %+v", res)
+	}
+}
+
+func TestLBFGSRosenbrock(t *testing.T) {
+	res, err := LBFGS(rosenbrock{}, []float64{-1.2, 1}, Options{MaxIterations: 2000, GradTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-1) > 1e-5 || math.Abs(res.X[1]-1) > 1e-5 {
+		t.Fatalf("minimizer = %v, want (1,1); %+v", res.X, res)
+	}
+}
+
+func TestSteepestDescentQuadratic(t *testing.T) {
+	q := &quadratic{w: []float64{1, 4}, c: []float64{1, 2}}
+	res, err := SteepestDescent(q, []float64{-3, 7}, Options{MaxIterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if math.Abs(res.X[0]-1) > 1e-6 || math.Abs(res.X[1]-2) > 1e-6 {
+		t.Fatalf("minimizer = %v", res.X)
+	}
+}
+
+func TestLBFGSBeatsSteepestOnIllConditioned(t *testing.T) {
+	// Condition number 1e4: steepest descent zigzags, LBFGS should not.
+	q := &quadratic{w: []float64{1, 1e4}, c: []float64{5, -5}}
+	x0 := []float64{0, 0}
+	lb, err := LBFGS(q, x0, Options{MaxIterations: 500, GradTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := SteepestDescent(q, x0, Options{MaxIterations: 500, GradTol: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lb.Converged {
+		t.Fatalf("LBFGS did not converge: %+v", lb)
+	}
+	if sd.Converged && sd.Iterations <= lb.Iterations {
+		t.Fatalf("steepest descent (%d iters) unexpectedly beat LBFGS (%d iters)", sd.Iterations, lb.Iterations)
+	}
+}
+
+func TestLBFGSExpSum(t *testing.T) {
+	// Two variables, three exp terms; minimizer satisfies A x(λ) = c with
+	// x_j = exp(a_j·λ − 1). Feasibility of c is arranged by construction:
+	// pick λ*, set c = Σ_j a_j exp(a_j·λ* − 1).
+	a := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	lamStar := []float64{0.3, -0.7}
+	c := make([]float64, 2)
+	for _, row := range a {
+		v := math.Exp(dot(row, lamStar) - 1)
+		for i := range row {
+			c[i] += row[i] * v
+		}
+	}
+	e := &expSum{a: a, c: c}
+	res, err := LBFGS(e, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	for i := range lamStar {
+		if math.Abs(res.X[i]-lamStar[i]) > 1e-6 {
+			t.Fatalf("λ[%d] = %g, want %g", i, res.X[i], lamStar[i])
+		}
+	}
+}
+
+func TestLBFGSAlreadyOptimal(t *testing.T) {
+	q := &quadratic{w: []float64{1, 1}, c: []float64{0, 0}}
+	res, err := LBFGS(q, []float64{0, 0}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations != 0 {
+		t.Fatalf("expected immediate convergence: %+v", res)
+	}
+}
+
+type nanObjective struct{}
+
+func (nanObjective) Dim() int { return 1 }
+func (nanObjective) Eval(x, grad []float64) float64 {
+	grad[0] = math.NaN()
+	return math.NaN()
+}
+
+func TestNonFiniteStart(t *testing.T) {
+	if _, err := LBFGS(nanObjective{}, []float64{0}, Options{}); err != ErrNonFinite {
+		t.Fatalf("LBFGS err = %v, want ErrNonFinite", err)
+	}
+	if _, err := SteepestDescent(nanObjective{}, []float64{0}, Options{}); err != ErrNonFinite {
+		t.Fatalf("SteepestDescent err = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestLBFGSDoesNotModifyStart(t *testing.T) {
+	q := &quadratic{w: []float64{2}, c: []float64{4}}
+	x0 := []float64{1}
+	if _, err := LBFGS(q, x0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 1 {
+		t.Fatal("LBFGS modified x0")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIterations != 500 || o.GradTol != 1e-9 || o.Memory != 10 || o.InitialStep != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	custom := Options{MaxIterations: 7, GradTol: 0.5, Memory: 3, InitialStep: 2}.withDefaults()
+	if custom.MaxIterations != 7 || custom.GradTol != 0.5 || custom.Memory != 3 || custom.InitialStep != 2 {
+		t.Fatalf("custom options overridden: %+v", custom)
+	}
+}
+
+func TestLBFGSIterationBudget(t *testing.T) {
+	res, err := LBFGS(rosenbrock{}, []float64{-1.2, 1}, Options{MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("3 iterations should not converge on Rosenbrock")
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("Iterations = %d, want 3", res.Iterations)
+	}
+}
+
+// Property-style test: from many random starts, LBFGS reaches the global
+// minimum of a random strictly convex quadratic.
+func TestLBFGSRandomQuadratics(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(20)
+		q := &quadratic{w: make([]float64, n), c: make([]float64, n)}
+		for i := 0; i < n; i++ {
+			q.w[i] = math.Exp(rng.NormFloat64() * 2) // spread of curvatures
+			q.c[i] = rng.NormFloat64() * 10
+		}
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.NormFloat64() * 10
+		}
+		res, err := LBFGS(q, x0, Options{MaxIterations: 1000, GradTol: 1e-8})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range q.c {
+			if math.Abs(res.X[i]-q.c[i]) > 1e-4*(1+math.Abs(q.c[i])) {
+				t.Fatalf("trial %d: x[%d] = %g, want %g (converged=%v, iters=%d)",
+					trial, i, res.X[i], q.c[i], res.Converged, res.Iterations)
+			}
+		}
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	q := &quadratic{w: []float64{1, 10}, c: []float64{2, -1}}
+	var iters []int
+	var lastG float64
+	opts := Options{Trace: func(iteration int, f, gradNorm float64) {
+		iters = append(iters, iteration)
+		lastG = gradNorm
+	}}
+	res, err := LBFGS(q, []float64{5, 5}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 {
+		t.Fatal("trace never invoked")
+	}
+	for i, it := range iters {
+		if it != i {
+			t.Fatalf("trace iterations out of order: %v", iters)
+		}
+	}
+	// The final traced gradient matches the converged result's.
+	if !res.Converged || lastG > 1e-6 {
+		t.Fatalf("last traced gradient = %g (converged=%v)", lastG, res.Converged)
+	}
+	// Steepest descent and Newton honour the hook too.
+	count := 0
+	opts = Options{Trace: func(int, float64, float64) { count++ }, MaxIterations: 50}
+	if _, err := SteepestDescent(q, []float64{5, 5}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("steepest descent trace never invoked")
+	}
+	count = 0
+	qh := &quadraticH{*q}
+	if _, err := Newton(qh, []float64{5, 5}, opts); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("newton trace never invoked")
+	}
+}

@@ -1,0 +1,214 @@
+// Package privacymaxent is a Go implementation of Privacy-MaxEnt (Du,
+// Teng, Zhu — SIGMOD 2008): a systematic method for integrating adversary
+// background knowledge into the privacy quantification of bucketized
+// microdata publishing.
+//
+// The pipeline treats every joint probability P(Q, S, B) — quasi-
+// identifier value, sensitive value, bucket — as an unknown, derives the
+// complete set of linear invariant equations the published data imposes,
+// adds background knowledge (association rules over the data
+// distribution, or statements about individuals) as further linear
+// constraints, and picks the maximum-entropy distribution satisfying all
+// of them. The resulting posterior P(S | Q) is the most unbiased estimate
+// of what a bounded adversary can infer, and feeds the privacy scores in
+// Report.
+//
+// Quick start:
+//
+//	q := privacymaxent.New(privacymaxent.Config{})
+//	report, err := q.Run(table, privacymaxent.Bound{KPos: 50, KNeg: 50})
+//
+// This facade re-exports the library's public surface; the
+// implementation lives under internal/ (dataset, bucket, assoc,
+// constraint, maxent, metrics, core, individuals, experiments).
+package privacymaxent
+
+import (
+	"io"
+
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/generalize"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/metrics"
+	"privacymaxent/internal/randomize"
+	"privacymaxent/internal/solver"
+	"privacymaxent/internal/worstcase"
+)
+
+// Data model (see internal/dataset).
+type (
+	// Attribute is a categorical column with a privacy role.
+	Attribute = dataset.Attribute
+	// Role classifies attributes as ID, QI or SA.
+	Role = dataset.Role
+	// Schema is an ordered set of attributes with exactly one SA.
+	Schema = dataset.Schema
+	// Table is an encoded microdata table.
+	Table = dataset.Table
+	// Universe indexes the distinct QI tuples of a table.
+	Universe = dataset.Universe
+	// Conditional is a P(S | Q) distribution.
+	Conditional = dataset.Conditional
+)
+
+// Attribute roles.
+const (
+	Identifier      = dataset.Identifier
+	QuasiIdentifier = dataset.QuasiIdentifier
+	Sensitive       = dataset.Sensitive
+)
+
+// Publishing substrate (see internal/bucket).
+type (
+	// Bucketized is the published view D′.
+	Bucketized = bucket.Bucketized
+	// BucketOptions configures the Anatomy bucketizer.
+	BucketOptions = bucket.Options
+)
+
+// Background knowledge (see internal/assoc and internal/constraint).
+type (
+	// Rule is a positive or negative association rule Qv ⇒ s / Qv ⇒ ¬s.
+	Rule = assoc.Rule
+	// MineOptions configures rule mining.
+	MineOptions = assoc.Options
+	// DistributionKnowledge is a P(S | Qv) = p statement.
+	DistributionKnowledge = constraint.DistributionKnowledge
+)
+
+// Solver (see internal/maxent and internal/solver).
+type (
+	// SolveOptions configures the MaxEnt solve.
+	SolveOptions = maxent.Options
+	// SolverOptions tunes the numerical optimizer.
+	SolverOptions = solver.Options
+	// Algorithm selects the dual method (LBFGS, GIS, ...).
+	Algorithm = maxent.Algorithm
+)
+
+// Dual algorithms.
+const (
+	LBFGS           = maxent.LBFGS
+	SteepestDescent = maxent.SteepestDescent
+	GIS             = maxent.GIS
+	Newton          = maxent.Newton
+)
+
+// Pipeline (see internal/core).
+type (
+	// Config tunes the Privacy-MaxEnt pipeline.
+	Config = core.Config
+	// Quantifier runs quantifications under one Config.
+	Quantifier = core.Quantifier
+	// Bound is the Top-(K+, K−) background-knowledge budget.
+	Bound = core.Bound
+	// Report is the (bound, posterior, privacy scores) outcome.
+	Report = core.Report
+)
+
+// New creates a Quantifier; the zero Config reproduces the paper's
+// evaluation setup (5-diversity Anatomy buckets, minimum rule support 3,
+// LBFGS with the Sec. 5.5 decomposition).
+func New(cfg Config) *Quantifier { return core.New(cfg) }
+
+// NewAttribute builds a categorical attribute.
+func NewAttribute(name string, role Role, domain []string) *Attribute {
+	return dataset.NewAttribute(name, role, domain)
+}
+
+// NewSchema builds a schema, validating roles and name uniqueness.
+func NewSchema(attrs ...*Attribute) (*Schema, error) { return dataset.NewSchema(attrs...) }
+
+// NewTable creates an empty table over a schema.
+func NewTable(schema *Schema) *Table { return dataset.NewTable(schema) }
+
+// NewUniverse indexes the distinct QI tuples of a table.
+func NewUniverse(t *Table) *Universe { return dataset.NewUniverse(t) }
+
+// TrueConditional computes the ground-truth P(S|Q) from original data.
+func TrueConditional(t *Table, u *Universe) (*Conditional, error) {
+	return dataset.TrueConditional(t, u)
+}
+
+// Anatomize publishes a table with the Anatomy bucketizer.
+func Anatomize(t *Table, opts BucketOptions) (*Bucketized, [][]int, error) {
+	return bucket.Anatomize(t, opts)
+}
+
+// MineRules mines association rules from original data, strongest first.
+func MineRules(t *Table, opts MineOptions) ([]Rule, error) { return assoc.Mine(t, opts) }
+
+// TopK selects the Top-(K+, K−) strongest rules from a sorted rule list.
+func TopK(rules []Rule, kPos, kNeg int) []Rule { return assoc.TopK(rules, kPos, kNeg) }
+
+// EstimationAccuracy is the paper's weighted KL distance between the true
+// conditional and an estimate (Sec. 7.1); lower means the adversary's
+// estimate is closer to the truth.
+func EstimationAccuracy(truth, estimate *Conditional) (float64, error) {
+	return metrics.EstimationAccuracy(truth, estimate)
+}
+
+// MaxDisclosure is the adversary's highest single-link confidence
+// max P*(s|q) under an estimated posterior.
+func MaxDisclosure(estimate *Conditional) float64 { return metrics.MaxDisclosure(estimate) }
+
+// TCloseness is the t-closeness level of a publication (max earth-mover
+// distance between a bucket's SA distribution and the global one).
+func TCloseness(d *Bucketized) float64 { return metrics.TCloseness(d) }
+
+// Other disguising methods (see internal/generalize, internal/randomize)
+// and the deterministic worst-case baseline (internal/worstcase).
+type (
+	// GeneralizationClass is one Mondrian equivalence class.
+	GeneralizationClass = generalize.Class
+	// RandomizationMechanism is uniform randomized response on SA.
+	RandomizationMechanism = randomize.Mechanism
+)
+
+// Generalize publishes the table as Mondrian k-anonymous equivalence
+// classes; the returned Bucketized view feeds the same MaxEnt pipeline.
+func Generalize(t *Table, k int) (*Bucketized, []GeneralizationClass, error) {
+	return generalize.Publish(t, k)
+}
+
+// Randomize publishes the table under randomized response with retention
+// probability rho.
+func Randomize(t *Table, rho float64, seed int64) (*Table, RandomizationMechanism, error) {
+	return randomize.Perturb(t, rho, seed)
+}
+
+// RandomizedPosterior reconstructs the adversary's MaxEnt posterior from
+// a randomized publication (z is the sampling-tolerance width; 0 = 3σ).
+func RandomizedPosterior(published *Table, mech RandomizationMechanism, z float64, opts SolveOptions) (*Conditional, error) {
+	cond, _, err := randomize.Estimate(published, mech, z, opts)
+	return cond, err
+}
+
+// WorstCaseDisclosure is Martin et al.'s deterministic baseline: the
+// maximum posterior reachable with k negative statements about a target's
+// bucket.
+func WorstCaseDisclosure(d *Bucketized, k int) (float64, error) {
+	return worstcase.Disclosure(d, k)
+}
+
+// WritePublishedJSON and ReadPublishedJSON (de)serialize the published
+// view D′ — exactly the information a bucketized release makes public.
+func WritePublishedJSON(w io.Writer, d *Bucketized) error { return bucket.WriteJSON(w, d) }
+
+// ReadPublishedJSON parses a published view written by WritePublishedJSON.
+func ReadPublishedJSON(r io.Reader) (*Bucketized, error) { return bucket.ReadJSON(r) }
+
+// ParseKnowledgeJSON and WriteKnowledgeJSON (de)serialize knowledge
+// statements ({"if": {...}, "then": "...", "p": 0.3}).
+func ParseKnowledgeJSON(r io.Reader, schema *Schema) ([]DistributionKnowledge, error) {
+	return constraint.ParseKnowledgeJSON(r, schema)
+}
+
+// WriteKnowledgeJSON serializes knowledge statements for audit/replay.
+func WriteKnowledgeJSON(w io.Writer, schema *Schema, ks []DistributionKnowledge) error {
+	return constraint.WriteKnowledgeJSON(w, schema, ks)
+}
