@@ -8,8 +8,9 @@
 //	experiments -figure 5 -records 14210    # Figure 5 at the paper's full size
 //	experiments -figure 7b -buckets 200,400,800,1600 -constraints 0,100,1000,10000
 //
-// Figures: 5, 6, 7a, 7b, 7c, solvers (Malouf-style ablation),
-// decomposition (Sec. 5.5 ablation), baseline.
+// Figures: 5, 6, 7a, 7b, 7c, stages (per-stage running-time breakdown
+// from Report.Timings), solvers (Malouf-style ablation), decomposition
+// (Sec. 5.5 ablation), baseline.
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "which figure to regenerate: 5, 6, 7a, 7b, 7c, solvers, decomposition, baseline, all")
+		figure      = flag.String("figure", "all", "which figure to regenerate: 5, 6, 7a, 7b, 7c, stages, solvers, decomposition, baseline, all")
 		records     = flag.Int("records", 1500, "synthetic Adult records (paper: 14210)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		diversity   = flag.Int("l", 5, "L-diversity / bucket size")
@@ -66,7 +67,7 @@ func parseInts(s string) []int {
 }
 
 func run(figure string, cfg experiments.Config, maxT int, buckets, constraints []int, k int, kGrid []int) error {
-	needsInstance := map[string]bool{"5": true, "6": true, "7a": true, "solvers": true, "decomposition": true, "baseline": true, "all": true}
+	needsInstance := map[string]bool{"5": true, "6": true, "7a": true, "stages": true, "solvers": true, "decomposition": true, "baseline": true, "all": true}
 	var in *experiments.Instance
 	var err error
 	if needsInstance[figure] {
@@ -138,6 +139,16 @@ func run(figure string, cfg experiments.Config, maxT int, buckets, constraints [
 			}
 			fmt.Println()
 		}
+	}
+	if want("stages") {
+		series, err := experiments.StageBreakdown(in, kGrid)
+		if err != nil {
+			return err
+		}
+		if err := experiments.PrintSeries(os.Stdout, "Per-stage running time (seconds) vs knowledge", "#rules", series); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
 	if want("solvers") {
 		results, err := experiments.CompareAlgorithms(in, k, nil)

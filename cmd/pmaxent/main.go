@@ -25,9 +25,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -38,6 +41,7 @@ import (
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/telemetry"
 )
 
 // options collects the CLI configuration.
@@ -57,6 +61,10 @@ type options struct {
 	algorithm       string
 	top             int
 	demo            bool
+	trace           bool
+	traceOut        string
+	metricsOut      string
+	pprofAddr       string
 }
 
 func main() {
@@ -77,6 +85,10 @@ func main() {
 	flag.StringVar(&o.algorithm, "algorithm", "lbfgs", "dual solver: lbfgs, gis, iis, steepest, newton")
 	flag.IntVar(&o.top, "top", 10, "number of riskiest QI tuples to print")
 	flag.BoolVar(&o.demo, "demo", false, "run on the paper's built-in example instead of a file")
+	flag.BoolVar(&o.trace, "trace", false, "emit a JSON-lines span trace and metrics snapshot to stderr")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write the JSON-lines span trace to this file (implies tracing)")
+	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a Prometheus-style metrics snapshot to this file")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -90,15 +102,85 @@ func run(w io.Writer, o options) error {
 	if err != nil {
 		return err
 	}
-	if o.published != "" {
-		return runPublished(w, o, alg)
+	ctx, finish, err := setupTelemetry(o)
+	if err != nil {
+		return err
 	}
-	return runOriginal(w, o, alg)
+	if o.published != "" {
+		err = runPublished(ctx, w, o, alg)
+	} else {
+		err = runOriginal(ctx, w, o, alg)
+	}
+	if ferr := finish(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// setupTelemetry builds the run context from the observability flags: a
+// tracer when -trace/-trace-out is set, a metrics registry when any of
+// -trace/-metrics-out/-pprof is set, and the pprof+expvar HTTP server for
+// -pprof. The returned finish func flushes the metrics snapshot.
+func setupTelemetry(o options) (context.Context, func() error, error) {
+	ctx := context.Background()
+	finish := func() error { return nil }
+	needMetrics := o.trace || o.metricsOut != "" || o.pprofAddr != ""
+	needTrace := o.trace || o.traceOut != ""
+	if !needMetrics && !needTrace {
+		return ctx, finish, nil
+	}
+
+	var reg *telemetry.Registry
+	if needMetrics {
+		reg = telemetry.NewRegistry()
+		ctx = telemetry.WithMetrics(ctx, reg)
+	}
+	if o.pprofAddr != "" {
+		telemetry.PublishExpvar("pmaxent", reg)
+		ln := o.pprofAddr
+		go func() {
+			// net/http/pprof and expvar register on the default mux.
+			if err := http.ListenAndServe(ln, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pmaxent: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof and expvar on http://%s/debug/pprof/ and /debug/vars\n", ln)
+	}
+
+	var traceFile *os.File
+	if needTrace {
+		traceW := io.Writer(os.Stderr)
+		if o.traceOut != "" {
+			f, err := os.Create(o.traceOut)
+			if err != nil {
+				return nil, nil, fmt.Errorf("creating trace output: %w", err)
+			}
+			traceFile, traceW = f, f
+		}
+		ctx = telemetry.WithTracer(ctx, telemetry.NewTracer(telemetry.NewJSONSink(traceW)))
+	}
+
+	finish = func() error {
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return fmt.Errorf("closing trace output: %w", err)
+			}
+		}
+		if o.metricsOut != "" {
+			if err := writeFile(o.metricsOut, reg.WriteProm); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+		} else if o.trace {
+			return reg.WriteProm(os.Stderr)
+		}
+		return nil
+	}
+	return ctx, finish, nil
 }
 
 // runOriginal covers -demo and -input: the full pipeline from original
 // data, with ground-truth scoring.
-func runOriginal(w io.Writer, o options, alg maxent.Algorithm) error {
+func runOriginal(ctx context.Context, w io.Writer, o options, alg maxent.Algorithm) error {
 	var tbl *dataset.Table
 	switch {
 	case o.demo:
@@ -145,11 +227,11 @@ func runOriginal(w io.Writer, o options, alg maxent.Algorithm) error {
 		Solve:      maxent.Options{Algorithm: alg},
 	})
 
-	pub, _, err := q.Bucketize(tbl)
+	pub, _, err := q.BucketizeContext(ctx, tbl)
 	if err != nil {
 		return fmt.Errorf("bucketize: %w", err)
 	}
-	rules, err := q.MineRules(tbl)
+	rules, err := q.MineRulesContext(ctx, tbl)
 	if err != nil {
 		return fmt.Errorf("mining rules: %w", err)
 	}
@@ -157,7 +239,7 @@ func runOriginal(w io.Writer, o options, alg maxent.Algorithm) error {
 	if err != nil {
 		return err
 	}
-	rep, err := q.QuantifyWithRules(pub, rules, core.Bound{KPos: o.kPos, KNeg: o.kNeg}, truth)
+	rep, err := q.QuantifyWithRulesContext(ctx, pub, rules, core.Bound{KPos: o.kPos, KNeg: o.kNeg}, truth)
 	if err != nil {
 		return err
 	}
@@ -183,7 +265,7 @@ func runOriginal(w io.Writer, o options, alg maxent.Algorithm) error {
 
 // runPublished analyzes an existing publication JSON with an explicit
 // knowledge file; no ground truth is available.
-func runPublished(w io.Writer, o options, alg maxent.Algorithm) error {
+func runPublished(ctx context.Context, w io.Writer, o options, alg maxent.Algorithm) error {
 	f, err := os.Open(o.published)
 	if err != nil {
 		return err
@@ -208,9 +290,9 @@ func runPublished(w io.Writer, o options, alg maxent.Algorithm) error {
 	q := core.New(core.Config{Solve: maxent.Options{Algorithm: alg}})
 	var rep *core.Report
 	if o.eps > 0 {
-		rep, err = q.QuantifyVague(pub, knowledge, o.eps, nil)
+		rep, err = q.QuantifyVagueContext(ctx, pub, knowledge, o.eps, nil)
 	} else {
-		rep, err = q.Quantify(pub, knowledge, nil)
+		rep, err = q.QuantifyContext(ctx, pub, knowledge, nil)
 	}
 	if err != nil {
 		return err
@@ -276,11 +358,16 @@ func printReport(w io.Writer, schema *dataset.Schema, records int, rep *core.Rep
 	fmt.Fprintf(w, "  knowledge bound:       Top-(K+=%d, K-=%d) association rules\n", rep.Bound.KPos, rep.Bound.KNeg)
 	fmt.Fprintf(w, "  knowledge applied:     %d constraints\n", len(rep.Knowledge))
 	st := rep.Solution.Stats
-	fmt.Fprintf(w, "  solver:                %d iterations, %d evaluations, %v (converged=%v)\n",
-		st.Iterations, st.Evaluations, st.Duration.Round(1000), st.Converged)
+	fmt.Fprintf(w, "  solver:                %s\n", st.String())
 	fmt.Fprintf(w, "  presolve:              %d variables fixed, %d solved numerically\n", st.FixedVariables, st.ActiveVariables)
 	fmt.Fprintf(w, "  irrelevant buckets:    %d (closed-form, Sec. 5.5)\n", st.IrrelevantBuckets)
 	fmt.Fprintf(w, "  max constraint error:  %.2e\n", st.MaxViolation)
+	if st.Workers > 1 {
+		fmt.Fprintf(w, "  parallelism:           %d workers over %d components\n", st.Workers, st.Components)
+	}
+	if len(rep.Timings) > 0 {
+		fmt.Fprintf(w, "  stage timings:         %s (total %v)\n", rep.Timings, rep.Timings.Total().Round(1000))
+	}
 	fmt.Fprintf(w, "\nPrivacy under this bound:\n")
 	if rep.EstimationAccuracy >= 0 {
 		fmt.Fprintf(w, "  estimation accuracy:   %.6g (weighted KL truth vs estimate; lower = less privacy)\n", rep.EstimationAccuracy)

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -158,6 +160,69 @@ func TestPublishAndReanalyze(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "knowledge applied:     0 constraints") {
 		t.Fatalf("unexpected report:\n%s", buf.String())
+	}
+}
+
+// TestTraceAndMetricsOut: -trace-out writes a JSON-lines span trace
+// covering every pipeline stage, -metrics-out a Prometheus-style snapshot
+// with the solver series, and the report gains a stage-timings line.
+func TestTraceAndMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	var buf bytes.Buffer
+	o := options{
+		demo: true, diversity: 5, minSupport: 3, kPos: 2, kNeg: 2, top: 3,
+		traceOut: tracePath, metricsOut: metricsPath,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stage timings:") {
+		t.Fatalf("report missing stage timings:\n%s", buf.String())
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	spans := map[string]int{}
+	sc := bufio.NewScanner(tf)
+	for sc.Scan() {
+		var ev struct {
+			Name  string  `json:"name"`
+			DurUS float64 `json:"dur_us"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		spans[ev.Name]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"core.bucketize", "core.mine_rules", "core.select_rules",
+		"core.formulate", "maxent.solve", "maxent.presolve", "core.score",
+	} {
+		if spans[name] == 0 {
+			t.Errorf("trace missing %q spans (got %v)", name, spans)
+		}
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"pmaxent_solve_iterations", "pmaxent_solve_evaluations",
+		"pmaxent_solve_duration_seconds", "pmaxent_decompose_buckets_total",
+		"pmaxent_decompose_buckets_closed_form",
+	} {
+		if !strings.Contains(string(prom), series) {
+			t.Errorf("metrics snapshot missing %q", series)
+		}
 	}
 }
 

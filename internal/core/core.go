@@ -12,8 +12,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"privacymaxent/internal/assoc"
 	"privacymaxent/internal/bucket"
@@ -22,6 +24,7 @@ import (
 	"privacymaxent/internal/individuals"
 	"privacymaxent/internal/maxent"
 	"privacymaxent/internal/metrics"
+	"privacymaxent/internal/telemetry"
 )
 
 // Config tunes the pipeline. The zero value reproduces the paper's
@@ -84,6 +87,10 @@ type Report struct {
 	// true P(S|Q) and the posterior; it is negative-one when no ground
 	// truth was supplied.
 	EstimationAccuracy float64
+	// Timings is the per-stage wall-clock breakdown of the run that
+	// produced this report (stages present depend on the entry point:
+	// Run covers bucketize/mine/truth, Quantify starts at formulate).
+	Timings Timings
 }
 
 // Quantifier runs Privacy-MaxEnt quantifications under one configuration.
@@ -103,34 +110,92 @@ func (q *Quantifier) Config() Config { return q.cfg }
 // and returns the published view plus the row partition (the partition is
 // the ground-truth assignment and must not be published).
 func (q *Quantifier) Bucketize(t *dataset.Table) (*bucket.Bucketized, [][]int, error) {
-	return bucket.Anatomize(t, bucket.Options{
+	return q.BucketizeContext(context.Background(), t)
+}
+
+// BucketizeContext is Bucketize with telemetry: a "core.bucketize" span
+// and bucketization metrics from the context.
+func (q *Quantifier) BucketizeContext(ctx context.Context, t *dataset.Table) (*bucket.Bucketized, [][]int, error) {
+	_, span := telemetry.Start(ctx, "core.bucketize",
+		telemetry.Int("records", t.Len()),
+		telemetry.Int("diversity", q.cfg.Diversity))
+	defer span.End()
+	start := time.Now()
+	d, part, err := bucket.Anatomize(t, bucket.Options{
 		L:                  q.cfg.Diversity,
 		ExemptMostFrequent: !q.cfg.NoExemption,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	span.SetAttr(telemetry.Int("buckets", d.NumBuckets()))
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Counter("pmaxent_bucketize_total").Add(1)
+		reg.Histogram("pmaxent_bucketize_duration_seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+		reg.Histogram("pmaxent_bucketize_buckets", telemetry.CountBuckets).
+			Observe(float64(d.NumBuckets()))
+	}
+	return d, part, nil
 }
 
 // MineRules mines all association rules from the original data, sorted
 // strongest-first, ready for Top-(K+, K−) selection.
 func (q *Quantifier) MineRules(t *dataset.Table) ([]assoc.Rule, error) {
-	return assoc.Mine(t, assoc.Options{MinSupport: q.cfg.MinSupport, Sizes: q.cfg.RuleSizes})
+	return q.MineRulesContext(context.Background(), t)
 }
 
-// Quantify estimates the adversary posterior for published data under the
-// given knowledge statements and scores it. truth may be nil; when
-// supplied (computed from the original data) the report includes the
-// paper's Estimation Accuracy.
-func (q *Quantifier) Quantify(d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+// MineRulesContext is MineRules with telemetry: a "core.mine_rules" span
+// and mining metrics from the context.
+func (q *Quantifier) MineRulesContext(ctx context.Context, t *dataset.Table) ([]assoc.Rule, error) {
+	_, span := telemetry.Start(ctx, "core.mine_rules",
+		telemetry.Int("records", t.Len()),
+		telemetry.Int("min_support", q.cfg.MinSupport))
+	defer span.End()
+	start := time.Now()
+	rules, err := assoc.Mine(t, assoc.Options{MinSupport: q.cfg.MinSupport, Sizes: q.cfg.RuleSizes})
+	if err != nil {
+		return nil, err
+	}
+	span.SetAttr(telemetry.Int("rules", len(rules)))
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Counter("pmaxent_mine_total").Add(1)
+		reg.Histogram("pmaxent_mine_duration_seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+		reg.Histogram("pmaxent_mine_rules", telemetry.CountBuckets).
+			Observe(float64(len(rules)))
+	}
+	return rules, nil
+}
+
+// formulate builds the constraint system (data invariants + knowledge)
+// under a "core.formulate" span, recording the stage timing into tm.
+func (q *Quantifier) formulate(ctx context.Context, d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, tm *Timings) (*constraint.System, error) {
+	_, span := telemetry.Start(ctx, "core.formulate",
+		telemetry.Int("knowledge", len(knowledge)))
+	defer span.End()
+	start := time.Now()
 	sp := constraint.NewSpace(d)
 	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
 	if err := constraint.AddKnowledge(sys, knowledge...); err != nil {
 		return nil, fmt.Errorf("core: adding knowledge: %w", err)
 	}
-	opts := q.cfg.Solve
-	opts.Decompose = !q.cfg.NoDecompose
-	sol, err := maxent.Solve(sys, opts)
-	if err != nil {
-		return nil, fmt.Errorf("core: maxent solve: %w", err)
+	span.SetAttr(telemetry.Int("variables", sp.Len()))
+	span.SetAttr(telemetry.Int("constraints", sys.Len()))
+	tm.Add(StageFormulate, time.Since(start))
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Histogram("pmaxent_formulate_constraints", telemetry.CountBuckets).
+			Observe(float64(sys.Len()))
 	}
+	return sys, nil
+}
+
+// score derives the posterior and privacy scores from a solution under a
+// "core.score" span, recording the stage timing into tm.
+func (q *Quantifier) score(ctx context.Context, sol *maxent.Solution, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, tm *Timings) (*Report, error) {
+	_, span := telemetry.Start(ctx, "core.score")
+	defer span.End()
+	start := time.Now()
 	post := sol.Posterior()
 	rep := &Report{
 		Knowledge:          knowledge,
@@ -146,6 +211,49 @@ func (q *Quantifier) Quantify(d *bucket.Bucketized, knowledge []constraint.Distr
 			return nil, fmt.Errorf("core: estimation accuracy: %w", err)
 		}
 		rep.EstimationAccuracy = acc
+	}
+	span.SetAttr(telemetry.Float("max_disclosure", rep.MaxDisclosure))
+	tm.Add(StageScore, time.Since(start))
+	return rep, nil
+}
+
+// Quantify estimates the adversary posterior for published data under the
+// given knowledge statements and scores it. truth may be nil; when
+// supplied (computed from the original data) the report includes the
+// paper's Estimation Accuracy.
+func (q *Quantifier) Quantify(d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+	return q.QuantifyContext(context.Background(), d, knowledge, truth)
+}
+
+// QuantifyContext is Quantify with telemetry: a "core.quantify" span
+// wrapping formulate/solve/score child spans, pipeline metrics, and a
+// per-stage timing breakdown in Report.Timings.
+func (q *Quantifier) QuantifyContext(ctx context.Context, d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+	ctx, span := telemetry.Start(ctx, "core.quantify",
+		telemetry.Int("knowledge", len(knowledge)))
+	defer span.End()
+	var tm Timings
+	sys, err := q.formulate(ctx, d, knowledge, &tm)
+	if err != nil {
+		return nil, err
+	}
+	opts := q.cfg.Solve
+	opts.Decompose = !q.cfg.NoDecompose
+	solveStart := time.Now()
+	sol, err := maxent.SolveContext(ctx, sys, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: maxent solve: %w", err)
+	}
+	tm.Add(StageSolve, time.Since(solveStart))
+	rep, err := q.score(ctx, sol, knowledge, truth, &tm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timings = tm
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Counter("pmaxent_quantify_total").Add(1)
+		reg.Histogram("pmaxent_quantify_duration_seconds", telemetry.DurationBuckets).
+			Observe(tm.Total().Seconds())
 	}
 	return rep, nil
 }
@@ -156,35 +264,49 @@ func (q *Quantifier) Quantify(d *bucket.Bucketized, knowledge []constraint.Distr
 // eps applies to all statements; pass 0 to recover exact knowledge.
 // Decomposition does not apply to inequality solves.
 func (q *Quantifier) QuantifyVague(d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, eps float64, truth *dataset.Conditional) (*Report, error) {
+	return q.QuantifyVagueContext(context.Background(), d, knowledge, eps, truth)
+}
+
+// QuantifyVagueContext is QuantifyVague with telemetry and a per-stage
+// timing breakdown in Report.Timings.
+func (q *Quantifier) QuantifyVagueContext(ctx context.Context, d *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, eps float64, truth *dataset.Conditional) (*Report, error) {
+	ctx, span := telemetry.Start(ctx, "core.quantify_vague",
+		telemetry.Int("knowledge", len(knowledge)),
+		telemetry.Float("epsilon", eps))
+	defer span.End()
+	var tm Timings
+	fstart := time.Now()
+	_, fspan := telemetry.Start(ctx, "core.formulate",
+		telemetry.Int("knowledge", len(knowledge)))
 	sp := constraint.NewSpace(d)
 	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
 	ineqs := make([]maxent.Inequality, 0, len(knowledge))
 	for i := range knowledge {
 		iq, err := maxent.VagueKnowledge(sp, knowledge[i], eps)
 		if err != nil {
+			fspan.End()
 			return nil, fmt.Errorf("core: vague knowledge %d: %w", i, err)
 		}
 		ineqs = append(ineqs, iq)
 	}
-	sol, err := maxent.SolveWithInequalities(sys, ineqs, q.cfg.Solve)
+	fspan.SetAttr(telemetry.Int("variables", sp.Len()))
+	fspan.SetAttr(telemetry.Int("equalities", sys.Len()))
+	fspan.SetAttr(telemetry.Int("inequalities", len(ineqs)))
+	fspan.End()
+	tm.Add(StageFormulate, time.Since(fstart))
+	solveStart := time.Now()
+	sol, err := maxent.SolveWithInequalitiesContext(ctx, sys, ineqs, q.cfg.Solve)
 	if err != nil {
 		return nil, fmt.Errorf("core: inequality solve: %w", err)
 	}
-	post := sol.Posterior()
-	rep := &Report{
-		Knowledge:          knowledge,
-		Posterior:          post,
-		Solution:           sol,
-		MaxDisclosure:      metrics.MaxDisclosure(post),
-		PosteriorEntropy:   metrics.PosteriorEntropy(post),
-		EstimationAccuracy: -1,
+	tm.Add(StageSolve, time.Since(solveStart))
+	rep, err := q.score(ctx, sol, knowledge, truth, &tm)
+	if err != nil {
+		return nil, err
 	}
-	if truth != nil {
-		acc, err := metrics.EstimationAccuracy(truth, post)
-		if err != nil {
-			return nil, fmt.Errorf("core: estimation accuracy: %w", err)
-		}
-		rep.EstimationAccuracy = acc
+	rep.Timings = tm
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Counter("pmaxent_quantify_total").Add(1)
 	}
 	return rep, nil
 }
@@ -192,16 +314,33 @@ func (q *Quantifier) QuantifyVague(d *bucket.Bucketized, knowledge []constraint.
 // QuantifyWithRules applies the Top-(KPos, KNeg) strongest rules from the
 // pre-mined, sorted rule list as the knowledge bound and quantifies.
 func (q *Quantifier) QuantifyWithRules(d *bucket.Bucketized, rules []assoc.Rule, bound Bound, truth *dataset.Conditional) (*Report, error) {
+	return q.QuantifyWithRulesContext(context.Background(), d, rules, bound, truth)
+}
+
+// QuantifyWithRulesContext is QuantifyWithRules with telemetry; rule
+// selection is timed as the "select" stage.
+func (q *Quantifier) QuantifyWithRulesContext(ctx context.Context, d *bucket.Bucketized, rules []assoc.Rule, bound Bound, truth *dataset.Conditional) (*Report, error) {
+	selStart := time.Now()
+	_, selSpan := telemetry.Start(ctx, "core.select_rules",
+		telemetry.Int("mined", len(rules)),
+		telemetry.Int("k_pos", bound.KPos),
+		telemetry.Int("k_neg", bound.KNeg))
 	selected := assoc.TopK(rules, bound.KPos, bound.KNeg)
 	knowledge := make([]constraint.DistributionKnowledge, len(selected))
 	for i := range selected {
 		knowledge[i] = selected[i].Knowledge()
 	}
-	rep, err := q.Quantify(d, knowledge, truth)
+	selSpan.SetAttr(telemetry.Int("selected", len(selected)))
+	selSpan.End()
+	selDur := time.Since(selStart)
+	rep, err := q.QuantifyContext(ctx, d, knowledge, truth)
 	if err != nil {
 		return nil, err
 	}
 	rep.Bound = bound
+	tm := Timings{{Stage: StageSelect, Duration: selDur}}
+	tm.Merge(rep.Timings)
+	rep.Timings = tm
 	return rep, nil
 }
 
@@ -209,19 +348,46 @@ func (q *Quantifier) QuantifyWithRules(d *bucket.Bucketized, rules []assoc.Rule,
 // rules, apply the Top-(KPos, KNeg) bound, and score against the true
 // conditional computed from the original table.
 func (q *Quantifier) Run(t *dataset.Table, bound Bound) (*Report, error) {
-	d, _, err := q.Bucketize(t)
+	return q.RunContext(context.Background(), t, bound)
+}
+
+// RunContext is Run with telemetry: a root "core.run" span over the
+// bucketize/mine/truth/select/formulate/solve/score stages, with the full
+// per-stage breakdown in Report.Timings.
+func (q *Quantifier) RunContext(ctx context.Context, t *dataset.Table, bound Bound) (*Report, error) {
+	ctx, span := telemetry.Start(ctx, "core.run",
+		telemetry.Int("records", t.Len()),
+		telemetry.Int("k_pos", bound.KPos),
+		telemetry.Int("k_neg", bound.KNeg))
+	defer span.End()
+	var tm Timings
+	start := time.Now()
+	d, _, err := q.BucketizeContext(ctx, t)
 	if err != nil {
 		return nil, fmt.Errorf("core: bucketize: %w", err)
 	}
-	rules, err := q.MineRules(t)
+	tm.Add(StageBucketize, time.Since(start))
+	start = time.Now()
+	rules, err := q.MineRulesContext(ctx, t)
 	if err != nil {
 		return nil, fmt.Errorf("core: mining rules: %w", err)
 	}
+	tm.Add(StageMine, time.Since(start))
+	start = time.Now()
+	_, truthSpan := telemetry.Start(ctx, "core.true_conditional")
 	truth, err := dataset.TrueConditional(t, d.Universe())
+	truthSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: true conditional: %w", err)
 	}
-	return q.QuantifyWithRules(d, rules, bound, truth)
+	tm.Add(StageTruth, time.Since(start))
+	rep, err := q.QuantifyWithRulesContext(ctx, d, rules, bound, truth)
+	if err != nil {
+		return nil, err
+	}
+	tm.Merge(rep.Timings)
+	rep.Timings = tm
+	return rep, nil
 }
 
 // IndividualReport is the Sec. 6 counterpart of Report: per-person

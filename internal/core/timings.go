@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stage names the pipeline stages a Report's timing breakdown covers, in
+// pipeline order.
+const (
+	StageBucketize = "bucketize"
+	StageMine      = "mine"
+	StageTruth     = "truth"
+	StageSelect    = "select"
+	StageFormulate = "formulate"
+	StageSolve     = "solve"
+	StageScore     = "score"
+)
+
+// StageTiming is one (stage, wall-clock duration) entry.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// Timings is a per-stage wall-clock breakdown of a quantification run,
+// in execution order — the data behind the paper's Figure 7 running-time
+// panels, available without re-timing the pipeline externally.
+type Timings []StageTiming
+
+// Add accumulates d into the named stage, appending it if new.
+func (t *Timings) Add(stage string, d time.Duration) {
+	for i := range *t {
+		if (*t)[i].Stage == stage {
+			(*t)[i].Duration += d
+			return
+		}
+	}
+	*t = append(*t, StageTiming{Stage: stage, Duration: d})
+}
+
+// Get returns the named stage's duration (0 when absent).
+func (t Timings) Get(stage string) time.Duration {
+	for _, st := range t {
+		if st.Stage == stage {
+			return st.Duration
+		}
+	}
+	return 0
+}
+
+// Total sums every stage.
+func (t Timings) Total() time.Duration {
+	var sum time.Duration
+	for _, st := range t {
+		sum += st.Duration
+	}
+	return sum
+}
+
+// Merge folds another breakdown into t, stage by stage.
+func (t *Timings) Merge(o Timings) {
+	for _, st := range o {
+		t.Add(st.Stage, st.Duration)
+	}
+}
+
+// String renders the breakdown compactly, e.g.
+//
+//	bucketize=1.2ms mine=8.4ms formulate=0.9ms solve=43ms score=1.1ms
+func (t Timings) String() string {
+	parts := make([]string, len(t))
+	for i, st := range t {
+		parts[i] = fmt.Sprintf("%s=%v", st.Stage, st.Duration.Round(time.Microsecond))
+	}
+	return strings.Join(parts, " ")
+}

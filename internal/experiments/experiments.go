@@ -366,6 +366,9 @@ type DecompositionResult struct {
 	IrrelevantBuckets int
 	Duration          time.Duration
 	Accuracy          float64
+	// Timings is the per-stage breakdown of the quantification (select,
+	// formulate, solve, score) — the Figure-7 running-time decomposition.
+	Timings core.Timings
 }
 
 // CompareDecomposition quantifies with and without decomposition.
@@ -390,9 +393,39 @@ func CompareDecomposition(in *Instance, k int) ([]DecompositionResult, error) {
 			IrrelevantBuckets: rep.Solution.Stats.IrrelevantBuckets,
 			Duration:          rep.Solution.Stats.Duration,
 			Accuracy:          rep.EstimationAccuracy,
+			Timings:           rep.Timings,
 		})
 	}
 	return out, nil
+}
+
+// StageBreakdown runs one Top-K quantification per knowledge budget and
+// returns the per-stage running time as series (one per pipeline stage,
+// x = constraint count) — the Figure-7 running-time panel refined by
+// stage, taken from Report.Timings instead of external re-timing.
+func StageBreakdown(in *Instance, ks []int) ([]Series, error) {
+	if len(ks) == 0 {
+		ks = []int{10, 30, 100, 300, 1000}
+	}
+	stages := []string{core.StageSelect, core.StageFormulate, core.StageSolve, core.StageScore}
+	series := make([]Series, len(stages))
+	for i, st := range stages {
+		series[i] = Series{Name: st}
+	}
+	q := in.quantifier()
+	for _, k := range ks {
+		if k > len(in.Rules) {
+			break
+		}
+		rep, err := q.QuantifyWithRules(in.Data, in.Rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth)
+		if err != nil {
+			return nil, fmt.Errorf("stage breakdown K=%d: %w", k, err)
+		}
+		for i, st := range stages {
+			series[i].Points = append(series[i].Points, Point{X: float64(k), Y: rep.Timings.Get(st).Seconds()})
+		}
+	}
+	return series, nil
 }
 
 // BaselineAccuracy reports the no-knowledge estimation accuracy plus

@@ -1,12 +1,14 @@
 package maxent
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/linalg"
+	"privacymaxent/internal/telemetry"
 )
 
 // Inequality is a two-sided linear constraint Lo ≤ Σ Coeffs·x[Terms] ≤ Hi
@@ -65,8 +67,15 @@ func VagueKnowledge(sp *constraint.Space, k constraint.DistributionKnowledge, ep
 // backtracking. Equality constraints are presolved as usual; inequality
 // rows are rewritten over the surviving variables.
 func SolveWithInequalities(sys *constraint.System, ineqs []Inequality, opts Options) (*Solution, error) {
-	x, stats, err := SolveConstraintsWithInequalities(
-		sys.Space().Len(), constraintsOf(sys), ineqs, Uniform(sys.Space()), opts)
+	return SolveWithInequalitiesContext(context.Background(), sys, ineqs, opts)
+}
+
+// SolveWithInequalitiesContext is SolveWithInequalities with telemetry
+// threaded through the context (a "maxent.solve_inequalities" span plus
+// solve metrics).
+func SolveWithInequalitiesContext(ctx context.Context, sys *constraint.System, ineqs []Inequality, opts Options) (*Solution, error) {
+	x, stats, err := SolveConstraintsWithInequalitiesContext(
+		ctx, sys.Space().Len(), constraintsOf(sys), ineqs, Uniform(sys.Space()), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -88,11 +97,24 @@ func constraintsOf(sys *constraint.System) []constraint.Constraint {
 // for variables no constraint mentions. The randomization substrate uses
 // it with sampling-tolerance boxes around observed perturbed counts.
 func SolveConstraintsWithInequalities(n int, cons []constraint.Constraint, ineqs []Inequality, init []float64, opts Options) ([]float64, Stats, error) {
+	return SolveConstraintsWithInequalitiesContext(context.Background(), n, cons, ineqs, init, opts)
+}
+
+// SolveConstraintsWithInequalitiesContext adds telemetry to the
+// box-constrained solve: a "maxent.solve_inequalities" span with a
+// presolve child, and the shared solve metrics in the context registry.
+func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []constraint.Constraint, ineqs []Inequality, init []float64, opts Options) ([]float64, Stats, error) {
 	if len(init) != n {
 		return nil, Stats{}, fmt.Errorf("maxent: init has %d values, want %d", len(init), n)
 	}
 	start := time.Now()
+	ctx, span := telemetry.Start(ctx, "maxent.solve_inequalities",
+		telemetry.Int("variables", n),
+		telemetry.Int("equalities", len(cons)),
+		telemetry.Int("inequalities", len(ineqs)))
+	defer span.End()
 	sol := &Solution{X: append([]float64(nil), init...)}
+	sol.Stats.Workers = 1
 
 	rows := make([]rowData, 0, len(cons))
 	for i := range cons {
@@ -105,7 +127,7 @@ func SolveConstraintsWithInequalities(n int, cons []constraint.Constraint, ineqs
 			kind:   c.Kind,
 		})
 	}
-	red, err := presolve(n, rows)
+	red, err := runPresolve(ctx, n, rows)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -166,6 +188,7 @@ func SolveConstraintsWithInequalities(n int, cons []constraint.Constraint, ineqs
 		sol.Stats.Converged = true
 		sol.Stats.MaxViolation = maxViolationOf(cons, sol.X)
 		sol.Stats.Duration = time.Since(start)
+		sol.Stats.record(telemetry.Metrics(ctx), 0)
 		return sol.X, sol.Stats, nil
 	}
 
@@ -215,6 +238,10 @@ func SolveConstraintsWithInequalities(n int, cons []constraint.Constraint, ineqs
 	}
 	sol.Stats.MaxViolation = worst
 	sol.Stats.Duration = time.Since(start)
+	span.SetAttr(
+		telemetry.Int("iterations", sol.Stats.Iterations),
+		telemetry.Bool("converged", sol.Stats.Converged))
+	sol.Stats.record(telemetry.Metrics(ctx), 0)
 	return sol.X, sol.Stats, nil
 }
 

@@ -1,7 +1,9 @@
 package maxent
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/linalg"
 	"privacymaxent/internal/solver"
+	"privacymaxent/internal/telemetry"
 )
 
 // Algorithm selects the numerical method for the dual minimization.
@@ -64,37 +67,25 @@ type Options struct {
 	// sub-problem.
 	Decompose bool
 	// Workers bounds how many components are solved concurrently when
-	// Decompose is on; values below 2 solve sequentially. Components
-	// touch disjoint variables, so parallel solves need no locking of
-	// the solution vector.
+	// Decompose is on. The zero value means runtime.GOMAXPROCS(0);
+	// negative values (or 1) solve sequentially. Components touch
+	// disjoint variables, so parallel solves need no locking of the
+	// solution vector. The count actually used is recorded in
+	// Stats.Workers.
 	Workers int
 }
 
-// Stats reports how a solve went — the quantities behind the paper's
-// Figure 7 (running time and iteration counts).
-type Stats struct {
-	// Iterations is the number of optimizer iterations (GIS: scaling
-	// rounds).
-	Iterations int
-	// Evaluations counts objective/gradient evaluations.
-	Evaluations int
-	// Duration is wall-clock solve time including presolve.
-	Duration time.Duration
-	// Converged reports whether the optimizer met its tolerance.
-	Converged bool
-	// MaxViolation is the worst |A x − c| entry over the *original*
-	// system at the returned solution.
-	MaxViolation float64
-	// ActiveVariables is the number of variables given to the optimizer
-	// after presolve (0 means presolve solved everything).
-	ActiveVariables int
-	// FixedVariables is the number of variables pinned by presolve.
-	FixedVariables int
-	// IrrelevantBuckets counts buckets excluded by decomposition.
-	IrrelevantBuckets int
-	// Components counts the independent sub-problems decomposition
-	// produced (0 when decomposition is off or nothing needed solving).
-	Components int
+// workerCount resolves Options.Workers: the zero value means
+// runtime.GOMAXPROCS(0); negative values solve sequentially.
+func (o Options) workerCount() int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // ConstraintDual pairs a constraint with its Lagrange multiplier at the
@@ -141,10 +132,22 @@ func (s *Solution) Joint(t constraint.Term) float64 {
 // dual). It powers both the standard P(Q,S,B) model and the
 // pseudonym-expanded P(i,Q,S,B) model of Sec. 6.
 func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts Options) ([]float64, Stats, error) {
+	return SolveConstraintsContext(context.Background(), n, cons, init, opts)
+}
+
+// SolveConstraintsContext is SolveConstraints with telemetry: the
+// context's tracer receives a "maxent.solve_constraints" span and the
+// context's registry the solve metrics.
+func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Constraint, init []float64, opts Options) ([]float64, Stats, error) {
 	if len(init) != n {
 		return nil, Stats{}, fmt.Errorf("maxent: init has %d values, want %d", len(init), n)
 	}
 	start := time.Now()
+	ctx, span := telemetry.Start(ctx, "maxent.solve_constraints",
+		telemetry.Int("variables", n),
+		telemetry.Int("constraints", len(cons)),
+		telemetry.String("algorithm", opts.Algorithm.String()))
+	defer span.End()
 	x := make([]float64, n)
 	copy(x, init)
 
@@ -159,11 +162,12 @@ func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts 
 			kind:   c.Kind,
 		})
 	}
-	red, err := presolve(n, rows)
+	red, err := runPresolve(ctx, n, rows)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 	var stats Stats
+	stats.Workers = 1
 	for j := 0; j < red.n; j++ {
 		if red.fixed[j] {
 			x[j] = red.value[j]
@@ -174,7 +178,7 @@ func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts 
 
 	if len(red.active) > 0 {
 		sol := &Solution{X: x}
-		if err := solveReduced(sol, red, opts); err != nil {
+		if err := solveReduced(ctx, sol, red, opts); err != nil {
 			return nil, Stats{}, err
 		}
 		stats.Iterations = sol.Stats.Iterations
@@ -194,6 +198,8 @@ func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts 
 	}
 	stats.MaxViolation = worst
 	stats.Duration = time.Since(start)
+	span.SetAttr(telemetry.Int("iterations", stats.Iterations), telemetry.Bool("converged", stats.Converged))
+	stats.record(telemetry.Metrics(ctx), 0)
 	return x, stats, nil
 }
 
@@ -201,32 +207,64 @@ func SolveConstraints(n int, cons []constraint.Constraint, init []float64, opts 
 // constraints. The system must contain the data invariants (and any
 // knowledge constraints); zero-invariants are implicit in the space.
 func Solve(sys *constraint.System, opts Options) (*Solution, error) {
+	return SolveContext(context.Background(), sys, opts)
+}
+
+// SolveContext is Solve with telemetry threaded through the context: a
+// "maxent.solve" span (with presolve, decomposition and per-component
+// child spans) and solve metrics in the context's registry.
+func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*Solution, error) {
 	start := time.Now()
 	sp := sys.Space()
+	ctx, span := telemetry.Start(ctx, "maxent.solve",
+		telemetry.String("algorithm", opts.Algorithm.String()),
+		telemetry.Bool("decompose", opts.Decompose),
+		telemetry.Int("variables", sp.Len()),
+		telemetry.Int("constraints", sys.Len()))
+	defer span.End()
+	reg := telemetry.Metrics(ctx)
 	sol := &Solution{space: sp, X: Uniform(sp)}
+	sol.Stats.Workers = 1
+
+	finish := func() {
+		sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
+		sol.Stats.Duration = time.Since(start)
+		span.SetAttr(
+			telemetry.Int("iterations", sol.Stats.Iterations),
+			telemetry.Int("components", sol.Stats.Components),
+			telemetry.Int("workers", sol.Stats.Workers),
+			telemetry.Bool("converged", sol.Stats.Converged))
+		sol.Stats.record(reg, sp.Data().NumBuckets())
+	}
 
 	if opts.Decompose {
+		_, dspan := telemetry.Start(ctx, "maxent.decompose")
 		relevant := constraint.RelevantBuckets(sys)
 		sol.Stats.IrrelevantBuckets = sp.Data().NumBuckets() - len(relevant)
 		if len(relevant) == 0 {
+			dspan.SetAttr(telemetry.Int("relevant_buckets", 0))
+			dspan.End()
 			// No knowledge at all: the closed form is exact (Theorem 4).
 			sol.Stats.Converged = true
-			sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
-			sol.Stats.Duration = time.Since(start)
+			finish()
 			return sol, nil
 		}
 		components := componentRows(sys, relevant)
+		dspan.SetAttr(
+			telemetry.Int("relevant_buckets", len(relevant)),
+			telemetry.Int("irrelevant_buckets", sol.Stats.IrrelevantBuckets),
+			telemetry.Int("components", len(components)))
+		dspan.End()
 		sol.Stats.Components = len(components)
 		sol.Stats.Converged = true
-		if err := solveComponents(sol, components, opts); err != nil {
+		if err := solveComponents(ctx, sol, components, opts); err != nil {
 			return nil, err
 		}
-		sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
-		sol.Stats.Duration = time.Since(start)
+		finish()
 		return sol, nil
 	}
 
-	red, err := presolve(sp.Len(), systemRows(sys, nil))
+	red, err := runPresolve(ctx, sp.Len(), systemRows(sys, nil))
 	if err != nil {
 		return nil, err
 	}
@@ -239,16 +277,28 @@ func Solve(sys *constraint.System, opts Options) (*Solution, error) {
 	sol.Stats.ActiveVariables = len(red.active)
 
 	if len(red.active) > 0 {
-		if err := solveReduced(sol, red, opts); err != nil {
+		if err := solveReduced(ctx, sol, red, opts); err != nil {
 			return nil, err
 		}
 	} else {
 		sol.Stats.Converged = true
 	}
 
-	sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
-	sol.Stats.Duration = time.Since(start)
+	finish()
 	return sol, nil
+}
+
+// runPresolve wraps presolve in a "maxent.presolve" span.
+func runPresolve(ctx context.Context, n int, rows []rowData) (*reduced, error) {
+	_, span := telemetry.Start(ctx, "maxent.presolve", telemetry.Int("rows", len(rows)))
+	red, err := presolve(n, rows)
+	if err == nil {
+		span.SetAttr(
+			telemetry.Int("fixed", red.numFixed()),
+			telemetry.Int("active", len(red.active)))
+	}
+	span.End()
+	return red, err
 }
 
 // componentRows groups the relevant buckets into connected components:
@@ -325,46 +375,70 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 }
 
 // solveComponents presolves and solves each component, sequentially or
-// with up to opts.Workers goroutines. Components write disjoint slices of
-// sol.X; the stats are merged under a mutex.
-func solveComponents(sol *Solution, components [][]rowData, opts Options) error {
+// with up to Options.workerCount() goroutines (Workers zero means
+// GOMAXPROCS). Components write disjoint slices of sol.X; the stats are
+// merged under a mutex. Each component gets its own
+// "maxent.solve.component" span, so traces show the parallel loop.
+func solveComponents(ctx context.Context, sol *Solution, components [][]rowData, opts Options) error {
 	n := sol.space.Len()
+	workers := opts.workerCount()
+	if len(components) < workers {
+		workers = len(components)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sol.Stats.Workers = workers
+	reg := telemetry.Metrics(ctx)
 	var mu sync.Mutex
 	var firstErr error
-	run := func(rows []rowData) {
-		red, err := presolve(n, rows)
-		if err == nil && len(red.active) > 0 {
-			// solveReduced mutates only this component's entries of
-			// sol.X (disjoint across components) and local stats.
-			local := &Solution{X: sol.X}
-			err = solveReduced(local, red, opts)
-			mu.Lock()
-			sol.Stats.Iterations += local.Stats.Iterations
-			sol.Stats.Evaluations += local.Stats.Evaluations
-			if !local.Stats.Converged {
-				sol.Stats.Converged = false
+	run := func(ci int, rows []rowData) {
+		cctx, span := telemetry.Start(ctx, "maxent.solve.component",
+			telemetry.Int("component", ci),
+			telemetry.Int("rows", len(rows)))
+		red, err := runPresolve(cctx, n, rows)
+		var local Stats
+		if err == nil {
+			local.FixedVariables = red.numFixed()
+			local.ActiveVariables = len(red.active)
+			local.Converged = true
+			reg.Histogram("pmaxent_component_active_variables", telemetry.CountBuckets).
+				Observe(float64(len(red.active)))
+			if len(red.active) > 0 {
+				// solveReduced mutates only this component's entries of
+				// sol.X (disjoint across components) and local stats.
+				ls := &Solution{X: sol.X}
+				err = solveReduced(cctx, ls, red, opts)
+				local.Iterations = ls.Stats.Iterations
+				local.Evaluations = ls.Stats.Evaluations
+				local.Converged = ls.Stats.Converged
 			}
-			mu.Unlock()
+			if err == nil {
+				for j := 0; j < red.n; j++ {
+					if red.fixed[j] {
+						sol.X[j] = red.value[j]
+					}
+				}
+			}
 		}
+		span.SetAttr(
+			telemetry.Int("active", local.ActiveVariables),
+			telemetry.Int("iterations", local.Iterations),
+			telemetry.Bool("converged", local.Converged))
+		span.End()
 		mu.Lock()
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if err == nil {
-			for j := 0; j < red.n; j++ {
-				if red.fixed[j] {
-					sol.X[j] = red.value[j]
-				}
-			}
-			sol.Stats.FixedVariables += red.numFixed()
-			sol.Stats.ActiveVariables += len(red.active)
+			sol.Stats.Merge(local)
 		}
 		mu.Unlock()
 	}
 
-	if opts.Workers < 2 || len(components) < 2 {
-		for _, rows := range components {
-			run(rows)
+	if workers < 2 {
+		for ci, rows := range components {
+			run(ci, rows)
 			if firstErr != nil {
 				return firstErr
 			}
@@ -372,24 +446,39 @@ func solveComponents(sol *Solution, components [][]rowData, opts Options) error 
 		return firstErr
 	}
 
-	sem := make(chan struct{}, opts.Workers)
+	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
-	for _, rows := range components {
+	for ci, rows := range components {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(rows []rowData) {
+		go func(ci int, rows []rowData) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			run(rows)
-		}(rows)
+			run(ci, rows)
+		}(ci, rows)
 	}
 	wg.Wait()
 	return firstErr
 }
 
 // solveReduced runs the selected algorithm on the presolved system and
-// writes the active variables' values into sol.X.
-func solveReduced(sol *Solution, red *reduced, opts Options) error {
+// writes the active variables' values into sol.X. The context's registry
+// receives an iteration counter via a telemetry-backed recorder chained
+// in front of any user-supplied solver trace callback.
+func solveReduced(ctx context.Context, sol *Solution, red *reduced, opts Options) error {
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		iters := reg.Counter("pmaxent_dual_iterations_total")
+		grad := reg.Gauge("pmaxent_dual_last_grad_norm")
+		prev := opts.Solver.Trace
+		opts.Solver.Trace = func(iteration int, f, gradNorm float64) {
+			iters.Add(1)
+			grad.Set(gradNorm)
+			if prev != nil {
+				prev(iteration, f, gradNorm)
+			}
+		}
+	}
+
 	// Assemble A over active columns.
 	a := linalg.NewCSR(len(red.active))
 	rhs := make([]float64, 0, len(red.rows))
@@ -422,6 +511,9 @@ func solveReduced(sol *Solution, red *reduced, opts Options) error {
 		sol.Stats.Iterations = res.iterations
 		sol.Stats.Evaluations = res.iterations
 		sol.Stats.Converged = res.converged
+		if reg := telemetry.Metrics(ctx); reg != nil {
+			reg.Counter("pmaxent_dual_iterations_total").Add(int64(res.iterations))
+		}
 	case LBFGS, SteepestDescent, Newton:
 		obj := newDualObjective(a, rhs)
 		lambda0 := make([]float64, a.Rows())

@@ -1,0 +1,95 @@
+package maxent
+
+import (
+	"fmt"
+	"time"
+
+	"privacymaxent/internal/telemetry"
+)
+
+// Stats reports how a solve went — the quantities behind the paper's
+// Figure 7 (running time and iteration counts).
+type Stats struct {
+	// Iterations is the number of optimizer iterations (GIS: scaling
+	// rounds).
+	Iterations int
+	// Evaluations counts objective/gradient evaluations.
+	Evaluations int
+	// Duration is wall-clock solve time including presolve.
+	Duration time.Duration
+	// Converged reports whether the optimizer met its tolerance.
+	Converged bool
+	// MaxViolation is the worst |A x − c| entry over the *original*
+	// system at the returned solution.
+	MaxViolation float64
+	// ActiveVariables is the number of variables given to the optimizer
+	// after presolve (0 means presolve solved everything).
+	ActiveVariables int
+	// FixedVariables is the number of variables pinned by presolve.
+	FixedVariables int
+	// IrrelevantBuckets counts buckets excluded by decomposition.
+	IrrelevantBuckets int
+	// Components counts the independent sub-problems decomposition
+	// produced (0 when decomposition is off or nothing needed solving).
+	Components int
+	// Workers is the number of concurrent component solvers the run
+	// actually used (1 for sequential paths; see Options.Workers).
+	Workers int
+}
+
+// String renders the solver counters in one line, e.g.
+//
+//	142 iterations, 218 evaluations, 3.1ms (converged=true)
+//
+// so commands share one format instead of hand-assembling the counts.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d iterations, %d evaluations, %v (converged=%v)",
+		s.Iterations, s.Evaluations, s.Duration.Round(time.Microsecond), s.Converged)
+}
+
+// Merge folds the statistics of another (sub-)solve into s, the helper
+// behind multi-component solves: counts add, convergence ANDs,
+// MaxViolation and Workers take the maximum, and Duration takes the
+// maximum too because component solves overlap in time — the caller
+// owning the wall clock overwrites Duration afterwards if it measured
+// the whole run.
+func (s *Stats) Merge(o Stats) {
+	s.Iterations += o.Iterations
+	s.Evaluations += o.Evaluations
+	s.FixedVariables += o.FixedVariables
+	s.ActiveVariables += o.ActiveVariables
+	s.IrrelevantBuckets += o.IrrelevantBuckets
+	s.Components += o.Components
+	s.Converged = s.Converged && o.Converged
+	if o.MaxViolation > s.MaxViolation {
+		s.MaxViolation = o.MaxViolation
+	}
+	if o.Duration > s.Duration {
+		s.Duration = o.Duration
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
+}
+
+// record publishes the solve statistics to the registry (nil-safe): one
+// observation per series the paper's Figure 7 tracks, plus the
+// decomposition hit-rate counters (closed-form buckets / total buckets).
+func (s Stats) record(reg *telemetry.Registry, totalBuckets int) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("pmaxent_solve_total").Add(1)
+	reg.Histogram("pmaxent_solve_duration_seconds", telemetry.DurationBuckets).Observe(s.Duration.Seconds())
+	reg.Histogram("pmaxent_solve_iterations", telemetry.CountBuckets).Observe(float64(s.Iterations))
+	reg.Histogram("pmaxent_solve_evaluations", telemetry.CountBuckets).Observe(float64(s.Evaluations))
+	reg.Histogram("pmaxent_solve_active_variables", telemetry.CountBuckets).Observe(float64(s.ActiveVariables))
+	reg.Gauge("pmaxent_solve_workers").Set(float64(s.Workers))
+	if !s.Converged {
+		reg.Counter("pmaxent_solve_unconverged_total").Add(1)
+	}
+	if totalBuckets > 0 {
+		reg.Counter("pmaxent_decompose_buckets_total").Add(int64(totalBuckets))
+		reg.Counter("pmaxent_decompose_buckets_closed_form").Add(int64(s.IrrelevantBuckets))
+	}
+}

@@ -34,7 +34,10 @@ type Options struct {
 	InitialStep float64
 	// Trace, when non-nil, is invoked once per outer iteration with the
 	// iteration number, current objective value and gradient infinity
-	// norm — a lightweight progress hook for long solves.
+	// norm — a lightweight progress hook for long solves. When a maxent
+	// solve runs with a telemetry registry in its context, a recorder
+	// feeding the pmaxent_dual_* series is chained in front of this
+	// callback; both fire.
 	Trace func(iteration int, f, gradNorm float64)
 }
 

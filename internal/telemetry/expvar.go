@@ -1,0 +1,25 @@
+package telemetry
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the registry under the given expvar name (and
+// thus on /debug/vars when an HTTP server with the default mux is up —
+// pmaxent's -pprof flag). Publishing the same name twice is a no-op
+// rather than the expvar panic, so commands can call it unconditionally;
+// the first registry wins.
+func PublishExpvar(name string, r *Registry) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

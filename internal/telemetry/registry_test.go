@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"expvar"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsNoop: a nil registry hands out nil handles whose
+// methods are all safe — the zero-overhead default.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", CountBuckets).Observe(3)
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h", nil).Count() != 0 {
+		t.Fatal("nil registry must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil snapshot")
+	}
+	if err := r.WriteProm(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solve_total").Add(1)
+	r.Counter("solve_total").Add(2)
+	if got := r.Counter("solve_total").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	r.Gauge("workers").Set(8)
+	if got := r.Gauge("workers").Value(); got != 8 {
+		t.Fatalf("gauge = %g, want 8", got)
+	}
+}
+
+// TestHistogramBucketing places observations on, below and above bucket
+// boundaries and checks the cumulative counts (le is inclusive, as in
+// Prometheus).
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("iters", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 100, 101, 1e6} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("bounds=%v cum=%v", bounds, cum)
+	}
+	// le=1: {0.5, 1}; le=10: +{1.5, 10}; le=100: +{99, 100}; +Inf: +{101, 1e6}.
+	want := []int64{2, 4, 6, 8}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all: %v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-(0.5+1+1.5+10+99+100+101+1e6)) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	// First registration wins: asking again with other bounds returns the
+	// same histogram.
+	if h2 := r.Histogram("iters", []float64{5}); h2 != h {
+		t.Fatal("histogram identity lost")
+	}
+}
+
+// TestWriteProm checks the text exposition: family types, cumulative
+// buckets, the +Inf bucket, sum/count, and name sanitation.
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solve_total").Add(2)
+	r.Gauge("workers").Set(4)
+	h := r.Histogram("solve.duration-seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE solve_total counter\nsolve_total 2\n",
+		"# TYPE workers gauge\nworkers 4\n",
+		"# TYPE solve_duration_seconds histogram\n",
+		`solve_duration_seconds_bucket{le="0.1"} 1`,
+		`solve_duration_seconds_bucket{le="1"} 2`,
+		`solve_duration_seconds_bucket{le="+Inf"} 3`,
+		"solve_duration_seconds_sum 10.55",
+		"solve_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotAndExpvar publishes the registry and reads it back through
+// the expvar interface; double publication must not panic.
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs").Add(1)
+	r.Histogram("d", []float64{1}).Observe(0.5)
+	PublishExpvar("telemetry_test_metrics", r)
+	PublishExpvar("telemetry_test_metrics", r) // no panic, first wins
+	v := expvar.Get("telemetry_test_metrics")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	s := v.String()
+	if !strings.Contains(s, `"runs"`) || !strings.Contains(s, `"buckets"`) {
+		t.Fatalf("expvar snapshot = %s", s)
+	}
+}
+
+// TestRegistryRace hammers one registry from many goroutines through
+// fresh and cached handles; run under -race this is the concurrency
+// contract of the parallel component solves.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("iters").Add(1)
+				r.Gauge("workers").Set(float64(i))
+				r.Histogram("sizes", CountBuckets).Observe(float64(i % 50))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("iters").Value(); got != 8*500 {
+		t.Fatalf("counter = %d, want %d", got, 8*500)
+	}
+	if got := r.Histogram("sizes", nil).Count(); got != 8*500 {
+		t.Fatalf("histogram count = %d, want %d", got, 8*500)
+	}
+}

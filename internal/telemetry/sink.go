@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JSONSink writes one JSON object per span-end event — the structured
+// trace format behind pmaxent's -trace-out flag. Lines look like
+//
+//	{"name":"maxent.solve","id":4,"parent":2,"start":"...","dur_us":1523,"attrs":{"algorithm":"lbfgs"}}
+//
+// Emit is serialized by an internal mutex, so one sink may serve many
+// goroutines (the parallel component solves).
+type JSONSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONSink builds a JSON-lines sink over w.
+func NewJSONSink(w io.Writer) *JSONSink {
+	return &JSONSink{enc: json.NewEncoder(w)}
+}
+
+// jsonEvent fixes the field order of the serialized trace line.
+type jsonEvent struct {
+	Name       string         `json:"name"`
+	ID         uint64         `json:"id"`
+	Parent     uint64         `json:"parent,omitempty"`
+	Start      string         `json:"start"`
+	DurationUS int64          `json:"dur_us"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONSink) Emit(ev Event) {
+	rec := jsonEvent{
+		Name:       ev.Name,
+		ID:         ev.ID,
+		Parent:     ev.Parent,
+		Start:      ev.Start.Format(time.RFC3339Nano),
+		DurationUS: ev.Duration.Microseconds(),
+	}
+	if len(ev.Attrs) > 0 {
+		rec.Attrs = make(map[string]any, len(ev.Attrs))
+		for _, a := range ev.Attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(rec)
+}
+
+// TreeSink collects events and renders them as a human-readable span
+// tree (pmaxent's -trace flag). Spans end after their children, so by
+// the time WriteTree is called every parent is present.
+type TreeSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTreeSink builds an empty collecting sink.
+func NewTreeSink() *TreeSink { return &TreeSink{} }
+
+// Emit records the event.
+func (s *TreeSink) Emit(ev Event) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+// Events returns a copy of the collected events.
+func (s *TreeSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// WriteTree prints the spans as an indented tree ordered by start time,
+// with durations and attributes:
+//
+//	pmaxent.run                       61.2ms
+//	  core.bucketize                   1.1ms  records=2000 buckets=400
+//	  maxent.solve                    48.9ms  algorithm=lbfgs
+//	    maxent.solve.component         7.2ms  component=0 rows=31
+func (s *TreeSink) WriteTree(w io.Writer) error {
+	events := s.Events()
+	children := make(map[uint64][]Event)
+	var roots []Event
+	for _, ev := range events {
+		if ev.Parent == 0 {
+			roots = append(roots, ev)
+		} else {
+			children[ev.Parent] = append(children[ev.Parent], ev)
+		}
+	}
+	byStart := func(evs []Event) {
+		sort.Slice(evs, func(i, j int) bool {
+			if !evs[i].Start.Equal(evs[j].Start) {
+				return evs[i].Start.Before(evs[j].Start)
+			}
+			return evs[i].ID < evs[j].ID
+		})
+	}
+	byStart(roots)
+	for _, evs := range children {
+		byStart(evs)
+	}
+	var write func(ev Event, depth int) error
+	write = func(ev Event, depth int) error {
+		name := strings.Repeat("  ", depth) + ev.Name
+		line := fmt.Sprintf("%-40s %12v", name, ev.Duration.Round(time.Microsecond))
+		if len(ev.Attrs) > 0 {
+			parts := make([]string, len(ev.Attrs))
+			for i, a := range ev.Attrs {
+				parts[i] = fmt.Sprintf("%s=%v", a.Key, a.Value)
+			}
+			line += "  " + strings.Join(parts, " ")
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		for _, child := range children[ev.ID] {
+			if err := write(child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range roots {
+		if err := write(root, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// multiSink fans one event out to several sinks.
+type multiSink []Sink
+
+// MultiSink combines sinks; nil entries are dropped. With zero or one
+// surviving sinks it returns nil or that sink directly.
+func MultiSink(sinks ...Sink) Sink {
+	var out multiSink
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
+// Emit forwards the event to every sink.
+func (m multiSink) Emit(ev Event) {
+	for _, s := range m {
+		s.Emit(ev)
+	}
+}

@@ -1,0 +1,187 @@
+// Package telemetry is the observability substrate of the pipeline: a
+// zero-dependency span tracer with pluggable sinks and a metrics registry
+// of counters, gauges and fixed-bucket histograms.
+//
+// The package is built around two rules:
+//
+//  1. Everything is carried by context.Context. A stage calls
+//     telemetry.Start(ctx, "maxent.solve") and gets a child span of
+//     whatever span the caller had open; telemetry.Metrics(ctx) returns
+//     the registry (or nil). Code that was never handed a tracer pays
+//     one context lookup and nothing else.
+//  2. Every handle is nil-safe. A nil *Span, *Counter, *Gauge,
+//     *Histogram or *Registry accepts all its methods as no-ops, so
+//     instrumentation sites never branch on "is telemetry on?".
+//
+// Spans measure the pipeline stages behind the paper's Figure 7 (running
+// time vs knowledge / data size); the registry holds the corresponding
+// series (solve duration, iteration and evaluation counts, component
+// sizes, decomposition hit rate). See DESIGN.md for the mapping.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: value} }
+
+// Float builds a float attribute.
+func Float(key string, value float64) Attr { return Attr{Key: key, Value: value} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: value} }
+
+// Event is the record a sink receives when a span ends.
+type Event struct {
+	// Name is the span name, e.g. "maxent.solve.component".
+	Name string
+	// ID is unique per tracer; Parent is the enclosing span's ID (0 for
+	// roots).
+	ID, Parent uint64
+	// Depth is the nesting level (0 for roots).
+	Depth int
+	// Start and Duration delimit the span.
+	Start    time.Time
+	Duration time.Duration
+	// Attrs are the annotations set on the span, in order.
+	Attrs []Attr
+}
+
+// Sink consumes span-end events. Emit may be called concurrently.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer creates spans and forwards their end events to a sink. A nil
+// sink discards everything (useful to measure tracer overhead alone).
+type Tracer struct {
+	sink Sink
+	ids  atomic.Uint64
+}
+
+// NewTracer builds a tracer over the given sink.
+func NewTracer(sink Sink) *Tracer { return &Tracer{sink: sink} }
+
+// Span is one timed region. The zero of its lifecycle is Start; End
+// emits it to the tracer's sink. All methods are safe on a nil receiver.
+type Span struct {
+	tracer *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	depth  int
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	metricsKey
+)
+
+// WithTracer installs a tracer in the context; Start picks it up.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom returns the context's tracer, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithMetrics installs a metrics registry in the context.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	return context.WithValue(ctx, metricsKey, r)
+}
+
+// Metrics returns the context's registry, or nil. All registry methods
+// accept a nil receiver, so callers use the result unconditionally.
+func Metrics(ctx context.Context) *Registry {
+	r, _ := ctx.Value(metricsKey).(*Registry)
+	return r
+}
+
+// Start opens a span named name as a child of the context's current span
+// and returns the derived context plus the span. When the context
+// carries no tracer it returns (ctx, nil) without allocating — the
+// near-zero-overhead default path.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	if t == nil {
+		return ctx, nil
+	}
+	var parent uint64
+	depth := 0
+	if p, _ := ctx.Value(spanKey).(*Span); p != nil {
+		parent = p.id
+		depth = p.depth + 1
+	}
+	s := &Span{
+		tracer: t,
+		name:   name,
+		id:     t.ids.Add(1),
+		parent: parent,
+		depth:  depth,
+		start:  time.Now(),
+		attrs:  attrs,
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr appends annotations to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span and emits it to the sink. Repeated calls are
+// no-ops; End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	if s.tracer.sink == nil {
+		return
+	}
+	s.tracer.sink.Emit(Event{
+		Name:     s.name,
+		ID:       s.id,
+		Parent:   s.parent,
+		Depth:    s.depth,
+		Start:    s.start,
+		Duration: time.Since(s.start),
+		Attrs:    attrs,
+	})
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNoTracerIsNoop: without a tracer in the context, Start returns the
+// same context and a nil span whose methods are all safe.
+func TestNoTracerIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, span := Start(ctx, "maxent.solve", Int("variables", 10))
+	if span != nil {
+		t.Fatalf("expected nil span without a tracer, got %+v", span)
+	}
+	if ctx2 != ctx {
+		t.Fatal("expected the original context back")
+	}
+	span.SetAttr(String("k", "v")) // must not panic
+	span.End()
+	if TracerFrom(ctx) != nil || Metrics(ctx) != nil {
+		t.Fatal("empty context should carry no tracer or registry")
+	}
+}
+
+// TestSpanNesting checks parent/child links and depths across three
+// levels, including a sibling that must share the parent.
+func TestSpanNesting(t *testing.T) {
+	sink := NewTreeSink()
+	ctx := WithTracer(context.Background(), NewTracer(sink))
+
+	ctx1, root := Start(ctx, "root")
+	ctx2, child := Start(ctx1, "child")
+	_, grand := Start(ctx2, "grandchild")
+	grand.End()
+	child.End()
+	_, sibling := Start(ctx1, "sibling")
+	sibling.End()
+	root.End()
+
+	events := sink.Events()
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byName := map[string]Event{}
+	for _, ev := range events {
+		byName[ev.Name] = ev
+	}
+	r, c, g, s := byName["root"], byName["child"], byName["grandchild"], byName["sibling"]
+	if r.Parent != 0 || r.Depth != 0 {
+		t.Fatalf("root parent/depth = %d/%d", r.Parent, r.Depth)
+	}
+	if c.Parent != r.ID || c.Depth != 1 {
+		t.Fatalf("child parent = %d (root is %d), depth %d", c.Parent, r.ID, c.Depth)
+	}
+	if g.Parent != c.ID || g.Depth != 2 {
+		t.Fatalf("grandchild parent = %d (child is %d), depth %d", g.Parent, c.ID, g.Depth)
+	}
+	if s.Parent != r.ID || s.Depth != 1 {
+		t.Fatalf("sibling parent = %d (root is %d), depth %d", s.Parent, r.ID, s.Depth)
+	}
+	if g.Duration < 0 || r.Duration < g.Duration {
+		t.Fatalf("durations: root %v < grandchild %v", r.Duration, g.Duration)
+	}
+}
+
+// TestDoubleEndEmitsOnce verifies End is idempotent.
+func TestDoubleEndEmitsOnce(t *testing.T) {
+	sink := NewTreeSink()
+	ctx := WithTracer(context.Background(), NewTracer(sink))
+	_, span := Start(ctx, "once")
+	span.End()
+	span.End()
+	if n := len(sink.Events()); n != 1 {
+		t.Fatalf("got %d events, want 1", n)
+	}
+}
+
+// TestJSONSinkShape decodes the JSON-lines output and checks the schema:
+// name, id, parent, start, dur_us, attrs.
+func TestJSONSinkShape(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithTracer(context.Background(), NewTracer(NewJSONSink(&buf)))
+	ctx, root := Start(ctx, "pipeline", String("mode", "demo"))
+	_, child := Start(ctx, "stage", Int("constraints", 42), Bool("decompose", true), Float("eps", 0.5))
+	child.End()
+	root.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	// Children end first, so line 0 is the stage span.
+	var stage struct {
+		Name   string         `json:"name"`
+		ID     uint64         `json:"id"`
+		Parent uint64         `json:"parent"`
+		Start  string         `json:"start"`
+		DurUS  *int64         `json:"dur_us"`
+		Attrs  map[string]any `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &stage); err != nil {
+		t.Fatalf("line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if stage.Name != "stage" || stage.Parent == 0 || stage.Start == "" || stage.DurUS == nil {
+		t.Fatalf("unexpected stage event: %+v", stage)
+	}
+	if got := stage.Attrs["constraints"]; got != float64(42) {
+		t.Fatalf("constraints attr = %v", got)
+	}
+	if got := stage.Attrs["decompose"]; got != true {
+		t.Fatalf("decompose attr = %v", got)
+	}
+	var root2 struct {
+		Name   string `json:"name"`
+		Parent *uint64
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &root2); err != nil {
+		t.Fatal(err)
+	}
+	if root2.Name != "pipeline" {
+		t.Fatalf("root name = %q", root2.Name)
+	}
+	if strings.Contains(lines[1], `"parent"`) {
+		t.Fatalf("root event should omit parent: %s", lines[1])
+	}
+}
+
+// TestTreeSinkWriteTree checks indentation and ordering of the printed
+// tree.
+func TestTreeSinkWriteTree(t *testing.T) {
+	sink := NewTreeSink()
+	ctx := WithTracer(context.Background(), NewTracer(sink))
+	ctx1, root := Start(ctx, "run")
+	_, a := Start(ctx1, "bucketize", Int("buckets", 7))
+	a.End()
+	_, b := Start(ctx1, "solve")
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := sink.WriteTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "run") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  bucketize") || !strings.Contains(lines[1], "buckets=7") {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "  solve") {
+		t.Fatalf("line 2 = %q", lines[2])
+	}
+}
+
+// TestMultiSink checks fan-out and nil collapsing.
+func TestMultiSink(t *testing.T) {
+	a, b := NewTreeSink(), NewTreeSink()
+	if MultiSink() != nil {
+		t.Fatal("empty MultiSink should be nil")
+	}
+	if MultiSink(nil, a) != Sink(a) {
+		t.Fatal("single-sink MultiSink should collapse")
+	}
+	m := MultiSink(a, nil, b)
+	ctx := WithTracer(context.Background(), NewTracer(m))
+	_, s := Start(ctx, "x")
+	s.End()
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatalf("fan-out failed: %d/%d", len(a.Events()), len(b.Events()))
+	}
+}
+
+// BenchmarkStartNoTracer measures the default no-op path: one context
+// lookup per Start, no allocation.
+func BenchmarkStartNoTracer(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, span := Start(ctx, "maxent.solve")
+		span.End()
+	}
+}

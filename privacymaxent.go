@@ -24,6 +24,7 @@
 package privacymaxent
 
 import (
+	"context"
 	"io"
 
 	"privacymaxent/internal/assoc"
@@ -36,6 +37,7 @@ import (
 	"privacymaxent/internal/metrics"
 	"privacymaxent/internal/randomize"
 	"privacymaxent/internal/solver"
+	"privacymaxent/internal/telemetry"
 	"privacymaxent/internal/worstcase"
 )
 
@@ -108,7 +110,53 @@ type (
 	Bound = core.Bound
 	// Report is the (bound, posterior, privacy scores) outcome.
 	Report = core.Report
+	// StageTimings is the per-stage wall-clock breakdown in Report.Timings.
+	StageTimings = core.Timings
 )
+
+// Observability (see internal/telemetry). Context-aware entry points —
+// Quantifier.RunContext, QuantifyContext, maxent.SolveContext — emit spans
+// to the Tracer and series to the Registry installed with WithTracer and
+// WithMetrics; without them instrumentation is a no-op.
+type (
+	// Tracer emits nested spans for every pipeline stage.
+	Tracer = telemetry.Tracer
+	// Span is one timed operation with attributes.
+	Span = telemetry.Span
+	// Sink consumes finished span events.
+	Sink = telemetry.Sink
+	// SpanEvent is a finished span as delivered to a Sink.
+	SpanEvent = telemetry.Event
+	// Registry collects counters, gauges and histograms.
+	Registry = telemetry.Registry
+	// TreeSink buffers span events for human-readable tree rendering.
+	TreeSink = telemetry.TreeSink
+)
+
+// NewTracer creates a tracer emitting to sink.
+func NewTracer(sink Sink) *Tracer { return telemetry.NewTracer(sink) }
+
+// NewJSONSink creates a sink writing one JSON object per finished span.
+func NewJSONSink(w io.Writer) Sink { return telemetry.NewJSONSink(w) }
+
+// NewTreeSink creates a buffering sink whose WriteTree renders the span
+// hierarchy as an indented tree.
+func NewTreeSink() *TreeSink { return telemetry.NewTreeSink() }
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// WithTracer installs a tracer into the context handed to the *Context
+// pipeline entry points.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return telemetry.WithTracer(ctx, t)
+}
+
+// WithMetrics installs a metrics registry into the context handed to the
+// *Context pipeline entry points.
+func WithMetrics(ctx context.Context, r *Registry) context.Context {
+	return telemetry.WithMetrics(ctx, r)
+}
 
 // New creates a Quantifier; the zero Config reproduces the paper's
 // evaluation setup (5-diversity Anatomy buckets, minimum rule support 3,
