@@ -194,6 +194,38 @@ func BenchmarkSolveWithKnowledge(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveWarmStarted measures the per-grid-point cost of a warmed
+// sweep: the same Top-100 solve as BenchmarkSolveWithKnowledge, but the
+// invariant base is built once (cloned per iteration) and the solve is
+// seeded with the duals of a previous converged solve.
+func BenchmarkSolveWarmStarted(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	selected := TopK(in.Rules, 50, 50)
+	base := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	for j := range selected {
+		kn := selected[j].Knowledge()
+		c, err := kn.Constraint(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := base.Add(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	seed, err := maxent.Solve(base, maxent.Options{Decompose: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := base.Clone()
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, WarmStart: seed.Duals}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPosterior measures folding the joint into P(S|Q).
 func BenchmarkPosterior(b *testing.B) {
 	in := getInstance(b)

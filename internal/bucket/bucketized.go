@@ -12,6 +12,7 @@ package bucket
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"privacymaxent/internal/dataset"
 )
@@ -80,6 +81,13 @@ type Bucketized struct {
 	universe *dataset.Universe
 	buckets  []*Bucket
 	total    int
+
+	// qidIndex lazily caches, per qid, the sorted buckets it appears in —
+	// knowledge-constraint assembly queries this once per matching qid per
+	// rule, which on sweep workloads makes the uncached O(records) scan a
+	// measurable share of the whole solve.
+	qidIndexOnce sync.Once
+	qidIndex     [][]int
 }
 
 // FromPartition builds D′ from an explicit partition of table rows into
@@ -163,15 +171,23 @@ func (d *Bucketized) PSB(s, b int) float64 {
 // SACardinality reports the size of the SA domain.
 func (d *Bucketized) SACardinality() int { return d.schema.SA().Cardinality() }
 
-// BucketsWithQID returns the buckets (sorted) in which qid appears.
+// BucketsWithQID returns the buckets (sorted) in which qid appears. The
+// result comes from an index built once per publication and must not be
+// modified.
 func (d *Bucketized) BucketsWithQID(qid int) []int {
-	var out []int
-	for b, bk := range d.buckets {
-		if bk.QIDCount(qid) > 0 {
-			out = append(out, b)
+	d.qidIndexOnce.Do(func() {
+		idx := make([][]int, d.universe.Len())
+		for b, bk := range d.buckets {
+			for _, q := range bk.DistinctQIDs() {
+				idx[q] = append(idx[q], b)
+			}
 		}
+		d.qidIndex = idx
+	})
+	if qid < 0 || qid >= len(d.qidIndex) {
+		return nil
 	}
-	return out
+	return d.qidIndex[qid]
 }
 
 // BucketsWithSA returns the buckets (sorted) in which SA code s appears.

@@ -1,0 +1,64 @@
+package constraint
+
+import "testing"
+
+// TestSystemCloneIsolation checks the copy-on-append overlay: clones
+// share the base constraints with the original, but appends to any of
+// them — base or clone — are invisible to the others. This is what lets
+// experiment sweeps build the data invariants once and append only the
+// per-grid-point knowledge rows.
+func TestSystemCloneIsolation(t *testing.T) {
+	_, _, sp := paperSpace(t)
+	base := DataInvariants(sp, InvariantOptions{DropRedundant: true})
+	baseLen := base.Len()
+	if baseLen == 0 {
+		t.Fatal("empty base system")
+	}
+
+	row := func(term int, label string) Constraint {
+		return Constraint{Kind: Knowledge, Terms: []int{term}, Coeffs: []float64{1}, RHS: 0.1, Label: label}
+	}
+
+	a, b := base.Clone(), base.Clone()
+	if a.Len() != baseLen || b.Len() != baseLen {
+		t.Fatalf("clone lengths %d/%d, want %d", a.Len(), b.Len(), baseLen)
+	}
+	if a.Space() != sp {
+		t.Fatal("clone does not share the space")
+	}
+	if err := a.Add(row(0, "a0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(row(1, "b0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(row(2, "a1")); err != nil {
+		t.Fatal(err)
+	}
+	// Appends to one clone never leak into the base or the sibling.
+	if base.Len() != baseLen {
+		t.Fatalf("base grew to %d after clone appends", base.Len())
+	}
+	if a.Len() != baseLen+2 || b.Len() != baseLen+1 {
+		t.Fatalf("clone lengths %d/%d, want %d/%d", a.Len(), b.Len(), baseLen+2, baseLen+1)
+	}
+	if got := a.At(baseLen).Label; got != "a0" {
+		t.Fatalf("a's first append = %q, want a0", got)
+	}
+	if got := b.At(baseLen).Label; got != "b0" {
+		t.Fatalf("b's first append = %q, want b0 (a's append leaked into b)", got)
+	}
+
+	// Appending to the base after cloning is equally isolated.
+	base.MustAdd(row(3, "base0"))
+	if a.Len() != baseLen+2 || b.Len() != baseLen+1 {
+		t.Fatal("base append leaked into a clone")
+	}
+
+	// The shared prefix is genuinely shared, not copied.
+	for i := 0; i < baseLen; i++ {
+		if a.At(i) != base.At(i) && &a.At(i).Terms[0] != &base.At(i).Terms[0] {
+			t.Fatalf("clone copied constraint %d instead of sharing it", i)
+		}
+	}
+}

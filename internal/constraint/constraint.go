@@ -94,6 +94,17 @@ func NewSystem(sp *Space) *System {
 // Space returns the term space.
 func (s *System) Space() *Space { return s.space }
 
+// Clone returns an overlay of the system: a new System sharing the base
+// constraints (and their term/coefficient storage) with the original.
+// Appending to either the clone or the original never mutates the other —
+// the clone's slice capacity is clamped so the first Add copies only the
+// constraint headers. This is the cheap per-grid-point reuse path for
+// sweeps that build the data invariants once and append K knowledge rows
+// per point.
+func (s *System) Clone() *System {
+	return &System{space: s.space, cons: s.cons[:len(s.cons):len(s.cons)]}
+}
+
 // Len reports the number of constraints.
 func (s *System) Len() int { return len(s.cons) }
 

@@ -66,31 +66,38 @@ func (k *DistributionKnowledge) Validate(d *bucket.Bucketized) error {
 	return nil
 }
 
-// matchesQID reports whether the knowledge's condition (Qv, or ¬Qv when
-// Negated) holds for the full QI tuple of qid.
-func (k *DistributionKnowledge) matchesQID(d *bucket.Bucketized, qid int) bool {
-	u := d.Universe()
-	codes := u.Codes(qid)
+// qiPositions locates each conditioned attribute's position within the
+// QI projection, hoisted out of the per-qid matching loop (the scan over
+// the universe runs once per knowledge statement, so the lookup must not
+// repeat per tuple). A missing attribute yields -1 and never matches.
+func (k *DistributionKnowledge) qiPositions(d *bucket.Bucketized) []int {
 	qiIdx := d.Schema().QIIndices()
-	all := true
+	pos := make([]int, len(k.Attrs))
 	for i, a := range k.Attrs {
-		// Locate attribute a's position within the QI projection.
-		pos := -1
+		pos[i] = -1
 		for p, idx := range qiIdx {
 			if idx == a {
-				pos = p
+				pos[i] = p
 				break
 			}
 		}
-		if pos < 0 || codes[pos] != k.Values[i] {
+	}
+	return pos
+}
+
+// matchesQID reports whether the knowledge's condition (Qv, or ¬Qv when
+// Negated) holds for the full QI tuple of qid, given the attribute
+// positions from qiPositions.
+func (k *DistributionKnowledge) matchesQID(d *bucket.Bucketized, pos []int, qid int) bool {
+	codes := d.Universe().Codes(qid)
+	all := true
+	for i, p := range pos {
+		if p < 0 || codes[p] != k.Values[i] {
 			all = false
 			break
 		}
 	}
-	if k.Negated {
-		return !all
-	}
-	return all
+	return all != k.Negated
 }
 
 // Constraint converts the knowledge to an ME constraint over the space,
@@ -105,10 +112,11 @@ func (k *DistributionKnowledge) Constraint(sp *Space) (Constraint, error) {
 		return Constraint{}, err
 	}
 	u := d.Universe()
+	pos := k.qiPositions(d)
 	var pqv float64
 	var terms []int
 	for qid := 0; qid < u.Len(); qid++ {
-		if !k.matchesQID(d, qid) {
+		if !k.matchesQID(d, pos, qid) {
 			continue
 		}
 		pqv += u.P(qid)

@@ -239,22 +239,126 @@ func (q *Quantifier) QuantifyContext(ctx context.Context, d *bucket.Bucketized, 
 	}
 	opts := q.cfg.Solve
 	opts.Decompose = !q.cfg.NoDecompose
+	return q.solveAndScore(ctx, sys, knowledge, truth, opts, &tm)
+}
+
+// solveAndScore runs the MaxEnt solve on an assembled system, scores the
+// posterior, and emits the pipeline metrics — the tail shared by
+// QuantifyContext and Prepared.
+func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, tm *Timings) (*Report, error) {
 	solveStart := time.Now()
 	sol, err := maxent.SolveContext(ctx, sys, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: maxent solve: %w", err)
 	}
 	tm.Add(StageSolve, time.Since(solveStart))
-	rep, err := q.score(ctx, sol, knowledge, truth, &tm)
+	rep, err := q.score(ctx, sol, knowledge, truth, tm)
 	if err != nil {
 		return nil, err
 	}
-	rep.Timings = tm
+	rep.Timings = *tm
 	if reg := telemetry.Metrics(ctx); reg != nil {
 		reg.Counter("pmaxent_quantify_total").Add(1)
 		reg.Histogram("pmaxent_quantify_duration_seconds", telemetry.DurationBuckets).
 			Observe(tm.Total().Seconds())
 	}
+	return rep, nil
+}
+
+// Prepared caches the data-dependent, knowledge-independent half of a
+// quantification: the term space and the data-invariant base system.
+// Sweeps that evaluate many knowledge sets over the same published data
+// (Figures 5–7) pay the space/invariant construction once and append
+// only the per-grid-point knowledge rows onto a copy-on-append overlay
+// of the base system (constraint.System.Clone). A Prepared instance is
+// safe for concurrent use: the base system is never mutated after
+// Prepare returns.
+type Prepared struct {
+	q    *Quantifier
+	d    *bucket.Bucketized
+	sp   *constraint.Space
+	base *constraint.System
+}
+
+// Prepare builds the reusable base for quantifications of d: term space
+// plus data invariants under the Quantifier's configuration.
+func (q *Quantifier) Prepare(d *bucket.Bucketized) *Prepared {
+	return q.PrepareContext(context.Background(), d)
+}
+
+// PrepareContext is Prepare with telemetry (a "core.prepare" span).
+func (q *Quantifier) PrepareContext(ctx context.Context, d *bucket.Bucketized) *Prepared {
+	_, span := telemetry.Start(ctx, "core.prepare")
+	defer span.End()
+	sp := constraint.NewSpace(d)
+	base := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
+	span.SetAttr(
+		telemetry.Int("variables", sp.Len()),
+		telemetry.Int("invariants", base.Len()))
+	return &Prepared{q: q, d: d, sp: sp, base: base}
+}
+
+// Space returns the cached term space.
+func (p *Prepared) Space() *constraint.Space { return p.sp }
+
+// Data returns the published data the base system was built for.
+func (p *Prepared) Data() *bucket.Bucketized { return p.d }
+
+// CloneSystem returns a copy-on-append overlay of the data-invariant
+// base system: appending knowledge rows to the clone never mutates the
+// base, so every grid point of a sweep starts from the same shared
+// invariants.
+func (p *Prepared) CloneSystem() *constraint.System { return p.base.Clone() }
+
+// Quantify solves the given knowledge over the cached base system; see
+// Quantifier.Quantify.
+func (p *Prepared) Quantify(knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+	return p.QuantifyContext(context.Background(), knowledge, truth)
+}
+
+// QuantifyContext is Quantify with telemetry threaded through ctx.
+func (p *Prepared) QuantifyContext(ctx context.Context, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional) (*Report, error) {
+	return p.QuantifyWarmContext(ctx, knowledge, truth, nil)
+}
+
+// QuantifyWarmContext is QuantifyContext with a warm-start seed: the
+// duals of a previously solved, similar system (typically the previous
+// grid point of a sweep, available as Report.Solution.Duals). The seed
+// is a pure performance hint — the solve converges to the same posterior
+// from any start — matched by constraint label, so rows added or removed
+// between grid points are handled gracefully (see maxent.Options.WarmStart).
+func (p *Prepared) QuantifyWarmContext(ctx context.Context, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, warm []maxent.ConstraintDual) (*Report, error) {
+	ctx, span := telemetry.Start(ctx, "core.quantify",
+		telemetry.Int("knowledge", len(knowledge)),
+		telemetry.Bool("warm", len(warm) > 0))
+	defer span.End()
+	var tm Timings
+	fstart := time.Now()
+	sys := p.base.Clone()
+	if err := constraint.AddKnowledge(sys, knowledge...); err != nil {
+		return nil, fmt.Errorf("core: adding knowledge: %w", err)
+	}
+	tm.Add(StageFormulate, time.Since(fstart))
+	opts := p.q.cfg.Solve
+	opts.Decompose = !p.q.cfg.NoDecompose
+	opts.WarmStart = warm
+	return p.q.solveAndScore(ctx, sys, knowledge, truth, opts, &tm)
+}
+
+// QuantifyWithRules applies the Top-(KPos, KNeg) strongest rules from a
+// pre-mined, sorted rule list over the cached base system; warm may seed
+// the duals as in QuantifyWarmContext.
+func (p *Prepared) QuantifyWithRules(ctx context.Context, rules []assoc.Rule, bound Bound, truth *dataset.Conditional, warm []maxent.ConstraintDual) (*Report, error) {
+	selected := assoc.TopK(rules, bound.KPos, bound.KNeg)
+	knowledge := make([]constraint.DistributionKnowledge, len(selected))
+	for i := range selected {
+		knowledge[i] = selected[i].Knowledge()
+	}
+	rep, err := p.QuantifyWarmContext(ctx, knowledge, truth, warm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Bound = bound
 	return rep, nil
 }
 

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"privacymaxent/internal/adult"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+// TestPreparedMatchesQuantify checks that the sweep-oriented Prepared
+// path — formulate the base system once, clone and append knowledge per
+// call — produces exactly the reports of the one-shot Quantify path,
+// cold or warm-started.
+func TestPreparedMatchesQuantify(t *testing.T) {
+	tbl := adult.Generate(adult.Config{Records: 400, Seed: 9})
+	q := New(Config{RuleSizes: []int{1}, MinSupport: 1})
+	d, _, err := q.Bucketize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := dataset.TrueConditional(tbl, d.Universe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := q.MineRules(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	p := q.Prepare(d)
+	if p.Data() != d {
+		t.Fatal("Prepared does not expose its publication")
+	}
+	if p.Space() == nil {
+		t.Fatal("Prepared has no space")
+	}
+
+	for _, bound := range []Bound{{}, {KPos: 3, KNeg: 3}} {
+		oneShot, err := q.QuantifyWithRules(d, rules, bound, truth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep, err := p.QuantifyWithRules(ctx, rules, bound, truth, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prep.Bound != bound {
+			t.Fatalf("prepared bound = %+v, want %+v", prep.Bound, bound)
+		}
+		if d := math.Abs(prep.EstimationAccuracy - oneShot.EstimationAccuracy); d > 1e-9 {
+			t.Fatalf("bound %+v: prepared accuracy deviates by %g", bound, d)
+		}
+		for i := range oneShot.Solution.X {
+			if d := math.Abs(prep.Solution.X[i] - oneShot.Solution.X[i]); d > 1e-9 {
+				t.Fatalf("bound %+v: prepared joint deviates at %d by %g", bound, i, d)
+			}
+		}
+		if prep.Solution.Stats.Converged != oneShot.Solution.Stats.Converged {
+			t.Fatalf("bound %+v: convergence differs", bound)
+		}
+
+		// Warm-starting from the cold solve's duals must not move the
+		// posterior, only reduce work.
+		warm, err := p.QuantifyWithRules(ctx, rules, bound, truth, prep.Solution.Duals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(warm.EstimationAccuracy - prep.EstimationAccuracy); d > 1e-9 {
+			t.Fatalf("bound %+v: warm accuracy deviates by %g", bound, d)
+		}
+		if warm.Solution.Stats.Iterations > prep.Solution.Stats.Iterations {
+			t.Fatalf("bound %+v: warm solve took more iterations (%d > %d)",
+				bound, warm.Solution.Stats.Iterations, prep.Solution.Stats.Iterations)
+		}
+	}
+}
+
+// TestPreparedCloneSystemIsolated checks that each CloneSystem call
+// yields an independently appendable overlay of the cached base system.
+func TestPreparedCloneSystemIsolated(t *testing.T) {
+	tbl := dataset.PaperExample()
+	q := New(Config{})
+	d, err := bucket.FromPartition(tbl, dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := q.Prepare(d)
+	a, b := p.CloneSystem(), p.CloneSystem()
+	if a == b {
+		t.Fatal("CloneSystem returned the same overlay twice")
+	}
+	baseLen := a.Len()
+	if baseLen == 0 || baseLen != b.Len() {
+		t.Fatalf("clone lengths %d/%d", baseLen, b.Len())
+	}
+	ca := *a.At(0)
+	ca.Label = "probe"
+	if err := a.Add(ca); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != baseLen || p.CloneSystem().Len() != baseLen {
+		t.Fatal("append to one clone leaked into the shared base")
+	}
+}

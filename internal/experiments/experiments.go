@@ -14,13 +14,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"privacymaxent/internal/adult"
 	"privacymaxent/internal/assoc"
 	"privacymaxent/internal/bucket"
-	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/maxent"
@@ -47,6 +49,25 @@ type Config struct {
 	// Default 6000; paper-scale sweeps with heavily coupled knowledge can
 	// need more to avoid boundary-convergence artifacts in the KL metric.
 	MaxIterations int
+	// Workers bounds how many independent grid evaluations run
+	// concurrently in the sweep figures (the three Figure 5 curves per K,
+	// the Figure 6 per-T series, Figure 7bc instance generation). It
+	// follows the maxent convention: zero means runtime.GOMAXPROCS(0),
+	// negative (or 1) runs sequentially. The timing figures' solves
+	// themselves are never run concurrently — wall-clock is their y-axis.
+	Workers int
+}
+
+// workerCount resolves Config.Workers following the maxent convention.
+func (c Config) workerCount() int {
+	w := c.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +96,10 @@ func (c Config) withDefaults() Config {
 type Point struct {
 	X float64
 	Y float64
+	// Converged reports whether the solve behind this point reached
+	// GradTol within the iteration budget (false for capped solves and
+	// for closed-form points with nothing to solve, where it is true).
+	Converged bool
 }
 
 // Series is a named curve, as plotted in the paper's figures.
@@ -92,6 +117,9 @@ type Instance struct {
 	Data   *bucket.Bucketized
 	Truth  *dataset.Conditional
 	Rules  []assoc.Rule
+
+	prepOnce sync.Once
+	prep     *core.Prepared
 }
 
 // NewInstance generates and prepares the workload.
@@ -128,10 +156,21 @@ func (in *Instance) quantifier() *core.Quantifier {
 	})
 }
 
+// prepared returns the instance's cached core.Prepared: the term space
+// and data-invariant base system, built once and shared by every grid
+// point of every figure (the base depends only on the published data,
+// never on the knowledge). Safe for concurrent use.
+func (in *Instance) prepared() *core.Prepared {
+	in.prepOnce.Do(func() {
+		in.prep = in.quantifier().Prepare(in.Data)
+	})
+	return in.prep
+}
+
 // accuracyAt runs one quantification under the Top-(kPos, kNeg) bound and
 // returns the estimation accuracy.
 func (in *Instance) accuracyAt(rules []assoc.Rule, kPos, kNeg int) (float64, error) {
-	rep, err := in.quantifier().QuantifyWithRules(in.Data, rules, core.Bound{KPos: kPos, KNeg: kNeg}, in.Truth)
+	rep, err := in.prepared().QuantifyWithRules(context.Background(), rules, core.Bound{KPos: kPos, KNeg: kNeg}, in.Truth, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -155,6 +194,13 @@ func defaultKSweep(maxRules int) []int {
 // estimation accuracy versus K for the K− curve (K negative rules), the
 // K+ curve (K positive rules), and the (K+, K−) curve (K/2 of each).
 // ks overrides the K grid; nil uses the default sweep.
+//
+// All three solves share the instance's cached invariant base system
+// (only the K knowledge rows are appended per grid point), each curve
+// warm-starts from its own previous K point's duals, and the three
+// curves of a K point run concurrently under Config.Workers. None of
+// this changes the curves: warm starts and system reuse are pure
+// performance devices (the MaxEnt optimum is start-independent).
 func Figure5(in *Instance, ks ...int) ([]Series, error) {
 	pos, neg := assoc.Split(in.Rules)
 	maxK := len(pos)
@@ -165,22 +211,57 @@ func Figure5(in *Instance, ks ...int) ([]Series, error) {
 		ks = defaultKSweep(maxK)
 	}
 	series := []Series{{Name: "K-"}, {Name: "K+"}, {Name: "(K+, K-)"}}
+	// One warm-start chain per curve: curve ci at K seeds from curve ci
+	// at the previous K, whose surviving rows are a near-superset.
+	warm := make([][]maxent.ConstraintDual, len(series))
+	workers := in.Config.workerCount()
+	if workers > len(series) {
+		workers = len(series)
+	}
+	sem := make(chan struct{}, workers)
 	for _, k := range ks {
-		accNeg, err := in.accuracyAt(in.Rules, 0, k)
-		if err != nil {
-			return nil, fmt.Errorf("figure5 K-=%d: %w", k, err)
+		bounds := []core.Bound{
+			{KPos: 0, KNeg: k},
+			{KPos: k, KNeg: 0},
+			{KPos: k / 2, KNeg: k - k/2},
 		}
-		accPos, err := in.accuracyAt(in.Rules, k, 0)
-		if err != nil {
-			return nil, fmt.Errorf("figure5 K+=%d: %w", k, err)
+		accs := make([]float64, len(series))
+		convs := make([]bool, len(series))
+		errs := make([]error, len(series))
+		var wg sync.WaitGroup
+		for ci := range series {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ci int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rep, err := in.prepared().QuantifyWithRules(context.Background(), in.Rules, bounds[ci], in.Truth, warm[ci])
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				accs[ci] = rep.EstimationAccuracy
+				convs[ci] = rep.Solution.Stats.Converged
+				// Chain duals only from converged solves: a capped solve's
+				// endpoint is start-dependent, so seeding the next point
+				// from it would change the curve without saving iterations.
+				// After a capped point the chain restarts cold.
+				if rep.Solution.Stats.Converged {
+					warm[ci] = rep.Solution.Duals
+				} else {
+					warm[ci] = nil
+				}
+			}(ci)
 		}
-		accMix, err := in.accuracyAt(in.Rules, k/2, k-k/2)
-		if err != nil {
-			return nil, fmt.Errorf("figure5 mix=%d: %w", k, err)
+		wg.Wait()
+		for ci, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("figure5 %s K=%d: %w", series[ci].Name, k, err)
+			}
 		}
-		series[0].Points = append(series[0].Points, Point{X: float64(k), Y: accNeg})
-		series[1].Points = append(series[1].Points, Point{X: float64(k), Y: accPos})
-		series[2].Points = append(series[2].Points, Point{X: float64(k), Y: accMix})
+		for ci := range series {
+			series[ci].Points = append(series[ci].Points, Point{X: float64(k), Y: accs[ci], Converged: convs[ci]})
+		}
 	}
 	return series, nil
 }
@@ -189,49 +270,89 @@ func Figure5(in *Instance, ks ...int) ([]Series, error) {
 // accuracy versus K where the knowledge contains only rules with exactly
 // T QI attributes, one series per T from 1 to maxT. ks overrides the K
 // grid; nil uses the default sweep per T.
+//
+// The per-T series are independent and run concurrently under
+// Config.Workers; within a series the K grid is swept sequentially so
+// each point can warm-start from the previous one's duals. All solves
+// share the instance's cached invariant base system.
 func Figure6(in *Instance, maxT int, ks ...int) ([]Series, error) {
 	if maxT <= 0 {
 		maxT = in.Table.Schema().NumQI()
 	}
-	var series []Series
+	series := make([]Series, maxT)
+	errs := make([]error, maxT)
+	workers := in.Config.workerCount()
+	if workers > maxT {
+		workers = maxT
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	for t := 1; t <= maxT; t++ {
-		rules, err := assoc.Mine(in.Table, assoc.Options{MinSupport: in.Config.MinSupport, Sizes: []int{t}})
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			series[t-1], errs[t-1] = in.figure6Series(t, ks)
+		}(t)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("figure6 T=%d: %w", t, err)
+			return nil, err
 		}
-		pos, neg := assoc.Split(rules)
-		maxK := len(pos)
-		if len(neg) < maxK {
-			maxK = len(neg)
-		}
-		grid := ks
-		if len(grid) == 0 {
-			grid = defaultKSweep(2 * maxK)
-		}
-		s := Series{Name: fmt.Sprintf("T=%d", t)}
-		for _, k := range grid {
-			acc, err := in.accuracyAt(rules, k/2, k-k/2)
-			if err != nil {
-				return nil, fmt.Errorf("figure6 T=%d K=%d: %w", t, k, err)
-			}
-			s.Points = append(s.Points, Point{X: float64(k), Y: acc})
-		}
-		series = append(series, s)
 	}
 	return series, nil
+}
+
+// figure6Series sweeps the K grid for a single T, chaining warm starts
+// from one K point to the next.
+func (in *Instance) figure6Series(t int, ks []int) (Series, error) {
+	rules, err := assoc.Mine(in.Table, assoc.Options{MinSupport: in.Config.MinSupport, Sizes: []int{t}})
+	if err != nil {
+		return Series{}, fmt.Errorf("figure6 T=%d: %w", t, err)
+	}
+	pos, neg := assoc.Split(rules)
+	maxK := len(pos)
+	if len(neg) < maxK {
+		maxK = len(neg)
+	}
+	grid := ks
+	if len(grid) == 0 {
+		grid = defaultKSweep(2 * maxK)
+	}
+	s := Series{Name: fmt.Sprintf("T=%d", t)}
+	var warm []maxent.ConstraintDual
+	for _, k := range grid {
+		rep, err := in.prepared().QuantifyWithRules(context.Background(), rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth, warm)
+		if err != nil {
+			return Series{}, fmt.Errorf("figure6 T=%d K=%d: %w", t, k, err)
+		}
+		// As in Figure5, only converged solves extend the warm chain.
+		if rep.Solution.Stats.Converged {
+			warm = rep.Solution.Duals
+		} else {
+			warm = nil
+		}
+		s.Points = append(s.Points, Point{X: float64(k), Y: rep.EstimationAccuracy, Converged: rep.Solution.Stats.Converged})
+	}
+	return s, nil
 }
 
 // solveWithTopK builds the constraint system for the Top-K mixed bound
 // and solves it without decomposition (as the paper's performance section
 // notes, the Sec. 5.5 optimizations are off in Figure 7), returning the
-// solver statistics.
+// solver statistics. The invariant base comes from the cached Prepared
+// overlay (only the K knowledge rows are appended per call), but the
+// solve itself is deliberately cold — no warm start, no concurrency —
+// because Figure 7's y-axis is exactly this solver cost.
 func (in *Instance) solveWithTopK(k int) (maxent.Stats, error) {
-	sp := constraint.NewSpace(in.Data)
-	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	p := in.prepared()
+	sys := p.CloneSystem()
 	selected := assoc.TopK(in.Rules, k/2, k-k/2)
 	for i := range selected {
 		kn := selected[i].Knowledge()
-		c, err := kn.Constraint(sp)
+		c, err := kn.Constraint(p.Space())
 		if err != nil {
 			return maxent.Stats{}, err
 		}
@@ -285,17 +406,41 @@ func Figure7bc(cfg Config, bucketCounts []int, constraintCounts []int) (timeSeri
 		timeSeries = append(timeSeries, Series{Name: fmt.Sprintf("#Constraints = %d", kc)})
 		iterSeries = append(iterSeries, Series{Name: fmt.Sprintf("#Constraints = %d", kc)})
 	}
-	for _, nb := range bucketCounts {
-		sub := cfg
-		sub.Records = nb * cfg.Diversity
-		in, err := NewInstance(sub)
-		if err != nil {
-			return nil, nil, fmt.Errorf("figure7bc buckets=%d: %w", nb, err)
+	// Instance generation (synthesize, bucketize, mine) is independent
+	// across data sizes and runs concurrently under Config.Workers; the
+	// timed solves below stay sequential so wall-clock measurements do
+	// not contend for cores.
+	ins := make([]*Instance, len(bucketCounts))
+	errs := make([]error, len(bucketCounts))
+	workers := cfg.workerCount()
+	if workers > len(bucketCounts) {
+		workers = len(bucketCounts)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, nb := range bucketCounts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i, nb int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sub := cfg
+			sub.Records = nb * cfg.Diversity
+			ins[i], errs[i] = NewInstance(sub)
+		}(i, nb)
+	}
+	wg.Wait()
+	for i, nb := range bucketCounts {
+		if errs[i] != nil {
+			return nil, nil, fmt.Errorf("figure7bc buckets=%d: %w", nb, errs[i])
 		}
+	}
+	for i := range bucketCounts {
+		in := ins[i]
 		for ci, kc := range constraintCounts {
 			stats, err := in.solveWithTopK(kc)
 			if err != nil {
-				return nil, nil, fmt.Errorf("figure7bc buckets=%d constraints=%d: %w", nb, kc, err)
+				return nil, nil, fmt.Errorf("figure7bc buckets=%d constraints=%d: %w", bucketCounts[i], kc, err)
 			}
 			x := float64(in.Data.NumBuckets())
 			timeSeries[ci].Points = append(timeSeries[ci].Points, Point{X: x, Y: stats.Duration.Seconds()})
@@ -322,21 +467,24 @@ func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]Algorith
 	if len(algs) == 0 {
 		algs = []maxent.Algorithm{maxent.LBFGS, maxent.GIS, maxent.IIS, maxent.SteepestDescent, maxent.Newton}
 	}
+	// The system is knowledge-dependent but algorithm-independent: build
+	// it once from the cached invariant base and reuse it for every
+	// algorithm (Solve never mutates its input system).
+	p := in.prepared()
+	sys := p.CloneSystem()
+	selected := assoc.TopK(in.Rules, k/2, k-k/2)
+	for i := range selected {
+		kn := selected[i].Knowledge()
+		c, err := kn.Constraint(p.Space())
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Add(c); err != nil {
+			return nil, err
+		}
+	}
 	var out []AlgorithmResult
 	for _, alg := range algs {
-		sp := constraint.NewSpace(in.Data)
-		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
-		selected := assoc.TopK(in.Rules, k/2, k-k/2)
-		for i := range selected {
-			kn := selected[i].Knowledge()
-			c, err := kn.Constraint(sp)
-			if err != nil {
-				return nil, err
-			}
-			if err := sys.Add(c); err != nil {
-				return nil, err
-			}
-		}
 		// Decompose so Newton's dense Hessian only sees the relevant
 		// buckets' constraints.
 		sol, err := maxent.Solve(sys, maxent.Options{

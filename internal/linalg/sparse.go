@@ -1,17 +1,54 @@
 package linalg
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // CSR is a compressed sparse row matrix. Rows are appended once, in order,
 // via AppendRow; the matrix is then immutable. This matches how the MaxEnt
 // constraint system is assembled: each invariant or knowledge constraint
 // becomes one sparse row of A.
+//
+// Duplicate column indices within a row are permitted and contribute
+// additively: MulVec, MulTVec and Dense all treat a row with column c
+// appearing twice exactly like a single entry whose value is the sum of
+// the duplicates. AppendRow neither sorts nor merges, so NNZ counts the
+// stored (unmerged) entries.
 type CSR struct {
 	numCols int
 	rowPtr  []int
 	colIdx  []int
 	vals    []float64
+
+	// t caches the CSC transpose layout MulTVec gathers from; it is built
+	// lazily on first use (see transpose) and invalidated by AppendRow.
+	t       atomic.Pointer[cscLayout]
+	buildMu sync.Mutex
 }
+
+// cscLayout is the compressed sparse column view of a CSR matrix: entry k
+// of column c lives at rows[colPtr[c]+k] with value vals[colPtr[c]+k].
+// Duplicate row entries within a column are kept as-is (they sum).
+type cscLayout struct {
+	colPtr []int
+	rowIdx []int
+	vals   []float64
+}
+
+// MulTVec layout selection: both transpose layouts were benchmarked
+// across the shapes the solver produces (BenchmarkMulTVec and the
+// degree-sweep notes there). The gather over a cached CSC copy wins once
+// columns average cscMinDegree or more stored entries — below that the
+// per-column loop overhead exceeds the scatter's clear-pass cost, and
+// MaxEnt invariant blocks (degree ≈ 2–3) stay on the scatter layout.
+// cscMinNNZ additionally keeps tiny matrices on the scatter path, where
+// the O(nnz) transpose build could never amortize.
+const (
+	cscMinNNZ    = 128
+	cscMinDegree = 4
+)
 
 // NewCSR creates an empty matrix with a fixed column count.
 func NewCSR(numCols int) *CSR {
@@ -28,7 +65,8 @@ func (m *CSR) Cols() int { return m.numCols }
 func (m *CSR) NNZ() int { return len(m.vals) }
 
 // AppendRow appends a sparse row given parallel column-index and value
-// slices. Indices must be in range; they need not be sorted.
+// slices. Indices must be in range; they need not be sorted and may
+// repeat (duplicates sum in every product). The slices are copied.
 func (m *CSR) AppendRow(cols []int, vals []float64) error {
 	if len(cols) != len(vals) {
 		return fmt.Errorf("linalg: row has %d columns but %d values", len(cols), len(vals))
@@ -41,6 +79,7 @@ func (m *CSR) AppendRow(cols []int, vals []float64) error {
 	m.colIdx = append(m.colIdx, cols...)
 	m.vals = append(m.vals, vals...)
 	m.rowPtr = append(m.rowPtr, len(m.vals))
+	m.t.Store(nil) // invalidate the cached transpose
 	return nil
 }
 
@@ -56,37 +95,111 @@ func (m *CSR) MulVec(x, y []float64) {
 	if len(x) != m.numCols || len(y) != m.Rows() {
 		panic(fmt.Sprintf("linalg: MulVec dims: x %d (want %d), y %d (want %d)", len(x), m.numCols, len(y), m.Rows()))
 	}
-	for r := 0; r < m.Rows(); r++ {
+	rows := m.Rows()
+	for r := 0; r < rows; r++ {
 		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		vals, cols := m.vals[lo:hi], m.colIdx[lo:hi:hi]
 		var s float64
-		for k := lo; k < hi; k++ {
-			s += m.vals[k] * x[m.colIdx[k]]
+		for k, v := range vals {
+			s += v * x[cols[k]]
 		}
 		y[r] = s
 	}
 }
 
 // MulTVec computes y = Aᵀ x. The output slice must have length Cols() and
-// is overwritten.
+// is overwritten. Column-dense matrices use the cached CSC transpose so
+// each y[c] is a contiguous gather; small or column-sparse ones keep the
+// scatter loop (see the layout constants above). The layouts agree up to
+// floating-point summation order — see the property tests.
 func (m *CSR) MulTVec(x, y []float64) {
 	if len(x) != m.Rows() || len(y) != m.numCols {
 		panic(fmt.Sprintf("linalg: MulTVec dims: x %d (want %d), y %d (want %d)", len(x), m.Rows(), len(y), m.numCols))
 	}
+	if len(m.vals) < cscMinNNZ || len(m.vals) < cscMinDegree*m.numCols {
+		m.mulTVecScatter(x, y)
+		return
+	}
+	m.mulTVecGather(m.transpose(), x, y)
+}
+
+// mulTVecScatter is the row-major reference layout for y = Aᵀ x: clear y,
+// then scatter every row's contribution.
+func (m *CSR) mulTVecScatter(x, y []float64) {
 	Fill(y, 0)
-	for r := 0; r < m.Rows(); r++ {
+	rows := m.Rows()
+	for r := 0; r < rows; r++ {
 		xr := x[r]
 		if xr == 0 {
 			continue
 		}
 		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
-		for k := lo; k < hi; k++ {
-			y[m.colIdx[k]] += m.vals[k] * xr
+		vals, cols := m.vals[lo:hi], m.colIdx[lo:hi:hi]
+		for k, v := range vals {
+			y[cols[k]] += v * xr
 		}
 	}
 }
 
+// mulTVecGather computes y = Aᵀ x from the CSC layout: each output
+// component is one contiguous dot product, with no clearing pass and no
+// scattered writes.
+func (m *CSR) mulTVecGather(t *cscLayout, x, y []float64) {
+	for c := 0; c < m.numCols; c++ {
+		lo, hi := t.colPtr[c], t.colPtr[c+1]
+		vals, rows := t.vals[lo:hi], t.rowIdx[lo:hi:hi]
+		var s float64
+		for k, v := range vals {
+			s += v * x[rows[k]]
+		}
+		y[c] = s
+	}
+}
+
+// transpose returns the CSC view of the matrix, building and caching it
+// on first use (counting sort over the stored entries, O(NNZ + Cols)).
+// The cache is safe for concurrent MulTVec callers; AppendRow invalidates
+// it, so assembly must finish before products start (which the
+// append-then-solve usage guarantees).
+func (m *CSR) transpose() *cscLayout {
+	if t := m.t.Load(); t != nil {
+		return t
+	}
+	m.buildMu.Lock()
+	defer m.buildMu.Unlock()
+	if t := m.t.Load(); t != nil {
+		return t
+	}
+	t := &cscLayout{
+		colPtr: make([]int, m.numCols+1),
+		rowIdx: make([]int, len(m.vals)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for _, c := range m.colIdx {
+		t.colPtr[c+1]++
+	}
+	for c := 0; c < m.numCols; c++ {
+		t.colPtr[c+1] += t.colPtr[c]
+	}
+	next := make([]int, m.numCols)
+	copy(next, t.colPtr[:m.numCols])
+	for r := 0; r < m.Rows(); r++ {
+		lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+		for k := lo; k < hi; k++ {
+			c := m.colIdx[k]
+			t.rowIdx[next[c]] = r
+			t.vals[next[c]] = m.vals[k]
+			next[c]++
+		}
+	}
+	m.t.Store(t)
+	return t
+}
+
 // Dense expands the matrix to dense row-major form; intended for the small
 // per-bucket matrices in rank analyses and tests, not for solver paths.
+// Duplicate column indices within a row accumulate, matching MulVec and
+// MulTVec.
 func (m *CSR) Dense() [][]float64 {
 	out := make([][]float64, m.Rows())
 	for r := range out {

@@ -1,0 +1,254 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randomCSR builds a random sparse matrix. Rows may be empty, column
+// indices may repeat within a row (duplicates sum by contract), and a
+// share of the value entries are exactly zero.
+func randomCSR(rng *rand.Rand, rows, cols int) *CSR {
+	m := NewCSR(cols)
+	for r := 0; r < rows; r++ {
+		nnz := rng.Intn(cols + 1)
+		if rng.Intn(5) == 0 {
+			nnz = 0 // force empty rows regularly
+		}
+		cs := make([]int, nnz)
+		vs := make([]float64, nnz)
+		for k := range cs {
+			cs[k] = rng.Intn(cols) // repeats allowed
+			switch rng.Intn(4) {
+			case 0:
+				vs[k] = 0
+			default:
+				vs[k] = rng.NormFloat64()
+			}
+		}
+		if err := m.AppendRow(cs, vs); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// TestMulTVecGatherMatchesScatter is the CSC-path property test: on
+// randomized matrices (empty rows, duplicate columns, zero values, zero
+// vectors included) the cached-transpose gather must match the scatter
+// reference within summation-order tolerance, regardless of the
+// cscMinNNZ shape cutoff the public MulTVec applies.
+func TestMulTVecGatherMatchesScatter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rows := rng.Intn(30)
+		cols := 1 + rng.Intn(30)
+		m := randomCSR(rng, rows, cols)
+
+		x := make([]float64, rows)
+		if trial%7 != 0 { // every 7th trial keeps the zero vector
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+		}
+		want := make([]float64, cols)
+		m.mulTVecScatter(x, want)
+		got := make([]float64, cols)
+		m.mulTVecGather(m.transpose(), x, got)
+		for c := range want {
+			if math.Abs(got[c]-want[c]) > 1e-12*(1+math.Abs(want[c])) {
+				t.Fatalf("trial %d: column %d: gather %g, scatter %g", trial, c, got[c], want[c])
+			}
+		}
+		// The public entry point (whichever layout it picks) agrees too.
+		pub := make([]float64, cols)
+		m.MulTVec(x, pub)
+		for c := range want {
+			if math.Abs(pub[c]-want[c]) > 1e-12*(1+math.Abs(want[c])) {
+				t.Fatalf("trial %d: column %d: MulTVec %g, scatter %g", trial, c, pub[c], want[c])
+			}
+		}
+	}
+}
+
+// TestDuplicateColumnSemantics pins the documented contract: a row with a
+// duplicated column index behaves, in MulVec, MulTVec (both layouts) and
+// Dense, exactly like a row holding the summed coefficient once.
+func TestDuplicateColumnSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(10)
+		dup := randomCSR(rng, rows, cols)
+
+		// Merge duplicates per row into a canonical matrix.
+		merged := NewCSR(cols)
+		for r := 0; r < rows; r++ {
+			sum := make(map[int]float64)
+			cs, vs := dup.Row(r)
+			for k, c := range cs {
+				sum[c] += vs[k]
+			}
+			var mc []int
+			var mv []float64
+			for c := 0; c < cols; c++ {
+				if v, ok := sum[c]; ok {
+					mc = append(mc, c)
+					mv = append(mv, v)
+				}
+			}
+			if err := merged.AppendRow(mc, mv); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		xc := make([]float64, cols)
+		xr := make([]float64, rows)
+		for i := range xc {
+			xc[i] = rng.NormFloat64()
+		}
+		for i := range xr {
+			xr[i] = rng.NormFloat64()
+		}
+
+		yd, ym := make([]float64, rows), make([]float64, rows)
+		dup.MulVec(xc, yd)
+		merged.MulVec(xc, ym)
+		for i := range yd {
+			if math.Abs(yd[i]-ym[i]) > 1e-12*(1+math.Abs(ym[i])) {
+				t.Fatalf("MulVec duplicate mismatch row %d: %g vs %g", i, yd[i], ym[i])
+			}
+		}
+
+		td, tm := make([]float64, cols), make([]float64, cols)
+		dup.mulTVecScatter(xr, td)
+		merged.mulTVecScatter(xr, tm)
+		for c := range td {
+			if math.Abs(td[c]-tm[c]) > 1e-12*(1+math.Abs(tm[c])) {
+				t.Fatalf("MulTVec scatter duplicate mismatch col %d: %g vs %g", c, td[c], tm[c])
+			}
+		}
+		dup.mulTVecGather(dup.transpose(), xr, td)
+		for c := range td {
+			if math.Abs(td[c]-tm[c]) > 1e-12*(1+math.Abs(tm[c])) {
+				t.Fatalf("MulTVec gather duplicate mismatch col %d: %g vs %g", c, td[c], tm[c])
+			}
+		}
+
+		dd, dm := dup.Dense(), merged.Dense()
+		for r := range dd {
+			for c := range dd[r] {
+				if math.Abs(dd[r][c]-dm[r][c]) > 1e-12*(1+math.Abs(dm[r][c])) {
+					t.Fatalf("Dense duplicate mismatch (%d,%d): %g vs %g", r, c, dd[r][c], dm[r][c])
+				}
+			}
+		}
+	}
+}
+
+// TestTransposeInvalidatedByAppendRow ensures the cached CSC layout never
+// serves stale data after further assembly.
+func TestTransposeInvalidatedByAppendRow(t *testing.T) {
+	m := NewCSR(3)
+	if err := m.AppendRow([]int{0, 2}, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, 3)
+	m.mulTVecGather(m.transpose(), []float64{1}, y)
+	if y[0] != 1 || y[2] != 2 {
+		t.Fatalf("pre-append gather wrong: %v", y)
+	}
+	if err := m.AppendRow([]int{1}, []float64{5}); err != nil {
+		t.Fatal(err)
+	}
+	m.mulTVecGather(m.transpose(), []float64{1, 1}, y)
+	if y[0] != 1 || y[1] != 5 || y[2] != 2 {
+		t.Fatalf("post-append gather stale: %v", y)
+	}
+}
+
+// TestTransposeConcurrentBuild hammers the lazy build from many
+// goroutines; run with -race this checks the double-checked locking.
+func TestTransposeConcurrentBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomCSR(rng, 200, 50)
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 50)
+	m.mulTVecScatter(x, want)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			y := make([]float64, 50)
+			for i := 0; i < 50; i++ {
+				m.MulTVec(x, y)
+			}
+			for c := range want {
+				if math.Abs(y[c]-want[c]) > 1e-12*(1+math.Abs(want[c])) {
+					t.Errorf("concurrent MulTVec col %d: %g want %g", c, y[c], want[c])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// benchmarkMatrix mimics a reduced MaxEnt constraint block: short rows
+// (bucket invariants touch L≈5 terms) over a wide variable space.
+func benchmarkMatrix(rows, cols, rowNNZ int) (*CSR, []float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewCSR(cols)
+	cs := make([]int, rowNNZ)
+	vs := make([]float64, rowNNZ)
+	for r := 0; r < rows; r++ {
+		for k := range cs {
+			cs[k] = rng.Intn(cols)
+			vs[k] = 1
+		}
+		if err := m.AppendRow(cs, vs); err != nil {
+			panic(err)
+		}
+	}
+	x := make([]float64, rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return m, x, make([]float64, cols)
+}
+
+// BenchmarkMulTVec measures both transpose layouts across the shapes the
+// solver produces; the cscMinNNZ cutoff in MulTVec is chosen from these
+// numbers (scatter for tiny blocks, gather above).
+func BenchmarkMulTVec(b *testing.B) {
+	shapes := []struct {
+		name             string
+		rows, cols, rnnz int
+	}{
+		{"component_16x40", 16, 40, 5},
+		{"figure_500x2000", 500, 2000, 5},
+		{"dense_300x300", 300, 300, 60},
+	}
+	for _, sh := range shapes {
+		m, x, y := benchmarkMatrix(sh.rows, sh.cols, sh.rnnz)
+		b.Run(sh.name+"/scatter", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.mulTVecScatter(x, y)
+			}
+		})
+		b.Run(sh.name+"/gather", func(b *testing.B) {
+			t := m.transpose()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.mulTVecGather(t, x, y)
+			}
+		})
+	}
+}

@@ -9,11 +9,14 @@ import (
 	"math"
 )
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors. The
+// accumulation is strictly sequential (index order), so results are
+// bit-reproducible across layouts and refactors.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)]
 	var s float64
 	for i, v := range a {
 		s += v * b[i]
@@ -26,6 +29,7 @@ func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
+	y = y[:len(x)]
 	for i, v := range x {
 		y[i] += alpha * v
 	}

@@ -25,22 +25,30 @@ import (
 )
 
 // dualObjective implements solver.Objective for g(λ) over a reduced
-// (presolved) constraint system.
+// (presolved) constraint system. Its work buffers come from a shared
+// pool (dualScratch); callers must release() the objective when the
+// solve — including any Primal recovery — is finished.
 type dualObjective struct {
-	a   *linalg.CSR // m rows (constraints) × n cols (active variables)
-	c   []float64   // right-hand sides, length m
-	eta []float64   // scratch: (Aᵀλ), length n
-	x   []float64   // scratch: primal x(λ), length n
-	ax  []float64   // scratch: A x, length m
+	a       *linalg.CSR // m rows (constraints) × n cols (active variables)
+	c       []float64   // right-hand sides, length m
+	scratch *dualScratch
+	hessOK  bool // scratch.touch/coeff hold this matrix's adjacency
 }
 
 func newDualObjective(a *linalg.CSR, c []float64) *dualObjective {
 	return &dualObjective{
-		a:   a,
-		c:   c,
-		eta: make([]float64, a.Cols()),
-		x:   make([]float64, a.Cols()),
-		ax:  make([]float64, a.Rows()),
+		a:       a,
+		c:       c,
+		scratch: newDualScratch(a.Rows(), a.Cols()),
+	}
+}
+
+// release returns the objective's scratch buffers to the pool. The
+// objective must not be used afterwards.
+func (d *dualObjective) release() {
+	if d.scratch != nil {
+		d.scratch.release()
+		d.scratch = nil
 	}
 }
 
@@ -51,35 +59,58 @@ func (d *dualObjective) Dim() int { return d.a.Rows() }
 // if λ wanders into overflow territory the +Inf propagates and the
 // strong-Wolfe line search backs off.
 func (d *dualObjective) Eval(lambda, grad []float64) float64 {
-	d.a.MulTVec(lambda, d.eta)
+	s := d.scratch
+	d.a.MulTVec(lambda, s.eta)
 	var sumExp float64
-	for j, e := range d.eta {
+	for j, e := range s.eta {
 		v := math.Exp(e - 1)
-		d.x[j] = v
+		s.x[j] = v
 		sumExp += v
 	}
 	f := sumExp - linalg.Dot(lambda, d.c)
-	d.a.MulVec(d.x, d.ax)
+	d.a.MulVec(s.x, s.ax)
 	for i := range grad {
-		grad[i] = d.ax[i] - d.c[i]
+		grad[i] = s.ax[i] - d.c[i]
 	}
 	return f
 }
 
 // Primal recovers x(λ) into dst (length = number of active variables).
 func (d *dualObjective) Primal(lambda, dst []float64) {
-	d.a.MulTVec(lambda, d.eta)
-	for j, e := range d.eta {
+	d.a.MulTVec(lambda, d.scratch.eta)
+	for j, e := range d.scratch.eta {
 		dst[j] = math.Exp(e - 1)
 	}
+}
+
+// hessAdjacency returns, for each variable, the rows touching it and
+// their coefficients. The adjacency depends only on the constraint
+// matrix, so it is built once per objective (on pooled buffers) and
+// reused across Newton iterations instead of rebuilt per Hessian call.
+func (d *dualObjective) hessAdjacency() ([][]int, [][]float64) {
+	s := d.scratch
+	if !d.hessOK {
+		s.touch = growIntRows(s.touch, d.a.Cols())
+		s.coeff = growFloatRows(s.coeff, d.a.Cols())
+		for r := 0; r < d.a.Rows(); r++ {
+			cols, vals := d.a.Row(r)
+			for k, cIdx := range cols {
+				s.touch[cIdx] = append(s.touch[cIdx], r)
+				s.coeff[cIdx] = append(s.coeff[cIdx], vals[k])
+			}
+		}
+		d.hessOK = true
+	}
+	return s.touch, s.coeff
 }
 
 // Hessian writes ∇²g(λ) = A·diag(x(λ))·Aᵀ into h, enabling Newton's
 // method on duals with few constraints.
 func (d *dualObjective) Hessian(lambda []float64, h [][]float64) {
-	d.a.MulTVec(lambda, d.eta)
-	for j, e := range d.eta {
-		d.x[j] = math.Exp(e - 1)
+	s := d.scratch
+	d.a.MulTVec(lambda, s.eta)
+	for j, e := range s.eta {
+		s.x[j] = math.Exp(e - 1)
 	}
 	m := d.a.Rows()
 	for i := 0; i < m; i++ {
@@ -90,17 +121,9 @@ func (d *dualObjective) Hessian(lambda []float64, h [][]float64) {
 	}
 	// Accumulate Σ_j x_j a_j a_jᵀ column by column: for every variable j,
 	// the rows touching it contribute pairwise products.
-	touch := make([][]int, d.a.Cols())
-	coeff := make([][]float64, d.a.Cols())
-	for r := 0; r < m; r++ {
-		cols, vals := d.a.Row(r)
-		for k, cIdx := range cols {
-			touch[cIdx] = append(touch[cIdx], r)
-			coeff[cIdx] = append(coeff[cIdx], vals[k])
-		}
-	}
+	touch, coeff := d.hessAdjacency()
 	for j := range touch {
-		xj := d.x[j]
+		xj := s.x[j]
 		rows := touch[j]
 		cs := coeff[j]
 		for a := range rows {

@@ -6,6 +6,7 @@ import (
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/linalg"
+	"privacymaxent/internal/solver"
 )
 
 // gisResult reports a generalized-iterative-scaling run.
@@ -105,6 +106,9 @@ func runGIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, 
 
 	res := gisResult{x: make([]float64, n)}
 	for iter := 0; iter < maxIter; iter++ {
+		if opts.Solver.Interrupt != nil && opts.Solver.Interrupt() {
+			return gisResult{}, solver.ErrInterrupted
+		}
 		// Model distribution p_j ∝ exp(Σ_i λ_i A_ij + λ₀ f₀(j)),
 		// normalized via log-sum-exp for stability.
 		for j := range logp {

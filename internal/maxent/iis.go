@@ -6,6 +6,7 @@ import (
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/linalg"
+	"privacymaxent/internal/solver"
 )
 
 // runIIS solves the reduced MaxEnt system with improved iterative scaling
@@ -74,6 +75,9 @@ func runIIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, 
 
 	res := gisResult{x: make([]float64, n)}
 	for iter := 0; iter < maxIter; iter++ {
+		if opts.Solver.Interrupt != nil && opts.Solver.Interrupt() {
+			return gisResult{}, solver.ErrInterrupted
+		}
 		// Model p_j ∝ exp(Σ_i λ_i A_ij), normalized by log-sum-exp.
 		linalg.Fill(logp, 0)
 		for r := 0; r < m; r++ {

@@ -116,12 +116,13 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 	sol := &Solution{X: append([]float64(nil), init...)}
 	sol.Stats.Workers = 1
 
+	// Slices are shared, not copied: presolve is copy-on-write.
 	rows := make([]rowData, 0, len(cons))
 	for i := range cons {
 		c := &cons[i]
 		rows = append(rows, rowData{
-			terms:  append([]int(nil), c.Terms...),
-			coeffs: append([]float64(nil), c.Coeffs...),
+			terms:  c.Terms,
+			coeffs: c.Coeffs,
 			rhs:    c.RHS,
 			label:  c.Label,
 			kind:   c.Kind,

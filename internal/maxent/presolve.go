@@ -17,7 +17,9 @@ type ErrInfeasible struct{ Reason string }
 func (e *ErrInfeasible) Error() string { return "maxent: infeasible constraints: " + e.Reason }
 
 // rowData is a constraint in plain form: terms index the original
-// variable space.
+// variable space. The terms and coeffs slices may alias the source
+// constraint.System's storage (see systemRows) and must be treated as
+// immutable; any rewrite goes through copy-on-write in presolve.
 type rowData struct {
 	terms  []int
 	coeffs []float64
@@ -28,17 +30,19 @@ type rowData struct {
 
 // systemRows extracts the system's constraints as rowData, keeping only
 // rows accepted by the filter (nil keeps everything). Term and coefficient
-// slices are copied so presolve can rewrite them.
+// slices are shared with the system, not copied: presolve is copy-on-write
+// (it allocates fresh slices only for the rows it actually rewrites), so
+// the shared slices are treated as immutable throughout the solve.
 func systemRows(sys *constraint.System, keep func(*constraint.Constraint) bool) []rowData {
-	var rows []rowData
+	rows := make([]rowData, 0, sys.Len())
 	for i := 0; i < sys.Len(); i++ {
 		c := sys.At(i)
 		if keep != nil && !keep(c) {
 			continue
 		}
 		rows = append(rows, rowData{
-			terms:  append([]int(nil), c.Terms...),
-			coeffs: append([]float64(nil), c.Coeffs...),
+			terms:  c.Terms,
+			coeffs: c.Coeffs,
 			rhs:    c.RHS,
 			label:  c.Label,
 			kind:   c.Kind,
@@ -110,18 +114,31 @@ func presolve(n int, input []rowData) (*reduced, error) {
 			if row.done {
 				continue
 			}
-			// Substitute pinned variables.
-			outT := row.terms[:0]
-			outC := row.coeffs[:0]
-			for k, j := range row.terms {
+			// Substitute pinned variables, copy-on-write: input rows share
+			// their term/coeff slices with the caller's constraint system,
+			// so a row is rewritten onto fresh slices only when it actually
+			// mentions a pinned variable. Untouched rows keep aliasing the
+			// caller's (immutable) storage.
+			needSub := false
+			for _, j := range row.terms {
 				if r.fixed[j] {
-					row.rhs -= row.coeffs[k] * r.value[j]
-					continue
+					needSub = true
+					break
 				}
-				outT = append(outT, j)
-				outC = append(outC, row.coeffs[k])
 			}
-			row.terms, row.coeffs = outT, outC
+			if needSub {
+				outT := make([]int, 0, len(row.terms))
+				outC := make([]float64, 0, len(row.coeffs))
+				for k, j := range row.terms {
+					if r.fixed[j] {
+						row.rhs -= row.coeffs[k] * r.value[j]
+						continue
+					}
+					outT = append(outT, j)
+					outC = append(outC, row.coeffs[k])
+				}
+				row.terms, row.coeffs = outT, outC
+			}
 
 			switch {
 			case len(row.terms) == 0:

@@ -1,0 +1,71 @@
+package maxent
+
+import "sync"
+
+// dualScratch holds the work buffers of one dual solve: the objective's
+// η = Aᵀλ, primal x(λ) and A·x vectors, plus the Hessian's column
+// adjacency (which rows touch each variable, with what coefficient).
+// Sweeps solve the same-shaped dual dozens of times, so the buffers are
+// pooled across solves instead of reallocated; a solve takes a scratch
+// from the pool in newDualObjective and returns it via release. Buffers
+// are never zeroed on reuse — every consumer fully overwrites them.
+type dualScratch struct {
+	eta, x, ax []float64
+	touch      [][]int
+	coeff      [][]float64
+}
+
+var dualScratchPool = sync.Pool{New: func() any { return new(dualScratch) }}
+
+// newDualScratch takes a scratch from the pool and sizes its objective
+// buffers for an m×n (rows × active variables) system. The Hessian
+// adjacency is sized lazily by hessAdjacency, since only Newton needs it.
+func newDualScratch(m, n int) *dualScratch {
+	s := dualScratchPool.Get().(*dualScratch)
+	s.eta = growFloats(s.eta, n)
+	s.x = growFloats(s.x, n)
+	s.ax = growFloats(s.ax, m)
+	return s
+}
+
+// release returns the scratch to the pool. The caller must not touch the
+// buffers afterwards.
+func (s *dualScratch) release() { dualScratchPool.Put(s) }
+
+// growFloats resizes buf to length n, reusing its capacity when possible.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growIntRows resizes buf to n empty rows, keeping each row's capacity.
+func growIntRows(buf [][]int, n int) [][]int {
+	if cap(buf) < n {
+		grown := make([][]int, n)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}
+
+// growFloatRows resizes buf to n empty rows, keeping each row's capacity.
+func growFloatRows(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		grown := make([][]float64, n)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		buf = buf[:n]
+	}
+	for i := range buf {
+		buf[i] = buf[i][:0]
+	}
+	return buf
+}

@@ -73,6 +73,30 @@ type Options struct {
 	// solution vector. The count actually used is recorded in
 	// Stats.Workers.
 	Workers int
+	// WarmStart seeds the dual multipliers λ from a previous solution's
+	// Duals, matched by constraint label. It is purely a performance
+	// hint: the dual is strictly convex, so the minimizer — and hence the
+	// posterior — is identical from any start; a seed taken from a nearby
+	// problem (e.g. the previous grid point of a sweep) just reaches it
+	// in fewer iterations. Rows absent from the seed start at zero, and
+	// seed entries whose labels no longer survive presolve are silently
+	// ignored, so a stale or partial seed is always safe. Only the dual
+	// algorithms (LBFGS, SteepestDescent, Newton) consume the seed; the
+	// scaling algorithms (GIS, IIS) ignore it.
+	WarmStart []ConstraintDual
+}
+
+// warmMap indexes the warm-start seed by constraint label; nil when no
+// seed was provided.
+func (o Options) warmMap() map[string]float64 {
+	if len(o.WarmStart) == 0 {
+		return nil
+	}
+	m := make(map[string]float64, len(o.WarmStart))
+	for _, d := range o.WarmStart {
+		m[d.Label] = d.Lambda
+	}
+	return m
 }
 
 // workerCount resolves Options.Workers: the zero value means
@@ -151,12 +175,14 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	x := make([]float64, n)
 	copy(x, init)
 
+	// Term/coeff slices are shared with the caller's constraints, not
+	// copied: presolve is copy-on-write (see systemRows).
 	rows := make([]rowData, 0, len(cons))
 	for i := range cons {
 		c := &cons[i]
 		rows = append(rows, rowData{
-			terms:  append([]int(nil), c.Terms...),
-			coeffs: append([]float64(nil), c.Coeffs...),
+			terms:  c.Terms,
+			coeffs: c.Coeffs,
 			rhs:    c.RHS,
 			label:  c.Label,
 			kind:   c.Kind,
@@ -178,7 +204,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 
 	if len(red.active) > 0 {
 		sol := &Solution{X: x}
-		if err := solveReduced(ctx, sol, red, opts); err != nil {
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
 			return nil, Stats{}, err
 		}
 		stats.Iterations = sol.Stats.Iterations
@@ -277,7 +303,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 	sol.Stats.ActiveVariables = len(red.active)
 
 	if len(red.active) > 0 {
-		if err := solveReduced(ctx, sol, red, opts); err != nil {
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
 			return nil, err
 		}
 	} else {
@@ -332,12 +358,15 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 		}
 	}
 
-	// Partition constraints among component roots.
+	// Partition constraints among component roots. Rows share the
+	// system's term/coeff slices — presolve is copy-on-write, so the
+	// shared storage stays untouched even when components are solved
+	// concurrently.
 	rowsByRoot := map[int][]rowData{}
 	addRow := func(root int, c *constraint.Constraint) {
 		rowsByRoot[root] = append(rowsByRoot[root], rowData{
-			terms:  append([]int(nil), c.Terms...),
-			coeffs: append([]float64(nil), c.Coeffs...),
+			terms:  c.Terms,
+			coeffs: c.Coeffs,
 			rhs:    c.RHS,
 			label:  c.Label,
 			kind:   c.Kind,
@@ -379,6 +408,13 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 // GOMAXPROCS). Components write disjoint slices of sol.X; the stats are
 // merged under a mutex. Each component gets its own
 // "maxent.solve.component" span, so traces show the parallel loop.
+//
+// The first component to fail cancels the run: in-flight siblings are
+// stopped via the solver's Interrupt hook (chained with any
+// caller-supplied hook), and not-yet-started components are skipped. The
+// error reported is the original failure, never a sibling's
+// solver.ErrInterrupted — the failing component records its error before
+// cancelling, so interrupted siblings always find firstErr already set.
 func solveComponents(ctx context.Context, sol *Solution, components [][]rowData, opts Options) error {
 	n := sol.space.Len()
 	workers := opts.workerCount()
@@ -390,14 +426,30 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 	}
 	sol.Stats.Workers = workers
 	reg := telemetry.Metrics(ctx)
+	warm := opts.warmMap()
+
+	cancelCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	prevInterrupt := opts.Solver.Interrupt
+	opts.Solver.Interrupt = func() bool {
+		return cancelCtx.Err() != nil || (prevInterrupt != nil && prevInterrupt())
+	}
+
+	// Duals are collected per component and flattened in component order
+	// after the parallel loop, keeping the output deterministic.
+	dualsByComp := make([][]ConstraintDual, len(components))
 	var mu sync.Mutex
 	var firstErr error
 	run := func(ci int, rows []rowData) {
-		cctx, span := telemetry.Start(ctx, "maxent.solve.component",
+		if cancelCtx.Err() != nil {
+			return // a sibling already failed; skip un-started work
+		}
+		cctx, span := telemetry.Start(cancelCtx, "maxent.solve.component",
 			telemetry.Int("component", ci),
 			telemetry.Int("rows", len(rows)))
 		red, err := runPresolve(cctx, n, rows)
 		var local Stats
+		var duals []ConstraintDual
 		if err == nil {
 			local.FixedVariables = red.numFixed()
 			local.ActiveVariables = len(red.active)
@@ -408,10 +460,11 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				// solveReduced mutates only this component's entries of
 				// sol.X (disjoint across components) and local stats.
 				ls := &Solution{X: sol.X}
-				err = solveReduced(cctx, ls, red, opts)
+				err = solveReduced(cctx, ls, red, warm, opts)
 				local.Iterations = ls.Stats.Iterations
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
+				duals = ls.Duals
 			}
 			if err == nil {
 				for j := 0; j < red.n; j++ {
@@ -432,8 +485,14 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		}
 		if err == nil {
 			sol.Stats.Merge(local)
+			dualsByComp[ci] = duals
 		}
 		mu.Unlock()
+		if err != nil {
+			// Cancel after recording the error so that siblings returning
+			// ErrInterrupted never mask the root cause.
+			cancel()
+		}
 	}
 
 	if workers < 2 {
@@ -443,29 +502,36 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				return firstErr
 			}
 		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for ci, rows := range components {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ci int, rows []rowData) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(ci, rows)
+			}(ci, rows)
+		}
+		wg.Wait()
+	}
+	if firstErr != nil {
 		return firstErr
 	}
-
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for ci, rows := range components {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ci int, rows []rowData) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			run(ci, rows)
-		}(ci, rows)
+	for _, ds := range dualsByComp {
+		sol.Duals = append(sol.Duals, ds...)
 	}
-	wg.Wait()
-	return firstErr
+	return nil
 }
 
 // solveReduced runs the selected algorithm on the presolved system and
-// writes the active variables' values into sol.X. The context's registry
-// receives an iteration counter via a telemetry-backed recorder chained
-// in front of any user-supplied solver trace callback.
-func solveReduced(ctx context.Context, sol *Solution, red *reduced, opts Options) error {
+// writes the active variables' values into sol.X. warm, when non-nil,
+// maps constraint labels to dual multipliers used to seed λ (see
+// Options.WarmStart). The context's registry receives an iteration
+// counter via a telemetry-backed recorder chained in front of any
+// user-supplied solver trace callback.
+func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[string]float64, opts Options) error {
 	if reg := telemetry.Metrics(ctx); reg != nil {
 		iters := reg.Counter("pmaxent_dual_iterations_total")
 		grad := reg.Gauge("pmaxent_dual_last_grad_norm")
@@ -479,11 +545,16 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, opts Options
 		}
 	}
 
-	// Assemble A over active columns.
+	// Assemble A over active columns. One column-index scratch serves all
+	// rows: AppendRow copies it into the matrix's own storage.
 	a := linalg.NewCSR(len(red.active))
 	rhs := make([]float64, 0, len(red.rows))
+	var cols []int
 	for _, row := range red.rows {
-		cols := make([]int, len(row.terms))
+		if cap(cols) < len(row.terms) {
+			cols = make([]int, len(row.terms))
+		}
+		cols = cols[:len(row.terms)]
 		for k, j := range row.terms {
 			cols[k] = red.newIdx[j]
 			if cols[k] < 0 {
@@ -516,7 +587,15 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, opts Options
 		}
 	case LBFGS, SteepestDescent, Newton:
 		obj := newDualObjective(a, rhs)
+		defer obj.release()
 		lambda0 := make([]float64, a.Rows())
+		if warm != nil {
+			for i, row := range red.rows {
+				if v, ok := warm[row.label]; ok {
+					lambda0[i] = v
+				}
+			}
+		}
 		var res solver.Result
 		var err error
 		switch opts.Algorithm {

@@ -1,0 +1,66 @@
+package solver
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInterruptStopsOptimizers verifies the Interrupt hook: each
+// optimizer polls it once per outer iteration and abandons the run with
+// ErrInterrupted when it fires, reporting the iterations done so far.
+func TestInterruptStopsOptimizers(t *testing.T) {
+	ill := func() *quadraticH {
+		return &quadraticH{quadratic{
+			w: []float64{1, 100, 10000},
+			c: []float64{3, -2, 0.5},
+		}}
+	}
+	runs := map[string]func(stopAfter int) (Result, error, *int){
+		"lbfgs": func(stopAfter int) (Result, error, *int) {
+			polls := 0
+			res, err := LBFGS(ill(), []float64{0, 0, 0}, Options{Interrupt: func() bool {
+				polls++
+				return polls > stopAfter
+			}})
+			return res, err, &polls
+		},
+		"steepest": func(stopAfter int) (Result, error, *int) {
+			polls := 0
+			res, err := SteepestDescent(ill(), []float64{0, 0, 0}, Options{Interrupt: func() bool {
+				polls++
+				return polls > stopAfter
+			}})
+			return res, err, &polls
+		},
+		"newton": func(stopAfter int) (Result, error, *int) {
+			polls := 0
+			res, err := Newton(ill(), []float64{0, 0, 0}, Options{Interrupt: func() bool {
+				polls++
+				return polls > stopAfter
+			}})
+			return res, err, &polls
+		},
+	}
+	for name, run := range runs {
+		res, err, polls := run(1)
+		if !errors.Is(err, ErrInterrupted) {
+			t.Fatalf("%s: err = %v, want ErrInterrupted", name, err)
+		}
+		if res.Converged {
+			t.Fatalf("%s: interrupted run reported convergence", name)
+		}
+		if res.Iterations != 1 {
+			t.Fatalf("%s: iterations = %d, want 1 (interrupted at second poll)", name, res.Iterations)
+		}
+		if *polls != 2 {
+			t.Fatalf("%s: polls = %d, want 2 (once per outer iteration)", name, *polls)
+		}
+	}
+
+	// An interrupt that never fires leaves the run untouched.
+	fired := false
+	res, err := LBFGS(ill(), []float64{0, 0, 0}, Options{Interrupt: func() bool { return fired }})
+	if err != nil || !res.Converged {
+		t.Fatalf("inactive interrupt changed the run: res=%+v err=%v", res, err)
+	}
+}

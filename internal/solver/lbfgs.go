@@ -35,10 +35,19 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 	alpha := make([]float64, m) // two-loop scratch
 	gPrev := make([]float64, n)
 	xPrev := make([]float64, n)
+	// sNew/yNew hold the candidate correction pair; once the ring is full,
+	// each accepted pair recycles the storage of the pair it evicts, so
+	// the iteration loop is allocation-free after the first m iterations.
+	sNew := make([]float64, n)
+	yNew := make([]float64, n)
+	lf := newLineFunc(obj, xPrev, d)
 
 	res := Result{}
 	firstStep := opts.InitialStep
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if opts.interrupted() {
+			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
 			opts.Trace(iter, f, gNorm)
@@ -82,7 +91,7 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 
 		copy(xPrev, x)
 		copy(gPrev, g)
-		lf := newLineFunc(obj, xPrev, d)
+		lf.reset(xPrev, d)
 		step0 := 1.0
 		if len(sBuf) == 0 {
 			step0 = firstStep
@@ -103,23 +112,29 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 		evals++
 
 		// Update correction pairs.
-		s := make([]float64, n)
-		y := make([]float64, n)
-		for i := range s {
-			s[i] = x[i] - xPrev[i]
-			y[i] = g[i] - gPrev[i]
+		for i := range sNew {
+			sNew[i] = x[i] - xPrev[i]
+			yNew[i] = g[i] - gPrev[i]
 		}
-		sy := linalg.Dot(s, y)
+		sy := linalg.Dot(sNew, yNew)
 		if sy > 1e-16 {
+			var sOld, yOld []float64
 			if len(sBuf) == m {
+				sOld, yOld = sBuf[0], yBuf[0]
 				copy(sBuf, sBuf[1:])
 				copy(yBuf, yBuf[1:])
 				copy(rhoBuf, rhoBuf[1:])
 				sBuf, yBuf, rhoBuf = sBuf[:m-1], yBuf[:m-1], rhoBuf[:m-1]
 			}
-			sBuf = append(sBuf, s)
-			yBuf = append(yBuf, y)
+			sBuf = append(sBuf, sNew)
+			yBuf = append(yBuf, yNew)
 			rhoBuf = append(rhoBuf, 1/sy)
+			if sOld != nil {
+				sNew, yNew = sOld, yOld
+			} else {
+				sNew = make([]float64, n)
+				yNew = make([]float64, n)
+			}
 		}
 		_ = phi
 	}

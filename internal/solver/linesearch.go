@@ -37,6 +37,13 @@ func newLineFunc(obj Objective, x, d []float64) *lineFunc {
 	return &lineFunc{obj: obj, x: x, d: d, xTmp: make([]float64, n), gTmp: make([]float64, n)}
 }
 
+// reset re-targets the line function at a new base point and direction,
+// reusing its evaluation buffers. The per-iteration evaluation count
+// restarts from zero.
+func (lf *lineFunc) reset(x, d []float64) {
+	lf.x, lf.d, lf.evals = x, d, 0
+}
+
 // eval returns φ(α) and φ'(α).
 func (lf *lineFunc) eval(alpha float64) (phi, dphi float64) {
 	copy(lf.xTmp, lf.x)

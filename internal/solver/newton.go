@@ -42,8 +42,12 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 	if !finite(f) || !allFinite(g) {
 		return Result{X: x, F: f, Duration: time.Since(start)}, ErrNonFinite
 	}
+	lf := newLineFunc(obj, xPrev, d)
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if opts.interrupted() {
+			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
 			opts.Trace(iter, f, gNorm)
@@ -72,7 +76,7 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 		}
 
 		copy(xPrev, x)
-		lf := newLineFunc(obj, xPrev, d)
+		lf.reset(xPrev, d)
 		step, _, ok := strongWolfe(lf, 1, f, dg)
 		evals += lf.evals
 		if !ok || step == 0 {

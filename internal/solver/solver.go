@@ -18,6 +18,13 @@ type Objective interface {
 	Eval(x, grad []float64) float64
 }
 
+// Warm starts: every optimizer takes its starting iterate x0 explicitly,
+// so seeding from a previous solution is simply passing that solution as
+// x0 — convexity of the MaxEnt dual guarantees the same minimizer from
+// any start, and a near-optimal seed cuts the iteration count (the effect
+// Options.Trace and Result.Iterations expose). The maxent package's
+// Options.WarmStart builds on exactly this entry point.
+
 // Options tunes an optimizer run. Zero values select the defaults noted
 // on each field.
 type Options struct {
@@ -39,6 +46,11 @@ type Options struct {
 	// feeding the pmaxent_dual_* series is chained in front of this
 	// callback; both fire.
 	Trace func(iteration int, f, gradNorm float64)
+	// Interrupt, when non-nil, is polled once per outer iteration; when it
+	// returns true the optimizer abandons the run and returns
+	// ErrInterrupted. Parallel component solves use it to cancel in-flight
+	// siblings as soon as one component fails.
+	Interrupt func() bool
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +92,13 @@ type Result struct {
 // ErrNonFinite is returned when the objective produces NaN or ±Inf at the
 // starting point, which indicates an infeasible or mis-scaled problem.
 var ErrNonFinite = errors.New("solver: objective is not finite at the starting point")
+
+// ErrInterrupted is returned when Options.Interrupt asked the optimizer
+// to stop before reaching its tolerance or iteration budget.
+var ErrInterrupted = errors.New("solver: interrupted")
+
+// interrupted polls the Interrupt hook (nil-safe).
+func (o Options) interrupted() bool { return o.Interrupt != nil && o.Interrupt() }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 

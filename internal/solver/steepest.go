@@ -27,7 +27,11 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 	}
 
 	step := opts.InitialStep
+	lf := newLineFunc(obj, xPrev, d)
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if opts.interrupted() {
+			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
 			opts.Trace(iter, f, gNorm)
@@ -40,7 +44,7 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 		dg := -linalg.Dot(g, g)
 
 		copy(xPrev, x)
-		lf := newLineFunc(obj, xPrev, d)
+		lf.reset(xPrev, d)
 		accepted, _, ok := strongWolfe(lf, step, f, dg)
 		evals += lf.evals
 		if !ok || accepted == 0 {

@@ -84,12 +84,19 @@ type (
 
 // Solver (see internal/maxent and internal/solver).
 type (
-	// SolveOptions configures the MaxEnt solve.
+	// SolveOptions configures the MaxEnt solve (including
+	// SolveOptions.WarmStart, a []ConstraintDual seed from a previous
+	// similar solve).
 	SolveOptions = maxent.Options
 	// SolverOptions tunes the numerical optimizer.
 	SolverOptions = solver.Options
 	// Algorithm selects the dual method (LBFGS, GIS, ...).
 	Algorithm = maxent.Algorithm
+	// ConstraintDual pairs a constraint label with its Lagrange
+	// multiplier at the solution; a slice of them (Report.Solution.Duals)
+	// both measures each constraint's influence and serves as the
+	// warm-start seed for the next solve of a sweep.
+	ConstraintDual = maxent.ConstraintDual
 )
 
 // Dual algorithms.
@@ -112,6 +119,10 @@ type (
 	Report = core.Report
 	// StageTimings is the per-stage wall-clock breakdown in Report.Timings.
 	StageTimings = core.Timings
+	// Prepared caches the data-invariant base system of a publication so
+	// sweeps over many knowledge sets (Quantifier.Prepare) pay the
+	// formulation once and can warm-start successive solves.
+	Prepared = core.Prepared
 )
 
 // Observability (see internal/telemetry). Context-aware entry points —

@@ -1,0 +1,77 @@
+// Command accsnap prints a JSON snapshot of the pipeline's numerical
+// outputs on the standard benchmark workload (2000 synthetic Adult
+// records, Top-100 mixed knowledge, plus the Figure 5 accuracy series).
+// The A/B harness (scripts/benchab) runs it in two checkouts of this
+// repository and diffs the numbers: performance work must leave the
+// posterior untouched, so any EstimationAccuracy drift beyond solver
+// tolerance between the two snapshots fails the comparison.
+//
+// The workload is fully deterministic (fixed seed, no wall-clock inputs
+// in the solve path), so equal code ⇒ byte-equal snapshots.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/experiments"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/metrics"
+)
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "accsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func main() {
+	in, err := experiments.NewInstance(experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2})
+	die(err)
+
+	// The BenchmarkSolveWithKnowledge workload: invariants + Top-(50,50).
+	sp := constraint.NewSpace(in.Data)
+	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	for _, r := range assoc.TopK(in.Rules, 50, 50) {
+		kn := r.Knowledge()
+		c, err := kn.Constraint(sp)
+		die(err)
+		die(sys.Add(c))
+	}
+	sol, err := maxent.Solve(sys, maxent.Options{Decompose: true})
+	die(err)
+	post := sol.Posterior()
+	acc, err := metrics.EstimationAccuracy(in.Truth, post)
+	die(err)
+
+	// The BenchmarkFigure5 workload: every accuracy point of the sweep.
+	fig5, err := experiments.Figure5(in)
+	die(err)
+	var fig5Points []float64
+	var fig5Conv []bool
+	converged := sol.Stats.Converged
+	for _, s := range fig5 {
+		for _, p := range s.Points {
+			fig5Points = append(fig5Points, p.Y)
+			// Point.Converged is read by reflection so this program also
+			// compiles in baseline checkouts that predate the field (the
+			// A/B harness builds it in both trees); absent means false.
+			c := reflect.ValueOf(p).FieldByName("Converged")
+			fig5Conv = append(fig5Conv, c.IsValid() && c.Bool())
+		}
+	}
+
+	die(json.NewEncoder(os.Stdout).Encode(map[string]any{
+		"estimation_accuracy": acc,
+		"max_disclosure":      metrics.MaxDisclosure(post),
+		"converged":           converged,
+		"iterations":          sol.Stats.Iterations,
+		"figure5_accuracies":  fig5Points,
+		"figure5_converged":   fig5Conv,
+	}))
+}
