@@ -37,9 +37,16 @@ func main() {
 		k           = flag.Int("k", 50, "knowledge size for the ablations")
 		kGrid       = flag.String("ks", "", "comma-separated K grid for Figures 5 and 6 (default: geometric sweep)")
 		maxIter     = flag.Int("maxiter", 0, "LBFGS iteration budget for accuracy solves (default 6000)")
+		auditDir    = flag.String("audit-dir", "", "write per-point solve audits (figures 7a/7b/7c and the solver ablation) into this directory")
 	)
 	flag.Parse()
 
+	if *auditDir != "" {
+		if err := os.MkdirAll(*auditDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 	cfg := experiments.Config{
 		Records:       *records,
 		Seed:          *seed,
@@ -47,6 +54,7 @@ func main() {
 		MinSupport:    *minSupport,
 		MaxRuleSize:   *maxRuleSize,
 		MaxIterations: *maxIter,
+		AuditDir:      *auditDir,
 	}
 	if err := run(*figure, cfg, *maxT, parseInts(*buckets), parseInts(*constraints), *k, parseInts(*kGrid)); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

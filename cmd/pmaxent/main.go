@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -36,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 
+	"privacymaxent/internal/audit"
 	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/core"
@@ -65,6 +67,10 @@ type options struct {
 	traceOut        string
 	metricsOut      string
 	pprofAddr       string
+	auditOut        string
+	solveLog        string
+	strict          bool
+	feasTol         float64
 }
 
 func main() {
@@ -89,6 +95,10 @@ func main() {
 	flag.StringVar(&o.traceOut, "trace-out", "", "write the JSON-lines span trace to this file (implies tracing)")
 	flag.StringVar(&o.metricsOut, "metrics-out", "", "write a Prometheus-style metrics snapshot to this file")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. localhost:6060)")
+	flag.StringVar(&o.auditOut, "audit-out", "", "write the solve audit (per-family residuals, binding knowledge, trajectory) as JSON to this file")
+	flag.StringVar(&o.solveLog, "solve-log", "", "write structured solve lifecycle events as JSON lines to this file")
+	flag.BoolVar(&o.strict, "strict", false, "exit non-zero when the solve did not converge or violates -feastol")
+	flag.Float64Var(&o.feasTol, "feastol", 1e-6, "feasibility tolerance for the audit and the -strict health check")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -119,15 +129,26 @@ func run(w io.Writer, o options) error {
 
 // setupTelemetry builds the run context from the observability flags: a
 // tracer when -trace/-trace-out is set, a metrics registry when any of
-// -trace/-metrics-out/-pprof is set, and the pprof+expvar HTTP server for
-// -pprof. The returned finish func flushes the metrics snapshot.
+// -trace/-metrics-out/-pprof is set, a structured solve-event logger for
+// -solve-log, and the pprof+expvar HTTP server for -pprof. The returned
+// finish func flushes the metrics snapshot and closes the log files.
 func setupTelemetry(o options) (context.Context, func() error, error) {
 	ctx := context.Background()
 	finish := func() error { return nil }
 	needMetrics := o.trace || o.metricsOut != "" || o.pprofAddr != ""
 	needTrace := o.trace || o.traceOut != ""
-	if !needMetrics && !needTrace {
+	if !needMetrics && !needTrace && o.solveLog == "" {
 		return ctx, finish, nil
+	}
+
+	var logFile *os.File
+	if o.solveLog != "" {
+		f, err := os.Create(o.solveLog)
+		if err != nil {
+			return nil, nil, fmt.Errorf("creating solve log: %w", err)
+		}
+		logFile = f
+		ctx = telemetry.WithLogger(ctx, slog.New(slog.NewJSONHandler(f, nil)))
 	}
 
 	var reg *telemetry.Registry
@@ -161,6 +182,11 @@ func setupTelemetry(o options) (context.Context, func() error, error) {
 	}
 
 	finish = func() error {
+		if logFile != nil {
+			if err := logFile.Close(); err != nil {
+				return fmt.Errorf("closing solve log: %w", err)
+			}
+		}
 		if traceFile != nil {
 			if err := traceFile.Close(); err != nil {
 				return fmt.Errorf("closing trace output: %w", err)
@@ -225,6 +251,7 @@ func runOriginal(ctx context.Context, w io.Writer, o options, alg maxent.Algorit
 		MinSupport: o.minSupport,
 		RuleSizes:  ruleSizes,
 		Solve:      maxent.Options{Algorithm: alg},
+		Audit:      auditConfig(o),
 	})
 
 	pub, _, err := q.BucketizeContext(ctx, tbl)
@@ -260,7 +287,10 @@ func runOriginal(ctx context.Context, w io.Writer, o options, alg maxent.Algorit
 	}
 
 	printReport(w, tbl.Schema(), tbl.Len(), rep, o.top)
-	return nil
+	if err := writeAudit(w, o, rep); err != nil {
+		return err
+	}
+	return checkSolveHealth(o, rep)
 }
 
 // runPublished analyzes an existing publication JSON with an explicit
@@ -287,7 +317,7 @@ func runPublished(ctx context.Context, w io.Writer, o options, alg maxent.Algori
 			return err
 		}
 	}
-	q := core.New(core.Config{Solve: maxent.Options{Algorithm: alg}})
+	q := core.New(core.Config{Solve: maxent.Options{Algorithm: alg}, Audit: auditConfig(o)})
 	var rep *core.Report
 	if o.eps > 0 {
 		rep, err = q.QuantifyVagueContext(ctx, pub, knowledge, o.eps, nil)
@@ -298,6 +328,61 @@ func runPublished(ctx context.Context, w io.Writer, o options, alg maxent.Algori
 		return err
 	}
 	printReport(w, pub.Schema(), pub.N(), rep, o.top)
+	if err := writeAudit(w, o, rep); err != nil {
+		return err
+	}
+	return checkSolveHealth(o, rep)
+}
+
+// auditConfig turns the -audit-out flag into the core audit option.
+func auditConfig(o options) *audit.Options {
+	if o.auditOut == "" {
+		return nil
+	}
+	return &audit.Options{Tolerance: o.feasTol}
+}
+
+// writeAudit persists the solve audit for -audit-out. The vague (-eps)
+// mode solves an inequality program whose solution carries no equality
+// audit; asking for one there is a user error.
+func writeAudit(w io.Writer, o options, rep *core.Report) error {
+	if o.auditOut == "" {
+		return nil
+	}
+	if rep.Audit == nil {
+		return fmt.Errorf("-audit-out: no audit available for this analysis mode (vague -eps solves are not audited)")
+	}
+	if err := rep.Audit.WriteFile(o.auditOut); err != nil {
+		return fmt.Errorf("writing audit: %w", err)
+	}
+	fmt.Fprintf(w, "solve audit written to %s\n", o.auditOut)
+	return nil
+}
+
+// checkSolveHealth is the post-run health gate: an unconverged solve or a
+// constraint violation above -feastol always earns a loud stderr warning,
+// and fails the run under -strict.
+func checkSolveHealth(o options, rep *core.Report) error {
+	st := rep.Solution.Stats
+	tol := o.feasTol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	var problems []string
+	if !st.Converged {
+		problems = append(problems, "solver did not converge")
+	}
+	if st.MaxViolation > tol {
+		problems = append(problems, fmt.Sprintf("max constraint violation %.3e exceeds tolerance %.1e", st.MaxViolation, tol))
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	msg := strings.Join(problems, "; ")
+	if o.strict {
+		return fmt.Errorf("solve health check failed: %s", msg)
+	}
+	fmt.Fprintf(os.Stderr, "pmaxent: WARNING: %s (rerun with -strict to fail, -audit-out for diagnosis)\n", msg)
 	return nil
 }
 
@@ -361,7 +446,6 @@ func printReport(w io.Writer, schema *dataset.Schema, records int, rep *core.Rep
 	fmt.Fprintf(w, "  solver:                %s\n", st.String())
 	fmt.Fprintf(w, "  presolve:              %d variables fixed, %d solved numerically\n", st.FixedVariables, st.ActiveVariables)
 	fmt.Fprintf(w, "  irrelevant buckets:    %d (closed-form, Sec. 5.5)\n", st.IrrelevantBuckets)
-	fmt.Fprintf(w, "  max constraint error:  %.2e\n", st.MaxViolation)
 	if st.Workers > 1 {
 		fmt.Fprintf(w, "  parallelism:           %d workers over %d components\n", st.Workers, st.Components)
 	}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"privacymaxent/internal/audit"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/maxent"
 )
@@ -223,6 +224,145 @@ func TestTraceAndMetricsOut(t *testing.T) {
 		if !strings.Contains(string(prom), series) {
 			t.Errorf("metrics snapshot missing %q", series)
 		}
+	}
+}
+
+// TestAuditOutAndSolveLog: -audit-out writes the full solve audit (family
+// residual breakdown, labeled top violations, binding knowledge by |λ|,
+// trajectory ending at Stats.Iterations) and -solve-log a JSONL stream of
+// solve lifecycle events.
+func TestAuditOutAndSolveLog(t *testing.T) {
+	dir := t.TempDir()
+	auditPath := filepath.Join(dir, "audit.json")
+	logPath := filepath.Join(dir, "events.jsonl")
+	var buf bytes.Buffer
+	// kPos=5 reaches past the confidence-1.0 rules (which presolve fixes
+	// away) to a fractional rule that must survive to the numerical solve
+	// and bind.
+	o := options{
+		demo: true, diversity: 5, minSupport: 3, kPos: 5, kNeg: 2, top: 3,
+		auditOut: auditPath, solveLog: logPath,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "solve audit written to") {
+		t.Fatalf("report does not mention the audit:\n%s", buf.String())
+	}
+
+	a, err := audit.ReadFile(auditPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Families) == 0 {
+		t.Fatal("audit has no family breakdown")
+	}
+	fams := map[string]bool{}
+	for _, f := range a.Families {
+		fams[f.Family] = true
+	}
+	for _, want := range []string{"QI-invariant", "SA-invariant", "knowledge"} {
+		if !fams[want] {
+			t.Errorf("audit missing family %q (got %v)", want, fams)
+		}
+	}
+	if len(a.TopViolations) == 0 || a.TopViolations[0].Label == "" {
+		t.Fatalf("audit top violations unlabeled: %+v", a.TopViolations)
+	}
+	if len(a.BindingKnowledge) == 0 {
+		t.Fatal("audit identifies no binding knowledge rule")
+	}
+	if len(a.Trajectory) == 0 {
+		t.Fatal("audit has no trajectory")
+	}
+	if last := a.Trajectory[len(a.Trajectory)-1]; last.Index != a.Iterations {
+		t.Fatalf("final trajectory index %d != iterations %d", last.Index, a.Iterations)
+	}
+
+	lf, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	msgs := map[string]int{}
+	sc := bufio.NewScanner(lf)
+	for sc.Scan() {
+		var ev struct {
+			Msg  string `json:"msg"`
+			Time string `json:"time"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad solve-log line %q: %v", sc.Text(), err)
+		}
+		if ev.Time == "" {
+			t.Fatalf("solve-log line missing timestamp: %q", sc.Text())
+		}
+		msgs[ev.Msg]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solve.start", "presolve", "solve.done"} {
+		if msgs[want] == 0 {
+			t.Errorf("solve log missing %q events (got %v)", want, msgs)
+		}
+	}
+}
+
+// TestStrictMode: the health gate fails a run whose solution violates the
+// feasibility tolerance only under -strict.
+func TestStrictMode(t *testing.T) {
+	base := options{demo: true, diversity: 5, minSupport: 3, kPos: 2, kNeg: 2, top: 3}
+
+	// An impossible tolerance makes any numerical solve "violating".
+	o := base
+	o.feasTol = 1e-300
+	var buf bytes.Buffer
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("without -strict a violation must only warn: %v", err)
+	}
+
+	o.strict = true
+	buf.Reset()
+	err := run(&buf, o)
+	if err == nil {
+		t.Fatal("-strict must fail on a violating solve")
+	}
+	if !strings.Contains(err.Error(), "health check failed") {
+		t.Fatalf("unexpected strict error: %v", err)
+	}
+
+	// A healthy solve passes strict.
+	o = base
+	o.strict = true
+	buf.Reset()
+	if err := run(&buf, o); err != nil {
+		t.Fatalf("healthy solve failed strict mode: %v", err)
+	}
+}
+
+// TestAuditOutVagueModeRejected: inequality (-eps) solves carry no
+// equality audit, so combining them with -audit-out is an error.
+func TestAuditOutVagueModeRejected(t *testing.T) {
+	path := writePaperCSV(t)
+	dir := t.TempDir()
+	pubPath := filepath.Join(dir, "published.json")
+	kPath := filepath.Join(dir, "knowledge.json")
+	var buf bytes.Buffer
+	o := options{
+		input: path, saName: "Disease", idNames: "Name",
+		diversity: 3, kNeg: 2, minSupport: 1,
+		publishOut: pubPath, exportKnowledge: kPath, top: 3,
+	}
+	if err := run(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	o2 := options{published: pubPath, knowledgeFile: kPath, eps: 0.2, top: 3,
+		auditOut: filepath.Join(dir, "audit.json")}
+	err := run(&buf, o2)
+	if err == nil || !strings.Contains(err.Error(), "not audited") {
+		t.Fatalf("vague mode with -audit-out should be rejected, got %v", err)
 	}
 }
 

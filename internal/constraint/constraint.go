@@ -16,8 +16,18 @@ const (
 	// SAInvariant rows come from Eq. (5): Σ_q P(q,s,b) = P(s,b).
 	SAInvariant
 	// Knowledge rows encode background knowledge about the data
-	// distribution (Sec. 4.1) or about individuals (Sec. 6).
+	// distribution (Sec. 4.1): the Top-(K+, K−) rules.
 	Knowledge
+	// ZeroInvariant marks Eq. (6) rows: P(q,s,b) = 0 for (QI, SA) pairs
+	// absent from the bucket. The standard pipeline never materializes
+	// them — the Space simply omits the variable — so the kind exists for
+	// family accounting (audits) and for callers that build explicit
+	// zero rows.
+	ZeroInvariant
+	// IndividualKnowledge rows encode knowledge about specific
+	// individuals in the pseudonym-expanded P(i,Q,S,B) model (Sec. 6),
+	// as opposed to distribution-level Knowledge rows.
+	IndividualKnowledge
 )
 
 // String names the kind.
@@ -29,6 +39,10 @@ func (k Kind) String() string {
 		return "SA-invariant"
 	case Knowledge:
 		return "knowledge"
+	case ZeroInvariant:
+		return "zero-invariant"
+	case IndividualKnowledge:
+		return "individual"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

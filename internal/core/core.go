@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/audit"
 	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
@@ -49,6 +50,12 @@ type Config struct {
 	// KeepRedundant keeps the one redundant invariant per bucket that
 	// Theorem 3 identifies (useful for ablations; default drops it).
 	KeepRedundant bool
+	// Audit, when non-nil, builds a numerical-health audit of every
+	// equality solve into Report.Audit and turns on convergence-trajectory
+	// capture (maxent.Options.CaptureTrace). Inequality solves
+	// (QuantifyVague) are not audited: their residuals are judged against
+	// the augmented two-sided system, not the user's labeled rows.
+	Audit *audit.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +98,9 @@ type Report struct {
 	// produced this report (stages present depend on the entry point:
 	// Run covers bucketize/mine/truth, Quantify starts at formulate).
 	Timings Timings
+	// Audit is the numerical-health record of the solve; nil unless
+	// Config.Audit was set (and always nil for inequality solves).
+	Audit *audit.SolveAudit
 }
 
 // Quantifier runs Privacy-MaxEnt quantifications under one configuration.
@@ -246,6 +256,9 @@ func (q *Quantifier) QuantifyContext(ctx context.Context, d *bucket.Bucketized, 
 // posterior, and emits the pipeline metrics — the tail shared by
 // QuantifyContext and Prepared.
 func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, tm *Timings) (*Report, error) {
+	if q.cfg.Audit != nil {
+		opts.CaptureTrace = true
+	}
 	solveStart := time.Now()
 	sol, err := maxent.SolveContext(ctx, sys, opts)
 	if err != nil {
@@ -255,6 +268,11 @@ func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, 
 	rep, err := q.score(ctx, sol, knowledge, truth, tm)
 	if err != nil {
 		return nil, err
+	}
+	if q.cfg.Audit != nil {
+		_, aspan := telemetry.Start(ctx, "core.audit")
+		rep.Audit = audit.New(sys, sol, *q.cfg.Audit)
+		aspan.End()
 	}
 	rep.Timings = *tm
 	if reg := telemetry.Metrics(ctx); reg != nil {

@@ -16,13 +16,16 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"privacymaxent/internal/adult"
 	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/audit"
 	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/maxent"
@@ -56,6 +59,13 @@ type Config struct {
 	// negative (or 1) runs sequentially. The timing figures' solves
 	// themselves are never run concurrently — wall-clock is their y-axis.
 	Workers int
+	// AuditDir, when non-empty, writes one solve-audit JSON per grid
+	// point of the performance figures (7a/7bc) and per algorithm of the
+	// solver ablation into this directory, named after the point
+	// (figure7a_k100.json, solvers_gis_k50.json, ...). Audited solves run
+	// with trajectory capture, so expect slightly different wall-clock on
+	// the timing figures.
+	AuditDir string
 }
 
 // workerCount resolves Config.Workers following the maxent convention.
@@ -345,8 +355,9 @@ func (in *Instance) figure6Series(t int, ks []int) (Series, error) {
 // solver statistics. The invariant base comes from the cached Prepared
 // overlay (only the K knowledge rows are appended per call), but the
 // solve itself is deliberately cold — no warm start, no concurrency —
-// because Figure 7's y-axis is exactly this solver cost.
-func (in *Instance) solveWithTopK(k int) (maxent.Stats, error) {
+// because Figure 7's y-axis is exactly this solver cost. When
+// Config.AuditDir is set, the solve is audited under auditName.
+func (in *Instance) solveWithTopK(k int, auditName string) (maxent.Stats, error) {
 	p := in.prepared()
 	sys := p.CloneSystem()
 	selected := assoc.TopK(in.Rules, k/2, k-k/2)
@@ -360,11 +371,30 @@ func (in *Instance) solveWithTopK(k int) (maxent.Stats, error) {
 			return maxent.Stats{}, err
 		}
 	}
-	sol, err := maxent.Solve(sys, maxent.Options{Solver: solver.Options{MaxIterations: 3000, GradTol: 1e-6}})
+	opts := maxent.Options{Solver: solver.Options{MaxIterations: 3000, GradTol: 1e-6}}
+	opts.CaptureTrace = in.Config.AuditDir != ""
+	sol, err := maxent.Solve(sys, opts)
 	if err != nil {
 		return maxent.Stats{}, err
 	}
+	if err := in.writeAudit(auditName, sys, sol); err != nil {
+		return maxent.Stats{}, err
+	}
 	return sol.Stats, nil
+}
+
+// writeAudit persists one per-point solve audit under Config.AuditDir
+// (no-op when unset).
+func (in *Instance) writeAudit(name string, sys *constraint.System, sol *maxent.Solution) error {
+	if in.Config.AuditDir == "" || name == "" {
+		return nil
+	}
+	a := audit.New(sys, sol, audit.Options{})
+	path := filepath.Join(in.Config.AuditDir, name+".json")
+	if err := a.WriteFile(path); err != nil {
+		return fmt.Errorf("experiments: audit %s: %w", name, err)
+	}
+	return nil
 }
 
 // Figure7a reproduces "Performance vs. Knowledge": running time (seconds)
@@ -379,7 +409,7 @@ func Figure7a(in *Instance) ([]Series, error) {
 		if k > len(in.Rules) {
 			break
 		}
-		stats, err := in.solveWithTopK(k)
+		stats, err := in.solveWithTopK(k, fmt.Sprintf("figure7a_k%d", k))
 		if err != nil {
 			return nil, fmt.Errorf("figure7a K=%d: %w", k, err)
 		}
@@ -438,7 +468,7 @@ func Figure7bc(cfg Config, bucketCounts []int, constraintCounts []int) (timeSeri
 	for i := range bucketCounts {
 		in := ins[i]
 		for ci, kc := range constraintCounts {
-			stats, err := in.solveWithTopK(kc)
+			stats, err := in.solveWithTopK(kc, fmt.Sprintf("figure7bc_b%d_k%d", bucketCounts[i], kc))
 			if err != nil {
 				return nil, nil, fmt.Errorf("figure7bc buckets=%d constraints=%d: %w", bucketCounts[i], kc, err)
 			}
@@ -488,12 +518,16 @@ func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]Algorith
 		// Decompose so Newton's dense Hessian only sees the relevant
 		// buckets' constraints.
 		sol, err := maxent.Solve(sys, maxent.Options{
-			Algorithm: alg,
-			Decompose: true,
-			Solver:    solver.Options{MaxIterations: 3000, GradTol: 1e-7},
+			Algorithm:    alg,
+			Decompose:    true,
+			CaptureTrace: in.Config.AuditDir != "",
+			Solver:       solver.Options{MaxIterations: 3000, GradTol: 1e-7},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("algorithm %v: %w", alg, err)
+		}
+		if err := in.writeAudit(fmt.Sprintf("solvers_%s_k%d", alg, k), sys, sol); err != nil {
+			return nil, err
 		}
 		out = append(out, AlgorithmResult{
 			Algorithm:    alg,

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"privacymaxent/internal/audit"
 	"privacymaxent/internal/maxent"
 )
 
@@ -278,5 +281,45 @@ func TestSeriesLookup(t *testing.T) {
 	}
 	if _, ok := lookup(s, 3); ok {
 		t.Fatal("lookup miss should report false")
+	}
+}
+
+// TestAuditDir: with Config.AuditDir set, every performance-figure grid
+// point and every solver-ablation algorithm leaves a readable audit
+// snapshot with a trajectory.
+func TestAuditDir(t *testing.T) {
+	dir := t.TempDir()
+	in, err := NewInstance(Config{Records: 400, Seed: 2, MaxRuleSize: 2, AuditDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.solveWithTopK(20, "figure7a_k20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareAlgorithms(in, 20, []maxent.Algorithm{maxent.LBFGS, maxent.GIS}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"figure7a_k20", "solvers_lbfgs_k20", "solvers_gis_k20"} {
+		a, err := audit.ReadFile(filepath.Join(dir, name+".json"))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(a.Families) == 0 {
+			t.Fatalf("%s: no family breakdown", name)
+		}
+		if len(a.Trajectory) == 0 || a.Trajectory[len(a.Trajectory)-1].Index != a.Iterations {
+			t.Fatalf("%s: trajectory %d points, %d iterations", name, len(a.Trajectory), a.Iterations)
+		}
+	}
+	// Audits stay off without the config knob.
+	plain, err := NewInstance(Config{Records: 400, Seed: 2, MaxRuleSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.solveWithTopK(20, "figure7a_k20_unaudited"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "figure7a_k20_unaudited.json")); !os.IsNotExist(err) {
+		t.Fatal("audit written without AuditDir")
 	}
 }

@@ -60,7 +60,7 @@ func (k ValueProbability) Constraint(sp *Space) (constraint.Constraint, error) {
 	}
 	sort.Ints(terms)
 	return constraint.Constraint{
-		Kind:   constraint.Knowledge,
+		Kind:   constraint.IndividualKnowledge,
 		Label:  fmt.Sprintf("P(SA∈%v | i%d) = %g", k.SAs, person+1, k.P),
 		Terms:  terms,
 		Coeffs: ones(len(terms)),
@@ -107,7 +107,7 @@ func (k GroupCount) Constraint(sp *Space) (constraint.Constraint, error) {
 	}
 	sort.Ints(terms)
 	return constraint.Constraint{
-		Kind:   constraint.Knowledge,
+		Kind:   constraint.IndividualKnowledge,
 		Label:  fmt.Sprintf("count(s%d among %d people) = %g", k.SA+1, len(k.Persons), k.Count),
 		Terms:  terms,
 		Coeffs: ones(len(terms)),

@@ -153,6 +153,13 @@ func runGIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, 
 			}
 		}
 		res.iterations = iter + 1
+		if tr := opts.Solver.Trace; tr != nil {
+			// Same per-iteration event shape as the dual solvers: rounds
+			// are 1-based (no pre-step event), the objective is the
+			// entropy of the current model in mass units, and the
+			// "gradient" is the worst deviation the convergence test uses.
+			tr(solver.TraceEvent{Iteration: iter + 1, F: scaledEntropy(p, mass), GradNorm: worst})
+		}
 		if worst <= tol {
 			res.converged = true
 			break
@@ -180,4 +187,18 @@ func runGIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, 
 		res.x[j] = mass * p[j]
 	}
 	return res, nil
+}
+
+// scaledEntropy is H(mass·p) = −Σ_j (mass·p_j) ln(mass·p_j), the entropy
+// contribution of the active variables at the scaling iterate — the
+// trajectory objective the scaling algorithms report in place of a dual
+// value.
+func scaledEntropy(p []float64, mass float64) float64 {
+	var h float64
+	for _, pj := range p {
+		if v := mass * pj; v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
 }

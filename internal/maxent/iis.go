@@ -113,6 +113,11 @@ func runIIS(a *linalg.CSR, c []float64, red *reduced, opts Options) (gisResult, 
 			}
 		}
 		res.iterations = iter + 1
+		if tr := opts.Solver.Trace; tr != nil {
+			// Mirror GIS: 1-based rounds, entropy objective, worst
+			// deviation as the gradient stand-in.
+			tr(solver.TraceEvent{Iteration: iter + 1, F: scaledEntropy(p, mass), GradNorm: worst})
+		}
 		if worst <= tol {
 			res.converged = true
 			break

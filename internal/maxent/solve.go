@@ -73,6 +73,12 @@ type Options struct {
 	// solution vector. The count actually used is recorded in
 	// Stats.Workers.
 	Workers int
+	// CaptureTrace records the full convergence trajectory — one
+	// TracePoint per optimizer iteration — into Solution.Trajectory, the
+	// raw material for solve audits. Off by default: capture allocates
+	// per iteration, so the hot path (benchmarks, sweeps without
+	// auditing) keeps its zero-overhead trace-less behaviour.
+	CaptureTrace bool
 	// WarmStart seeds the dual multipliers λ from a previous solution's
 	// Duals, matched by constraint label. It is purely a performance
 	// hint: the dual is strictly convex, so the minimizer — and hence the
@@ -124,6 +130,30 @@ type ConstraintDual struct {
 	Lambda float64
 }
 
+// TracePoint is one recorded iteration of the convergence trajectory
+// (Options.CaptureTrace). For the dual algorithms, Objective is the dual
+// value g(λ) and GradNorm the dual gradient's infinity norm; for the
+// scaling algorithms (GIS/IIS), Objective is the entropy of the current
+// model and GradNorm the worst constraint deviation — the quantity their
+// convergence test uses. Step and LineSearchEvals describe the line
+// search that produced the iterate (always zero for scaling algorithms,
+// which have no line search).
+type TracePoint struct {
+	// Component is the decomposition component the iteration belongs to
+	// (0 when the solve was not decomposed).
+	Component int `json:"component"`
+	// Iteration numbers the point 1..k within its component.
+	Iteration int `json:"iteration"`
+	// Objective is the dual value (or entropy for scaling algorithms).
+	Objective float64 `json:"objective"`
+	// GradNorm is the gradient infinity norm (or worst deviation).
+	GradNorm float64 `json:"grad_norm"`
+	// Step is the accepted line-search step length.
+	Step float64 `json:"step"`
+	// LineSearchEvals counts objective evaluations the line search spent.
+	LineSearchEvals int `json:"line_search_evals"`
+}
+
 // Solution is a maximum-entropy assignment of every probability term.
 type Solution struct {
 	space *constraint.Space
@@ -135,6 +165,10 @@ type Solution struct {
 	// (empty for scaling algorithms, which do not expose a meaningful
 	// per-row multiplier in the same normalization).
 	Duals []ConstraintDual
+	// Trajectory holds the per-iteration convergence record when
+	// Options.CaptureTrace was set, ordered by component then iteration.
+	// Its length equals Stats.Iterations.
+	Trajectory []TracePoint
 }
 
 // Space returns the term space the solution is indexed by.
@@ -172,6 +206,11 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 		telemetry.Int("constraints", len(cons)),
 		telemetry.String("algorithm", opts.Algorithm.String()))
 	defer span.End()
+	logger := telemetry.Logger(ctx)
+	logger.Info("solve.start",
+		"algorithm", opts.Algorithm.String(),
+		"variables", n,
+		"constraints", len(cons))
 	x := make([]float64, n)
 	copy(x, init)
 
@@ -190,6 +229,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	}
 	red, err := runPresolve(ctx, n, rows)
 	if err != nil {
+		logger.Error("solve.failed", "error", err.Error())
 		return nil, Stats{}, err
 	}
 	var stats Stats
@@ -205,6 +245,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	if len(red.active) > 0 {
 		sol := &Solution{X: x}
 		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
+			logger.Error("solve.failed", "error", err.Error())
 			return nil, Stats{}, err
 		}
 		stats.Iterations = sol.Stats.Iterations
@@ -226,6 +267,12 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	stats.Duration = time.Since(start)
 	span.SetAttr(telemetry.Int("iterations", stats.Iterations), telemetry.Bool("converged", stats.Converged))
 	stats.record(telemetry.Metrics(ctx), 0)
+	logger.Info("solve.done",
+		"iterations", stats.Iterations,
+		"evaluations", stats.Evaluations,
+		"converged", stats.Converged,
+		"max_violation", stats.MaxViolation,
+		"duration", stats.Duration.String())
 	return x, stats, nil
 }
 
@@ -249,6 +296,12 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		telemetry.Int("constraints", sys.Len()))
 	defer span.End()
 	reg := telemetry.Metrics(ctx)
+	logger := telemetry.Logger(ctx)
+	logger.Info("solve.start",
+		"algorithm", opts.Algorithm.String(),
+		"decompose", opts.Decompose,
+		"variables", sp.Len(),
+		"constraints", sys.Len())
 	sol := &Solution{space: sp, X: Uniform(sp)}
 	sol.Stats.Workers = 1
 
@@ -261,6 +314,14 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			telemetry.Int("workers", sol.Stats.Workers),
 			telemetry.Bool("converged", sol.Stats.Converged))
 		sol.Stats.record(reg, sp.Data().NumBuckets())
+		logger.Info("solve.done",
+			"iterations", sol.Stats.Iterations,
+			"evaluations", sol.Stats.Evaluations,
+			"components", sol.Stats.Components,
+			"workers", sol.Stats.Workers,
+			"converged", sol.Stats.Converged,
+			"max_violation", sol.Stats.MaxViolation,
+			"duration", sol.Stats.Duration.String())
 	}
 
 	if opts.Decompose {
@@ -284,6 +345,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		sol.Stats.Components = len(components)
 		sol.Stats.Converged = true
 		if err := solveComponents(ctx, sol, components, opts); err != nil {
+			logger.Error("solve.failed", "error", err.Error())
 			return nil, err
 		}
 		finish()
@@ -292,6 +354,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 
 	red, err := runPresolve(ctx, sp.Len(), systemRows(sys, nil))
 	if err != nil {
+		logger.Error("solve.failed", "error", err.Error())
 		return nil, err
 	}
 	for j := 0; j < red.n; j++ {
@@ -304,6 +367,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 
 	if len(red.active) > 0 {
 		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
+			logger.Error("solve.failed", "error", err.Error())
 			return nil, err
 		}
 	} else {
@@ -322,6 +386,10 @@ func runPresolve(ctx context.Context, n int, rows []rowData) (*reduced, error) {
 		span.SetAttr(
 			telemetry.Int("fixed", red.numFixed()),
 			telemetry.Int("active", len(red.active)))
+		telemetry.Logger(ctx).Info("presolve",
+			"rows", len(rows), "fixed", red.numFixed(), "active", len(red.active))
+	} else {
+		telemetry.Logger(ctx).Error("presolve.infeasible", "error", err.Error())
 	}
 	span.End()
 	return red, err
@@ -435,9 +503,11 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		return cancelCtx.Err() != nil || (prevInterrupt != nil && prevInterrupt())
 	}
 
-	// Duals are collected per component and flattened in component order
-	// after the parallel loop, keeping the output deterministic.
+	// Duals and trajectories are collected per component and flattened in
+	// component order after the parallel loop, keeping the output
+	// deterministic.
 	dualsByComp := make([][]ConstraintDual, len(components))
+	trajByComp := make([][]TracePoint, len(components))
 	var mu sync.Mutex
 	var firstErr error
 	run := func(ci int, rows []rowData) {
@@ -450,6 +520,7 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		red, err := runPresolve(cctx, n, rows)
 		var local Stats
 		var duals []ConstraintDual
+		var traj []TracePoint
 		if err == nil {
 			local.FixedVariables = red.numFixed()
 			local.ActiveVariables = len(red.active)
@@ -465,6 +536,10 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
 				duals = ls.Duals
+				for k := range ls.Trajectory {
+					ls.Trajectory[k].Component = ci
+				}
+				traj = ls.Trajectory
 			}
 			if err == nil {
 				for j := 0; j < red.n; j++ {
@@ -479,6 +554,13 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 			telemetry.Int("iterations", local.Iterations),
 			telemetry.Bool("converged", local.Converged))
 		span.End()
+		if err == nil {
+			telemetry.Logger(ctx).Info("component.done",
+				"component", ci,
+				"active", local.ActiveVariables,
+				"iterations", local.Iterations,
+				"converged", local.Converged)
+		}
 		mu.Lock()
 		if err != nil && firstErr == nil {
 			firstErr = err
@@ -486,6 +568,7 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		if err == nil {
 			sol.Stats.Merge(local)
 			dualsByComp[ci] = duals
+			trajByComp[ci] = traj
 		}
 		mu.Unlock()
 		if err != nil {
@@ -522,6 +605,9 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 	for _, ds := range dualsByComp {
 		sol.Duals = append(sol.Duals, ds...)
 	}
+	for _, ts := range trajByComp {
+		sol.Trajectory = append(sol.Trajectory, ts...)
+	}
 	return nil
 }
 
@@ -536,11 +622,33 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 		iters := reg.Counter("pmaxent_dual_iterations_total")
 		grad := reg.Gauge("pmaxent_dual_last_grad_norm")
 		prev := opts.Solver.Trace
-		opts.Solver.Trace = func(iteration int, f, gradNorm float64) {
+		opts.Solver.Trace = func(ev solver.TraceEvent) {
 			iters.Add(1)
-			grad.Set(gradNorm)
+			grad.Set(ev.GradNorm)
 			if prev != nil {
-				prev(iteration, f, gradNorm)
+				prev(ev)
+			}
+		}
+	}
+	if opts.CaptureTrace {
+		// Record every iteration into the trajectory. The dual solvers
+		// fire an extra event at iteration 0 (the starting point, before
+		// any step); dropping it keeps len(Trajectory) == Stats.Iterations
+		// across all algorithms — the scaling methods number their rounds
+		// from 1.
+		prev := opts.Solver.Trace
+		opts.Solver.Trace = func(ev solver.TraceEvent) {
+			if ev.Iteration > 0 {
+				sol.Trajectory = append(sol.Trajectory, TracePoint{
+					Iteration:       ev.Iteration,
+					Objective:       ev.F,
+					GradNorm:        ev.GradNorm,
+					Step:            ev.Step,
+					LineSearchEvals: ev.LineSearchEvals,
+				})
+			}
+			if prev != nil {
+				prev(ev)
 			}
 		}
 	}
@@ -582,9 +690,9 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 		sol.Stats.Iterations = res.iterations
 		sol.Stats.Evaluations = res.iterations
 		sol.Stats.Converged = res.converged
-		if reg := telemetry.Metrics(ctx); reg != nil {
-			reg.Counter("pmaxent_dual_iterations_total").Add(int64(res.iterations))
-		}
+		// No explicit iteration-counter add here: the scaling loops fire
+		// the (telemetry-wrapped) trace callback once per round, so the
+		// pmaxent_dual_iterations_total series is already fed.
 	case LBFGS, SteepestDescent, Newton:
 		obj := newDualObjective(a, rhs)
 		defer obj.release()

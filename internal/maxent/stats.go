@@ -39,12 +39,19 @@ type Stats struct {
 
 // String renders the solver counters in one line, e.g.
 //
-//	142 iterations, 218 evaluations, 3.1ms (converged=true)
+//	142 iterations, 218 evaluations, 3.1ms (converged=true, max violation 2.1e-10)
 //
 // so commands share one format instead of hand-assembling the counts.
+// The worst residual always appears — it is the feasibility signal audits
+// are built on — and the worker count is added when a parallel
+// decomposed solve actually used more than one.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d iterations, %d evaluations, %v (converged=%v)",
-		s.Iterations, s.Evaluations, s.Duration.Round(time.Microsecond), s.Converged)
+	out := fmt.Sprintf("%d iterations, %d evaluations, %v (converged=%v, max violation %.2e)",
+		s.Iterations, s.Evaluations, s.Duration.Round(time.Microsecond), s.Converged, s.MaxViolation)
+	if s.Workers > 1 {
+		out += fmt.Sprintf(", %d workers", s.Workers)
+	}
+	return out
 }
 
 // Merge folds the statistics of another (sub-)solve into s, the helper

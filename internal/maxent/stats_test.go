@@ -12,16 +12,25 @@ import (
 	"privacymaxent/internal/assoc"
 	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/solver"
 	"privacymaxent/internal/telemetry"
 )
 
 func TestStatsString(t *testing.T) {
-	s := Stats{Iterations: 42, Evaluations: 85, Duration: 1234 * time.Microsecond, Converged: true}
+	s := Stats{Iterations: 42, Evaluations: 85, Duration: 1234 * time.Microsecond, Converged: true,
+		MaxViolation: 2.1e-10}
 	got := s.String()
-	for _, want := range []string{"42 iterations", "85 evaluations", "1.234ms", "converged=true"} {
+	for _, want := range []string{"42 iterations", "85 evaluations", "1.234ms", "converged=true", "max violation 2.10e-10"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("Stats.String() = %q, missing %q", got, want)
 		}
+	}
+	if strings.Contains(got, "workers") {
+		t.Fatalf("Stats.String() = %q, workers should be omitted for sequential solves", got)
+	}
+	par := Stats{Iterations: 1, Workers: 4}
+	if got := par.String(); !strings.Contains(got, "4 workers") {
+		t.Fatalf("Stats.String() = %q, missing worker count", got)
 	}
 }
 
@@ -206,7 +215,7 @@ func TestSolverTraceStillFires(t *testing.T) {
 	ctx := telemetry.WithMetrics(context.Background(), reg)
 	var calls int
 	opts := Options{Decompose: true, Workers: -1}
-	opts.Solver.Trace = func(int, float64, float64) { calls++ }
+	opts.Solver.Trace = func(solver.TraceEvent) { calls++ }
 	if _, err := SolveContext(ctx, sys, opts); err != nil {
 		t.Fatal(err)
 	}

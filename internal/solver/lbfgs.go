@@ -44,13 +44,15 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 
 	res := Result{}
 	firstStep := opts.InitialStep
+	var lastStep float64
+	var lastLSEvals int
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if opts.interrupted() {
 			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
 		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
-			opts.Trace(iter, f, gNorm)
+			opts.Trace(TraceEvent{Iteration: iter, F: f, GradNorm: gNorm, Step: lastStep, LineSearchEvals: lastLSEvals})
 		}
 		if gNorm <= opts.GradTol {
 			res = Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Converged: true}
@@ -98,6 +100,7 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 		}
 		step, phi, ok := strongWolfe(lf, step0, f, dg)
 		evals += lf.evals
+		lastStep, lastLSEvals = step, lf.evals
 		if !ok || step == 0 {
 			// Line search stalled; report the best point so far.
 			res = Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals}
@@ -139,6 +142,9 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 		_ = phi
 	}
 
+	if opts.Trace != nil {
+		opts.Trace(TraceEvent{Iteration: opts.MaxIterations, F: f, GradNorm: linalg.NormInf(g), Step: lastStep, LineSearchEvals: lastLSEvals})
+	}
 	res = Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: opts.MaxIterations, Evaluations: evals}
 	res.Duration = time.Since(start)
 	return res, nil

@@ -44,13 +44,15 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 	}
 	lf := newLineFunc(obj, xPrev, d)
 
+	var lastStep float64
+	var lastLSEvals int
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if opts.interrupted() {
 			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
 		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
-			opts.Trace(iter, f, gNorm)
+			opts.Trace(TraceEvent{Iteration: iter, F: f, GradNorm: gNorm, Step: lastStep, LineSearchEvals: lastLSEvals})
 		}
 		if gNorm <= opts.GradTol {
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Converged: true, Duration: time.Since(start)}, nil
@@ -79,6 +81,7 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 		lf.reset(xPrev, d)
 		step, _, ok := strongWolfe(lf, 1, f, dg)
 		evals += lf.evals
+		lastStep, lastLSEvals = step, lf.evals
 		if !ok || step == 0 {
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, nil
 		}
@@ -86,6 +89,9 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 		linalg.Axpy(step, d, x)
 		f = obj.Eval(x, g)
 		evals++
+	}
+	if opts.Trace != nil {
+		opts.Trace(TraceEvent{Iteration: opts.MaxIterations, F: f, GradNorm: linalg.NormInf(g), Step: lastStep, LineSearchEvals: lastLSEvals})
 	}
 	return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: opts.MaxIterations, Evaluations: evals, Duration: time.Since(start)}, nil
 }

@@ -39,18 +39,42 @@ type Options struct {
 	// InitialStep is the first trial step of the very first line search.
 	// Default 1.
 	InitialStep float64
-	// Trace, when non-nil, is invoked once per outer iteration with the
-	// iteration number, current objective value and gradient infinity
-	// norm — a lightweight progress hook for long solves. When a maxent
-	// solve runs with a telemetry registry in its context, a recorder
-	// feeding the pmaxent_dual_* series is chained in front of this
-	// callback; both fire.
-	Trace func(iteration int, f, gradNorm float64)
+	// Trace, when non-nil, is invoked once per outer iteration with a
+	// TraceEvent describing the iterate — a lightweight progress hook for
+	// long solves and the raw feed for convergence-trajectory audits. When
+	// a maxent solve runs with a telemetry registry in its context, a
+	// recorder feeding the pmaxent_dual_* series is chained in front of
+	// this callback; both fire. If the iteration budget runs out, one
+	// extra event with Iteration == MaxIterations reports the final
+	// iterate, so the trace always ends at the returned point.
+	Trace func(TraceEvent)
 	// Interrupt, when non-nil, is polled once per outer iteration; when it
 	// returns true the optimizer abandons the run and returns
 	// ErrInterrupted. Parallel component solves use it to cancel in-flight
 	// siblings as soon as one component fails.
 	Interrupt func() bool
+}
+
+// TraceEvent is one point of an optimizer's convergence trajectory, handed
+// to Options.Trace at the top of every outer iteration. Step and
+// LineSearchEvals describe the line search that *produced* the current
+// iterate, so they are zero on the very first event (no step has been
+// taken yet) and for optimizers without a line search (GIS/IIS-style
+// scaling methods report Step = 0).
+type TraceEvent struct {
+	// Iteration is the 0-based outer iteration number.
+	Iteration int
+	// F is the objective value at the current iterate.
+	F float64
+	// GradNorm is the infinity norm of the gradient at the current
+	// iterate (for scaling methods: the worst constraint deviation).
+	GradNorm float64
+	// Step is the accepted step length of the line search that produced
+	// this iterate (0 on the first event).
+	Step float64
+	// LineSearchEvals counts objective evaluations spent by that line
+	// search (0 on the first event).
+	LineSearchEvals int
 }
 
 func (o Options) withDefaults() Options {

@@ -255,31 +255,38 @@ func TestLBFGSRandomQuadratics(t *testing.T) {
 
 func TestTraceCallback(t *testing.T) {
 	q := &quadratic{w: []float64{1, 10}, c: []float64{2, -1}}
-	var iters []int
-	var lastG float64
-	opts := Options{Trace: func(iteration int, f, gradNorm float64) {
-		iters = append(iters, iteration)
-		lastG = gradNorm
-	}}
+	var events []TraceEvent
+	opts := Options{Trace: func(ev TraceEvent) { events = append(events, ev) }}
 	res, err := LBFGS(q, []float64{5, 5}, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(iters) == 0 {
+	if len(events) == 0 {
 		t.Fatal("trace never invoked")
 	}
-	for i, it := range iters {
-		if it != i {
-			t.Fatalf("trace iterations out of order: %v", iters)
+	for i, ev := range events {
+		if ev.Iteration != i {
+			t.Fatalf("trace iterations out of order: %+v", events)
+		}
+	}
+	// The first event precedes any line search; later events carry the
+	// accepted step and its evaluation count.
+	if first := events[0]; first.Step != 0 || first.LineSearchEvals != 0 {
+		t.Fatalf("first event should have no step: %+v", first)
+	}
+	if len(events) > 1 {
+		if ev := events[1]; ev.Step <= 0 || ev.LineSearchEvals == 0 {
+			t.Fatalf("second event missing line-search info: %+v", ev)
 		}
 	}
 	// The final traced gradient matches the converged result's.
-	if !res.Converged || lastG > 1e-6 {
-		t.Fatalf("last traced gradient = %g (converged=%v)", lastG, res.Converged)
+	last := events[len(events)-1]
+	if !res.Converged || last.GradNorm > 1e-6 {
+		t.Fatalf("last traced gradient = %g (converged=%v)", last.GradNorm, res.Converged)
 	}
 	// Steepest descent and Newton honour the hook too.
 	count := 0
-	opts = Options{Trace: func(int, float64, float64) { count++ }, MaxIterations: 50}
+	opts = Options{Trace: func(TraceEvent) { count++ }, MaxIterations: 50}
 	if _, err := SteepestDescent(q, []float64{5, 5}, opts); err != nil {
 		t.Fatal(err)
 	}
@@ -293,5 +300,30 @@ func TestTraceCallback(t *testing.T) {
 	}
 	if count == 0 {
 		t.Fatal("newton trace never invoked")
+	}
+}
+
+func TestTraceBudgetExhaustion(t *testing.T) {
+	// When the iteration budget runs out, one extra event with
+	// Iteration == MaxIterations reports the final iterate, so the trace
+	// tail always matches the returned Result.
+	var events []TraceEvent
+	opts := Options{MaxIterations: 3, Trace: func(ev TraceEvent) { events = append(events, ev) }}
+	res, err := LBFGS(rosenbrock{}, []float64{-1.2, 1}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("3 iterations should not converge on Rosenbrock")
+	}
+	if len(events) != 4 {
+		t.Fatalf("want 4 events (iters 0..3), got %d: %+v", len(events), events)
+	}
+	last := events[len(events)-1]
+	if last.Iteration != res.Iterations {
+		t.Fatalf("last event iteration %d != Result.Iterations %d", last.Iteration, res.Iterations)
+	}
+	if last.F != res.F || last.GradNorm != res.GradNorm {
+		t.Fatalf("last event %+v does not match result %+v", last, res)
 	}
 }

@@ -28,13 +28,15 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 
 	step := opts.InitialStep
 	lf := newLineFunc(obj, xPrev, d)
+	var lastStep float64
+	var lastLSEvals int
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		if opts.interrupted() {
 			return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
 		}
 		gNorm := linalg.NormInf(g)
 		if opts.Trace != nil {
-			opts.Trace(iter, f, gNorm)
+			opts.Trace(TraceEvent{Iteration: iter, F: f, GradNorm: gNorm, Step: lastStep, LineSearchEvals: lastLSEvals})
 		}
 		if gNorm <= opts.GradTol {
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Converged: true, Duration: time.Since(start)}, nil
@@ -47,6 +49,7 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 		lf.reset(xPrev, d)
 		accepted, _, ok := strongWolfe(lf, step, f, dg)
 		evals += lf.evals
+		lastStep, lastLSEvals = accepted, lf.evals
 		if !ok || accepted == 0 {
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, nil
 		}
@@ -57,6 +60,9 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 		// Reuse the accepted step as the next initial trial; gradient
 		// methods benefit from step-length memory.
 		step = accepted
+	}
+	if opts.Trace != nil {
+		opts.Trace(TraceEvent{Iteration: opts.MaxIterations, F: f, GradNorm: linalg.NormInf(g), Step: lastStep, LineSearchEvals: lastLSEvals})
 	}
 	return Result{X: x, F: f, GradNorm: linalg.NormInf(g), Iterations: opts.MaxIterations, Evaluations: evals, Duration: time.Since(start)}, nil
 }

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// TestPublishExpvarFirstRegistryWins publishes two different registries
+// under the same name: the first must keep serving /debug/vars, the
+// second must be silently ignored (expvar itself would panic on a
+// duplicate Publish).
+func TestPublishExpvarFirstRegistryWins(t *testing.T) {
+	first := NewRegistry()
+	first.Counter("winner").Add(7)
+	second := NewRegistry()
+	second.Counter("loser").Add(99)
+
+	const name = "telemetry_expvar_first_wins"
+	PublishExpvar(name, first)
+	PublishExpvar(name, second)
+
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	s := v.String()
+	if !strings.Contains(s, "winner") {
+		t.Fatalf("first registry not served: %s", s)
+	}
+	if strings.Contains(s, "loser") {
+		t.Fatalf("second registry overwrote the first: %s", s)
+	}
+
+	// The published value is live, not a copy: later updates to the first
+	// registry show up on the next read.
+	first.Counter("late").Add(1)
+	if s := expvar.Get(name).String(); !strings.Contains(s, "late") {
+		t.Fatalf("published registry is not live: %s", s)
+	}
+}
+
+// TestPublishExpvarNilRegistry: a nil registry must not be published at
+// all — the name stays free for a real registry later.
+func TestPublishExpvarNilRegistry(t *testing.T) {
+	const name = "telemetry_expvar_nil_safe"
+	PublishExpvar(name, nil)
+	if expvar.Get(name) != nil {
+		t.Fatal("nil registry was published")
+	}
+	r := NewRegistry()
+	r.Counter("after_nil").Add(1)
+	PublishExpvar(name, r)
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("real registry blocked by earlier nil publish")
+	}
+	if s := v.String(); !strings.Contains(s, "after_nil") {
+		t.Fatalf("wrong registry under %s: %s", name, s)
+	}
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// The solve-event logger follows the same two rules as the tracer and
+// registry: it rides the context, and the no-logger path is a cheap
+// no-op. Logger never returns nil — when no logger was installed it
+// returns a process-wide logger backed by a handler whose Enabled always
+// reports false, so instrumentation sites call Logger(ctx).Info(...)
+// unconditionally and pay only the Enabled check.
+
+const loggerKey ctxKey = 100 // distinct from the iota keys in telemetry.go
+
+// discardHandler is a slog.Handler that drops everything. (The standard
+// library gained slog.DiscardHandler in a later Go release; this repo's
+// language version predates it.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+var discardLogger = slog.New(discardHandler{})
+
+// WithLogger installs a structured solve-event logger in the context;
+// maxent solves emit lifecycle events (solve.start, presolve,
+// component.done, solve.done, infeasible) through it. A nil logger
+// removes nothing and is treated as "no logger".
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the context's solve-event logger, or a discard logger
+// when none was installed. The result is never nil, so call sites need no
+// branch.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, _ := ctx.Value(loggerKey).(*slog.Logger); l != nil {
+		return l
+	}
+	return discardLogger
+}

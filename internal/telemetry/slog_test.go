@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+// TestLoggerNilSafe: without a logger in the context, Logger returns a
+// usable discard logger — never nil — and logging through it is a no-op.
+func TestLoggerNilSafe(t *testing.T) {
+	ctx := context.Background()
+	l := Logger(ctx)
+	if l == nil {
+		t.Fatal("Logger returned nil")
+	}
+	l.Info("dropped", "k", "v") // must not panic
+	if l.Enabled(ctx, slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+	if WithLogger(ctx, nil) != ctx {
+		t.Fatal("WithLogger(nil) should return the context unchanged")
+	}
+}
+
+// TestLoggerRoundTrip installs a JSON handler and reads a structured
+// event back out.
+func TestLoggerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := WithLogger(context.Background(), slog.New(slog.NewJSONHandler(&buf, nil)))
+	Logger(ctx).Info("solve.start", "variables", 12, "algorithm", "lbfgs")
+
+	var ev map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("not JSON: %v (%s)", err, buf.String())
+	}
+	if ev["msg"] != "solve.start" || ev["algorithm"] != "lbfgs" || ev["variables"] != float64(12) {
+		t.Fatalf("event fields wrong: %v", ev)
+	}
+}

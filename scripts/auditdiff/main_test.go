@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/audit"
+	"privacymaxent/internal/maxent"
+)
+
+func sampleAudit() *audit.SolveAudit {
+	return &audit.SolveAudit{
+		Converged:    true,
+		Iterations:   42,
+		MaxViolation: 3e-10,
+		Feasible:     true,
+		Entropy:      2.5,
+		Families: []audit.FamilySummary{
+			{Family: "QI-invariant", Rows: 9, MaxAbsResidual: 2e-10, MeanAbsResidual: 1e-10},
+			{Family: "knowledge", Rows: 4, MaxAbsResidual: 3e-10, MeanAbsResidual: 2e-10},
+		},
+		BindingKnowledge: []audit.DualRow{
+			{Label: "P(Flu | Gender=male) = 0.5", Family: "knowledge", Lambda: 33.4},
+		},
+		Trajectory: []audit.TrajectoryPoint{
+			{Index: 42, TracePoint: maxent.TracePoint{Iteration: 42, Objective: -2.5, GradNorm: 1e-10}},
+		},
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := sampleAudit(), sampleAudit()
+	if drifts := diff(a, b, 0.05, 1e-9, 0.10); len(drifts) != 0 {
+		t.Fatalf("identical audits report drift: %v", drifts)
+	}
+}
+
+func TestDiffPerturbedFamily(t *testing.T) {
+	a, b := sampleAudit(), sampleAudit()
+	b.Families[1].MaxAbsResidual = 1e-3
+	b.Families[1].Violations = 2
+	drifts := diff(a, b, 0.05, 1e-9, 0.10)
+	if len(drifts) == 0 {
+		t.Fatal("perturbed family not reported")
+	}
+	found := false
+	for _, d := range drifts {
+		if strings.Contains(d, `"knowledge"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drift does not name the changed family: %v", drifts)
+	}
+}
+
+func TestDiffBindingSetChange(t *testing.T) {
+	a, b := sampleAudit(), sampleAudit()
+	b.BindingKnowledge = []audit.DualRow{
+		{Label: "P(Pneumonia | Age=40-60) = 0.25", Family: "knowledge", Lambda: -5.1},
+	}
+	drifts := diff(a, b, 0.05, 1e-9, 0.10)
+	var lost, gained bool
+	for _, d := range drifts {
+		if strings.Contains(d, "no longer binding") && strings.Contains(d, "Flu") {
+			lost = true
+		}
+		if strings.Contains(d, "newly binding") && strings.Contains(d, "Pneumonia") {
+			gained = true
+		}
+	}
+	if !lost || !gained {
+		t.Fatalf("binding-set change not reported both ways: %v", drifts)
+	}
+}
+
+func TestDiffToleratesNoise(t *testing.T) {
+	a, b := sampleAudit(), sampleAudit()
+	// Last-bit wobble in residuals and one extra iteration: healthy
+	// rebuild noise, not drift.
+	b.Families[0].MaxAbsResidual *= 1.01
+	b.MaxViolation *= 0.99
+	b.Iterations = 43
+	b.Trajectory[0].Index = 43
+	if drifts := diff(a, b, 0.05, 1e-9, 0.10); len(drifts) != 0 {
+		t.Fatalf("noise flagged as drift: %v", drifts)
+	}
+}
+
+func TestDiffConvergenceFlip(t *testing.T) {
+	a, b := sampleAudit(), sampleAudit()
+	b.Converged = false
+	drifts := diff(a, b, 0.05, 1e-9, 0.10)
+	if len(drifts) == 0 || !strings.Contains(drifts[0], "convergence") {
+		t.Fatalf("convergence flip not reported first: %v", drifts)
+	}
+}
