@@ -11,6 +11,8 @@ package privacymaxent
 // experiments prints the same series at configurable (full paper) sizes.
 
 import (
+	"os"
+	"strconv"
 	"testing"
 
 	"privacymaxent/internal/adult"
@@ -20,10 +22,21 @@ import (
 	"privacymaxent/internal/maxent"
 )
 
+// kernelWorkersEnv reads PMAXENT_KERNEL_WORKERS, the knob scripts/benchab
+// uses to A/B serial kernels (-1) against sharded ones on the same tree.
+// Unset or unparsable means 0: inherit the solve's worker count.
+var kernelWorkersEnv = func() int {
+	v, err := strconv.Atoi(os.Getenv("PMAXENT_KERNEL_WORKERS"))
+	if err != nil {
+		return 0
+	}
+	return v
+}()
+
 // benchConfig is the scaled-down workload shared by the figure benches:
 // 2000 records → 400 buckets of five at 5-diversity (paper: 14,210 →
 // 2,842).
-var benchConfig = experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2}
+var benchConfig = experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2, KernelWorkers: kernelWorkersEnv}
 
 // benchInstance caches the generated workload across benchmarks; data
 // generation and rule mining are benchmarked separately.
@@ -163,7 +176,7 @@ func BenchmarkSolveNoKnowledge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
-		if _, err := maxent.Solve(sys, maxent.Options{}); err != nil {
+		if _, err := maxent.Solve(sys, maxent.Options{KernelWorkers: kernelWorkersEnv}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -188,7 +201,7 @@ func BenchmarkSolveWithKnowledge(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true}); err != nil {
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, KernelWorkers: kernelWorkersEnv}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -220,7 +233,7 @@ func BenchmarkSolveWarmStarted(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys := base.Clone()
-		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, WarmStart: seed.Duals}); err != nil {
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, WarmStart: seed.Duals, KernelWorkers: kernelWorkersEnv}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -290,7 +303,7 @@ func BenchmarkSolveParallelComponents(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, Workers: 8}); err != nil {
+		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, Workers: 8, KernelWorkers: kernelWorkersEnv}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -37,6 +37,8 @@ func main() {
 		k           = flag.Int("k", 50, "knowledge size for the ablations")
 		kGrid       = flag.String("ks", "", "comma-separated K grid for Figures 5 and 6 (default: geometric sweep)")
 		maxIter     = flag.Int("maxiter", 0, "LBFGS iteration budget for accuracy solves (default 6000)")
+		workers     = flag.Int("workers", 0, "concurrent grid evaluations in the sweep figures (0 = GOMAXPROCS, <0 = sequential)")
+		kernelWork  = flag.Int("kernel-workers", 0, "worker shards for the in-solve gradient/exp kernels (0 = inherit, <0 = serial); bit-identical output at any value")
 		auditDir    = flag.String("audit-dir", "", "write per-point solve audits (figures 7a/7b/7c and the solver ablation) into this directory")
 	)
 	flag.Parse()
@@ -54,6 +56,8 @@ func main() {
 		MinSupport:    *minSupport,
 		MaxRuleSize:   *maxRuleSize,
 		MaxIterations: *maxIter,
+		Workers:       *workers,
+		KernelWorkers: *kernelWork,
 		AuditDir:      *auditDir,
 	}
 	if err := run(*figure, cfg, *maxT, parseInts(*buckets), parseInts(*constraints), *k, parseInts(*kGrid)); err != nil {

@@ -7,13 +7,14 @@
 package assoc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/pool"
 )
 
 // Rule is an association between a QI-subset condition Qv and a sensitive
@@ -133,6 +134,11 @@ func Mine(t *dataset.Table, opts Options) ([]Rule, error) {
 		})
 	}
 
+	// Subsets are mined independently on the shared worker pool (the same
+	// pool type the solver's component and kernel parallelism draws from)
+	// and merged in subset-enumeration order, so the flattened rule list —
+	// and therefore the sortRules total order and every Top-K selection —
+	// is identical to the sequential path at any worker count.
 	var rules []Rule
 	if opts.Workers < 2 || len(subsets) < 2 {
 		for _, attrs := range subsets {
@@ -140,18 +146,11 @@ func Mine(t *dataset.Table, opts Options) ([]Rule, error) {
 		}
 	} else {
 		perSubset := make([][]Rule, len(subsets))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, opts.Workers)
-		for i := range subsets {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				perSubset[i] = mineSubset(t, subsets[i], minSup)
-			}(i)
-		}
-		wg.Wait()
+		p := pool.New(opts.Workers)
+		p.ParallelFor(context.Background(), len(subsets), 0, func(i int) {
+			perSubset[i] = mineSubset(t, subsets[i], minSup)
+		})
+		p.Close()
 		for _, rs := range perSubset {
 			rules = append(rules, rs...)
 		}

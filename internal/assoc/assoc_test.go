@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"privacymaxent/internal/adult"
 	"privacymaxent/internal/dataset"
 )
 
@@ -209,6 +210,30 @@ func TestMineParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatal("parallel mining differs from sequential")
+	}
+}
+
+// TestMineParallelWorkerSweep: the pool-backed parallel path returns a
+// rule list deeply equal to the sequential one — same rules, same order
+// — on a larger workload, at worker counts below, at, and far above the
+// subset count.
+func TestMineParallelWorkerSweep(t *testing.T) {
+	tbl := adult.Generate(adult.Config{Records: 400, Seed: 7})
+	seq, err := Mine(tbl, Options{MinSupport: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) == 0 {
+		t.Fatal("workload mined no rules")
+	}
+	for _, w := range []int{2, 3, 8, 64} {
+		par, err := Mine(tbl, Options{MinSupport: 2, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d: parallel mining differs from sequential", w)
+		}
 	}
 }
 

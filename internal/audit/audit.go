@@ -104,6 +104,15 @@ type SolveAudit struct {
 	Iterations   int     `json:"iterations"`
 	Evaluations  int     `json:"evaluations"`
 	MaxViolation float64 `json:"max_violation"`
+	// Workers and KernelWorkers record the parallelism the solve used
+	// (component fan-out and intra-solve kernel width). They are
+	// informational provenance, deliberately NOT compared by
+	// scripts/auditdiff: the kernels are bit-deterministic, so a serial
+	// and a parallel audit of the same problem must agree on every
+	// numerical field above while legitimately differing here — that
+	// zero-drift comparison is exactly how kernel parity is certified.
+	Workers       int `json:"workers,omitempty"`
+	KernelWorkers int `json:"kernel_workers,omitempty"`
 	// Tolerance is the feasibility threshold the audit judged against.
 	Tolerance float64 `json:"tolerance"`
 	// Feasible reports MaxViolation <= Tolerance.
@@ -143,11 +152,13 @@ func New(sys *constraint.System, sol *maxent.Solution, opts Options) *SolveAudit
 	opts = opts.withDefaults()
 	sp := sys.Space()
 	a := &SolveAudit{
-		Converged:    sol.Stats.Converged,
-		Iterations:   sol.Stats.Iterations,
-		Evaluations:  sol.Stats.Evaluations,
-		MaxViolation: sol.Stats.MaxViolation,
-		Tolerance:    opts.Tolerance,
+		Converged:     sol.Stats.Converged,
+		Iterations:    sol.Stats.Iterations,
+		Evaluations:   sol.Stats.Evaluations,
+		MaxViolation:  sol.Stats.MaxViolation,
+		Workers:       sol.Stats.Workers,
+		KernelWorkers: sol.Stats.KernelWorkers,
+		Tolerance:     opts.Tolerance,
 	}
 
 	// Residual pass over every original row, grouped by family.

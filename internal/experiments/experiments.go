@@ -59,6 +59,13 @@ type Config struct {
 	// negative (or 1) runs sequentially. The timing figures' solves
 	// themselves are never run concurrently — wall-clock is their y-axis.
 	Workers int
+	// KernelWorkers is passed through to maxent.Options.KernelWorkers: it
+	// shards the dual gradient/exp kernels inside each solve. Zero inherits
+	// the solve's resolved worker count, negative forces serial kernels.
+	// Kernel sharding is bit-deterministic, so it never changes a figure —
+	// but it does change the wall-clock the timing figures measure, which
+	// is exactly why it is exposed here (serial-vs-parallel A/B runs).
+	KernelWorkers int
 	// AuditDir, when non-empty, writes one solve-audit JSON per grid
 	// point of the performance figures (7a/7bc) and per algorithm of the
 	// solver ablation into this directory, named after the point
@@ -148,7 +155,7 @@ func NewInstance(cfg Config) (*Instance, error) {
 	for k := 1; k <= cfg.MaxRuleSize && k <= tbl.Schema().NumQI(); k++ {
 		sizes = append(sizes, k)
 	}
-	rules, err := assoc.Mine(tbl, assoc.Options{MinSupport: cfg.MinSupport, Sizes: sizes})
+	rules, err := assoc.Mine(tbl, assoc.Options{MinSupport: cfg.MinSupport, Sizes: sizes, Workers: cfg.workerCount()})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: mining: %w", err)
 	}
@@ -161,7 +168,8 @@ func (in *Instance) quantifier() *core.Quantifier {
 		Diversity:  in.Config.Diversity,
 		MinSupport: in.Config.MinSupport,
 		Solve: maxent.Options{
-			Solver: solver.Options{MaxIterations: in.Config.MaxIterations, GradTol: 1e-8},
+			KernelWorkers: in.Config.KernelWorkers,
+			Solver:        solver.Options{MaxIterations: in.Config.MaxIterations, GradTol: 1e-8},
 		},
 	})
 }
@@ -319,6 +327,8 @@ func Figure6(in *Instance, maxT int, ks ...int) ([]Series, error) {
 // from one K point to the next.
 func (in *Instance) figure6Series(t int, ks []int) (Series, error) {
 	rules, err := assoc.Mine(in.Table, assoc.Options{MinSupport: in.Config.MinSupport, Sizes: []int{t}})
+	// Workers deliberately unset: the per-T series already run concurrently
+	// under Config.Workers, so nested parallel mining would oversubscribe.
 	if err != nil {
 		return Series{}, fmt.Errorf("figure6 T=%d: %w", t, err)
 	}
@@ -371,7 +381,10 @@ func (in *Instance) solveWithTopK(k int, auditName string) (maxent.Stats, error)
 			return maxent.Stats{}, err
 		}
 	}
-	opts := maxent.Options{Solver: solver.Options{MaxIterations: 3000, GradTol: 1e-6}}
+	opts := maxent.Options{
+		KernelWorkers: in.Config.KernelWorkers,
+		Solver:        solver.Options{MaxIterations: 3000, GradTol: 1e-6},
+	}
 	opts.CaptureTrace = in.Config.AuditDir != ""
 	sol, err := maxent.Solve(sys, opts)
 	if err != nil {
@@ -456,6 +469,9 @@ func Figure7bc(cfg Config, bucketCounts []int, constraintCounts []int) (timeSeri
 			defer func() { <-sem }()
 			sub := cfg
 			sub.Records = nb * cfg.Diversity
+			// Instances already generate concurrently here; serial mining
+			// inside each avoids multiplying the two worker budgets.
+			sub.Workers = -1
 			ins[i], errs[i] = NewInstance(sub)
 		}(i, nb)
 	}
@@ -518,10 +534,11 @@ func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]Algorith
 		// Decompose so Newton's dense Hessian only sees the relevant
 		// buckets' constraints.
 		sol, err := maxent.Solve(sys, maxent.Options{
-			Algorithm:    alg,
-			Decompose:    true,
-			CaptureTrace: in.Config.AuditDir != "",
-			Solver:       solver.Options{MaxIterations: 3000, GradTol: 1e-7},
+			Algorithm:     alg,
+			Decompose:     true,
+			CaptureTrace:  in.Config.AuditDir != "",
+			KernelWorkers: in.Config.KernelWorkers,
+			Solver:        solver.Options{MaxIterations: 3000, GradTol: 1e-7},
 		})
 		if err != nil {
 			return nil, fmt.Errorf("algorithm %v: %w", alg, err)
@@ -562,7 +579,8 @@ func CompareDecomposition(in *Instance, k int) ([]DecompositionResult, error) {
 			MinSupport:  in.Config.MinSupport,
 			NoDecompose: !dec,
 			Solve: maxent.Options{
-				Solver: solver.Options{MaxIterations: 6000, GradTol: 1e-8},
+				KernelWorkers: in.Config.KernelWorkers,
+				Solver:        solver.Options{MaxIterations: 6000, GradTol: 1e-8},
 			},
 		})
 		rep, err := q.QuantifyWithRules(in.Data, in.Rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth)

@@ -1,0 +1,158 @@
+package linalg
+
+import (
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"privacymaxent/internal/pool"
+)
+
+// poolRunner adapts a shared worker pool into the kernel Runner shape,
+// exactly as the solver does.
+func poolRunner(p *pool.Pool, max int) Runner {
+	return func(n int, fn func(i int)) {
+		p.ParallelFor(context.Background(), n, max, fn)
+	}
+}
+
+// TestBlockPartition: the partition covers [0, n) exactly, in order,
+// with every block but the last of full length.
+func TestBlockPartition(t *testing.T) {
+	for _, n := range []int{0, 1, blockLen - 1, blockLen, blockLen + 1, 3*blockLen + 17} {
+		nb := NumBlocks(n)
+		next := 0
+		for b := 0; b < nb; b++ {
+			lo, hi := BlockBounds(b, n)
+			if lo != next {
+				t.Fatalf("n=%d block %d starts at %d, want %d", n, b, lo, next)
+			}
+			if b < nb-1 && hi-lo != blockLen {
+				t.Fatalf("n=%d block %d has length %d, want %d", n, b, hi-lo, blockLen)
+			}
+			next = hi
+		}
+		if next != n {
+			t.Fatalf("n=%d partition covers [0,%d)", n, next)
+		}
+	}
+}
+
+// TestBlockedKernelsBitIdentical: at every worker count — nil runner,
+// serial pool, and genuinely parallel pools — MulVecBlocks and
+// MulTVecBlocks produce bit-for-bit the outputs of their serial
+// reference kernels, on matrices spanning the blockLen boundary.
+func TestBlockedKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	shapes := [][2]int{{1, 1}, {17, 30}, {blockLen + 3, 2*blockLen + 5}, {2*blockLen + 5, blockLen - 1}, {900, 1300}}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		m := randomCSR(rng, rows, cols)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xt := make([]float64, rows)
+		for i := range xt {
+			xt[i] = rng.NormFloat64()
+		}
+		wantY := make([]float64, rows)
+		m.MulVec(x, wantY)
+		wantYT := make([]float64, cols)
+		m.mulTVecGather(m.transpose(), xt, wantYT)
+
+		check := func(name string, run Runner) {
+			t.Helper()
+			y := make([]float64, rows)
+			m.MulVecBlocks(x, y, run)
+			for r := range wantY {
+				if y[r] != wantY[r] {
+					t.Fatalf("%dx%d %s: MulVecBlocks row %d = %x, serial %x", rows, cols, name, r, y[r], wantY[r])
+				}
+			}
+			yt := make([]float64, cols)
+			m.MulTVecBlocks(xt, yt, run)
+			for c := range wantYT {
+				if yt[c] != wantYT[c] {
+					t.Fatalf("%dx%d %s: MulTVecBlocks col %d = %x, gather %x", rows, cols, name, c, yt[c], wantYT[c])
+				}
+			}
+		}
+		check("nil", nil)
+		for _, workers := range []int{1, 2, 3, 8} {
+			p := pool.New(workers)
+			check("pool", poolRunner(p, 0))
+			p.Close()
+		}
+	}
+}
+
+// TestColViewDotMatchesMulTVec: per-column Dot composes into exactly the
+// gather kernel's output.
+func TestColViewDotMatchesMulTVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 40, 25)
+	x := make([]float64, 40)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 25)
+	m.mulTVecGather(m.transpose(), x, want)
+	v := m.Columns()
+	if v.Cols() != 25 {
+		t.Fatalf("ColView.Cols = %d, want 25", v.Cols())
+	}
+	for c := 0; c < v.Cols(); c++ {
+		if got := v.Dot(c, x); got != want[c] {
+			t.Fatalf("column %d: Dot %x, gather %x", c, got, want[c])
+		}
+	}
+}
+
+// TestMulVecRangeDisjoint: ranges only write their own rows.
+func TestMulVecRangeDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomCSR(rng, 20, 10)
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 20)
+	for i := range y {
+		y[i] = -1
+	}
+	m.MulVecRange(x, y, 5, 12)
+	want := make([]float64, 20)
+	m.MulVec(x, want)
+	for r := 0; r < 20; r++ {
+		if r >= 5 && r < 12 {
+			if y[r] != want[r] {
+				t.Fatalf("row %d inside range: %g, want %g", r, y[r], want[r])
+			}
+		} else if y[r] != -1 {
+			t.Fatalf("row %d outside range was written: %g", r, y[r])
+		}
+	}
+}
+
+// TestBlockedKernelsActuallyParallel: on a matrix with many blocks a
+// parallel pool really distributes blocks across goroutines (guards
+// against a silent fallback to serial).
+func TestBlockedKernelsActuallyParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomCSR(rng, 4*blockLen, 8)
+	x := make([]float64, 8)
+	y := make([]float64, 4*blockLen)
+	p := pool.New(4)
+	defer p.Close()
+	var calls int32
+	run := Runner(func(n int, fn func(int)) {
+		atomic.AddInt32(&calls, int32(n))
+		p.ParallelFor(context.Background(), n, 0, fn)
+	})
+	m.MulVecBlocks(x, y, run)
+	if calls != 4 {
+		t.Fatalf("expected 4 block tasks, runner saw %d", calls)
+	}
+}

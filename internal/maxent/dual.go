@@ -28,19 +28,48 @@ import (
 // (presolved) constraint system. Its work buffers come from a shared
 // pool (dualScratch); callers must release() the objective when the
 // solve — including any Primal recovery — is finished.
+//
+// Both hot kernels are blocked over the fixed linalg partition so an
+// optional Runner can execute blocks concurrently: (1) a fused
+// Aᵀλ → exp → partial-partition pass, one column-gather, exponential and
+// block-local sum per term, with the block sums combined in ascending
+// block order afterwards; (2) the gradient pass A·x(λ) − c over row
+// blocks. The partition and combination order are functions of the
+// problem shape only, so the objective value, gradient, primal recovery
+// — and therefore the whole optimizer trajectory — are bit-identical at
+// every worker count, including the serial Runner-less path.
 type dualObjective struct {
-	a       *linalg.CSR // m rows (constraints) × n cols (active variables)
-	c       []float64   // right-hand sides, length m
+	a       *linalg.CSR    // m rows (constraints) × n cols (active variables)
+	cols    linalg.ColView // CSC view the fused kernel gathers from
+	c       []float64      // right-hand sides, length m
 	scratch *dualScratch
-	hessOK  bool // scratch.touch/coeff hold this matrix's adjacency
+	hessOK  bool          // scratch.touch/coeff hold this matrix's adjacency
+	run     linalg.Runner // block executor; nil runs blocks serially
 }
 
 func newDualObjective(a *linalg.CSR, c []float64) *dualObjective {
 	return &dualObjective{
 		a:       a,
+		cols:    a.Columns(),
 		c:       c,
-		scratch: newDualScratch(a.Rows(), a.Cols()),
+		scratch: newDualScratch(a.Cols()),
 	}
+}
+
+// setRunner installs the executor the blocked kernels fan out on; nil
+// (the default) keeps every kernel on the calling goroutine.
+func (d *dualObjective) setRunner(run linalg.Runner) { d.run = run }
+
+// forBlocks executes fn for every block index in [0, nb), on the runner
+// when one is installed.
+func (d *dualObjective) forBlocks(nb int, fn func(b int)) {
+	if d.run == nil {
+		for b := 0; b < nb; b++ {
+			fn(b)
+		}
+		return
+	}
+	d.run(nb, fn)
 }
 
 // release returns the objective's scratch buffers to the pool. The
@@ -58,29 +87,52 @@ func (d *dualObjective) Dim() int { return d.a.Rows() }
 // Eval computes g(λ) and its gradient. Exponents are evaluated directly;
 // if λ wanders into overflow territory the +Inf propagates and the
 // strong-Wolfe line search backs off.
+//
+// The η = Aᵀλ intermediate of the textbook formulation is fused away:
+// each term's exponent is gathered, exponentiated and accumulated into
+// its block's partition-sum share in one pass, saving a full read+write
+// sweep over the term space per evaluation.
 func (d *dualObjective) Eval(lambda, grad []float64) float64 {
 	s := d.scratch
-	d.a.MulTVec(lambda, s.eta)
+	n := d.a.Cols()
+	nbCols := linalg.NumBlocks(n)
+	s.blockSums = growFloats(s.blockSums, nbCols)
+	d.forBlocks(nbCols, func(b int) {
+		lo, hi := linalg.BlockBounds(b, n)
+		var sum float64
+		for c := lo; c < hi; c++ {
+			v := math.Exp(d.cols.Dot(c, lambda) - 1)
+			s.x[c] = v
+			sum += v
+		}
+		s.blockSums[b] = sum
+	})
 	var sumExp float64
-	for j, e := range s.eta {
-		v := math.Exp(e - 1)
-		s.x[j] = v
+	for _, v := range s.blockSums {
 		sumExp += v
 	}
 	f := sumExp - linalg.Dot(lambda, d.c)
-	d.a.MulVec(s.x, s.ax)
-	for i := range grad {
-		grad[i] = s.ax[i] - d.c[i]
-	}
+
+	m := d.a.Rows()
+	d.forBlocks(linalg.NumBlocks(m), func(b int) {
+		lo, hi := linalg.BlockBounds(b, m)
+		d.a.MulVecRange(s.x, grad, lo, hi)
+		for i := lo; i < hi; i++ {
+			grad[i] -= d.c[i]
+		}
+	})
 	return f
 }
 
 // Primal recovers x(λ) into dst (length = number of active variables).
 func (d *dualObjective) Primal(lambda, dst []float64) {
-	d.a.MulTVec(lambda, d.scratch.eta)
-	for j, e := range d.scratch.eta {
-		dst[j] = math.Exp(e - 1)
-	}
+	n := d.a.Cols()
+	d.forBlocks(linalg.NumBlocks(n), func(b int) {
+		lo, hi := linalg.BlockBounds(b, n)
+		for c := lo; c < hi; c++ {
+			dst[c] = math.Exp(d.cols.Dot(c, lambda) - 1)
+		}
+	})
 }
 
 // hessAdjacency returns, for each variable, the rows touching it and
@@ -108,10 +160,7 @@ func (d *dualObjective) hessAdjacency() ([][]int, [][]float64) {
 // method on duals with few constraints.
 func (d *dualObjective) Hessian(lambda []float64, h [][]float64) {
 	s := d.scratch
-	d.a.MulTVec(lambda, s.eta)
-	for j, e := range s.eta {
-		s.x[j] = math.Exp(e - 1)
-	}
+	d.Primal(lambda, s.x)
 	m := d.a.Rows()
 	for i := 0; i < m; i++ {
 		row := h[i]

@@ -2,29 +2,30 @@ package maxent
 
 import "sync"
 
-// dualScratch holds the work buffers of one dual solve: the objective's
-// η = Aᵀλ, primal x(λ) and A·x vectors, plus the Hessian's column
-// adjacency (which rows touch each variable, with what coefficient).
-// Sweeps solve the same-shaped dual dozens of times, so the buffers are
-// pooled across solves instead of reallocated; a solve takes a scratch
-// from the pool in newDualObjective and returns it via release. Buffers
-// are never zeroed on reuse — every consumer fully overwrites them.
+// dualScratch holds the work buffers of one dual solve: the primal
+// x(λ) vector, the per-block partition partial sums of the fused
+// exp/partition kernel, plus the Hessian's column adjacency (which rows
+// touch each variable, with what coefficient). Sweeps solve the
+// same-shaped dual dozens of times, so the buffers are pooled across
+// solves instead of reallocated; a solve takes a scratch from the pool
+// in newDualObjective and returns it via release. Buffers are never
+// zeroed on reuse — every consumer fully overwrites them.
 type dualScratch struct {
-	eta, x, ax []float64
-	touch      [][]int
-	coeff      [][]float64
+	x         []float64
+	blockSums []float64
+	touch     [][]int
+	coeff     [][]float64
 }
 
 var dualScratchPool = sync.Pool{New: func() any { return new(dualScratch) }}
 
-// newDualScratch takes a scratch from the pool and sizes its objective
-// buffers for an m×n (rows × active variables) system. The Hessian
-// adjacency is sized lazily by hessAdjacency, since only Newton needs it.
-func newDualScratch(m, n int) *dualScratch {
+// newDualScratch takes a scratch from the pool and sizes the primal
+// buffer for n active variables. The block-sum buffer is sized by Eval
+// (it depends on the block partition) and the Hessian adjacency lazily
+// by hessAdjacency, since only Newton needs it.
+func newDualScratch(n int) *dualScratch {
 	s := dualScratchPool.Get().(*dualScratch)
-	s.eta = growFloats(s.eta, n)
 	s.x = growFloats(s.x, n)
-	s.ax = growFloats(s.ax, m)
 	return s
 }
 

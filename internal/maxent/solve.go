@@ -10,6 +10,7 @@ import (
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/linalg"
+	"privacymaxent/internal/pool"
 	"privacymaxent/internal/solver"
 	"privacymaxent/internal/telemetry"
 )
@@ -73,6 +74,23 @@ type Options struct {
 	// solution vector. The count actually used is recorded in
 	// Stats.Workers.
 	Workers int
+	// KernelWorkers bounds the data-parallel fan-out inside a single
+	// dual solve: the fused Aᵀλ → exp → partition kernel and the blocked
+	// A·x(λ) gradient kernel shard a fixed block partition over this
+	// many goroutines, drawn from the same worker pool the component
+	// solves use, so the two levels of parallelism never oversubscribe
+	// GOMAXPROCS. This is what keeps the solve parallel in the regime
+	// where decomposition goes idle — heavy background knowledge
+	// coupling every bucket into one giant component. The zero value
+	// inherits the resolved Workers count; negative values force serial
+	// kernels. Kernel results are bit-identical at every worker count
+	// (the partition and the reduction order are functions of the
+	// problem shape, never of the worker count), so the knob trades
+	// wall-clock only, never numerics. The width actually used is
+	// recorded in Stats.KernelWorkers. Only the dual algorithms (LBFGS,
+	// SteepestDescent, Newton) have data-parallel kernels; GIS and IIS
+	// run serially regardless.
+	KernelWorkers int
 	// CaptureTrace records the full convergence trajectory — one
 	// TracePoint per optimizer iteration — into Solution.Trajectory, the
 	// raw material for solve audits. Off by default: capture allocates
@@ -116,6 +134,68 @@ func (o Options) workerCount() int {
 		w = 1
 	}
 	return w
+}
+
+// kernelWorkerCount resolves Options.KernelWorkers: zero inherits the
+// resolved component worker count, negative values mean serial kernels.
+func (o Options) kernelWorkerCount() int {
+	kw := o.KernelWorkers
+	if kw == 0 {
+		return o.workerCount()
+	}
+	if kw < 1 {
+		return 1
+	}
+	return kw
+}
+
+// chainInterrupt folds the context's cancellation into the solver's
+// Interrupt hook (in front of any caller-supplied hook), so a cancelled
+// context stops a dual solve at its next interrupt poll — the guarantee
+// the mid-kernel cancellation path relies on: a cancelled kernel region
+// drains without finishing its blocks, and the optimizer then observes
+// the interrupt before consuming the stale buffers.
+func chainInterrupt(ctx context.Context, opts Options) Options {
+	done := ctx.Done()
+	if done == nil {
+		return opts
+	}
+	prev := opts.Solver.Interrupt
+	opts.Solver.Interrupt = func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+		}
+		return prev != nil && prev()
+	}
+	return opts
+}
+
+// minParallelBlocks is the smallest block count worth fanning out: below
+// it the enlist/wait synchronization of a ParallelFor costs more than the
+// one or two blocks of arithmetic it distributes. Small decomposed
+// components therefore run their kernels serially — which changes nothing
+// numerically, since the serial path sums the identical blocks in the
+// identical order.
+const minParallelBlocks = 4
+
+// kernelRunner adapts the shared worker pool into the block executor the
+// dual kernels fan out on, capped at kw concurrent participants. It
+// returns nil — serial kernels — when the width is 1.
+func kernelRunner(ctx context.Context, p *pool.Pool, kw int) linalg.Runner {
+	if p.Workers() < 2 || kw < 2 {
+		return nil
+	}
+	return func(n int, fn func(i int)) {
+		if n < minParallelBlocks {
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			return
+		}
+		p.ParallelFor(ctx, n, kw, fn)
+	}
 }
 
 // ConstraintDual pairs a constraint with its Lagrange multiplier at the
@@ -234,6 +314,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	}
 	var stats Stats
 	stats.Workers = 1
+	stats.KernelWorkers = 1
 	for j := 0; j < red.n; j++ {
 		if red.fixed[j] {
 			x[j] = red.value[j]
@@ -243,14 +324,22 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	stats.ActiveVariables = len(red.active)
 
 	if len(red.active) > 0 {
+		kw := opts.kernelWorkerCount()
+		kp := pool.New(kw)
+		defer kp.Close()
+		opts = chainInterrupt(ctx, opts)
 		sol := &Solution{X: x}
-		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw)); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
 			return nil, Stats{}, err
 		}
 		stats.Iterations = sol.Stats.Iterations
 		stats.Evaluations = sol.Stats.Evaluations
 		stats.Converged = sol.Stats.Converged
+		stats.KernelWorkers = sol.Stats.KernelWorkers
+		// With no component fan-out, the kernels' width is the solve's
+		// actual parallelism.
+		stats.Workers = stats.KernelWorkers
 	} else {
 		stats.Converged = true
 	}
@@ -265,7 +354,11 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	}
 	stats.MaxViolation = worst
 	stats.Duration = time.Since(start)
-	span.SetAttr(telemetry.Int("iterations", stats.Iterations), telemetry.Bool("converged", stats.Converged))
+	span.SetAttr(
+		telemetry.Int("iterations", stats.Iterations),
+		telemetry.Int("workers", stats.Workers),
+		telemetry.Int("kernel_workers", stats.KernelWorkers),
+		telemetry.Bool("converged", stats.Converged))
 	stats.record(telemetry.Metrics(ctx), 0)
 	logger.Info("solve.done",
 		"iterations", stats.Iterations,
@@ -304,6 +397,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		"constraints", sys.Len())
 	sol := &Solution{space: sp, X: Uniform(sp)}
 	sol.Stats.Workers = 1
+	sol.Stats.KernelWorkers = 1
 
 	finish := func() {
 		sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
@@ -312,6 +406,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			telemetry.Int("iterations", sol.Stats.Iterations),
 			telemetry.Int("components", sol.Stats.Components),
 			telemetry.Int("workers", sol.Stats.Workers),
+			telemetry.Int("kernel_workers", sol.Stats.KernelWorkers),
 			telemetry.Bool("converged", sol.Stats.Converged))
 		sol.Stats.record(reg, sp.Data().NumBuckets())
 		logger.Info("solve.done",
@@ -319,6 +414,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			"evaluations", sol.Stats.Evaluations,
 			"components", sol.Stats.Components,
 			"workers", sol.Stats.Workers,
+			"kernel_workers", sol.Stats.KernelWorkers,
 			"converged", sol.Stats.Converged,
 			"max_violation", sol.Stats.MaxViolation,
 			"duration", sol.Stats.Duration.String())
@@ -366,10 +462,18 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 	sol.Stats.ActiveVariables = len(red.active)
 
 	if len(red.active) > 0 {
-		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts); err != nil {
+		kw := opts.kernelWorkerCount()
+		kp := pool.New(kw)
+		defer kp.Close()
+		opts = chainInterrupt(ctx, opts)
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw)); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
 			return nil, err
 		}
+		// A non-decomposed solve has no component fan-out, so its actual
+		// parallelism is the kernels' width — this used to hard-code 1
+		// even when the kernels ran in parallel.
+		sol.Stats.Workers = sol.Stats.KernelWorkers
 	} else {
 		sol.Stats.Converged = true
 	}
@@ -493,15 +597,28 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		workers = 1
 	}
 	sol.Stats.Workers = workers
+	kw := opts.kernelWorkerCount()
 	reg := telemetry.Metrics(ctx)
 	warm := opts.warmMap()
 
 	cancelCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	prevInterrupt := opts.Solver.Interrupt
-	opts.Solver.Interrupt = func() bool {
-		return cancelCtx.Err() != nil || (prevInterrupt != nil && prevInterrupt())
+	opts = chainInterrupt(cancelCtx, opts)
+
+	// One pool serves both parallelism levels: the component fan-out
+	// below and the blocked dual kernels inside each component solve.
+	// Its size bounds the total number of active goroutines — a kernel
+	// region only enlists workers that are idle right now — so component-
+	// times-kernel parallelism can never oversubscribe the budget. Few
+	// large components leave workers idle at the component level for the
+	// kernels to pick up; many small components keep the pool busy at the
+	// component level and the kernels run serially.
+	size := workers
+	if kw > size {
+		size = kw
 	}
+	p := pool.New(size)
+	defer p.Close()
 
 	// Duals and trajectories are collected per component and flattened in
 	// component order after the parallel loop, keeping the output
@@ -531,10 +648,11 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				// solveReduced mutates only this component's entries of
 				// sol.X (disjoint across components) and local stats.
 				ls := &Solution{X: sol.X}
-				err = solveReduced(cctx, ls, red, warm, opts)
+				err = solveReduced(cctx, ls, red, warm, opts, kernelRunner(cctx, p, kw))
 				local.Iterations = ls.Stats.Iterations
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
+				local.KernelWorkers = ls.Stats.KernelWorkers
 				duals = ls.Duals
 				for k := range ls.Trajectory {
 					ls.Trajectory[k].Component = ci
@@ -578,27 +696,14 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 		}
 	}
 
-	if workers < 2 {
-		for ci, rows := range components {
-			run(ci, rows)
-			if firstErr != nil {
-				return firstErr
-			}
-		}
-	} else {
-		sem := make(chan struct{}, workers)
-		var wg sync.WaitGroup
-		for ci, rows := range components {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(ci int, rows []rowData) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				run(ci, rows)
-			}(ci, rows)
-		}
-		wg.Wait()
-	}
+	// The component fan-out is capped at the resolved component worker
+	// count even when the pool is larger (sized for the kernels); the
+	// failure path cancels cancelCtx, which both stops ParallelFor from
+	// starting further components and interrupts in-flight sibling
+	// solves.
+	p.ParallelFor(cancelCtx, len(components), workers, func(ci int) {
+		run(ci, components[ci])
+	})
 	if firstErr != nil {
 		return firstErr
 	}
@@ -614,10 +719,12 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 // solveReduced runs the selected algorithm on the presolved system and
 // writes the active variables' values into sol.X. warm, when non-nil,
 // maps constraint labels to dual multipliers used to seed λ (see
-// Options.WarmStart). The context's registry receives an iteration
-// counter via a telemetry-backed recorder chained in front of any
-// user-supplied solver trace callback.
-func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[string]float64, opts Options) error {
+// Options.WarmStart). run, when non-nil, is the block executor the dual
+// kernels shard their work onto; the scaling algorithms (GIS, IIS)
+// ignore it. The context's registry receives an iteration counter via a
+// telemetry-backed recorder chained in front of any user-supplied solver
+// trace callback.
+func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[string]float64, opts Options, run linalg.Runner) error {
 	if reg := telemetry.Metrics(ctx); reg != nil {
 		iters := reg.Counter("pmaxent_dual_iterations_total")
 		grad := reg.Gauge("pmaxent_dual_last_grad_norm")
@@ -678,11 +785,11 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 	xActive := make([]float64, len(red.active))
 	switch opts.Algorithm {
 	case GIS, IIS:
-		run := runGIS
+		scale := runGIS
 		if opts.Algorithm == IIS {
-			run = runIIS
+			scale = runIIS
 		}
-		res, err := run(a, rhs, red, opts)
+		res, err := scale(a, rhs, red, opts)
 		if err != nil {
 			return err
 		}
@@ -690,11 +797,17 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 		sol.Stats.Iterations = res.iterations
 		sol.Stats.Evaluations = res.iterations
 		sol.Stats.Converged = res.converged
+		sol.Stats.KernelWorkers = 1 // scaling loops have no parallel kernels
 		// No explicit iteration-counter add here: the scaling loops fire
 		// the (telemetry-wrapped) trace callback once per round, so the
 		// pmaxent_dual_iterations_total series is already fed.
 	case LBFGS, SteepestDescent, Newton:
 		obj := newDualObjective(a, rhs)
+		obj.setRunner(run)
+		sol.Stats.KernelWorkers = 1
+		if run != nil {
+			sol.Stats.KernelWorkers = opts.kernelWorkerCount()
+		}
 		defer obj.release()
 		lambda0 := make([]float64, a.Rows())
 		if warm != nil {

@@ -33,8 +33,15 @@ type Stats struct {
 	// produced (0 when decomposition is off or nothing needed solving).
 	Components int
 	// Workers is the number of concurrent component solvers the run
-	// actually used (1 for sequential paths; see Options.Workers).
+	// actually used (1 for sequential paths; see Options.Workers). For
+	// non-decomposed solves — which have no component fan-out — it
+	// reports the kernel width instead, the solve's actual parallelism.
 	Workers int
+	// KernelWorkers is the data-parallel width of the dual kernels — the
+	// fused Aᵀλ → exp → partition pass and the blocked gradient pass —
+	// inside a single (component) solve. 1 when the kernels ran serially
+	// or the algorithm has none (GIS/IIS); see Options.KernelWorkers.
+	KernelWorkers int
 }
 
 // String renders the solver counters in one line, e.g.
@@ -50,6 +57,9 @@ func (s Stats) String() string {
 		s.Iterations, s.Evaluations, s.Duration.Round(time.Microsecond), s.Converged, s.MaxViolation)
 	if s.Workers > 1 {
 		out += fmt.Sprintf(", %d workers", s.Workers)
+	}
+	if s.KernelWorkers > 1 && s.KernelWorkers != s.Workers {
+		out += fmt.Sprintf(", %d kernel workers", s.KernelWorkers)
 	}
 	return out
 }
@@ -77,6 +87,9 @@ func (s *Stats) Merge(o Stats) {
 	if o.Workers > s.Workers {
 		s.Workers = o.Workers
 	}
+	if o.KernelWorkers > s.KernelWorkers {
+		s.KernelWorkers = o.KernelWorkers
+	}
 }
 
 // record publishes the solve statistics to the registry (nil-safe): one
@@ -92,6 +105,7 @@ func (s Stats) record(reg *telemetry.Registry, totalBuckets int) {
 	reg.Histogram("pmaxent_solve_evaluations", telemetry.CountBuckets).Observe(float64(s.Evaluations))
 	reg.Histogram("pmaxent_solve_active_variables", telemetry.CountBuckets).Observe(float64(s.ActiveVariables))
 	reg.Gauge("pmaxent_solve_workers").Set(float64(s.Workers))
+	reg.Gauge("pmaxent_solve_kernel_workers").Set(float64(s.KernelWorkers))
 	if !s.Converged {
 		reg.Counter("pmaxent_solve_unconverged_total").Add(1)
 	}

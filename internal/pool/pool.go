@@ -1,0 +1,162 @@
+// Package pool provides the bounded worker pool shared by every parallel
+// region of a solve: component-level decomposition (maxent.solveComponents),
+// the intra-solve data-parallel kernels (blocked A·x, Aᵀλ and the fused
+// exp/partition pass), and rule mining (assoc.Mine).
+//
+// Sharing one pool is the point. A decomposed solve fans out over
+// components, and each component solve fans out again inside its dual
+// kernels; with independent per-layer pools the two levels multiply and
+// oversubscribe GOMAXPROCS. Here both levels draw from the same fixed set
+// of goroutines: a nested ParallelFor enlists only workers that are idle
+// right now (the send is non-blocking) and the caller always participates,
+// so the total number of goroutines doing work never exceeds the pool
+// size — and nesting can never deadlock, because no region ever waits for
+// a worker to become free.
+//
+// Determinism contract: ParallelFor assigns task indices dynamically, so
+// the pool itself guarantees nothing about execution order. Callers that
+// need bit-identical results at any worker count must make each task's
+// output independent of scheduling — the linalg blocked kernels do this
+// with a fixed block partition and an ordered combination of per-block
+// results (see linalg.NumBlocks).
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed set of worker goroutines. The zero-sized (or nil) pool
+// is valid and runs everything on the caller's goroutine.
+type Pool struct {
+	workers int
+	jobs    chan func()
+	wg      sync.WaitGroup
+	closed  sync.Once
+}
+
+// New creates a pool that can run up to workers tasks concurrently,
+// counting the submitting goroutine: it starts workers−1 goroutines.
+// Counts below 1 are treated as 1 (a purely serial pool with no
+// goroutines at all).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.jobs = make(chan func())
+		for i := 0; i < workers-1; i++ {
+			p.wg.Add(1)
+			go func() {
+				defer p.wg.Done()
+				for job := range p.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	return p
+}
+
+// Workers reports the pool's concurrency bound (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close shuts the worker goroutines down and waits for them to exit. It
+// is idempotent and safe on a nil pool. ParallelFor must not be called
+// after Close.
+func (p *Pool) Close() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	p.closed.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}
+
+// ParallelFor runs fn(i) for every i in [0, n), returning once all calls
+// have completed. The caller's goroutine always participates; up to
+// max−1 currently-idle pool workers are enlisted to help (max ≤ 1 forces
+// a serial loop, max ≤ 0 means the full pool size). Task indices are
+// handed out dynamically, so fn must not rely on execution order.
+//
+// Cancellation: once ctx is done, no new task is started — every
+// participant finishes its current fn call and returns, so ParallelFor
+// drains cleanly and never leaks a task into the pool. In-flight fn
+// calls are not interrupted; fn should poll ctx itself if tasks are
+// long-running. A nil ctx disables the cancellation checks.
+func (p *Pool) ParallelFor(ctx context.Context, n, max int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	cancelled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if p == nil || p.jobs == nil || max == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if cancelled() {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	if max <= 0 || max > p.workers {
+		max = p.workers
+	}
+
+	var next int64
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n || cancelled() {
+				return
+			}
+			fn(i)
+		}
+	}
+
+	helpers := max - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	job := func() {
+		defer wg.Done()
+		work()
+	}
+enlist:
+	for h := 0; h < helpers; h++ {
+		wg.Add(1)
+		select {
+		case p.jobs <- job:
+		default:
+			// Every worker is busy (e.g. we are a nested region inside a
+			// component solve). Run with whoever was enlisted so far —
+			// blocking here could deadlock a fully-nested pool.
+			wg.Done()
+			break enlist
+		}
+	}
+	work()
+	wg.Wait()
+}

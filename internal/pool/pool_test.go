@@ -1,0 +1,178 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParallelForCoversAllIndices: every index runs exactly once, at any
+// worker count and task count.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			p := New(workers)
+			counts := make([]int32, n)
+			p.ParallelFor(context.Background(), n, 0, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			p.Close()
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNilPoolIsSerial: a nil pool is a valid serial executor.
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers = %d, want 1", p.Workers())
+	}
+	var ran int
+	p.ParallelFor(context.Background(), 5, 0, func(i int) {
+		if i != ran {
+			t.Fatalf("serial pool ran out of order: got %d, want %d", i, ran)
+		}
+		ran++
+	})
+	if ran != 5 {
+		t.Fatalf("ran %d tasks, want 5", ran)
+	}
+	p.Close() // must not panic
+}
+
+// TestSerialOrder: max=1 forces an in-order loop on the caller's
+// goroutine even on a parallel pool.
+func TestSerialOrder(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var got []int
+	p.ParallelFor(context.Background(), 6, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("max=1 ran out of order: %v", got)
+		}
+	}
+	if len(got) != 6 {
+		t.Fatalf("ran %d tasks, want 6", len(got))
+	}
+}
+
+// TestConcurrencyBound: concurrent fn invocations never exceed the pool
+// size, including when regions nest (component level + kernel level).
+func TestConcurrencyBound(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	defer p.Close()
+	var active, peak int32
+	observe := func() {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if a <= old || atomic.CompareAndSwapInt32(&peak, old, a) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt32(&active, -1)
+	}
+	p.ParallelFor(context.Background(), 8, 0, func(i int) {
+		// Nested region, as the dual kernels inside a component solve do.
+		p.ParallelFor(context.Background(), 8, 0, func(j int) {
+			observe()
+		})
+	})
+	if got := atomic.LoadInt32(&peak); got > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", got, workers)
+	}
+}
+
+// TestMaxCapsHelpers: a region with max=2 on a big pool runs at most two
+// tasks at once.
+func TestMaxCapsHelpers(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var active, peak int32
+	p.ParallelFor(context.Background(), 32, 2, func(i int) {
+		a := atomic.AddInt32(&active, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if a <= old || atomic.CompareAndSwapInt32(&peak, old, a) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		atomic.AddInt32(&active, -1)
+	})
+	if got := atomic.LoadInt32(&peak); got > 2 {
+		t.Fatalf("peak concurrency %d exceeds max=2", got)
+	}
+}
+
+// TestCancelDrains: cancelling mid-run stops the remaining tasks and
+// ParallelFor still returns with no goroutine left touching the loop
+// state — the pool is immediately reusable. Run with -race this is the
+// drain contract behind the solver's mid-kernel cancellation.
+func TestCancelDrains(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	p.ParallelFor(ctx, 10000, 0, func(i int) {
+		if atomic.AddInt32(&started, 1) == 8 {
+			cancel()
+		}
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+	})
+	// After return no task may still be running: mutating the map now
+	// would trip the race detector if one were.
+	mu.Lock()
+	ran := len(seen)
+	seen[-1] = true
+	mu.Unlock()
+	if ran == 10000 {
+		t.Fatal("cancellation did not stop the loop early")
+	}
+	// Pool must be reusable after a cancelled region.
+	var again int32
+	p.ParallelFor(context.Background(), 64, 0, func(i int) { atomic.AddInt32(&again, 1) })
+	if again != 64 {
+		t.Fatalf("pool not reusable after cancel: ran %d of 64", again)
+	}
+}
+
+// TestPreCancelledRunsNothing: an already-cancelled context short-circuits
+// before the first task.
+func TestPreCancelledRunsNothing(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	p.ParallelFor(ctx, 100, 0, func(i int) { atomic.AddInt32(&ran, 1) })
+	if ran != 0 {
+		t.Fatalf("pre-cancelled region ran %d tasks", ran)
+	}
+}
+
+// TestCloseIdempotent: Close twice is fine, as is closing a serial pool.
+func TestCloseIdempotent(t *testing.T) {
+	p := New(3)
+	p.Close()
+	p.Close()
+	s := New(1)
+	s.Close()
+	if s.Workers() != 1 || p.Workers() != 3 {
+		t.Fatal("Workers changed by Close")
+	}
+}

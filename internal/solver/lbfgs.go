@@ -102,6 +102,14 @@ func LBFGS(obj Objective, x0 []float64, opts Options) (Result, error) {
 		evals += lf.evals
 		lastStep, lastLSEvals = step, lf.evals
 		if !ok || step == 0 {
+			// A stalled line search right after an interrupt fired is the
+			// interrupt's doing, not the objective's: an internally
+			// parallel objective (see Objective) drains its kernels on
+			// cancellation and returns stale values the search cannot
+			// satisfy Wolfe on. Report the interruption, not a stall.
+			if opts.interrupted() {
+				return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+			}
 			// Line search stalled; report the best point so far.
 			res = Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals}
 			res.Duration = time.Since(start)

@@ -83,6 +83,11 @@ func Newton(obj HessianObjective, x0 []float64, opts Options) (Result, error) {
 		evals += lf.evals
 		lastStep, lastLSEvals = step, lf.evals
 		if !ok || step == 0 {
+			// Distinguish an interrupt-poisoned search from a genuine
+			// stall (see the matching LBFGS comment).
+			if opts.interrupted() {
+				return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+			}
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, nil
 		}
 		copy(x, xPrev)

@@ -13,6 +13,17 @@ import (
 
 // Objective is a smooth function f: ℝⁿ → ℝ with gradient. Eval must write
 // the gradient at x into grad (len == Dim) and return f(x).
+//
+// The optimizers call Eval from a single goroutine, but Eval itself may
+// be internally parallel (the MaxEnt dual shards its kernels over a
+// worker pool). Such an objective must still behave as a pure function
+// of x — same inputs, same outputs, at any internal worker count — with
+// one sanctioned exception: after its cancellation signal fires it may
+// return arbitrary (stale) values, provided the matching
+// Options.Interrupt hook reports true from then on. The optimizers
+// guarantee they poll Interrupt both at every outer iteration and
+// whenever a line search stalls, so post-cancellation garbage is never
+// misread as convergence or reported as a result.
 type Objective interface {
 	Dim() int
 	Eval(x, grad []float64) float64
@@ -48,10 +59,14 @@ type Options struct {
 	// extra event with Iteration == MaxIterations reports the final
 	// iterate, so the trace always ends at the returned point.
 	Trace func(TraceEvent)
-	// Interrupt, when non-nil, is polled once per outer iteration; when it
-	// returns true the optimizer abandons the run and returns
-	// ErrInterrupted. Parallel component solves use it to cancel in-flight
-	// siblings as soon as one component fails.
+	// Interrupt, when non-nil, is polled once per outer iteration — and
+	// again when a line search stalls, so an internally-parallel
+	// objective whose kernels drained mid-evaluation surfaces as
+	// ErrInterrupted rather than as a bogus stalled result (see
+	// Objective). When it returns true the optimizer abandons the run
+	// and returns ErrInterrupted. Parallel component solves use it to
+	// cancel in-flight siblings as soon as one component fails; maxent
+	// also chains context cancellation through it.
 	Interrupt func() bool
 }
 

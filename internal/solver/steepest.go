@@ -51,6 +51,11 @@ func SteepestDescent(obj Objective, x0 []float64, opts Options) (Result, error) 
 		evals += lf.evals
 		lastStep, lastLSEvals = accepted, lf.evals
 		if !ok || accepted == 0 {
+			// Distinguish an interrupt-poisoned search from a genuine
+			// stall (see the matching LBFGS comment).
+			if opts.interrupted() {
+				return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, ErrInterrupted
+			}
 			return Result{X: x, F: f, GradNorm: gNorm, Iterations: iter, Evaluations: evals, Duration: time.Since(start)}, nil
 		}
 		copy(x, xPrev)

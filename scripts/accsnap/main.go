@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"strconv"
 
 	"privacymaxent/internal/assoc"
 	"privacymaxent/internal/constraint"
@@ -30,8 +31,24 @@ func die(err error) {
 	}
 }
 
+// setIntField assigns an int field by name when the struct has it. Like
+// the Converged reflection below, this keeps the source compiling in
+// baseline checkouts that predate the field: kernel-worker A/B runs set
+// PMAXENT_KERNEL_WORKERS per tree, and a tree without the knob simply
+// ignores it.
+func setIntField(ptr any, name string, val int) {
+	f := reflect.ValueOf(ptr).Elem().FieldByName(name)
+	if f.IsValid() && f.CanSet() && f.Kind() == reflect.Int {
+		f.SetInt(int64(val))
+	}
+}
+
 func main() {
-	in, err := experiments.NewInstance(experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2})
+	kernelWorkers, _ := strconv.Atoi(os.Getenv("PMAXENT_KERNEL_WORKERS"))
+
+	cfg := experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2}
+	setIntField(&cfg, "KernelWorkers", kernelWorkers)
+	in, err := experiments.NewInstance(cfg)
 	die(err)
 
 	// The BenchmarkSolveWithKnowledge workload: invariants + Top-(50,50).
@@ -43,7 +60,9 @@ func main() {
 		die(err)
 		die(sys.Add(c))
 	}
-	sol, err := maxent.Solve(sys, maxent.Options{Decompose: true})
+	solveOpts := maxent.Options{Decompose: true}
+	setIntField(&solveOpts, "KernelWorkers", kernelWorkers)
+	sol, err := maxent.Solve(sys, solveOpts)
 	die(err)
 	post := sol.Posterior()
 	acc, err := metrics.EstimationAccuracy(in.Truth, post)

@@ -18,6 +18,12 @@
 // Drift worth failing CI over is a family whose residual profile moved
 // beyond -rtol/-atol, a knowledge rule entering or leaving the binding
 // set, or an iteration count off by more than -iter-slack.
+//
+// Provenance fields (workers, kernel_workers) are deliberately excluded
+// from the comparison: the solver's blocked kernels are bit-deterministic
+// at any worker count, so auditing one solve run serially and once with
+// -kernel-workers N and diffing the snapshots must report zero drift —
+// that clean diff is the parity certificate for the parallel kernels.
 package main
 
 import (

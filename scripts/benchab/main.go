@@ -17,6 +17,14 @@
 // Exit status is non-zero when the gate benchmark regresses by more than
 // -regress (fractional), or when the gate accuracy differs between trees
 // by more than -acctol.
+//
+// The two sides need not be different checkouts: with -seed and -head
+// pointing at the same directory, repeatable -seed-env/-head-env KEY=VALUE
+// flags differentiate them instead. That is how the kernel-parallelism A/B
+// runs — one tree, seed side pinned to serial kernels:
+//
+//	benchab -seed . -head . -seed-env PMAXENT_KERNEL_WORKERS=-1 \
+//	        -gate BenchmarkSolveWithKnowledge -out BENCH_3.json
 package main
 
 import (
@@ -58,6 +66,8 @@ type benchResult struct {
 type report struct {
 	SeedDir          string                  `json:"seed_dir"`
 	HeadDir          string                  `json:"head_dir"`
+	SeedEnv          []string                `json:"seed_env,omitempty"`
+	HeadEnv          []string                `json:"head_env,omitempty"`
 	GoVersion        string                  `json:"go_version"`
 	NumCPU           int                     `json:"num_cpu"`
 	Reps             int                     `json:"reps"`
@@ -73,9 +83,25 @@ type report struct {
 	Notes            []string                `json:"notes,omitempty"`
 }
 
+// envList is a repeatable KEY=VALUE flag.
+type envList []string
+
+func (e *envList) String() string { return strings.Join(*e, ",") }
+
+func (e *envList) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("want KEY=VALUE, got %q", v)
+	}
+	*e = append(*e, v)
+	return nil
+}
+
 func main() {
+	var seedEnv, headEnv envList
+	flag.Var(&seedEnv, "seed-env", "extra KEY=VALUE for the seed side's processes (repeatable)")
+	flag.Var(&headEnv, "head-env", "extra KEY=VALUE for the head side's processes (repeatable)")
 	var (
-		seedDir   = flag.String("seed", "", "baseline checkout directory (required)")
+		seedDir   = flag.String("seed", "", "baseline checkout directory (required; may equal -head when -seed-env/-head-env differentiate the sides)")
 		headDir   = flag.String("head", ".", "head checkout directory")
 		reps      = flag.Int("reps", 5, "interleaved repetitions per tree")
 		benchTime = flag.String("benchtime", "1x", "go test -benchtime value")
@@ -95,6 +121,8 @@ func main() {
 	rep := &report{
 		SeedDir:     mustAbs(*seedDir),
 		HeadDir:     mustAbs(*headDir),
+		SeedEnv:     seedEnv,
+		HeadEnv:     headEnv,
 		GoVersion:   runtime.Version(),
 		NumCPU:      runtime.NumCPU(),
 		Reps:        *reps,
@@ -106,13 +134,14 @@ func main() {
 	for i := 0; i < *reps; i++ {
 		for _, tree := range []struct {
 			dir  string
+			env  []string
 			dest func(*benchResult) *[]float64
 		}{
-			{rep.SeedDir, func(b *benchResult) *[]float64 { return &b.SeedNs }},
-			{rep.HeadDir, func(b *benchResult) *[]float64 { return &b.HeadNs }},
+			{rep.SeedDir, seedEnv, func(b *benchResult) *[]float64 { return &b.SeedNs }},
+			{rep.HeadDir, headEnv, func(b *benchResult) *[]float64 { return &b.HeadNs }},
 		} {
-			fmt.Fprintf(os.Stderr, "benchab: rep %d/%d in %s\n", i+1, *reps, tree.dir)
-			samples, err := runBench(tree.dir, *benchRe, *benchTime)
+			fmt.Fprintf(os.Stderr, "benchab: rep %d/%d in %s %v\n", i+1, *reps, tree.dir, tree.env)
+			samples, err := runBench(tree.dir, *benchRe, *benchTime, tree.env)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "benchab: %v\n", err)
 				os.Exit(1)
@@ -152,7 +181,7 @@ func main() {
 	}
 
 	if !*skipSnap {
-		headSnap, seedSnap, err := accuracySnapshots(rep.HeadDir, rep.SeedDir)
+		headSnap, seedSnap, err := accuracySnapshots(rep.HeadDir, rep.SeedDir, headEnv, seedEnv)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchab: accuracy check: %v\n", err)
 			os.Exit(1)
@@ -205,9 +234,10 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 // runBench runs the benchmark set once in dir and returns ns/op per
 // benchmark name (CPU suffix stripped).
-func runBench(dir, re, benchTime string) (map[string]float64, error) {
+func runBench(dir, re, benchTime string, env []string) (map[string]float64, error) {
 	cmd := exec.Command("go", "test", "-run=^$", "-bench="+re, "-benchtime="+benchTime, "-count=1", ".")
 	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), env...)
 	var outBuf, errBuf bytes.Buffer
 	cmd.Stdout = &outBuf
 	cmd.Stderr = &errBuf
@@ -237,35 +267,43 @@ func runBench(dir, re, benchTime string) (map[string]float64, error) {
 // predate accsnap, so the head version is copied in as scripts/accsnap_ab
 // (a distinct package path, removed afterwards when we created it). The
 // snapshot program only uses APIs present in the seed, by construction.
-func accuracySnapshots(headDir, seedDir string) (head, seed *snapshot, err error) {
-	head, err = runSnap(headDir, "./scripts/accsnap")
+// When both sides are the same directory (env-differentiated A/B) the
+// copy is skipped and both snapshots come from the head accsnap.
+func accuracySnapshots(headDir, seedDir string, headEnv, seedEnv []string) (head, seed *snapshot, err error) {
+	head, err = runSnap(headDir, "./scripts/accsnap", headEnv)
 	if err != nil {
 		return nil, nil, err
 	}
-	abDir := filepath.Join(seedDir, "scripts", "accsnap_ab")
-	if _, statErr := os.Stat(abDir); os.IsNotExist(statErr) {
-		src, rerr := os.ReadFile(filepath.Join(headDir, "scripts", "accsnap", "main.go"))
-		if rerr != nil {
-			return nil, nil, rerr
-		}
-		if err := os.MkdirAll(abDir, 0o755); err != nil {
-			return nil, nil, err
-		}
-		defer os.RemoveAll(abDir)
-		if err := os.WriteFile(filepath.Join(abDir, "main.go"), src, 0o644); err != nil {
-			return nil, nil, err
+	seedPkg := "./scripts/accsnap_ab"
+	if seedDir == headDir {
+		seedPkg = "./scripts/accsnap"
+	} else {
+		abDir := filepath.Join(seedDir, "scripts", "accsnap_ab")
+		if _, statErr := os.Stat(abDir); os.IsNotExist(statErr) {
+			src, rerr := os.ReadFile(filepath.Join(headDir, "scripts", "accsnap", "main.go"))
+			if rerr != nil {
+				return nil, nil, rerr
+			}
+			if err := os.MkdirAll(abDir, 0o755); err != nil {
+				return nil, nil, err
+			}
+			defer os.RemoveAll(abDir)
+			if err := os.WriteFile(filepath.Join(abDir, "main.go"), src, 0o644); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
-	seed, err = runSnap(seedDir, "./scripts/accsnap_ab")
+	seed, err = runSnap(seedDir, seedPkg, seedEnv)
 	if err != nil {
 		return nil, nil, err
 	}
 	return head, seed, nil
 }
 
-func runSnap(dir, pkg string) (*snapshot, error) {
+func runSnap(dir, pkg string, env []string) (*snapshot, error) {
 	cmd := exec.Command("go", "run", pkg)
 	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), env...)
 	var outBuf, errBuf bytes.Buffer
 	cmd.Stdout = &outBuf
 	cmd.Stderr = &errBuf
