@@ -11,15 +11,21 @@ package privacymaxent
 // experiments prints the same series at configurable (full paper) sizes.
 
 import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
 	"os"
 	"strconv"
+	"strings"
 	"testing"
 
 	"privacymaxent/internal/adult"
 	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/core"
 	"privacymaxent/internal/experiments"
 	"privacymaxent/internal/individuals"
 	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/server"
 )
 
 // kernelWorkersEnv reads PMAXENT_KERNEL_WORKERS, the knob scripts/benchab
@@ -343,6 +349,48 @@ func BenchmarkInequalitySolve(b *testing.B) {
 		sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
 		if _, err := maxent.SolveWithInequalities(sys, ineqs, maxent.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerQuantify measures a full POST /v1/quantify round-trip
+// through the pmaxentd server on the bench workload with a Top-(10,10)
+// knowledge bound. By default the server is shared across iterations, so
+// after the first request the prepared-invariant cache and warm-start
+// duals are hot — the steady state of a service quantifying one
+// publication repeatedly. Set PMAXENT_SERVER_COLD=1 (scripts/benchab's
+// -seed-env knob) to build a fresh server every iteration instead and
+// measure the cold path for an A/B of the cache's worth.
+func BenchmarkServerQuantify(b *testing.B) {
+	in := getInstance(b)
+	var pub bytes.Buffer
+	if err := WritePublishedJSON(&pub, in.Data); err != nil {
+		b.Fatal(err)
+	}
+	selected := TopK(in.Rules, 10, 10)
+	knowledge := make([]DistributionKnowledge, len(selected))
+	for i := range selected {
+		knowledge[i] = selected[i].Knowledge()
+	}
+	var kjson bytes.Buffer
+	if err := WriteKnowledgeJSON(&kjson, in.Data.Schema(), knowledge); err != nil {
+		b.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"published": %s, "knowledge": %s}`, pub.String(), kjson.String())
+
+	cold := os.Getenv("PMAXENT_SERVER_COLD") == "1"
+	cfg := server.Config{Pipeline: core.Config{Solve: maxent.Options{KernelWorkers: kernelWorkersEnv}}}
+	srv := server.New(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cold {
+			srv = server.New(cfg)
+		}
+		req := httptest.NewRequest("POST", "/v1/quantify", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d: %s", w.Code, w.Body.String())
 		}
 	}
 }

@@ -1,0 +1,196 @@
+// Command pmaxentd serves Privacy-MaxEnt quantification over HTTP.
+//
+//	pmaxentd [-addr :8080] [-cache 16] [-max-inflight N] [-queue N]
+//	         [-timeout 60s] [-retry-after 1s] [-drain-timeout 30s]
+//	         [-algorithm lbfgs] [-kernel-workers N]
+//	         [-trace-out trace.jsonl] [-solve-log solve.jsonl]
+//	         [-pprof localhost:6060]
+//
+// Endpoints (JSON over HTTP, see internal/server for the wire schema):
+//
+//	POST /v1/quantify    quantify a published view; ?audit=1 inlines the
+//	                     solve audit
+//	POST /v1/rules/mine  mine association rules from inline CSV
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining)
+//
+// SIGTERM/SIGINT drain the server: new requests get 503, in-flight
+// solves finish (up to -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/server"
+	"privacymaxent/internal/telemetry"
+)
+
+type options struct {
+	addr          string
+	cacheSize     int
+	maxInFlight   int
+	queue         int
+	timeout       time.Duration
+	retryAfter    time.Duration
+	drainTimeout  time.Duration
+	algorithm     string
+	kernelWorkers int
+	traceOut      string
+	solveLog      string
+	pprofAddr     string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.cacheSize, "cache", 16, "prepared-publication LRU capacity")
+	flag.IntVar(&o.maxInFlight, "max-inflight", 0, "concurrent solve limit (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queue, "queue", 0, "admission queue length (0 = 4x max-inflight, negative = no queue)")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-solve budget and cap on client timeout_ms")
+	flag.DurationVar(&o.retryAfter, "retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight solves before force-canceling")
+	flag.StringVar(&o.algorithm, "algorithm", "lbfgs", "dual solver: lbfgs, gis, iis, steepest, newton")
+	flag.IntVar(&o.kernelWorkers, "kernel-workers", 0, "worker shards for the in-solve kernels (0 = inherit, <0 = serial)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a JSON-lines span trace of every request to this file")
+	flag.StringVar(&o.solveLog, "solve-log", "", "write structured solve lifecycle events as JSON lines to this file")
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, o, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "pmaxentd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled, then drains and returns. When ready
+// is non-nil the bound address is sent on it once the listener is up —
+// the test seam that lets -addr :0 be dialed.
+func run(ctx context.Context, o options, ready chan<- string) error {
+	alg, err := parseAlgorithm(o.algorithm)
+	if err != nil {
+		return err
+	}
+
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	cfg := server.Config{
+		Pipeline: core.Config{
+			Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers},
+		},
+		CacheSize:    o.cacheSize,
+		MaxInFlight:  o.maxInFlight,
+		MaxQueue:     o.queue,
+		SolveTimeout: o.timeout,
+		RetryAfter:   o.retryAfter,
+		Registry:     telemetry.NewRegistry(),
+		Logger:       log,
+	}
+
+	var closers []func() error
+	defer func() {
+		for _, c := range closers {
+			c()
+		}
+	}()
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace output: %w", err)
+		}
+		closers = append(closers, f.Close)
+		cfg.Tracer = telemetry.NewTracer(telemetry.NewJSONSink(f))
+	}
+	if o.solveLog != "" {
+		f, err := os.Create(o.solveLog)
+		if err != nil {
+			return fmt.Errorf("creating solve log: %w", err)
+		}
+		closers = append(closers, f.Close)
+		cfg.Logger = slog.New(slog.NewJSONHandler(f, nil))
+	}
+
+	srv := server.New(cfg)
+	if o.pprofAddr != "" {
+		// pprof and expvar register on the default mux; expose the
+		// server's registry beside them.
+		telemetry.PublishExpvar("pmaxentd", srv.Registry())
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				log.Warn("pprof server failed", "err", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", o.addr, err)
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	log.Info("pmaxentd: serving", "addr", ln.Addr().String(), "algorithm", alg.String())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new solves, let in-flight ones finish, then close
+	// the HTTP side. Order matters — Shutdown alone would wait for
+	// hung request bodies without stopping new solve admissions.
+	log.Info("pmaxentd: signal received, draining", "timeout", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil {
+		hs.Close()
+		if drainErr == nil {
+			drainErr = err
+		}
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	if drainErr != nil {
+		log.Warn("pmaxentd: drain timed out, in-flight solves were canceled")
+	}
+	log.Info("pmaxentd: stopped")
+	return nil
+}
+
+func parseAlgorithm(s string) (maxent.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "lbfgs", "":
+		return maxent.LBFGS, nil
+	case "gis":
+		return maxent.GIS, nil
+	case "iis":
+		return maxent.IIS, nil
+	case "steepest":
+		return maxent.SteepestDescent, nil
+	case "newton":
+		return maxent.Newton, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want lbfgs, gis, iis, steepest or newton)", s)
+	}
+}

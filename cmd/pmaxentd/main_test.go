@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/dataset"
+)
+
+// TestServeQuantifyAndDrain boots the daemon on an ephemeral port, runs
+// a quantify round-trip, then cancels the context (the SIGTERM path) and
+// expects a clean drain.
+func TestServeQuantifyAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, options{
+			addr:         "127.0.0.1:0",
+			timeout:      30 * time.Second,
+			retryAfter:   time.Second,
+			drainTimeout: 10 * time.Second,
+			cacheSize:    4,
+		}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+
+	d, err := bucket.FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub bytes.Buffer
+	if err := bucket.WriteJSON(&pub, d); err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"published": %s}`, pub.String())
+	qresp, err := http.Post(base+"/v1/quantify", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(qresp.Body)
+	qresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("quantify = %d: %s", qresp.StatusCode, raw)
+	}
+	var parsed struct {
+		Cache  string `json:"cache"`
+		Solver struct {
+			Converged bool `json:"converged"`
+		} `json:"solver"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, raw)
+	}
+	if parsed.Cache != "miss" || !parsed.Solver.Converged {
+		t.Fatalf("unexpected response: %s", raw)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after cancellation")
+	}
+}
+
+func TestParseAlgorithmRejectsUnknown(t *testing.T) {
+	if _, err := parseAlgorithm("simplex"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -14,7 +14,9 @@ import (
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/errs"
 	"privacymaxent/internal/pool"
+	"privacymaxent/internal/telemetry"
 )
 
 // Rule is an association between a QI-subset condition Qv and a sensitive
@@ -96,11 +98,23 @@ type Options struct {
 
 // Mine enumerates every QI attribute subset of the requested sizes,
 // groups records by the subset's projected values, and emits the positive
-// and negative rules meeting the support threshold.
+// and negative rules meeting the support threshold. It is a thin wrapper
+// over MineContext with a background context.
 func Mine(t *dataset.Table, opts Options) ([]Rule, error) {
+	return MineContext(context.Background(), t, opts)
+}
+
+// MineContext is Mine with cancellation: once ctx is done, mining stops
+// between subsets and the context's error is returned. A telemetry span
+// ("assoc.mine") is emitted when a tracer is installed in ctx.
+func MineContext(ctx context.Context, t *dataset.Table, opts Options) ([]Rule, error) {
+	_, span := telemetry.Start(ctx, "assoc.mine",
+		telemetry.Int("records", t.Len()),
+		telemetry.Int("min_support", opts.MinSupport))
+	defer span.End()
 	schema := t.Schema()
 	if schema.SAIndex() < 0 {
-		return nil, fmt.Errorf("assoc: table has no sensitive attribute")
+		return nil, fmt.Errorf("assoc: table has no sensitive attribute: %w", errs.ErrNoSensitiveAttribute)
 	}
 	qi := schema.QIIndices()
 	if len(qi) == 0 {
@@ -142,20 +156,29 @@ func Mine(t *dataset.Table, opts Options) ([]Rule, error) {
 	var rules []Rule
 	if opts.Workers < 2 || len(subsets) < 2 {
 		for _, attrs := range subsets {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			rules = append(rules, mineSubset(t, attrs, minSup)...)
 		}
 	} else {
 		perSubset := make([][]Rule, len(subsets))
 		p := pool.New(opts.Workers)
-		p.ParallelFor(context.Background(), len(subsets), 0, func(i int) {
+		p.ParallelFor(ctx, len(subsets), 0, func(i int) {
 			perSubset[i] = mineSubset(t, subsets[i], minSup)
 		})
 		p.Close()
+		// ParallelFor drains without starting new subsets once ctx is
+		// done; a partial perSubset must not masquerade as a full mine.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, rs := range perSubset {
 			rules = append(rules, rs...)
 		}
 	}
 	sortRules(rules)
+	span.SetAttr(telemetry.Int("rules", len(rules)))
 	return rules, nil
 }
 

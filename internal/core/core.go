@@ -22,6 +22,7 @@ import (
 	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/errs"
 	"privacymaxent/internal/individuals"
 	"privacymaxent/internal/maxent"
 	"privacymaxent/internal/metrics"
@@ -249,14 +250,15 @@ func (q *Quantifier) QuantifyContext(ctx context.Context, d *bucket.Bucketized, 
 	}
 	opts := q.cfg.Solve
 	opts.Decompose = !q.cfg.NoDecompose
-	return q.solveAndScore(ctx, sys, knowledge, truth, opts, &tm)
+	return q.solveAndScore(ctx, sys, knowledge, truth, opts, q.cfg.Audit, &tm)
 }
 
 // solveAndScore runs the MaxEnt solve on an assembled system, scores the
 // posterior, and emits the pipeline metrics — the tail shared by
-// QuantifyContext and Prepared.
-func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, tm *Timings) (*Report, error) {
-	if q.cfg.Audit != nil {
+// QuantifyContext and Prepared. auditOpts selects whether (and how) the
+// solve is audited; callers on the classic path pass q.cfg.Audit.
+func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, auditOpts *audit.Options, tm *Timings) (*Report, error) {
+	if auditOpts != nil {
 		opts.CaptureTrace = true
 	}
 	solveStart := time.Now()
@@ -269,9 +271,9 @@ func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, 
 	if err != nil {
 		return nil, err
 	}
-	if q.cfg.Audit != nil {
+	if auditOpts != nil {
 		_, aspan := telemetry.Start(ctx, "core.audit")
-		rep.Audit = audit.New(sys, sol, *q.cfg.Audit)
+		rep.Audit = audit.New(sys, sol, *auditOpts)
 		aspan.End()
 	}
 	rep.Timings = *tm
@@ -299,13 +301,21 @@ type Prepared struct {
 }
 
 // Prepare builds the reusable base for quantifications of d: term space
-// plus data invariants under the Quantifier's configuration.
-func (q *Quantifier) Prepare(d *bucket.Bucketized) *Prepared {
-	return q.PrepareContext(context.Background(), d)
-}
-
-// PrepareContext is Prepare with telemetry (a "core.prepare" span).
-func (q *Quantifier) PrepareContext(ctx context.Context, d *bucket.Bucketized) *Prepared {
+// plus data invariants under the Quantifier's configuration, instrumented
+// as a "core.prepare" span. It is the context-first front door of the
+// prepared pipeline — library users and the pmaxentd server build the
+// invariant system once per publication, then append only the per-request
+// knowledge rows via Prepared.QuantifyContext and friends.
+func (q *Quantifier) Prepare(ctx context.Context, d *bucket.Bucketized) (*Prepared, error) {
+	if d == nil {
+		return nil, fmt.Errorf("core: prepare: nil published view: %w", errs.ErrInvalidSchema)
+	}
+	if d.Schema().SAIndex() < 0 {
+		return nil, fmt.Errorf("core: prepare: published view has no sensitive attribute: %w", errs.ErrNoSensitiveAttribute)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	_, span := telemetry.Start(ctx, "core.prepare")
 	defer span.End()
 	sp := constraint.NewSpace(d)
@@ -313,7 +323,7 @@ func (q *Quantifier) PrepareContext(ctx context.Context, d *bucket.Bucketized) *
 	span.SetAttr(
 		telemetry.Int("variables", sp.Len()),
 		telemetry.Int("invariants", base.Len()))
-	return &Prepared{q: q, d: d, sp: sp, base: base}
+	return &Prepared{q: q, d: d, sp: sp, base: base}, nil
 }
 
 // Space returns the cached term space.
@@ -346,21 +356,51 @@ func (p *Prepared) QuantifyContext(ctx context.Context, knowledge []constraint.D
 // from any start — matched by constraint label, so rows added or removed
 // between grid points are handled gracefully (see maxent.Options.WarmStart).
 func (p *Prepared) QuantifyWarmContext(ctx context.Context, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, warm []maxent.ConstraintDual) (*Report, error) {
+	return p.QuantifyWithOptions(ctx, QuantifyOptions{
+		Knowledge: knowledge,
+		Truth:     truth,
+		Warm:      warm,
+		Audit:     p.q.cfg.Audit,
+	})
+}
+
+// QuantifyOptions collects the per-request inputs of a prepared
+// quantification. The zero value solves the bare invariant system cold,
+// unaudited.
+type QuantifyOptions struct {
+	// Knowledge holds the background-knowledge rows appended to the
+	// invariant base for this solve.
+	Knowledge []constraint.DistributionKnowledge
+	// Truth, when non-nil, enables accuracy scoring against the true
+	// conditional distribution.
+	Truth *dataset.Conditional
+	// Warm seeds the dual solve; see QuantifyWarmContext.
+	Warm []maxent.ConstraintDual
+	// Audit, when non-nil, attaches a SolveAudit to the report —
+	// per-call, independent of the Quantifier's Config.Audit, so a
+	// server can audit individual requests against one shared Prepared.
+	Audit *audit.Options
+}
+
+// QuantifyWithOptions is the fully general prepared solve: knowledge
+// overlay, optional warm start, and per-call audit selection. The other
+// Quantify* methods on Prepared are thin wrappers over it.
+func (p *Prepared) QuantifyWithOptions(ctx context.Context, o QuantifyOptions) (*Report, error) {
 	ctx, span := telemetry.Start(ctx, "core.quantify",
-		telemetry.Int("knowledge", len(knowledge)),
-		telemetry.Bool("warm", len(warm) > 0))
+		telemetry.Int("knowledge", len(o.Knowledge)),
+		telemetry.Bool("warm", len(o.Warm) > 0))
 	defer span.End()
 	var tm Timings
 	fstart := time.Now()
 	sys := p.base.Clone()
-	if err := constraint.AddKnowledge(sys, knowledge...); err != nil {
+	if err := constraint.AddKnowledge(sys, o.Knowledge...); err != nil {
 		return nil, fmt.Errorf("core: adding knowledge: %w", err)
 	}
 	tm.Add(StageFormulate, time.Since(fstart))
 	opts := p.q.cfg.Solve
 	opts.Decompose = !p.q.cfg.NoDecompose
-	opts.WarmStart = warm
-	return p.q.solveAndScore(ctx, sys, knowledge, truth, opts, &tm)
+	opts.WarmStart = o.Warm
+	return p.q.solveAndScore(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, &tm)
 }
 
 // QuantifyWithRules applies the Top-(KPos, KNeg) strongest rules from a

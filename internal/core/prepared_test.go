@@ -30,7 +30,10 @@ func TestPreparedMatchesQuantify(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	p := q.Prepare(d)
+	p, err := q.Prepare(ctx, d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if p.Data() != d {
 		t.Fatal("Prepared does not expose its publication")
 	}
@@ -87,7 +90,10 @@ func TestPreparedCloneSystemIsolated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := q.Prepare(d)
+	p, err := q.Prepare(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
 	a, b := p.CloneSystem(), p.CloneSystem()
 	if a == b {
 		t.Fatal("CloneSystem returned the same overlay twice")

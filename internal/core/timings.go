@@ -13,6 +13,12 @@ const (
 	StageMine      = "mine"
 	StageTruth     = "truth"
 	StageSelect    = "select"
+	// StagePrepare is the invariant-system build of the prepared
+	// pipeline (Quantifier.Prepare). It appears in a request's timings
+	// only when the base system was actually built — the pmaxentd server
+	// reports it on prepared-cache misses and omits it on hits, which is
+	// how a client (or test) can tell the invariant build was skipped.
+	StagePrepare   = "prepare"
 	StageFormulate = "formulate"
 	StageSolve     = "solve"
 	StageScore     = "score"

@@ -1,6 +1,10 @@
 package dataset
 
-import "fmt"
+import (
+	"fmt"
+
+	"privacymaxent/internal/errs"
+)
 
 // Conditional holds a conditional distribution P(S | Q): one row per qid
 // in a Universe, one column per SA domain value. It is the common currency
@@ -27,7 +31,7 @@ func NewConditional(u *Universe, numSA int) *Conditional {
 // original table D, the reference the paper compares MaxEnt estimates to.
 func TrueConditional(t *Table, u *Universe) (*Conditional, error) {
 	if t.Schema().SAIndex() < 0 {
-		return nil, fmt.Errorf("dataset: table has no sensitive attribute")
+		return nil, fmt.Errorf("dataset: table has no sensitive attribute: %w", errs.ErrNoSensitiveAttribute)
 	}
 	c := NewConditional(u, t.Schema().SA().Cardinality())
 	counts := make([]int, u.Len())

@@ -1,6 +1,10 @@
 package dataset
 
-import "fmt"
+import (
+	"fmt"
+
+	"privacymaxent/internal/errs"
+)
 
 // Schema is an ordered collection of attributes. The Privacy-MaxEnt model
 // requires exactly one sensitive attribute (the paper's SA column); any
@@ -24,10 +28,10 @@ func NewSchema(attrs ...*Attribute) (*Schema, error) {
 	}
 	for _, a := range attrs {
 		if a == nil {
-			return nil, fmt.Errorf("dataset: nil attribute in schema")
+			return nil, fmt.Errorf("dataset: nil attribute in schema: %w", errs.ErrInvalidSchema)
 		}
 		if _, dup := s.byName[a.Name]; dup {
-			return nil, fmt.Errorf("dataset: duplicate attribute name %q", a.Name)
+			return nil, fmt.Errorf("dataset: duplicate attribute name %q: %w", a.Name, errs.ErrInvalidSchema)
 		}
 		pos := len(s.attrs)
 		s.byName[a.Name] = pos
@@ -37,8 +41,8 @@ func NewSchema(attrs ...*Attribute) (*Schema, error) {
 			s.qiIdx = append(s.qiIdx, pos)
 		case Sensitive:
 			if s.saIdx >= 0 {
-				return nil, fmt.Errorf("dataset: schema has more than one sensitive attribute (%q and %q)",
-					s.attrs[s.saIdx].Name, a.Name)
+				return nil, fmt.Errorf("dataset: schema has more than one sensitive attribute (%q and %q): %w",
+					s.attrs[s.saIdx].Name, a.Name, errs.ErrInvalidSchema)
 			}
 			s.saIdx = pos
 		case Identifier:

@@ -1,0 +1,34 @@
+// Package errs defines the sentinel errors shared across the pipeline's
+// internal packages and re-exported on the privacymaxent facade. Internal
+// packages wrap (or Is-match) these sentinels so that callers — library
+// users and the pmaxentd HTTP server alike — can classify any pipeline
+// failure with errors.Is without reaching into internal packages:
+//
+//	if errors.Is(err, privacymaxent.ErrInfeasible) { ... } // 422 territory
+//
+// The package exists (rather than declaring the sentinels on the facade)
+// because the facade imports every internal package; internal packages
+// declaring their membership in the taxonomy must import something lower
+// in the graph.
+package errs
+
+import "errors"
+
+var (
+	// ErrInfeasible marks a contradiction between constraints: the
+	// published data's invariants plus the supplied background knowledge
+	// admit no probability distribution. Every maxent.ErrInfeasible
+	// matches it. The pmaxentd server maps it to 422 Unprocessable
+	// Entity — the request was well-formed, the math says no.
+	ErrInfeasible = errors.New("privacymaxent: infeasible constraints")
+
+	// ErrInvalidSchema marks structurally invalid schema input: nil or
+	// duplicate attributes, more than one sensitive attribute. The
+	// server maps it to 400 Bad Request.
+	ErrInvalidSchema = errors.New("privacymaxent: invalid schema")
+
+	// ErrNoSensitiveAttribute marks an operation that requires a
+	// sensitive attribute running over data that has none. The server
+	// maps it to 400 Bad Request.
+	ErrNoSensitiveAttribute = errors.New("privacymaxent: no sensitive attribute")
+)

@@ -137,6 +137,7 @@ type Instance struct {
 
 	prepOnce sync.Once
 	prep     *core.Prepared
+	prepErr  error
 }
 
 // NewInstance generates and prepares the workload.
@@ -178,17 +179,21 @@ func (in *Instance) quantifier() *core.Quantifier {
 // and data-invariant base system, built once and shared by every grid
 // point of every figure (the base depends only on the published data,
 // never on the knowledge). Safe for concurrent use.
-func (in *Instance) prepared() *core.Prepared {
+func (in *Instance) prepared() (*core.Prepared, error) {
 	in.prepOnce.Do(func() {
-		in.prep = in.quantifier().Prepare(in.Data)
+		in.prep, in.prepErr = in.quantifier().Prepare(context.Background(), in.Data)
 	})
-	return in.prep
+	return in.prep, in.prepErr
 }
 
 // accuracyAt runs one quantification under the Top-(kPos, kNeg) bound and
 // returns the estimation accuracy.
 func (in *Instance) accuracyAt(rules []assoc.Rule, kPos, kNeg int) (float64, error) {
-	rep, err := in.prepared().QuantifyWithRules(context.Background(), rules, core.Bound{KPos: kPos, KNeg: kNeg}, in.Truth, nil)
+	p, err := in.prepared()
+	if err != nil {
+		return 0, err
+	}
+	rep, err := p.QuantifyWithRules(context.Background(), rules, core.Bound{KPos: kPos, KNeg: kNeg}, in.Truth, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -253,7 +258,12 @@ func Figure5(in *Instance, ks ...int) ([]Series, error) {
 			go func(ci int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				rep, err := in.prepared().QuantifyWithRules(context.Background(), in.Rules, bounds[ci], in.Truth, warm[ci])
+				p, err := in.prepared()
+				if err != nil {
+					errs[ci] = err
+					return
+				}
+				rep, err := p.QuantifyWithRules(context.Background(), in.Rules, bounds[ci], in.Truth, warm[ci])
 				if err != nil {
 					errs[ci] = err
 					return
@@ -342,9 +352,13 @@ func (in *Instance) figure6Series(t int, ks []int) (Series, error) {
 		grid = defaultKSweep(2 * maxK)
 	}
 	s := Series{Name: fmt.Sprintf("T=%d", t)}
+	p, err := in.prepared()
+	if err != nil {
+		return Series{}, err
+	}
 	var warm []maxent.ConstraintDual
 	for _, k := range grid {
-		rep, err := in.prepared().QuantifyWithRules(context.Background(), rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth, warm)
+		rep, err := p.QuantifyWithRules(context.Background(), rules, core.Bound{KPos: k / 2, KNeg: k - k/2}, in.Truth, warm)
 		if err != nil {
 			return Series{}, fmt.Errorf("figure6 T=%d K=%d: %w", t, k, err)
 		}
@@ -368,7 +382,10 @@ func (in *Instance) figure6Series(t int, ks []int) (Series, error) {
 // because Figure 7's y-axis is exactly this solver cost. When
 // Config.AuditDir is set, the solve is audited under auditName.
 func (in *Instance) solveWithTopK(k int, auditName string) (maxent.Stats, error) {
-	p := in.prepared()
+	p, err := in.prepared()
+	if err != nil {
+		return maxent.Stats{}, err
+	}
 	sys := p.CloneSystem()
 	selected := assoc.TopK(in.Rules, k/2, k-k/2)
 	for i := range selected {
@@ -516,7 +533,10 @@ func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]Algorith
 	// The system is knowledge-dependent but algorithm-independent: build
 	// it once from the cached invariant base and reuse it for every
 	// algorithm (Solve never mutates its input system).
-	p := in.prepared()
+	p, err := in.prepared()
+	if err != nil {
+		return nil, err
+	}
 	sys := p.CloneSystem()
 	selected := assoc.TopK(in.Rules, k/2, k-k/2)
 	for i := range selected {

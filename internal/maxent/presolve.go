@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/errs"
 )
 
 // presolveTol treats |value| below it as zero during propagation.
@@ -15,6 +16,11 @@ const presolveTol = 1e-12
 type ErrInfeasible struct{ Reason string }
 
 func (e *ErrInfeasible) Error() string { return "maxent: infeasible constraints: " + e.Reason }
+
+// Is makes every ErrInfeasible match the errs.ErrInfeasible sentinel, so
+// callers classify infeasibility with errors.Is against the facade's
+// exported taxonomy instead of type-asserting an internal type.
+func (e *ErrInfeasible) Is(target error) bool { return target == errs.ErrInfeasible }
 
 // rowData is a constraint in plain form: terms index the original
 // variable space. The terms and coeffs slices may alias the source

@@ -707,6 +707,12 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 	if firstErr != nil {
 		return firstErr
 	}
+	// External cancellation with no component failure: components that
+	// never started were silently skipped above, so a nil return here
+	// would hand back a partially solved X as if it were complete.
+	if ctx.Err() != nil {
+		return fmt.Errorf("maxent: solve canceled: %w", solver.ErrInterrupted)
+	}
 	for _, ds := range dualsByComp {
 		sol.Duals = append(sol.Duals, ds...)
 	}

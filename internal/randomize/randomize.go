@@ -16,13 +16,16 @@
 package randomize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/errs"
 	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/telemetry"
 )
 
 // Mechanism is uniform randomized response over an SA domain of
@@ -84,13 +87,25 @@ func Perturb(t *dataset.Table, rho float64, seed int64) (*dataset.Table, Mechani
 // perturbed publication. z sets the sampling-tolerance width (the box
 // half-width per observed cell is z·σ̂ + 1/N, with σ̂ the binomial standard
 // error of the observed share); z ≤ 0 defaults to 3. The returned stats
-// describe the box-constrained dual solve.
+// describe the box-constrained dual solve. It is a thin wrapper over
+// EstimateContext with a background context.
 func Estimate(published *dataset.Table, mech Mechanism, z float64, opts maxent.Options) (*dataset.Conditional, maxent.Stats, error) {
+	return EstimateContext(context.Background(), published, mech, z, opts)
+}
+
+// EstimateContext is Estimate with the context threaded into the
+// underlying inequality solve: cancellation interrupts the optimizer
+// (solver.ErrInterrupted) and telemetry installed in ctx instruments the
+// solve under a "randomize.estimate" span.
+func EstimateContext(ctx context.Context, published *dataset.Table, mech Mechanism, z float64, opts maxent.Options) (*dataset.Conditional, maxent.Stats, error) {
+	ctx, span := telemetry.Start(ctx, "randomize.estimate",
+		telemetry.Int("records", published.Len()))
+	defer span.End()
 	if err := mech.Validate(); err != nil {
 		return nil, maxent.Stats{}, err
 	}
 	if published.Schema().SAIndex() < 0 {
-		return nil, maxent.Stats{}, fmt.Errorf("randomize: published table has no sensitive attribute")
+		return nil, maxent.Stats{}, fmt.Errorf("randomize: published table has no sensitive attribute: %w", errs.ErrNoSensitiveAttribute)
 	}
 	if mech.M != published.Schema().SA().Cardinality() {
 		return nil, maxent.Stats{}, fmt.Errorf("randomize: mechanism domain %d does not match SA cardinality %d",
@@ -166,7 +181,7 @@ func Estimate(published *dataset.Table, mech Mechanism, z float64, opts maxent.O
 		}
 	}
 
-	x, stats, err := maxent.SolveConstraintsWithInequalities(n, cons, ineqs, init, opts)
+	x, stats, err := maxent.SolveConstraintsWithInequalitiesContext(ctx, n, cons, ineqs, init, opts)
 	if err != nil {
 		return nil, maxent.Stats{}, err
 	}

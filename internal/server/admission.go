@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrOverloaded reports that the admission queue was full when a request
+// arrived. The HTTP layer maps it to 429 Too Many Requests with a
+// Retry-After header.
+var ErrOverloaded = errors.New("server: admission queue full")
+
+// limiter is the server's admission controller: at most `slots` solves
+// run concurrently, and at most `queue` further requests wait for a
+// slot. A request that finds the queue full is shed immediately — the
+// bounded queue is what turns overload into fast 429s instead of a pile
+// of goroutines all missing their deadlines.
+//
+// The implementation is two semaphores: admitted (capacity slots+queue)
+// bounds how many requests are inside the limiter at all, and running
+// (capacity slots) bounds how many of those hold a solve slot. The gap
+// between the two channel lengths is the queue depth.
+type limiter struct {
+	running  chan struct{}
+	admitted chan struct{}
+}
+
+// newLimiter builds a limiter for `slots` concurrent solves and `queue`
+// waiters. Values below 1 (slots) and 0 (queue) are clamped.
+func newLimiter(slots, queue int) *limiter {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &limiter{
+		running:  make(chan struct{}, slots),
+		admitted: make(chan struct{}, slots+queue),
+	}
+}
+
+// acquire admits the caller and blocks until a solve slot is free. It
+// returns ErrOverloaded without blocking when the queue is full, and the
+// context's error when ctx expires while queued. On nil error the caller
+// must release().
+func (l *limiter) acquire(ctx context.Context) error {
+	select {
+	case l.admitted <- struct{}{}:
+	default:
+		return ErrOverloaded
+	}
+	select {
+	case l.running <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-l.admitted
+		return ctx.Err()
+	}
+}
+
+// release frees the slot taken by a successful acquire.
+func (l *limiter) release() {
+	<-l.running
+	<-l.admitted
+}
+
+// queued reports how many admitted requests are waiting for a slot.
+func (l *limiter) queued() int {
+	q := len(l.admitted) - len(l.running)
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// inflight reports how many requests currently hold a solve slot.
+func (l *limiter) inflight() int { return len(l.running) }

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := newLimiter(1, 1)
+	ctx := context.Background()
+	if err := l.acquire(ctx); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second caller queues.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- l.acquire(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third caller is shed immediately.
+	if err := l.acquire(ctx); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-capacity acquire = %v, want ErrOverloaded", err)
+	}
+	// Releasing the slot admits the queued caller.
+	l.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := l.inflight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+	l.release()
+	if l.inflight() != 0 || l.queued() != 0 {
+		t.Fatalf("limiter not empty after releases: inflight=%d queued=%d", l.inflight(), l.queued())
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := newLimiter(1, 1)
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() { got <- l.acquire(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("caller never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	// The canceled waiter must have returned its admission token: a new
+	// caller can still queue.
+	if l.queued() != 0 {
+		t.Fatalf("queue not drained after cancel: %d", l.queued())
+	}
+	l.release()
+	if err := l.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after cancel: %v", err)
+	}
+}
+
+func TestLimiterClamps(t *testing.T) {
+	l := newLimiter(0, -3)
+	if cap(l.running) != 1 || cap(l.admitted) != 1 {
+		t.Fatalf("clamped caps = %d/%d, want 1/1", cap(l.running), cap(l.admitted))
+	}
+}

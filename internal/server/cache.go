@@ -1,0 +1,141 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/maxent"
+)
+
+// DigestPublished computes the cache key of a published view D′: the
+// SHA-256 of its canonical wire form (bucket.WriteJSON re-serializes the
+// parsed view, so formatting differences in the request body never split
+// the cache). Everything the invariant system depends on — schema,
+// bucket membership, SA multisets — is in that wire form, and nothing
+// else is, so equal digests mean equal Theorem 1–3 systems.
+func DigestPublished(d *bucket.Bucketized) (string, error) {
+	h := sha256.New()
+	if err := bucket.WriteJSON(h, d); err != nil {
+		return "", fmt.Errorf("server: digesting published view: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheEntry is one prepared publication: the immutable invariant base
+// (core.Prepared) plus the warm-start duals of the most recent converged
+// solve on this D′. Concurrent requests for the same digest share one
+// build via the once; the warm seed is label-matched by the solver, so a
+// seed taken from a different knowledge set on the same D′ still
+// accelerates the shared invariant rows and silently skips the rest.
+type cacheEntry struct {
+	digest string
+
+	once     sync.Once
+	prepared *core.Prepared
+	prepTime time.Duration
+	err      error
+
+	warmMu sync.Mutex
+	warm   []maxent.ConstraintDual
+}
+
+// build constructs the prepared base exactly once per entry; every
+// caller gets the same result. prepTime records the invariant-build cost
+// so the first request on a publication can report it as the "prepare"
+// stage of its timings.
+func (e *cacheEntry) build(ctx context.Context, q *core.Quantifier, d *bucket.Bucketized) (*core.Prepared, time.Duration, error) {
+	e.once.Do(func() {
+		start := time.Now()
+		e.prepared, e.err = q.Prepare(ctx, d)
+		e.prepTime = time.Since(start)
+	})
+	return e.prepared, e.prepTime, e.err
+}
+
+// takeWarm snapshots the entry's warm-start seed.
+func (e *cacheEntry) takeWarm() []maxent.ConstraintDual {
+	e.warmMu.Lock()
+	defer e.warmMu.Unlock()
+	return e.warm
+}
+
+// storeWarm replaces the warm-start seed. Callers only store duals from
+// converged solves: an iteration-capped endpoint is start-dependent, so
+// seeding from it could make later responses depend on request history
+// in a way that changes results, not just iteration counts.
+func (e *cacheEntry) storeWarm(duals []maxent.ConstraintDual) {
+	if len(duals) == 0 {
+		return
+	}
+	e.warmMu.Lock()
+	e.warm = duals
+	e.warmMu.Unlock()
+}
+
+// preparedCache is a fixed-capacity LRU of cacheEntry keyed by published
+// digest. Hits move to front; inserting beyond capacity evicts the least
+// recently used entry (in-flight holders of an evicted entry keep using
+// it — Prepared is immutable, eviction only drops the cache's
+// reference).
+type preparedCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // *cacheEntry; front = most recently used
+	entries map[string]*list.Element
+}
+
+func newPreparedCache(capacity int) *preparedCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &preparedCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry for digest, creating it when absent. The boolean
+// reports a hit (the entry already existed — i.e. the invariant system
+// for this D′ is already built or being built by another request).
+func (c *preparedCache) get(digest string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry), true
+	}
+	e := &cacheEntry{digest: digest}
+	c.entries[digest] = c.order.PushFront(e)
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).digest)
+	}
+	return e, false
+}
+
+// drop removes the entry for digest if present — used when a build
+// fails, so a transient error is not cached forever.
+func (c *preparedCache) drop(digest string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[digest]; ok {
+		c.order.Remove(el)
+		delete(c.entries, digest)
+	}
+}
+
+// len reports the current number of cached publications.
+func (c *preparedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

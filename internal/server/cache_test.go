@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/maxent"
+)
+
+func TestDigestStableAcrossFormatting(t *testing.T) {
+	d, err := bucket.FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := DigestPublished(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := DigestPublished(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest unstable: %s vs %s", d1, d2)
+	}
+	if len(d1) != 64 {
+		t.Fatalf("digest %q is not hex SHA-256", d1)
+	}
+}
+
+func TestPreparedCacheLRU(t *testing.T) {
+	c := newPreparedCache(2)
+	if _, hit := c.get("a"); hit {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.get("b")
+	c.get("a") // a is now most recently used
+	c.get("c") // evicts b
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, hit := c.get("b"); hit {
+		t.Fatal("b survived eviction")
+	}
+	// Getting b above evicted a (LRU after b's miss-insert pushed it out? no:
+	// order after c.get("c") is [c, a]; get("b") inserts b, evicting a).
+	if _, hit := c.get("c"); !hit {
+		t.Fatal("c was evicted out of LRU order")
+	}
+}
+
+func TestPreparedCacheDrop(t *testing.T) {
+	c := newPreparedCache(4)
+	e1, _ := c.get("x")
+	c.drop("x")
+	e2, hit := c.get("x")
+	if hit {
+		t.Fatal("dropped entry still hits")
+	}
+	if e1 == e2 {
+		t.Fatal("drop did not discard the entry")
+	}
+	c.drop("never-inserted") // must not panic
+}
+
+// TestCacheEntryBuildOnce: concurrent builders share one Prepare call
+// and get the identical Prepared.
+func TestCacheEntryBuildOnce(t *testing.T) {
+	d, err := bucket.FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.New(core.Config{})
+	e := &cacheEntry{digest: "d"}
+	const n = 8
+	results := make([]*core.Prepared, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, _, err := e.build(context.Background(), q, d)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent builds produced distinct Prepared instances")
+		}
+	}
+}
+
+func TestWarmStoreTake(t *testing.T) {
+	e := &cacheEntry{}
+	if w := e.takeWarm(); w != nil {
+		t.Fatal("fresh entry has a warm seed")
+	}
+	e.storeWarm(nil) // empty seeds are ignored
+	if w := e.takeWarm(); w != nil {
+		t.Fatal("empty store replaced the seed")
+	}
+	duals := []maxent.ConstraintDual{{Label: "k", Lambda: 1.5}}
+	e.storeWarm(duals)
+	got := e.takeWarm()
+	if len(got) != 1 || got[0].Label != "k" {
+		t.Fatalf("takeWarm = %+v", got)
+	}
+}

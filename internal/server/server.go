@@ -1,0 +1,622 @@
+// Package server implements pmaxentd, the Privacy-MaxEnt quantification
+// service: an HTTP/JSON v1 API over the core pipeline that turns the
+// offline batch tool into something a release process can call per
+// candidate publication.
+//
+// The server's job beyond plumbing is to make repeated quantification of
+// the same published view cheap and overload survivable:
+//
+//   - An LRU cache of prepared invariant systems keyed by a digest of the
+//     published table D′. Background-knowledge rows are appended onto a
+//     copy-on-append overlay (constraint.System.Clone) per request, so the
+//     Theorem 1–3 invariant build is paid once per publication, not once
+//     per request. Warm-start duals from converged solves on the same D′
+//     seed later solves.
+//   - Single-flight coalescing: identical in-flight requests share one
+//     solve. The solve runs detached from any single request's context —
+//     a caller giving up does not cancel the work for the rest.
+//   - Admission control: a bounded concurrency limit plus a bounded
+//     queue; beyond that, requests are shed immediately with 429 and a
+//     Retry-After hint. Per-request deadlines flow into the pipeline as
+//     context cancellation.
+//   - Graceful drain: Drain stops admitting work, lets in-flight solves
+//     finish, and only force-cancels them when its own deadline expires,
+//     so SIGTERM never leaks ErrInterrupted into successful responses.
+//
+// Endpoints: POST /v1/quantify, POST /v1/rules/mine, GET /healthz,
+// GET /readyz. Error bodies are ErrorResponse; the Kind field mirrors the
+// facade error taxonomy (see the privacymaxent package's error docs).
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"privacymaxent/internal/assoc"
+	"privacymaxent/internal/audit"
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/errs"
+	"privacymaxent/internal/solver"
+	"privacymaxent/internal/telemetry"
+)
+
+// errBadRequest marks client-side request errors (malformed JSON, bad
+// published view, unparseable knowledge) for the 400 mapping.
+var errBadRequest = errors.New("server: bad request")
+
+// errDraining reports that the server has stopped admitting work.
+var errDraining = errors.New("server: draining")
+
+// maxBodyBytes bounds request bodies; published views are compact
+// (values are interned strings), so this is generous.
+const maxBodyBytes = 64 << 20
+
+// Config tunes the server. The zero value serves with sensible defaults;
+// Pipeline configures the underlying quantifier exactly as in the
+// library and CLI.
+type Config struct {
+	// Pipeline is the core pipeline configuration. Pipeline.Audit is
+	// ignored: auditing is selected per request with ?audit=1.
+	Pipeline core.Config
+	// CacheSize bounds the prepared-publication LRU. Default 16.
+	CacheSize int
+	// MaxInFlight bounds concurrent solves. Default GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a solve slot; beyond it
+	// requests are shed with 429. Default 4×MaxInFlight; negative means
+	// no queue at all (shed whenever every slot is busy).
+	MaxQueue int
+	// SolveTimeout is the server-side budget for one solve (and the cap
+	// on any client-requested timeout_ms). Default 60s.
+	SolveTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 responses. Default 1s.
+	RetryAfter time.Duration
+	// AuditTop / AuditTolerance configure ?audit=1 audits; zero values
+	// take the audit package defaults (5 rows, 1e-6).
+	AuditTop       int
+	AuditTolerance float64
+	// Registry receives the server and pipeline metrics. A private
+	// registry is created when nil so metrics code never branches.
+	Registry *telemetry.Registry
+	// Tracer, when non-nil, receives spans for every pipeline stage.
+	Tracer *telemetry.Tracer
+	// Logger receives structured request/drain logs; discard when nil.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	c.Pipeline.Audit = nil
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 4 * c.MaxInFlight
+	} else if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Server is the pmaxentd HTTP service. Create with New; it implements
+// http.Handler.
+type Server struct {
+	cfg    Config
+	q      *core.Quantifier
+	cache  *preparedCache
+	flight *flightGroup
+	lim    *limiter
+	reg    *telemetry.Registry
+	log    *slog.Logger
+	mux    *http.ServeMux
+
+	// base is the detached context solves run under: it carries the
+	// telemetry wiring and is canceled only by Close or a drain
+	// deadline, never by an individual request.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	// drainMu serializes admission against Drain: beginWork registers
+	// in solves under a read lock so Drain's flag flip + Wait cannot
+	// miss a just-admitted solve.
+	drainMu  sync.RWMutex
+	draining bool
+	solves   sync.WaitGroup
+
+	// solveHook, when set, runs on the leader goroutine after a solve
+	// slot is acquired and before the solve starts — a test seam for
+	// holding a slot at a known point.
+	solveHook func()
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base := telemetry.WithMetrics(context.Background(), cfg.Registry)
+	if cfg.Tracer != nil {
+		base = telemetry.WithTracer(base, cfg.Tracer)
+	}
+	if cfg.Logger != nil {
+		base = telemetry.WithLogger(base, cfg.Logger)
+	}
+	base, cancel := context.WithCancel(base)
+	s := &Server{
+		cfg:        cfg,
+		q:          core.New(cfg.Pipeline),
+		cache:      newPreparedCache(cfg.CacheSize),
+		flight:     newFlightGroup(),
+		lim:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		reg:        cfg.Registry,
+		log:        telemetry.Logger(base),
+		base:       base,
+		cancelBase: cancel,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/quantify", s.handleQuantify)
+	mux.HandleFunc("POST /v1/rules/mine", s.handleMine)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP dispatches to the v1 routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Registry exposes the server's metrics registry (for expvar/Prometheus
+// export by the daemon).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// isDraining reports whether the server has stopped admitting work.
+func (s *Server) isDraining() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	return s.draining
+}
+
+// beginWork registers a unit of solve work, refusing when draining. Every
+// true return must be paired with endWork.
+func (s *Server) beginWork() bool {
+	s.drainMu.RLock()
+	defer s.drainMu.RUnlock()
+	if s.draining {
+		return false
+	}
+	s.solves.Add(1)
+	return true
+}
+
+func (s *Server) endWork() { s.solves.Done() }
+
+// Drain stops admitting requests and waits for in-flight solves to
+// finish. When ctx expires first, the remaining solves are force-canceled
+// (they fail with ErrInterrupted) and ctx's error is returned. After
+// Drain, /readyz reports 503 and new requests are refused with 503.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		s.log.Info("pmaxentd: draining", "inflight", s.lim.inflight(), "queued", s.lim.queued())
+	}
+	done := make(chan struct{})
+	go func() {
+		s.solves.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-cancels all in-flight work immediately. Prefer Drain.
+func (s *Server) Close() error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	s.cancelBase()
+	s.solves.Wait()
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ready",
+		"cache_entries": s.cache.len(),
+		"inflight":      s.lim.inflight(),
+		"queued":        s.lim.queued(),
+	})
+}
+
+// waitBudget derives the time a caller is willing to wait: the client's
+// timeout_ms capped by the server's solve budget (the solve cannot take
+// longer anyway, so waiting longer only delays the error).
+func (s *Server) waitBudget(timeoutMS int64) time.Duration {
+	d := s.cfg.SolveTimeout
+	if timeoutMS > 0 {
+		if c := time.Duration(timeoutMS) * time.Millisecond; c < d {
+			d = c
+		}
+	}
+	return d
+}
+
+func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Counter("pmaxentd_requests_total").Add(1)
+	if s.isDraining() {
+		s.writeError(w, errDraining)
+		return
+	}
+
+	var req QuantifyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Published) == 0 {
+		s.writeError(w, fmt.Errorf("%w: missing \"published\"", errBadRequest))
+		return
+	}
+	pub, err := bucket.ReadJSON(bytes.NewReader(req.Published))
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: published view: %v", errBadRequest, err))
+		return
+	}
+	var knowledge []constraint.DistributionKnowledge
+	if len(req.Knowledge) > 0 {
+		knowledge, err = constraint.ParseKnowledgeJSON(bytes.NewReader(req.Knowledge), pub.Schema())
+		if err != nil {
+			s.writeError(w, fmt.Errorf("%w: knowledge: %v", errBadRequest, err))
+			return
+		}
+	}
+	wantAudit := boolQuery(r, "audit")
+	if wantAudit && req.Eps > 0 {
+		s.writeError(w, fmt.Errorf("%w: vague (eps>0) solves are not audited", errBadRequest))
+		return
+	}
+	digest, err := DigestPublished(pub)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+
+	// The wait — not the solve — is bounded by the request context. The
+	// leader runs detached under the server's base context so followers
+	// (and the leader's own requester) can give up independently.
+	waitCtx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
+	defer cancel()
+	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit)
+	call, joined := s.flight.join(key, func() ([]byte, error) {
+		return s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit)
+	})
+	if joined {
+		s.reg.Counter("pmaxentd_coalesced_total").Add(1)
+	}
+	body, err := call.wait(waitCtx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Histogram("pmaxentd_request_duration_seconds", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// runQuantify is the single-flight leader: admission, prepared-cache
+// lookup/build, solve, and response encoding. It runs detached from any
+// request context.
+func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit bool) ([]byte, error) {
+	start := time.Now()
+	if !s.beginWork() {
+		return nil, errDraining
+	}
+	defer s.endWork()
+
+	ctx, cancel := context.WithTimeout(s.base, s.cfg.SolveTimeout)
+	defer cancel()
+	ctx, span := telemetry.Start(ctx, "server.quantify",
+		telemetry.String("digest", digest[:12]),
+		telemetry.Int("knowledge", len(knowledge)),
+		telemetry.Float("eps", eps),
+		telemetry.Bool("audit", wantAudit))
+	defer span.End()
+
+	if err := s.lim.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.reg.Counter("pmaxentd_shed_total").Add(1)
+		}
+		return nil, err
+	}
+	defer func() {
+		s.lim.release()
+		s.observeLoad()
+	}()
+	s.observeLoad()
+	if s.solveHook != nil {
+		s.solveHook()
+	}
+
+	var auditOpts *audit.Options
+	if wantAudit {
+		auditOpts = &audit.Options{Top: s.cfg.AuditTop, Tolerance: s.cfg.AuditTolerance}
+	}
+
+	var rep *core.Report
+	cacheState := "bypass"
+	if eps > 0 {
+		// Vague solves build a fresh inequality system; the equality
+		// base is not reusable, so the prepared cache is bypassed.
+		var err error
+		rep, err = s.q.QuantifyVagueContext(ctx, pub, knowledge, eps, nil)
+		if err != nil {
+			return nil, s.solveErr(ctx, err)
+		}
+	} else {
+		entry, hit := s.cache.get(digest)
+		if hit {
+			cacheState = "hit"
+			s.reg.Counter("pmaxentd_cache_hits_total").Add(1)
+		} else {
+			cacheState = "miss"
+			s.reg.Counter("pmaxentd_cache_misses_total").Add(1)
+		}
+		prepared, prepTime, err := entry.build(ctx, s.q, pub)
+		if err != nil {
+			s.cache.drop(digest)
+			return nil, s.solveErr(ctx, err)
+		}
+		rep, err = prepared.QuantifyWithOptions(ctx, core.QuantifyOptions{
+			Knowledge: knowledge,
+			Warm:      entry.takeWarm(),
+			Audit:     auditOpts,
+		})
+		if err != nil {
+			return nil, s.solveErr(ctx, err)
+		}
+		if rep.Solution.Stats.Converged {
+			entry.storeWarm(rep.Solution.Duals)
+		}
+		if cacheState == "miss" {
+			// The builder reports the invariant-build cost; cache hits
+			// never carry a "prepare" stage — the observable signal that
+			// the build was skipped.
+			tm := core.Timings{{Stage: core.StagePrepare, Duration: prepTime}}
+			tm.Merge(rep.Timings)
+			rep.Timings = tm
+		}
+	}
+	s.reg.Gauge("pmaxentd_cache_entries").Set(float64(s.cache.len()))
+
+	resp := buildResponse(digest, cacheState, eps, pub.Schema(), rep, s.q.Config().Solve.Algorithm)
+	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding response: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// solveErr refines a solve failure: when the server-side budget expired,
+// the interrupted-solve error is reported as a deadline (504), not a
+// cancellation (499).
+func (s *Server) solveErr(ctx context.Context, err error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("server: solve budget (%v) exhausted: %w", s.cfg.SolveTimeout, context.DeadlineExceeded)
+	}
+	return err
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Counter("pmaxentd_requests_total").Add(1)
+	if s.isDraining() {
+		s.writeError(w, errDraining)
+		return
+	}
+	var req MineRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if req.CSV == "" || req.SA == "" {
+		s.writeError(w, fmt.Errorf("%w: \"csv\" and \"sa\" are required", errBadRequest))
+		return
+	}
+	roles := map[string]dataset.Role{req.SA: dataset.Sensitive}
+	for _, id := range req.ID {
+		roles[id] = dataset.Identifier
+	}
+	t, err := dataset.ReadCSV(strings.NewReader(req.CSV), roles)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: csv: %v", errBadRequest, err))
+		return
+	}
+	if t.Schema().SAIndex() < 0 {
+		s.writeError(w, fmt.Errorf("%w: column %q not present", errs.ErrNoSensitiveAttribute, req.SA))
+		return
+	}
+
+	if !s.beginWork() {
+		s.writeError(w, errDraining)
+		return
+	}
+	defer s.endWork()
+	// Mining is not coalesced (requests carry whole tables and rarely
+	// repeat), so it runs under the request context: a disconnected
+	// client cancels its own mine.
+	ctx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
+	defer cancel()
+	ctx = telemetry.WithMetrics(ctx, s.reg)
+	if s.cfg.Tracer != nil {
+		ctx = telemetry.WithTracer(ctx, s.cfg.Tracer)
+	}
+	if err := s.lim.acquire(ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.reg.Counter("pmaxentd_shed_total").Add(1)
+		}
+		s.writeError(w, err)
+		return
+	}
+	defer func() {
+		s.lim.release()
+		s.observeLoad()
+	}()
+	s.observeLoad()
+
+	rules, err := assoc.MineContext(ctx, t, assoc.Options{
+		MinSupport: req.MinSupport,
+		Sizes:      req.Sizes,
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	selected := rules
+	if req.KPos > 0 || req.KNeg > 0 {
+		selected = assoc.TopK(rules, req.KPos, req.KNeg)
+	}
+	schema := t.Schema()
+	sa := schema.SA()
+	wireRules := make([]MineRule, len(selected))
+	for i := range selected {
+		ru := &selected[i]
+		cond := make(map[string]string, len(ru.Attrs))
+		for j, pos := range ru.Attrs {
+			cond[schema.Attr(pos).Name] = schema.Attr(pos).Value(ru.Values[j])
+		}
+		wireRules[i] = MineRule{
+			If:         cond,
+			Then:       sa.Value(ru.SA),
+			Positive:   ru.Positive,
+			Confidence: ru.Confidence,
+			P:          ru.PSA(),
+			Support:    ru.Support,
+		}
+	}
+	s.reg.Counter("pmaxentd_mine_total").Add(1)
+	writeJSON(w, http.StatusOK, &MineResponse{
+		Mined:     len(rules),
+		Returned:  len(wireRules),
+		Rules:     wireRules,
+		ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+// observeLoad publishes the admission gauges.
+func (s *Server) observeLoad() {
+	s.reg.Gauge("pmaxentd_inflight").Set(float64(s.lim.inflight()))
+	s.reg.Gauge("pmaxentd_queue_depth").Set(float64(s.lim.queued()))
+}
+
+// statusClientClosedRequest is nginx's conventional code for "the client
+// went away before the response": the request was canceled, not failed.
+const statusClientClosedRequest = 499
+
+// writeError maps an error onto the HTTP taxonomy and writes the
+// ErrorResponse body. The mapping mirrors the facade's errors.Is
+// documentation: infeasible → 422, interrupted/canceled → 499, deadline
+// → 504, invalid input → 400, overload → 429, draining → 503.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var status int
+	var kind string
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		status, kind = http.StatusTooManyRequests, "overloaded"
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	case errors.Is(err, errDraining):
+		status, kind = http.StatusServiceUnavailable, "draining"
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	case errors.Is(err, errs.ErrInfeasible):
+		status, kind = http.StatusUnprocessableEntity, "infeasible"
+	case errors.Is(err, context.DeadlineExceeded):
+		status, kind = http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, solver.ErrInterrupted), errors.Is(err, context.Canceled):
+		status, kind = statusClientClosedRequest, "interrupted"
+	case errors.Is(err, errBadRequest),
+		errors.Is(err, errs.ErrInvalidSchema),
+		errors.Is(err, errs.ErrNoSensitiveAttribute):
+		status, kind = http.StatusBadRequest, "invalid_request"
+	default:
+		status, kind = http.StatusInternalServerError, "internal"
+	}
+	s.reg.Counter("pmaxentd_errors_total").Add(1)
+	s.log.Warn("pmaxentd: request failed", "status", status, "kind", kind, "err", err)
+	writeJSON(w, status, &ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// decodeBody reads a JSON request body, rejecting unknown fields so a
+// misspelled option fails loudly instead of silently running defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("%w: decoding body: %v", errBadRequest, err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func boolQuery(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}

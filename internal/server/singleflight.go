@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces identical in-flight requests: the first caller
+// of a key becomes the leader and runs fn once in its own goroutine; any
+// caller arriving with the same key while that run is in flight becomes
+// a follower and receives the leader's bytes. Quantification is a pure
+// function of (published view, knowledge, options), so identical
+// requests under load — the hot pattern for a risk service sitting
+// behind a dashboard — cost one solve instead of N.
+//
+// Unlike the classic singleflight, the leader's fn runs detached from
+// any single request's context: a follower (or even the leader's own
+// requester) timing out or disconnecting does not cancel the solve for
+// the rest, and a completed solve still warms the prepared cache. fn
+// receives no context here — it builds its own from the server's base
+// context and solve budget.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// join registers the caller on key's flight, starting fn in a detached
+// goroutine when no flight is up. The boolean reports whether the caller
+// joined an existing flight (false for the leader) — known immediately,
+// so the server can count coalesced requests while they are still
+// waiting, not after the fact.
+func (g *flightGroup) join(key string, fn func() ([]byte, error)) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	go func() {
+		defer func() {
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
+	return c, false
+}
+
+// wait blocks until the flight completes or ctx expires. The wait — not
+// the work — is bounded by ctx: when ctx expires first, the caller gets
+// ctx.Err() while the flight continues for everyone else.
+func (c *flightCall) wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,200 @@
+package server
+
+// This file defines the wire schema of the pmaxentd v1 API. Requests and
+// responses are plain JSON; the published view and knowledge statements
+// reuse the exact formats the offline tools read and write
+// (bucket.WriteJSON / constraint.WriteKnowledgeJSON), so a release
+// produced by `pmaxent -publish` is a valid request payload as-is.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"privacymaxent/internal/audit"
+	"privacymaxent/internal/core"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/maxent"
+)
+
+// QuantifyRequest is the body of POST /v1/quantify.
+type QuantifyRequest struct {
+	// Published is the published view D′ in the WritePublishedJSON wire
+	// format ({"qi": [...], "sa": {...}, "buckets": [...]}).
+	Published json.RawMessage `json:"published"`
+	// Knowledge lists background-knowledge statements in the
+	// ParseKnowledgeJSON format ([{"if": {...}, "then": "...", "p": p}]),
+	// resolved against the published schema. Optional.
+	Knowledge json.RawMessage `json:"knowledge,omitempty"`
+	// Eps > 0 runs the Sec. 4.5 vague-knowledge variant: every statement
+	// becomes a ±eps box instead of an equality. Vague solves bypass the
+	// prepared-system cache (inequalities do not overlay the equality
+	// base) and are never audited.
+	Eps float64 `json:"eps,omitempty"`
+	// TimeoutMS caps how long this request waits for its result,
+	// queueing included. Zero or values above the server's solve budget
+	// fall back to the server default. The solve itself is detached:
+	// a request giving up does not cancel a solve other callers share.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// PosteriorRow is one QI tuple's estimated sensitive-value distribution.
+type PosteriorRow struct {
+	// QI maps attribute name to value for this tuple.
+	QI map[string]string `json:"qi"`
+	// P maps sensitive value to the adversary's posterior P*(s|q).
+	P map[string]float64 `json:"p"`
+}
+
+// SolverStats is the wire form of the solve counters.
+type SolverStats struct {
+	Algorithm    string  `json:"algorithm"`
+	Iterations   int     `json:"iterations"`
+	Evaluations  int     `json:"evaluations"`
+	Converged    bool    `json:"converged"`
+	MaxViolation float64 `json:"max_violation"`
+	Components   int     `json:"components,omitempty"`
+}
+
+// QuantifyResponse is the body of a successful POST /v1/quantify. Every
+// field except Timings and ElapsedMS is a deterministic function of the
+// request (and therefore byte-identical across servers, restarts and the
+// offline CLI); the two timing fields are wall-clock measurements.
+type QuantifyResponse struct {
+	// Digest identifies the published view (the prepared-cache key).
+	Digest string `json:"digest"`
+	// Cache is "hit" when the invariant system was already prepared for
+	// this D′ and "miss" when this request built it. On a miss the
+	// Timings carry a "prepare" stage; on a hit that stage is absent.
+	Cache string `json:"cache"`
+	// KnowledgeApplied counts the ME knowledge constraints applied.
+	KnowledgeApplied int     `json:"knowledge_applied"`
+	Eps              float64 `json:"eps,omitempty"`
+	// MaxDisclosure and PosteriorEntropyBits are the privacy scores.
+	MaxDisclosure        float64 `json:"max_disclosure"`
+	PosteriorEntropyBits float64 `json:"posterior_entropy_bits"`
+	// Posterior is the full P*(S|Q), one row per QI tuple in universe
+	// order.
+	Posterior []PosteriorRow `json:"posterior"`
+	Solver    SolverStats    `json:"solver"`
+	// Audit is the solve's numerical-health record, present when the
+	// request asked for it with ?audit=1 (equality solves only).
+	Audit *audit.SolveAudit `json:"audit,omitempty"`
+	// TimingsMS is the per-stage wall-clock breakdown in milliseconds;
+	// ElapsedMS the whole request. Wall-clock, not comparable across
+	// runs.
+	TimingsMS map[string]float64 `json:"timings_ms,omitempty"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: "invalid_request", "infeasible",
+	// "interrupted", "deadline", "overloaded", "draining" or "internal".
+	Kind string `json:"kind"`
+}
+
+// MineRequest is the body of POST /v1/rules/mine: mine association rules
+// from original microdata supplied as inline CSV (first row the header),
+// the server-side counterpart of `pmaxent -input`.
+type MineRequest struct {
+	// CSV is the original table; SA names its sensitive column and ID
+	// any identifier columns to strip.
+	CSV string   `json:"csv"`
+	SA  string   `json:"sa"`
+	ID  []string `json:"id,omitempty"`
+	// MinSupport and Sizes configure mining (defaults 3 / all sizes).
+	MinSupport int   `json:"min_support,omitempty"`
+	Sizes      []int `json:"sizes,omitempty"`
+	// KPos/KNeg select the Top-(K+, K−) strongest rules; both zero
+	// returns every mined rule.
+	KPos int `json:"k_pos,omitempty"`
+	KNeg int `json:"k_neg,omitempty"`
+	// TimeoutMS as in QuantifyRequest.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MineRule is one association rule on the wire.
+type MineRule struct {
+	If         map[string]string `json:"if"`
+	Then       string            `json:"then"`
+	Positive   bool              `json:"positive"`
+	Confidence float64           `json:"confidence"`
+	// P is P(SA|Qv) — the value a knowledge statement would pin.
+	P       float64 `json:"p"`
+	Support int     `json:"support"`
+}
+
+// MineResponse is the body of a successful POST /v1/rules/mine.
+type MineResponse struct {
+	Mined     int        `json:"mined"`
+	Returned  int        `json:"returned"`
+	Rules     []MineRule `json:"rules"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// buildPosterior renders P(S|Q) in wire form, rows in universe order.
+func buildPosterior(post *dataset.Conditional, schema *dataset.Schema) []PosteriorRow {
+	u := post.Universe()
+	qiPos := schema.QIIndices()
+	sa := schema.SA()
+	rows := make([]PosteriorRow, u.Len())
+	for qid := 0; qid < u.Len(); qid++ {
+		codes := u.Codes(qid)
+		qi := make(map[string]string, len(qiPos))
+		for i, pos := range qiPos {
+			qi[schema.Attr(pos).Name] = schema.Attr(pos).Value(codes[i])
+		}
+		p := make(map[string]float64, post.NumSA())
+		for s := 0; s < post.NumSA(); s++ {
+			p[sa.Value(s)] = post.P(qid, s)
+		}
+		rows[qid] = PosteriorRow{QI: qi, P: p}
+	}
+	return rows
+}
+
+// buildResponse converts a pipeline report into the wire response. The
+// same function serves the HTTP handler and the parity tests, so "what
+// the server says" and "what the library computes" cannot drift apart.
+func buildResponse(digest, cacheState string, eps float64, schema *dataset.Schema, rep *core.Report, alg maxent.Algorithm) *QuantifyResponse {
+	st := rep.Solution.Stats
+	resp := &QuantifyResponse{
+		Digest:               digest,
+		Cache:                cacheState,
+		KnowledgeApplied:     len(rep.Knowledge),
+		Eps:                  eps,
+		MaxDisclosure:        rep.MaxDisclosure,
+		PosteriorEntropyBits: rep.PosteriorEntropy,
+		Posterior:            buildPosterior(rep.Posterior, schema),
+		Solver: SolverStats{
+			Algorithm:    alg.String(),
+			Iterations:   st.Iterations,
+			Evaluations:  st.Evaluations,
+			Converged:    st.Converged,
+			MaxViolation: st.MaxViolation,
+			Components:   st.Components,
+		},
+		Audit: rep.Audit,
+	}
+	if len(rep.Timings) > 0 {
+		resp.TimingsMS = make(map[string]float64, len(rep.Timings))
+		for _, st := range rep.Timings {
+			resp.TimingsMS[st.Stage] = float64(st.Duration.Nanoseconds()) / 1e6
+		}
+	}
+	return resp
+}
+
+// requestKey is the single-flight key: the published digest plus a hash
+// of everything else that shapes the response bytes. Two requests
+// coalesce exactly when their responses would be identical. TimeoutMS is
+// deliberately excluded — it bounds the wait, not the work.
+func requestKey(digest string, knowledge json.RawMessage, eps float64, wantAudit bool) string {
+	h := sha256.New()
+	h.Write([]byte(digest))
+	h.Write(knowledge)
+	_ = json.NewEncoder(h).Encode([]any{eps, wantAudit})
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -19,20 +19,36 @@
 package worstcase
 
 import (
+	"context"
 	"fmt"
 
 	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/telemetry"
 )
 
 // Disclosure returns the worst-case posterior max_{b,s} n_s/(N_b − k)
 // (clipped to 1) an adversary with k negative statements about a single
-// target's bucket can reach. k must be non-negative.
+// target's bucket can reach. k must be non-negative. It is a thin
+// wrapper over DisclosureContext with a background context.
 func Disclosure(d *bucket.Bucketized, k int) (float64, error) {
+	return DisclosureContext(context.Background(), d, k)
+}
+
+// DisclosureContext is Disclosure with cancellation (checked between
+// buckets) and a "worstcase.disclosure" telemetry span.
+func DisclosureContext(ctx context.Context, d *bucket.Bucketized, k int) (float64, error) {
+	_, span := telemetry.Start(ctx, "worstcase.disclosure",
+		telemetry.Int("buckets", d.NumBuckets()),
+		telemetry.Int("k", k))
+	defer span.End()
 	if k < 0 {
 		return 0, fmt.Errorf("worstcase: negative knowledge budget %d", k)
 	}
 	var worst float64
 	for b := 0; b < d.NumBuckets(); b++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		bk := d.Bucket(b)
 		nb := bk.Size()
 		for _, s := range bk.DistinctSAs() {

@@ -120,8 +120,14 @@ type (
 	// StageTimings is the per-stage wall-clock breakdown in Report.Timings.
 	StageTimings = core.Timings
 	// Prepared caches the data-invariant base system of a publication so
-	// sweeps over many knowledge sets (Quantifier.Prepare) pay the
-	// formulation once and can warm-start successive solves.
+	// sweeps over many knowledge sets pay the formulation once and can
+	// warm-start successive solves. Build one with
+	// Quantifier.Prepare(ctx, d) and quantify per-request knowledge with
+	// Prepared.QuantifyContext (or QuantifyWithRules for a Top-(K+, K−)
+	// Bound); only the knowledge rows are appended per call, onto a
+	// copy-on-append overlay of the shared invariant base. A Prepared is
+	// safe for concurrent use — the pmaxentd server keeps an LRU cache
+	// of them keyed by a digest of the published view.
 	Prepared = core.Prepared
 )
 
@@ -199,7 +205,15 @@ func Anatomize(t *Table, opts BucketOptions) (*Bucketized, [][]int, error) {
 }
 
 // MineRules mines association rules from original data, strongest first.
+// It is a thin wrapper over MineRulesContext with a background context.
 func MineRules(t *Table, opts MineOptions) ([]Rule, error) { return assoc.Mine(t, opts) }
+
+// MineRulesContext is MineRules with cancellation and telemetry: mining
+// stops once ctx is done, and a tracer installed with WithTracer records
+// an "assoc.mine" span.
+func MineRulesContext(ctx context.Context, t *Table, opts MineOptions) ([]Rule, error) {
+	return assoc.MineContext(ctx, t, opts)
+}
 
 // TopK selects the Top-(K+, K−) strongest rules from a sorted rule list.
 func TopK(rules []Rule, kPos, kNeg int) []Rule { return assoc.TopK(rules, kPos, kNeg) }
@@ -242,16 +256,34 @@ func Randomize(t *Table, rho float64, seed int64) (*Table, RandomizationMechanis
 
 // RandomizedPosterior reconstructs the adversary's MaxEnt posterior from
 // a randomized publication (z is the sampling-tolerance width; 0 = 3σ).
+// It is a thin wrapper over RandomizedPosteriorContext with a background
+// context.
 func RandomizedPosterior(published *Table, mech RandomizationMechanism, z float64, opts SolveOptions) (*Conditional, error) {
 	cond, _, err := randomize.Estimate(published, mech, z, opts)
 	return cond, err
 }
 
+// RandomizedPosteriorContext is RandomizedPosterior with the context
+// threaded into the underlying inequality solve: cancellation interrupts
+// the optimizer (ErrInterrupted) and telemetry installed in ctx
+// instruments the solve under a "randomize.estimate" span.
+func RandomizedPosteriorContext(ctx context.Context, published *Table, mech RandomizationMechanism, z float64, opts SolveOptions) (*Conditional, error) {
+	cond, _, err := randomize.EstimateContext(ctx, published, mech, z, opts)
+	return cond, err
+}
+
 // WorstCaseDisclosure is Martin et al.'s deterministic baseline: the
 // maximum posterior reachable with k negative statements about a target's
-// bucket.
+// bucket. It is a thin wrapper over WorstCaseDisclosureContext with a
+// background context.
 func WorstCaseDisclosure(d *Bucketized, k int) (float64, error) {
 	return worstcase.Disclosure(d, k)
+}
+
+// WorstCaseDisclosureContext is WorstCaseDisclosure with cancellation
+// (checked between buckets) and a "worstcase.disclosure" telemetry span.
+func WorstCaseDisclosureContext(ctx context.Context, d *Bucketized, k int) (float64, error) {
+	return worstcase.DisclosureContext(ctx, d, k)
 }
 
 // WritePublishedJSON and ReadPublishedJSON (de)serialize the published
