@@ -8,11 +8,24 @@
 //
 // Endpoints (JSON over HTTP, see internal/server for the wire schema):
 //
-//	POST /v1/quantify    quantify a published view; ?audit=1 inlines the
-//	                     solve audit
-//	POST /v1/rules/mine  mine association rules from inline CSV
-//	GET  /healthz        liveness
-//	GET  /readyz         readiness (503 while draining)
+//	POST /v1/quantify             quantify a published view; ?audit=1
+//	                              inlines the solve audit; ?stream=1
+//	                              streams progress over SSE, ending with
+//	                              a "result" frame carrying the response
+//	GET  /v1/solves/{id}/events   SSE stream of one solve's lifecycle and
+//	                              sampled iteration events
+//	POST /v1/rules/mine           mine association rules from inline CSV
+//	GET  /debug/solves            JSON snapshot of in-flight (and recent)
+//	                              solves with live iteration counts
+//	GET  /metrics                 Prometheus text exposition (pmaxentd_*)
+//	GET  /healthz                 liveness + build provenance
+//	GET  /readyz                  readiness (503 while draining)
+//
+// Every response carries an X-Request-Id (accepted from the request, or
+// derived from a W3C traceparent, or generated); the same ID appears in
+// the access log, spans, solve events and audit provenance. The
+// companion pmaxentstat command renders /debug/solves + /metrics as a
+// live terminal view.
 //
 // SIGTERM/SIGINT drain the server: new requests get 503, in-flight
 // solves finish (up to -drain-timeout), then the process exits 0.

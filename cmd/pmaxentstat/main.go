@@ -1,0 +1,197 @@
+// Command pmaxentstat tails a running pmaxentd: it scrapes the daemon's
+// /debug/solves table and /metrics exposition on an interval and renders
+// a live one-line-per-solve view, top-style, on the terminal.
+//
+//	pmaxentstat [-addr http://localhost:8080] [-interval 1s] [-once]
+//
+// Each refresh prints a daemon summary line (requests, in-flight vs
+// limit, queue depth, cache hit/miss/evictions, live SSE clients) and
+// then one line per solve, live solves first:
+//
+//	ID            STATE    REQUEST           ITER     GRAD      COMP   ELAPSED
+//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    2.41s
+//
+// -once prints a single snapshot and exits — the scriptable mode CI and
+// quick health checks use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://localhost:8080", "base URL of the pmaxentd to watch")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "print one snapshot and exit")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		snap, err := scrape(client, strings.TrimRight(*addr, "/"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmaxentstat:", err)
+			if *once {
+				os.Exit(1)
+			}
+		} else {
+			if !*once {
+				// Clear the screen between refreshes (ANSI; harmless when
+				// redirected).
+				fmt.Print("\x1b[2J\x1b[H")
+			}
+			fmt.Print(render(snap))
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// solveRow mirrors the wire shape of one GET /debug/solves entry (kept
+// local so the command builds without importing internal packages'
+// transitive solver dependencies — the wire contract is JSON).
+type solveRow struct {
+	ID              string  `json:"id"`
+	RequestID       string  `json:"request_id"`
+	State           string  `json:"state"`
+	Iterations      int64   `json:"iterations"`
+	GradNorm        float64 `json:"grad_norm"`
+	ComponentsDone  int64   `json:"components_done"`
+	ComponentsTotal int64   `json:"components_total"`
+	QueueWaitMS     float64 `json:"queue_wait_ms"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+// snapshot is one scrape of the daemon.
+type snapshot struct {
+	Solves  []solveRow
+	Metrics map[string]float64
+}
+
+// scrape fetches /debug/solves and /metrics.
+func scrape(client *http.Client, base string) (*snapshot, error) {
+	var body struct {
+		Solves []solveRow `json:"solves"`
+	}
+	if err := getJSON(client, base+"/debug/solves", &body); err != nil {
+		return nil, err
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{Solves: body.Solves, Metrics: parseMetrics(string(raw))}, nil
+}
+
+func getJSON(client *http.Client, url string, dst any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(dst)
+}
+
+// parseMetrics reads the scalar samples out of a Prometheus text
+// exposition: "name value" lines, skipping comments and labeled series
+// (histogram buckets, build info) — the summary line only needs the
+// plain counters and gauges.
+func parseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valueStr, ok := strings.Cut(line, " ")
+		if !ok || strings.ContainsAny(name, "{") {
+			continue
+		}
+		v, err := strconv.ParseFloat(valueStr, 64)
+		if err != nil {
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// render formats one snapshot: a summary line, a header, and one line
+// per solve (live first, as the daemon orders them).
+func render(s *snapshot) string {
+	var b strings.Builder
+	m := s.Metrics
+	sortLiveFirst(s.Solves)
+	fmt.Fprintf(&b, "requests %.0f  inflight %.0f/%.0f  queued %.0f/%.0f  cache %.0f/%.0f hit/miss (%.0f evicted)  sse %.0f\n",
+		m["pmaxentd_requests_total"],
+		m["pmaxentd_inflight"], m["pmaxentd_inflight_limit"],
+		m["pmaxentd_queue_depth"], m["pmaxentd_queue_limit"],
+		m["pmaxentd_cache_hits_total"], m["pmaxentd_cache_misses_total"],
+		m["pmaxentd_cache_evictions_total"],
+		m["pmaxentd_sse_clients"])
+	if len(s.Solves) == 0 {
+		b.WriteString("no solves\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %9s\n",
+		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "ELAPSED")
+	for _, r := range s.Solves {
+		comp := "-"
+		if r.ComponentsTotal > 0 {
+			comp = fmt.Sprintf("%d/%d", r.ComponentsDone, r.ComponentsTotal)
+		}
+		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %8.2fs\n",
+			clip(r.ID, 22), r.State, clip(r.RequestID, 18),
+			r.Iterations, r.GradNorm, comp, r.ElapsedMS/1000)
+	}
+	return b.String()
+}
+
+// clip truncates s to n runes with a trailing ellipsis.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	if n <= 1 {
+		return s[:n]
+	}
+	return s[:n-1] + "…"
+}
+
+// sortLiveFirst orders rows live-states first, oldest first within each
+// group — used when composing snapshots from multiple scrapes.
+func sortLiveFirst(rows []solveRow) {
+	rank := func(state string) int {
+		switch state {
+		case "running":
+			return 0
+		case "queued":
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return rank(rows[i].State) < rank(rows[j].State)
+	})
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleMetrics = `# TYPE pmaxentd_build_info gauge
+pmaxentd_build_info{commit="abc",version="(devel)"} 1
+# TYPE pmaxentd_requests_total counter
+pmaxentd_requests_total 42
+# TYPE pmaxentd_inflight gauge
+pmaxentd_inflight 2
+# TYPE pmaxentd_inflight_limit gauge
+pmaxentd_inflight_limit 4
+# TYPE pmaxentd_queue_depth gauge
+pmaxentd_queue_depth 1
+# TYPE pmaxentd_queue_limit gauge
+pmaxentd_queue_limit 16
+# TYPE pmaxentd_cache_hits_total counter
+pmaxentd_cache_hits_total 30
+# TYPE pmaxentd_cache_misses_total counter
+pmaxentd_cache_misses_total 12
+# TYPE pmaxentd_cache_evictions_total counter
+pmaxentd_cache_evictions_total 3
+# TYPE pmaxentd_sse_clients gauge
+pmaxentd_sse_clients 1
+# TYPE pmaxentd_request_duration_seconds histogram
+pmaxentd_request_duration_seconds_bucket{le="0.001"} 5
+pmaxentd_request_duration_seconds_sum 1.5
+pmaxentd_request_duration_seconds_count 42
+`
+
+func TestParseMetrics(t *testing.T) {
+	m := parseMetrics(sampleMetrics)
+	if m["pmaxentd_requests_total"] != 42 {
+		t.Errorf("requests_total = %v, want 42", m["pmaxentd_requests_total"])
+	}
+	if m["pmaxentd_inflight"] != 2 {
+		t.Errorf("inflight = %v, want 2", m["pmaxentd_inflight"])
+	}
+	if _, ok := m["pmaxentd_build_info{commit=\"abc\",version=\"(devel)\"}"]; ok {
+		t.Error("labeled series should be skipped")
+	}
+	// Histogram suffixes are plain name-value lines and harmlessly parse.
+	if m["pmaxentd_request_duration_seconds_count"] != 42 {
+		t.Errorf("histogram count = %v", m["pmaxentd_request_duration_seconds_count"])
+	}
+}
+
+func TestRender(t *testing.T) {
+	snap := &snapshot{
+		Metrics: parseMetrics(sampleMetrics),
+		Solves: []solveRow{
+			{ID: "aaa-1", RequestID: "req-done", State: "done", Iterations: 10, GradNorm: 1e-9, ElapsedMS: 120},
+			{ID: "bbb-2", RequestID: "req-live", State: "running", Iterations: 1204, GradNorm: 3.2e-5,
+				ComponentsDone: 3, ComponentsTotal: 5, ElapsedMS: 2410},
+		},
+	}
+	out := render(snap)
+	if !strings.Contains(out, "requests 42") {
+		t.Errorf("summary line missing requests: %q", out)
+	}
+	if !strings.Contains(out, "inflight 2/4") {
+		t.Errorf("summary line missing inflight: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // summary, header, two solves
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Live solves render before finished ones regardless of input order.
+	if !strings.Contains(lines[2], "bbb-2") || !strings.Contains(lines[2], "running") {
+		t.Errorf("first solve row should be the running solve: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], "3/5") {
+		t.Errorf("running solve row should show component progress: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "aaa-1") {
+		t.Errorf("second solve row should be the finished solve: %q", lines[3])
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := render(&snapshot{Metrics: map[string]float64{}})
+	if !strings.Contains(out, "no solves") {
+		t.Errorf("empty snapshot: %q", out)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("abcdef", 4); got != "abc…" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("ab", 4); got != "ab" {
+		t.Errorf("clip = %q", got)
+	}
+}

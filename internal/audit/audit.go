@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 
+	"privacymaxent/internal/buildinfo"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/maxent"
 )
@@ -113,6 +114,14 @@ type SolveAudit struct {
 	// zero-drift comparison is exactly how kernel parity is certified.
 	Workers       int `json:"workers,omitempty"`
 	KernelWorkers int `json:"kernel_workers,omitempty"`
+	// Build stamps the binary's build provenance (version+commit, see
+	// internal/buildinfo) and RequestID the serving request that asked
+	// for the audit (empty for offline runs). Like Workers above, both
+	// are informational provenance excluded from auditdiff comparison:
+	// the same problem audited by two builds or two requests must agree
+	// numerically while legitimately differing here.
+	Build     string `json:"build,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 	// Tolerance is the feasibility threshold the audit judged against.
 	Tolerance float64 `json:"tolerance"`
 	// Feasible reports MaxViolation <= Tolerance.
@@ -158,6 +167,7 @@ func New(sys *constraint.System, sol *maxent.Solution, opts Options) *SolveAudit
 		MaxViolation:  sol.Stats.MaxViolation,
 		Workers:       sol.Stats.Workers,
 		KernelWorkers: sol.Stats.KernelWorkers,
+		Build:         buildinfo.Get().String(),
 		Tolerance:     opts.Tolerance,
 	}
 

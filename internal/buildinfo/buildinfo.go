@@ -1,0 +1,78 @@
+// Package buildinfo exposes the binary's build provenance — module
+// version, VCS commit and Go toolchain — read once from the metadata the
+// Go linker embeds (debug.ReadBuildInfo). Every surface that reports
+// provenance (the /healthz body, the pmaxentd_build_info metric, audit
+// records) draws from this single snapshot, so they can never disagree.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the build provenance snapshot.
+type Info struct {
+	// Version is the main module's version ("(devel)" for local builds).
+	Version string
+	// Commit is the VCS revision, truncated to 12 hex digits; empty when
+	// the binary was built outside a checkout.
+	Commit string
+	// Modified reports uncommitted changes at build time ("dirty" builds).
+	Modified bool
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string
+}
+
+var (
+	once   sync.Once
+	cached Info
+)
+
+// Get returns the build provenance, reading it on first call.
+func Get() Info {
+	once.Do(func() {
+		cached = read(debug.ReadBuildInfo())
+	})
+	return cached
+}
+
+// read extracts the fields from a raw build-info record; factored out of
+// Get so tests can exercise it without a linker-stamped binary.
+func read(bi *debug.BuildInfo, ok bool) Info {
+	info := Info{Version: "(devel)"}
+	if !ok || bi == nil {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	info.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if len(s.Value) > 12 {
+				info.Commit = s.Value[:12]
+			} else {
+				info.Commit = s.Value
+			}
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the provenance as a single token suitable for logs and
+// audit records: "version" or "version+commit" with a "+dirty" suffix
+// for modified builds.
+func (i Info) String() string {
+	s := i.Version
+	if i.Commit != "" {
+		s = fmt.Sprintf("%s+%s", s, i.Commit)
+	}
+	if i.Modified {
+		s += "+dirty"
+	}
+	return s
+}

@@ -1,0 +1,49 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestReadMissing(t *testing.T) {
+	got := read(nil, false)
+	if got.Version != "(devel)" {
+		t.Fatalf("missing build info: version = %q, want (devel)", got.Version)
+	}
+	if got.String() != "(devel)" {
+		t.Fatalf("missing build info: String() = %q, want (devel)", got.String())
+	}
+}
+
+func TestReadFields(t *testing.T) {
+	bi := &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123456789abcdef01234567"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	got := read(bi, true)
+	if got.Version != "v1.2.3" {
+		t.Errorf("Version = %q, want v1.2.3", got.Version)
+	}
+	if got.Commit != "0123456789ab" {
+		t.Errorf("Commit = %q, want 12-digit truncation", got.Commit)
+	}
+	if !got.Modified {
+		t.Error("Modified = false, want true")
+	}
+	if got.GoVersion != "go1.24.0" {
+		t.Errorf("GoVersion = %q", got.GoVersion)
+	}
+	if want := "v1.2.3+0123456789ab+dirty"; got.String() != want {
+		t.Errorf("String() = %q, want %q", got.String(), want)
+	}
+}
+
+func TestGetStable(t *testing.T) {
+	if Get() != Get() {
+		t.Fatal("Get() not stable across calls")
+	}
+}

@@ -272,9 +272,12 @@ func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, 
 		return nil, err
 	}
 	if auditOpts != nil {
+		auditStart := time.Now()
 		_, aspan := telemetry.Start(ctx, "core.audit")
 		rep.Audit = audit.New(sys, sol, *auditOpts)
+		rep.Audit.RequestID = telemetry.RequestID(ctx)
 		aspan.End()
+		tm.Add(StageAudit, time.Since(auditStart))
 	}
 	rep.Timings = *tm
 	if reg := telemetry.Metrics(ctx); reg != nil {

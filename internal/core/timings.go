@@ -22,6 +22,10 @@ const (
 	StageFormulate = "formulate"
 	StageSolve     = "solve"
 	StageScore     = "score"
+	// StageAudit is the post-solve audit build; present only when an
+	// audit was requested, so the per-stage server histograms can tell
+	// how much of a request's latency auditing added.
+	StageAudit = "audit"
 )
 
 // StageTiming is one (stage, wall-clock duration) entry.

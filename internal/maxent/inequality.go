@@ -113,6 +113,38 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 		telemetry.Int("equalities", len(cons)),
 		telemetry.Int("inequalities", len(ineqs)))
 	defer span.End()
+	logger := telemetry.Logger(ctx)
+	obs := telemetry.SolveObserverFrom(ctx)
+	logger.Info("solve.start",
+		"algorithm", "boxed-bb",
+		"variables", n,
+		"equalities", len(cons),
+		"inequalities", len(ineqs))
+	observe(obs, "solve.start",
+		telemetry.String("algorithm", "boxed-bb"),
+		telemetry.Int("variables", n),
+		telemetry.Int("equalities", len(cons)),
+		telemetry.Int("inequalities", len(ineqs)))
+	// The boxed dual has no solver trace hook, so vague solves stream
+	// lifecycle events only — no per-iteration frames (see DESIGN.md).
+	fail := func(err error) {
+		logger.Error("solve.failed", "error", err.Error())
+		observe(obs, "solve.failed", telemetry.String("error", err.Error()))
+	}
+	done := func(stats Stats) {
+		logger.Info("solve.done",
+			"iterations", stats.Iterations,
+			"evaluations", stats.Evaluations,
+			"converged", stats.Converged,
+			"max_violation", stats.MaxViolation,
+			"duration", stats.Duration.String())
+		observe(obs, "solve.done",
+			telemetry.Int("iterations", stats.Iterations),
+			telemetry.Int("evaluations", stats.Evaluations),
+			telemetry.Bool("converged", stats.Converged),
+			telemetry.Float("max_violation", stats.MaxViolation),
+			telemetry.String("duration", stats.Duration.String()))
+	}
 	sol := &Solution{X: append([]float64(nil), init...)}
 	sol.Stats.Workers = 1
 
@@ -130,6 +162,7 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 	}
 	red, err := runPresolve(ctx, n, rows)
 	if err != nil {
+		fail(err)
 		return nil, Stats{}, err
 	}
 	for j := 0; j < red.n; j++ {
@@ -177,7 +210,9 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 		}
 		if len(b.cols) == 0 {
 			if b.lo > presolveTol || b.hi < -presolveTol {
-				return nil, Stats{}, &ErrInfeasible{Reason: fmt.Sprintf("inequality %q reduces to %g <= 0 <= %g", q.label(), b.lo, b.hi)}
+				err := &ErrInfeasible{Reason: fmt.Sprintf("inequality %q reduces to %g <= 0 <= %g", q.label(), b.lo, b.hi)}
+				fail(err)
+				return nil, Stats{}, err
 			}
 			continue
 		}
@@ -190,6 +225,7 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 		sol.Stats.MaxViolation = maxViolationOf(cons, sol.X)
 		sol.Stats.Duration = time.Since(start)
 		sol.Stats.record(telemetry.Metrics(ctx), 0)
+		done(sol.Stats)
 		return sol.X, sol.Stats, nil
 	}
 
@@ -243,6 +279,7 @@ func SolveConstraintsWithInequalitiesContext(ctx context.Context, n int, cons []
 		telemetry.Int("iterations", sol.Stats.Iterations),
 		telemetry.Bool("converged", sol.Stats.Converged))
 	sol.Stats.record(telemetry.Metrics(ctx), 0)
+	done(sol.Stats)
 	return sol.X, sol.Stats, nil
 }
 

@@ -172,6 +172,19 @@ func chainInterrupt(ctx context.Context, opts Options) Options {
 	return opts
 }
 
+// observe forwards a lifecycle event to a solve observer; nil observers
+// are a no-op, so emission sites never branch. The events mirror the
+// solve-event logger (solve.start, decompose, presolve, component.done,
+// solve.done, solve.failed) with the same attributes — the live
+// introspection layer (pmaxentd's /debug/solves and SSE streams) is fed
+// from this stream plus the per-iteration SolveIteration signal wired
+// into the solver trace chain in solveReduced.
+func observe(obs telemetry.SolveObserver, name string, attrs ...telemetry.Attr) {
+	if obs != nil {
+		obs.SolveEvent(name, attrs...)
+	}
+}
+
 // minParallelBlocks is the smallest block count worth fanning out: below
 // it the enlist/wait synchronization of a ParallelFor costs more than the
 // one or two blocks of arithmetic it distributes. Small decomposed
@@ -287,10 +300,15 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 		telemetry.String("algorithm", opts.Algorithm.String()))
 	defer span.End()
 	logger := telemetry.Logger(ctx)
+	obs := telemetry.SolveObserverFrom(ctx)
 	logger.Info("solve.start",
 		"algorithm", opts.Algorithm.String(),
 		"variables", n,
 		"constraints", len(cons))
+	observe(obs, "solve.start",
+		telemetry.String("algorithm", opts.Algorithm.String()),
+		telemetry.Int("variables", n),
+		telemetry.Int("constraints", len(cons)))
 	x := make([]float64, n)
 	copy(x, init)
 
@@ -310,6 +328,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 	red, err := runPresolve(ctx, n, rows)
 	if err != nil {
 		logger.Error("solve.failed", "error", err.Error())
+		observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 		return nil, Stats{}, err
 	}
 	var stats Stats
@@ -329,8 +348,9 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 		defer kp.Close()
 		opts = chainInterrupt(ctx, opts)
 		sol := &Solution{X: x}
-		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw)); err != nil {
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw), 0); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
+			observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 			return nil, Stats{}, err
 		}
 		stats.Iterations = sol.Stats.Iterations
@@ -366,6 +386,12 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 		"converged", stats.Converged,
 		"max_violation", stats.MaxViolation,
 		"duration", stats.Duration.String())
+	observe(obs, "solve.done",
+		telemetry.Int("iterations", stats.Iterations),
+		telemetry.Int("evaluations", stats.Evaluations),
+		telemetry.Bool("converged", stats.Converged),
+		telemetry.Float("max_violation", stats.MaxViolation),
+		telemetry.String("duration", stats.Duration.String()))
 	return x, stats, nil
 }
 
@@ -390,11 +416,17 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 	defer span.End()
 	reg := telemetry.Metrics(ctx)
 	logger := telemetry.Logger(ctx)
+	obs := telemetry.SolveObserverFrom(ctx)
 	logger.Info("solve.start",
 		"algorithm", opts.Algorithm.String(),
 		"decompose", opts.Decompose,
 		"variables", sp.Len(),
 		"constraints", sys.Len())
+	observe(obs, "solve.start",
+		telemetry.String("algorithm", opts.Algorithm.String()),
+		telemetry.Bool("decompose", opts.Decompose),
+		telemetry.Int("variables", sp.Len()),
+		telemetry.Int("constraints", sys.Len()))
 	sol := &Solution{space: sp, X: Uniform(sp)}
 	sol.Stats.Workers = 1
 	sol.Stats.KernelWorkers = 1
@@ -418,6 +450,13 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			"converged", sol.Stats.Converged,
 			"max_violation", sol.Stats.MaxViolation,
 			"duration", sol.Stats.Duration.String())
+		observe(obs, "solve.done",
+			telemetry.Int("iterations", sol.Stats.Iterations),
+			telemetry.Int("evaluations", sol.Stats.Evaluations),
+			telemetry.Int("components", sol.Stats.Components),
+			telemetry.Bool("converged", sol.Stats.Converged),
+			telemetry.Float("max_violation", sol.Stats.MaxViolation),
+			telemetry.String("duration", sol.Stats.Duration.String()))
 	}
 
 	if opts.Decompose {
@@ -427,6 +466,10 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		if len(relevant) == 0 {
 			dspan.SetAttr(telemetry.Int("relevant_buckets", 0))
 			dspan.End()
+			observe(obs, "decompose",
+				telemetry.Int("relevant_buckets", 0),
+				telemetry.Int("irrelevant_buckets", sol.Stats.IrrelevantBuckets),
+				telemetry.Int("components", 0))
 			// No knowledge at all: the closed form is exact (Theorem 4).
 			sol.Stats.Converged = true
 			finish()
@@ -438,10 +481,15 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			telemetry.Int("irrelevant_buckets", sol.Stats.IrrelevantBuckets),
 			telemetry.Int("components", len(components)))
 		dspan.End()
+		observe(obs, "decompose",
+			telemetry.Int("relevant_buckets", len(relevant)),
+			telemetry.Int("irrelevant_buckets", sol.Stats.IrrelevantBuckets),
+			telemetry.Int("components", len(components)))
 		sol.Stats.Components = len(components)
 		sol.Stats.Converged = true
 		if err := solveComponents(ctx, sol, components, opts); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
+			observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 			return nil, err
 		}
 		finish()
@@ -451,6 +499,7 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 	red, err := runPresolve(ctx, sp.Len(), systemRows(sys, nil))
 	if err != nil {
 		logger.Error("solve.failed", "error", err.Error())
+		observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 		return nil, err
 	}
 	for j := 0; j < red.n; j++ {
@@ -466,8 +515,9 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		kp := pool.New(kw)
 		defer kp.Close()
 		opts = chainInterrupt(ctx, opts)
-		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw)); err != nil {
+		if err := solveReduced(ctx, sol, red, opts.warmMap(), opts, kernelRunner(ctx, kp, kw), 0); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
+			observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 			return nil, err
 		}
 		// A non-decomposed solve has no component fan-out, so its actual
@@ -486,14 +536,20 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 func runPresolve(ctx context.Context, n int, rows []rowData) (*reduced, error) {
 	_, span := telemetry.Start(ctx, "maxent.presolve", telemetry.Int("rows", len(rows)))
 	red, err := presolve(n, rows)
+	obs := telemetry.SolveObserverFrom(ctx)
 	if err == nil {
 		span.SetAttr(
 			telemetry.Int("fixed", red.numFixed()),
 			telemetry.Int("active", len(red.active)))
 		telemetry.Logger(ctx).Info("presolve",
 			"rows", len(rows), "fixed", red.numFixed(), "active", len(red.active))
+		observe(obs, "presolve",
+			telemetry.Int("rows", len(rows)),
+			telemetry.Int("fixed", red.numFixed()),
+			telemetry.Int("active", len(red.active)))
 	} else {
 		telemetry.Logger(ctx).Error("presolve.infeasible", "error", err.Error())
+		observe(obs, "presolve.infeasible", telemetry.String("error", err.Error()))
 	}
 	span.End()
 	return red, err
@@ -648,7 +704,7 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				// solveReduced mutates only this component's entries of
 				// sol.X (disjoint across components) and local stats.
 				ls := &Solution{X: sol.X}
-				err = solveReduced(cctx, ls, red, warm, opts, kernelRunner(cctx, p, kw))
+				err = solveReduced(cctx, ls, red, warm, opts, kernelRunner(cctx, p, kw), ci)
 				local.Iterations = ls.Stats.Iterations
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
@@ -678,6 +734,11 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				"active", local.ActiveVariables,
 				"iterations", local.Iterations,
 				"converged", local.Converged)
+			observe(telemetry.SolveObserverFrom(ctx), "component.done",
+				telemetry.Int("component", ci),
+				telemetry.Int("active", local.ActiveVariables),
+				telemetry.Int("iterations", local.Iterations),
+				telemetry.Bool("converged", local.Converged))
 		}
 		mu.Lock()
 		if err != nil && firstErr == nil {
@@ -727,10 +788,22 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 // maps constraint labels to dual multipliers used to seed λ (see
 // Options.WarmStart). run, when non-nil, is the block executor the dual
 // kernels shard their work onto; the scaling algorithms (GIS, IIS)
-// ignore it. The context's registry receives an iteration counter via a
-// telemetry-backed recorder chained in front of any user-supplied solver
-// trace callback.
-func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[string]float64, opts Options, run linalg.Runner) error {
+// ignore it. comp names the decomposition component the reduced system
+// belongs to (0 when not decomposed) and labels the live-progress
+// signal. The context's registry receives an iteration counter — and
+// the context's solve observer the per-iteration progress feed — via
+// telemetry-backed recorders chained in front of any user-supplied
+// solver trace callback.
+func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[string]float64, opts Options, run linalg.Runner, comp int) error {
+	if obs := telemetry.SolveObserverFrom(ctx); obs != nil {
+		prev := opts.Solver.Trace
+		opts.Solver.Trace = func(ev solver.TraceEvent) {
+			obs.SolveIteration(comp, ev.Iteration, ev.F, ev.GradNorm)
+			if prev != nil {
+				prev(ev)
+			}
+		}
+	}
 	if reg := telemetry.Metrics(ctx); reg != nil {
 		iters := reg.Counter("pmaxent_dual_iterations_total")
 		grad := reg.Gauge("pmaxent_dual_last_grad_norm")

@@ -36,6 +36,9 @@ func DigestPublished(d *bucket.Bucketized) (string, error) {
 // accelerates the shared invariant rows and silently skips the rest.
 type cacheEntry struct {
 	digest string
+	// createdAt is when the entry was inserted; the cache's oldest-entry
+	// age gauge reads it to show how stale the LRU tail is.
+	createdAt time.Time
 
 	once     sync.Once
 	prepared *core.Prepared
@@ -89,9 +92,13 @@ type preparedCache struct {
 	cap     int
 	order   *list.List // *cacheEntry; front = most recently used
 	entries map[string]*list.Element
+	// onEvict, when set, runs (outside the lock is unnecessary — it only
+	// bumps a counter) once per capacity eviction; failed-build drops are
+	// not evictions.
+	onEvict func()
 }
 
-func newPreparedCache(capacity int) *preparedCache {
+func newPreparedCache(capacity int, onEvict func()) *preparedCache {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -99,6 +106,7 @@ func newPreparedCache(capacity int) *preparedCache {
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[string]*list.Element),
+		onEvict: onEvict,
 	}
 }
 
@@ -112,12 +120,15 @@ func (c *preparedCache) get(digest string) (*cacheEntry, bool) {
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheEntry), true
 	}
-	e := &cacheEntry{digest: digest}
+	e := &cacheEntry{digest: digest, createdAt: time.Now()}
 	c.entries[digest] = c.order.PushFront(e)
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).digest)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
 	}
 	return e, false
 }
@@ -138,4 +149,22 @@ func (c *preparedCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// oldestAge reports the age of the oldest cached entry (0 when empty) —
+// the pmaxentd_cache_oldest_entry_age_seconds gauge.
+func (c *preparedCache) oldestAge(now time.Time) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var oldest time.Time
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		t := el.Value.(*cacheEntry).createdAt
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
 }

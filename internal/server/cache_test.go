@@ -33,7 +33,7 @@ func TestDigestStableAcrossFormatting(t *testing.T) {
 }
 
 func TestPreparedCacheLRU(t *testing.T) {
-	c := newPreparedCache(2)
+	c := newPreparedCache(2, nil)
 	if _, hit := c.get("a"); hit {
 		t.Fatal("empty cache reported a hit")
 	}
@@ -54,7 +54,7 @@ func TestPreparedCacheLRU(t *testing.T) {
 }
 
 func TestPreparedCacheDrop(t *testing.T) {
-	c := newPreparedCache(4)
+	c := newPreparedCache(4, nil)
 	e1, _ := c.get("x")
 	c.drop("x")
 	e2, hit := c.get("x")

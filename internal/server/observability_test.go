@@ -1,0 +1,546 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a bytes.Buffer safe for the detached solve goroutines
+// that keep logging after the request returns.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// parseSSE splits a complete text/event-stream body into frames.
+func parseSSE(t *testing.T, body []byte) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = []byte(strings.TrimPrefix(line, "data: "))
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return frames
+}
+
+func frameIndex(frames []sseFrame, event string) int {
+	for i, f := range frames {
+		if f.event == event {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestStreamQuantifyOrderedEvents: POST /v1/quantify?stream=1 answers
+// with the solve's SSE stream in lifecycle order — solve.start, then at
+// least one component.done, then solve.done, terminated by a "result"
+// frame whose payload is byte-identical (volatile fields aside) to what
+// a non-streamed request on a fresh server returns.
+func TestStreamQuantifyOrderedEvents(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	body := quantifyBody(pubJSON, paperKnowledge)
+
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, raw := postQuantify(t, ts, "/v1/quantify?stream=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+
+	frames := parseSSE(t, raw)
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames")
+	}
+	start := frameIndex(frames, "solve.start")
+	comp := frameIndex(frames, "component.done")
+	done := frameIndex(frames, "solve.done")
+	result := frameIndex(frames, "result")
+	if start < 0 || comp < 0 || done < 0 || result < 0 {
+		t.Fatalf("missing lifecycle frames (start %d, component.done %d, done %d, result %d):\n%s",
+			start, comp, done, result, raw)
+	}
+	if !(start < comp && comp < done && done < result) {
+		t.Fatalf("frames out of order: start %d, component.done %d, done %d, result %d", start, comp, done, result)
+	}
+	if result != len(frames)-1 {
+		t.Fatalf("result frame is not last (%d of %d)", result, len(frames))
+	}
+
+	// Every lifecycle frame names the same solve.
+	var ev struct {
+		SolveID string `json:"solve_id"`
+	}
+	if err := json.Unmarshal(frames[start].data, &ev); err != nil || ev.SolveID == "" {
+		t.Fatalf("solve.start payload: %v (%s)", err, frames[start].data)
+	}
+	solveID := ev.SolveID
+	for _, i := range []int{comp, done} {
+		if err := json.Unmarshal(frames[i].data, &ev); err != nil || ev.SolveID != solveID {
+			t.Fatalf("frame %q names solve %q, want %q", frames[i].event, ev.SolveID, solveID)
+		}
+	}
+
+	// The result frame carries the exact non-streamed response. A second
+	// fresh server makes the comparison a cold miss on both sides.
+	ts2 := httptest.NewServer(New(Config{}))
+	defer ts2.Close()
+	resp2, plain := postQuantify(t, ts2, "/v1/quantify", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plain status = %d: %s", resp2.StatusCode, plain)
+	}
+	if got, want := stripVolatile(t, frames[result].data), stripVolatile(t, plain); !bytes.Equal(got, want) {
+		t.Fatalf("result frame diverges from plain response:\nstream: %s\nplain:  %s", got, want)
+	}
+}
+
+// TestSolveEventsReplay: a finished solve stays in the retention ring —
+// /debug/solves reports it done with a live iteration count, and
+// GET /v1/solves/{id}/events replays its full stream ending in the
+// result frame. An unknown ID is a 404 with kind "not_found".
+func TestSolveEventsReplay(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, raw := postQuantify(t, ts, "/v1/quantify", quantifyBody(pubJSON, paperKnowledge))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+
+	dresp, draw := postGet(t, ts, "/debug/solves")
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/solves = %d: %s", dresp.StatusCode, draw)
+	}
+	var debug DebugSolvesResponse
+	if err := json.Unmarshal(draw, &debug); err != nil {
+		t.Fatal(err)
+	}
+	if len(debug.Solves) != 1 {
+		t.Fatalf("got %d solves, want 1: %s", len(debug.Solves), draw)
+	}
+	st := debug.Solves[0]
+	if st.State != "done" {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	if st.Iterations == 0 {
+		t.Fatal("finished solve reports zero iterations — the solver trace never reached the registry")
+	}
+	if st.Variables == 0 || st.ComponentsTotal == 0 || st.ComponentsDone != st.ComponentsTotal {
+		t.Fatalf("progress fields not filled: %+v", st)
+	}
+	if st.RequestID != resp.Header.Get("X-Request-Id") {
+		t.Fatalf("solve request_id = %q, response header = %q", st.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+
+	eresp, eraw := postGet(t, ts, "/v1/solves/"+st.ID+"/events")
+	if eresp.StatusCode != http.StatusOK {
+		t.Fatalf("events status = %d: %s", eresp.StatusCode, eraw)
+	}
+	frames := parseSSE(t, eraw)
+	if len(frames) == 0 || frames[len(frames)-1].event != "result" {
+		t.Fatalf("replay does not end in result: %s", eraw)
+	}
+	if frameIndex(frames, "solve.start") != 0 {
+		t.Fatalf("replay does not start with solve.start: %s", eraw)
+	}
+
+	nresp, nraw := postGet(t, ts, "/v1/solves/no-such-solve/events")
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown solve status = %d, want 404: %s", nresp.StatusCode, nraw)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(nraw, &e); err != nil || e.Kind != "not_found" {
+		t.Fatalf("unknown-solve body = %s (err %v), want kind not_found", nraw, err)
+	}
+}
+
+// TestDebugSolvesLiveView: while a solve holds its slot, /debug/solves
+// reports it running with its request ID — the operator's live table.
+func TestDebugSolvesLiveView(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	srv := New(Config{})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.solveHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/quantify",
+			strings.NewReader(quantifyBody(pubJSON, paperKnowledge)))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("X-Request-Id", "live-view-req")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	<-entered
+
+	_, draw := postGet(t, ts, "/debug/solves")
+	var debug DebugSolvesResponse
+	if err := json.Unmarshal(draw, &debug); err != nil {
+		t.Fatal(err)
+	}
+	if len(debug.Solves) != 1 {
+		t.Fatalf("got %d solves, want 1: %s", len(debug.Solves), draw)
+	}
+	st := debug.Solves[0]
+	if st.State != "running" {
+		t.Fatalf("state = %q, want running", st.State)
+	}
+	if st.RequestID != "live-view-req" {
+		t.Fatalf("request_id = %q, want live-view-req", st.RequestID)
+	}
+	if st.ID == "" || st.Digest == "" || st.Knowledge != 1 {
+		t.Fatalf("live row incomplete: %+v", st)
+	}
+
+	close(release)
+	<-done
+}
+
+// TestRequestIDPropagation: the same ID appears in the response header,
+// the access-log line and the audit record; traceparent supplies it when
+// X-Request-Id is absent; garbage client IDs are replaced.
+func TestRequestIDPropagation(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	var logBuf syncBuffer
+	srv := New(Config{Logger: slog.New(slog.NewJSONHandler(&logBuf, nil))})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/quantify?audit=1",
+		strings.NewReader(quantifyBody(pubJSON, paperKnowledge)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "client-chosen-id.1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Request-Id"); got != "client-chosen-id.1" {
+		t.Fatalf("response X-Request-Id = %q, want the client's", got)
+	}
+	var qr QuantifyResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Audit == nil || qr.Audit.RequestID != "client-chosen-id.1" {
+		t.Fatalf("audit provenance lost the request ID: %+v", qr.Audit)
+	}
+
+	// The access-log line is written after the response; poll for it.
+	deadline := time.Now().Add(5 * time.Second)
+	var access map[string]any
+	for access == nil {
+		for _, line := range strings.Split(logBuf.String(), "\n") {
+			if !strings.Contains(line, "pmaxentd: access") {
+				continue
+			}
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				access = ev
+			}
+		}
+		if access == nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("no access-log line:\n%s", logBuf.String())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if access["request_id"] != "client-chosen-id.1" {
+		t.Fatalf("access log request_id = %v", access["request_id"])
+	}
+	// The solve-event stream joins on the same IDs.
+	var solveDone map[string]any
+	for _, line := range strings.Split(logBuf.String(), "\n") {
+		if strings.Contains(line, `"msg":"solve.done"`) {
+			if err := json.Unmarshal([]byte(line), &solveDone); err != nil {
+				t.Fatalf("corrupt solve.done line: %v\n%s", err, line)
+			}
+		}
+	}
+	if solveDone == nil {
+		t.Fatalf("no solve.done event logged:\n%s", logBuf.String())
+	}
+	if solveDone["request_id"] != "client-chosen-id.1" || solveDone["solve_id"] != access["solve_id"] {
+		t.Fatalf("solve.done not joined to the request: %v vs access %v", solveDone, access)
+	}
+	if access["solve_id"] == "" || access["cache"] != "miss" {
+		t.Fatalf("access log incomplete: %v", access)
+	}
+	if access["status"] != float64(http.StatusOK) {
+		t.Fatalf("access log status = %v", access["status"])
+	}
+}
+
+func TestRequestIdentityHeaders(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	get := func(hdr map[string]string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.Header.Get("X-Request-Id")
+	}
+
+	if got := get(map[string]string{"X-Request-Id": "abc-123"}); got != "abc-123" {
+		t.Errorf("client ID not echoed: %q", got)
+	}
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	if got := get(map[string]string{"Traceparent": "00-" + traceID + "-00f067aa0ba902b7-01"}); got != traceID {
+		t.Errorf("traceparent trace-id not adopted: %q", got)
+	}
+	// Hostile-but-transportable header: rejected wholesale, a fresh ID is
+	// generated. (Raw control characters never reach the server — the
+	// client refuses to send them.)
+	if got := get(map[string]string{"X-Request-Id": "evil id{}"}); got == "evil id{}" || len(got) != 32 {
+		t.Errorf("unsanitized or missing generated ID: %q", got)
+	}
+	if got := get(map[string]string{"X-Request-Id": strings.Repeat("x", maxRequestIDLen+1)}); len(got) != 32 {
+		t.Errorf("oversized ID not replaced: %q", got)
+	}
+	// All-zero trace-id is invalid per the W3C spec.
+	if got := get(map[string]string{"Traceparent": "00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01"}); len(got) != 32 || got == strings.Repeat("0", 32) {
+		t.Errorf("all-zero trace-id should be replaced: %q", got)
+	}
+}
+
+// TestRetryHint: the adaptive Retry-After follows the observed queue
+// waits — the floor with no load, the rounded-up p50 under load.
+func TestRetryHint(t *testing.T) {
+	var h retryHint
+	if got := h.seconds(time.Second); got != "1" {
+		t.Errorf("empty hint = %s, want floor 1", got)
+	}
+	if got := h.seconds(0); got != "1" {
+		t.Errorf("empty hint with zero floor = %s, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(3200 * time.Millisecond)
+	}
+	if got := h.seconds(time.Second); got != "4" {
+		t.Errorf("loaded hint = %s, want ceil(3.2) = 4", got)
+	}
+	// The ring forgets: 64 fast waits push the slow ones out.
+	for i := 0; i < 64; i++ {
+		h.observe(10 * time.Millisecond)
+	}
+	if got := h.seconds(time.Second); got != "1" {
+		t.Errorf("recovered hint = %s, want floor 1", got)
+	}
+	h.observe(-time.Second) // clock weirdness must not poison the ring
+	if got := h.p50(); got < 0 {
+		t.Errorf("negative wait recorded: %v", got)
+	}
+}
+
+// TestRetryAfterGrowsUnderLoad: once requests are observed waiting in
+// the queue, a shed response's Retry-After exceeds the configured floor.
+func TestRetryAfterGrowsUnderLoad(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	srv := New(Config{MaxInFlight: 1, MaxQueue: -1, RetryAfter: time.Second})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	srv.solveHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		postQuantify(t, ts, "/v1/quantify", quantifyBody(pubJSON, ""))
+	}()
+	<-entered
+
+	// Unloaded: the shed hint is the floor.
+	resp, raw := postQuantify(t, ts, "/v1/quantify", quantifyBody(pubJSON, paperKnowledge))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("unloaded Retry-After = %s, want the 1s floor", got)
+	}
+
+	// Simulate a backed-up queue: recent admissions waited ~5s. (Driving
+	// real multi-second waits would make the test as slow as the queue.)
+	for i := 0; i < 16; i++ {
+		srv.retry.observe(5 * time.Second)
+	}
+	resp, raw = postQuantify(t, ts, "/v1/quantify", quantifyBody(pubJSON, paperKnowledge))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	got, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || got < 5 {
+		t.Fatalf("loaded Retry-After = %q, want ≥ 5", resp.Header.Get("Retry-After"))
+	}
+
+	close(release)
+	<-first
+}
+
+// TestMetricsExposition: the scrape is Prometheus text format carrying
+// build info and every family in the checked-in metricslint allowlist —
+// the same contract CI enforces against a live daemon.
+func TestMetricsExposition(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	resp, raw := postGet(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	scrape := string(raw)
+
+	if !regexp.MustCompile(`(?m)^pmaxentd_build_info\{[^}]*version="[^"]+"[^}]*\} 1$`).MatchString(scrape) {
+		t.Errorf("no pmaxentd_build_info series:\n%s", scrape)
+	}
+
+	allow, err := os.ReadFile(filepath.Join("..", "..", "scripts", "metricslint", "allowlist.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(allow), "\n") {
+		name := strings.TrimSpace(line)
+		if name == "" || strings.HasPrefix(name, "#") {
+			continue
+		}
+		if !regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(\{|_bucket\{| )`).MatchString(scrape) {
+			t.Errorf("allowlisted family %q absent from a fresh server's scrape", name)
+		}
+	}
+}
+
+// TestHealthzBuildInfo: liveness carries build provenance.
+func TestHealthzBuildInfo(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, raw := postGet(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h HealthzResponse
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Version == "" || h.GoVersion == "" {
+		t.Fatalf("healthz incomplete: %s", raw)
+	}
+}
+
+// TestCacheEviction: inserting past capacity fires the eviction callback
+// exactly once per displaced entry; failed-build drops do not.
+func TestCacheEviction(t *testing.T) {
+	evicted := 0
+	c := newPreparedCache(2, func() { evicted++ })
+	c.get("a")
+	c.get("b")
+	if evicted != 0 {
+		t.Fatalf("evictions before capacity: %d", evicted)
+	}
+	c.get("c") // displaces a
+	if evicted != 1 {
+		t.Fatalf("evictions = %d, want 1", evicted)
+	}
+	if _, hit := c.get("a"); hit {
+		t.Fatal("evicted entry still resident")
+	}
+	evicted = 0
+	c.drop("b")
+	if evicted != 0 {
+		t.Fatal("drop counted as an eviction")
+	}
+	if age := c.oldestAge(time.Now().Add(time.Minute)); age < time.Minute {
+		t.Fatalf("oldestAge = %v, want ≥ 1m", age)
+	}
+	if newPreparedCache(3, nil).oldestAge(time.Now()) != 0 {
+		t.Fatal("empty cache reports nonzero age")
+	}
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// Request identity. Every request gets exactly one ID, in priority order:
+// the client's X-Request-Id header (sanitized), the trace-id field of a
+// W3C traceparent header, or a freshly generated random ID. The chosen ID
+// is echoed back in the X-Request-Id response header and threaded through
+// the context into spans, solve-event logs and audit provenance, so all
+// the signals one request produced can be joined on a single key.
+
+// maxRequestIDLen bounds accepted client-supplied IDs so a hostile
+// header cannot bloat every log line downstream.
+const maxRequestIDLen = 128
+
+// requestIdentity resolves the request's ID from its headers, generating
+// one when the client supplied none.
+func requestIdentity(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get("X-Request-Id")); id != "" {
+		return id
+	}
+	if tid, ok := parseTraceparent(r.Header.Get("Traceparent")); ok {
+		return tid
+	}
+	return newRequestID()
+}
+
+// sanitizeRequestID keeps the printable-token subset of a client ID and
+// rejects anything else: IDs land verbatim in logs and JSON, so control
+// characters and separators are dropped wholesale rather than escaped.
+func sanitizeRequestID(id string) string {
+	if id == "" || len(id) > maxRequestIDLen {
+		return ""
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// parseTraceparent extracts the trace-id from a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). Only the
+// trace-id is consumed — it becomes the request ID so the access log
+// joins against the caller's distributed trace.
+func parseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 {
+		return "", false
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", false
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return "", false
+	}
+	// The all-zero trace-id is explicitly invalid per the spec.
+	if parts[1] == strings.Repeat("0", 32) {
+		return "", false
+	}
+	return parts[1], true
+}
+
+func isHex(s string) bool {
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// newRequestID generates a 16-byte random hex ID.
+func newRequestID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; a fixed fallback keeps the
+		// request serviceable (the ID merely stops being unique).
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

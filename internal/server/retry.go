@@ -1,0 +1,68 @@
+package server
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// retryHint turns observed queue waits into an adaptive Retry-After
+// value. The static -retry-after flag only knows how long the operator
+// guessed a retry should back off; the queue itself knows how long
+// requests are actually waiting for a slot right now. The hint is the
+// p50 of the most recent queue waits (successful acquisitions and
+// timed-out waits alike — a wait that expired is still evidence of how
+// long the line is), rounded up to whole seconds, floored by the
+// configured value. Under no load the hint equals the flag; under
+// sustained load it grows with the queue, telling clients to come back
+// when a slot is plausibly free instead of hammering a saturated server.
+type retryHint struct {
+	mu   sync.Mutex
+	ring [64]time.Duration
+	n    int // total observations (ring index = n % len)
+}
+
+// observe records one queue wait.
+func (h *retryHint) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.ring[h.n%len(h.ring)] = d
+	h.n++
+	h.mu.Unlock()
+}
+
+// p50 returns the median of the recorded waits (0 with no samples).
+func (h *retryHint) p50() time.Duration {
+	h.mu.Lock()
+	n := h.n
+	if n > len(h.ring) {
+		n = len(h.ring)
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, h.ring[:n])
+	h.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[n/2]
+}
+
+// seconds renders the Retry-After header value: the observed p50 rounded
+// up to whole seconds, never below the configured floor (and never
+// below 1s — Retry-After is an integer header).
+func (h *retryHint) seconds(floor time.Duration) string {
+	hint := floor
+	if p := h.p50(); p > hint {
+		hint = p
+	}
+	secs := int(math.Ceil(hint.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

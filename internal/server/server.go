@@ -23,9 +23,22 @@
 //     finish, and only force-cancels them when its own deadline expires,
 //     so SIGTERM never leaks ErrInterrupted into successful responses.
 //
-// Endpoints: POST /v1/quantify, POST /v1/rules/mine, GET /healthz,
-// GET /readyz. Error bodies are ErrorResponse; the Kind field mirrors the
-// facade error taxonomy (see the privacymaxent package's error docs).
+// Every request carries an identity: an X-Request-Id (accepted from the
+// client, derived from a W3C traceparent, or generated) that is echoed
+// in the response, threaded through spans, solve-event logs and audit
+// provenance, and stamped on the one structured access-log line the
+// server emits per request. In-flight solves are introspectable live:
+// GET /debug/solves snapshots the solve table (iteration counts, current
+// ∞-grad, component progress), GET /v1/solves/{id}/events streams one
+// solve's lifecycle and sampled iteration events over SSE, and
+// POST /v1/quantify?stream=1 enters that stream directly, terminated by
+// a frame carrying the final response bytes.
+//
+// Endpoints: POST /v1/quantify (+?stream=1), POST /v1/rules/mine,
+// GET /v1/solves/{id}/events, GET /debug/solves, GET /metrics,
+// GET /healthz, GET /readyz. Error bodies are ErrorResponse; the Kind
+// field mirrors the facade error taxonomy (see the privacymaxent
+// package's error docs).
 package server
 
 import (
@@ -37,14 +50,15 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
-	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"privacymaxent/internal/assoc"
 	"privacymaxent/internal/audit"
 	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/buildinfo"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
@@ -59,6 +73,10 @@ var errBadRequest = errors.New("server: bad request")
 
 // errDraining reports that the server has stopped admitting work.
 var errDraining = errors.New("server: draining")
+
+// errNotFound marks lookups of unknown resources (an unknown solve ID)
+// for the 404 mapping.
+var errNotFound = errors.New("server: not found")
 
 // maxBodyBytes bounds request bodies; published views are compact
 // (values are interned strings), so this is generous.
@@ -130,6 +148,8 @@ type Server struct {
 	cache  *preparedCache
 	flight *flightGroup
 	lim    *limiter
+	live   *solveRegistry
+	retry  *retryHint
 	reg    *telemetry.Registry
 	log    *slog.Logger
 	mux    *http.ServeMux
@@ -146,6 +166,10 @@ type Server struct {
 	drainMu  sync.RWMutex
 	draining bool
 	solves   sync.WaitGroup
+
+	// sseClients counts attached event-stream subscribers (the
+	// pmaxentd_sse_clients gauge).
+	sseClients atomic.Int64
 
 	// solveHook, when set, runs on the leader goroutine after a solve
 	// slot is acquired and before the solve starts — a test seam for
@@ -167,26 +191,164 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:        cfg,
 		q:          core.New(cfg.Pipeline),
-		cache:      newPreparedCache(cfg.CacheSize),
 		flight:     newFlightGroup(),
 		lim:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
+		live:       newSolveRegistry(cfg.Registry),
+		retry:      &retryHint{},
 		reg:        cfg.Registry,
 		log:        telemetry.Logger(base),
 		base:       base,
 		cancelBase: cancel,
 	}
+	s.cache = newPreparedCache(cfg.CacheSize, func() {
+		s.reg.Counter("pmaxentd_cache_evictions_total").Add(1)
+	})
+	s.declareMetrics()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quantify", s.handleQuantify)
+	mux.HandleFunc("GET /v1/solves/{id}/events", s.handleSolveEvents)
 	mux.HandleFunc("POST /v1/rules/mine", s.handleMine)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
 	s.mux = mux
 	return s
 }
 
-// ServeHTTP dispatches to the v1 routes.
+// declareMetrics pre-registers every pmaxentd_* series so a scrape (and
+// the CI allowlist check) sees the full surface from the first request —
+// lazily created metrics would otherwise pop in and out of existence
+// depending on which code paths have run.
+func (s *Server) declareMetrics() {
+	for _, name := range []string{
+		"pmaxentd_requests_total",
+		"pmaxentd_coalesced_total",
+		"pmaxentd_shed_total",
+		"pmaxentd_errors_total",
+		"pmaxentd_mine_total",
+		"pmaxentd_cache_hits_total",
+		"pmaxentd_cache_misses_total",
+		"pmaxentd_cache_evictions_total",
+	} {
+		s.reg.Counter(name)
+	}
+	for _, name := range []string{
+		"pmaxentd_cache_entries",
+		"pmaxentd_cache_oldest_entry_age_seconds",
+		"pmaxentd_inflight",
+		"pmaxentd_queue_depth",
+		"pmaxentd_solves_live",
+		"pmaxentd_sse_clients",
+	} {
+		s.reg.Gauge(name)
+	}
+	for _, name := range []string{
+		"pmaxentd_request_duration_seconds",
+		"pmaxentd_queue_wait_seconds",
+		"pmaxentd_prepare_duration_seconds",
+		"pmaxentd_solve_duration_seconds",
+		"pmaxentd_audit_duration_seconds",
+	} {
+		s.reg.Histogram(name, telemetry.DurationBuckets)
+	}
+	// The admission limits are configuration, but exporting them beside
+	// the depth gauges lets a dashboard show utilization without knowing
+	// the flags.
+	s.reg.Gauge("pmaxentd_inflight_limit").Set(float64(s.cfg.MaxInFlight))
+	s.reg.Gauge("pmaxentd_queue_limit").Set(float64(s.cfg.MaxQueue))
+	bi := buildinfo.Get()
+	s.reg.Info("pmaxentd_build_info", map[string]string{
+		"version":   bi.Version,
+		"commit":    bi.Commit,
+		"goversion": bi.GoVersion,
+	})
+}
+
+// accessInfo accumulates the request-scoped fields of the access-log
+// line that only the handler knows (which solve served it, cache
+// disposition, queue wait). The middleware installs a pointer in the
+// request context; handlers fill it in; the middleware logs it after the
+// handler returns — handlers run synchronously inside ServeHTTP, so no
+// locking is needed.
+type accessInfo struct {
+	solveID   string
+	cache     string
+	coalesced bool
+	queueWait time.Duration
+	solve     time.Duration
+}
+
+type accessInfoKey struct{}
+
+// accessFrom returns the request's accessInfo; a throwaway struct when
+// the middleware did not run (direct handler tests), so handlers never
+// nil-check.
+func accessFrom(ctx context.Context) *accessInfo {
+	if ai, ok := ctx.Value(accessInfoKey{}).(*accessInfo); ok {
+		return ai
+	}
+	return &accessInfo{}
+}
+
+// statusRecorder captures the status code and body size for the access
+// log while passing Flush through — the SSE endpoints stream through
+// this same wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// ServeHTTP resolves the request's identity, dispatches to the v1
+// routes, and emits one structured access-log line per request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	rid := requestIdentity(r)
+	w.Header().Set("X-Request-Id", rid)
+	ai := &accessInfo{}
+	ctx := telemetry.WithRequestID(r.Context(), rid)
+	ctx = context.WithValue(ctx, accessInfoKey{}, ai)
+	rec := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r.WithContext(ctx))
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	s.log.Info("pmaxentd: access",
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", status,
+		"duration_ms", float64(time.Since(start).Nanoseconds())/1e6,
+		"request_id", rid,
+		"solve_id", ai.solveID,
+		"cache", ai.cache,
+		"coalesced", ai.coalesced,
+		"queue_wait_ms", float64(ai.queueWait.Nanoseconds())/1e6,
+		"solve_ms", float64(ai.solve.Nanoseconds())/1e6,
+		"bytes", rec.bytes)
 }
 
 // Registry exposes the server's metrics registry (for expvar/Prometheus
@@ -252,7 +414,103 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	bi := buildinfo.Get()
+	writeJSON(w, http.StatusOK, &HealthzResponse{
+		Status:    "ok",
+		Version:   bi.Version,
+		Commit:    bi.Commit,
+		Modified:  bi.Modified,
+		GoVersion: bi.GoVersion,
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition of the registry,
+// refreshing the point-in-time gauges first so a scrape never shows
+// stale load or cache-age numbers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.observeLoad()
+	s.reg.Gauge("pmaxentd_cache_entries").Set(float64(s.cache.len()))
+	s.reg.Gauge("pmaxentd_cache_oldest_entry_age_seconds").
+		Set(s.cache.oldestAge(time.Now()).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteProm(w)
+}
+
+// handleDebugSolves snapshots the live solve table (plus the retained
+// ring of finished solves, distinguished by their state field).
+func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &DebugSolvesResponse{Solves: s.live.snapshot()})
+}
+
+// handleSolveEvents streams one solve's event frames over SSE: the full
+// replay of what already happened, then live frames until the terminal
+// "result"/"error" frame. Works for finished solves still in the
+// retention ring (pure replay) and for solves started by someone else —
+// this is how an operator attaches to a long-running solve they saw in
+// /debug/solves.
+func (s *Server) handleSolveEvents(w http.ResponseWriter, r *http.Request) {
+	ls := s.live.find(r.PathValue("id"))
+	if ls == nil {
+		s.writeError(w, fmt.Errorf("%w: unknown solve %q", errNotFound, r.PathValue("id")))
+		return
+	}
+	s.streamFrames(w, r.Context(), ls)
+}
+
+// streamFrames writes a solve's SSE stream: replay, then live frames
+// until terminal, ctx cancellation (client disconnect) or server drain.
+func (s *Server) streamFrames(w http.ResponseWriter, ctx context.Context, ls *liveSolve) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		s.writeError(w, fmt.Errorf("server: response writer cannot stream"))
+		return
+	}
+	replay, ch := ls.subscribe()
+	if ch != nil {
+		defer ls.unsubscribe(ch)
+	}
+	s.reg.Gauge("pmaxentd_sse_clients").Set(float64(s.sseClients.Add(1)))
+	defer func() {
+		s.reg.Gauge("pmaxentd_sse_clients").Set(float64(s.sseClients.Add(-1)))
+	}()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-store")
+	h.Set("X-Accel-Buffering", "no") // proxies must not buffer the stream
+	w.WriteHeader(http.StatusOK)
+	for _, f := range replay {
+		writeSSE(w, f)
+		if f.terminal() {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return // terminal frame was delivered (or dropped); stream over
+			}
+			writeSSE(w, f)
+			fl.Flush()
+			if f.terminal() {
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one frame in text/event-stream framing. Payloads are
+// single-line JSON, so no data-line splitting is needed.
+func writeSSE(w http.ResponseWriter, f sseFrame) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data)
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -322,19 +580,36 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Every request pre-registers a live-solve entry; losing the
+	// single-flight race below aborts it and adopts the leader's.
+	ai := accessFrom(r.Context())
+	ls := s.live.begin(digest, telemetry.RequestID(r.Context()), len(knowledge), req.Eps, wantAudit)
+
 	// The wait — not the solve — is bounded by the request context. The
 	// leader runs detached under the server's base context so followers
 	// (and the leader's own requester) can give up independently.
 	waitCtx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
 	defer cancel()
 	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit)
-	call, joined := s.flight.join(key, func() ([]byte, error) {
-		return s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit)
+	call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
+		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, ls, &c.meta)
+		s.live.finish(ls, body, err)
+		return body, err
 	})
 	if joined {
+		s.live.abort(ls)
 		s.reg.Counter("pmaxentd_coalesced_total").Add(1)
 	}
+	ai.solveID = call.solveID
+	ai.coalesced = joined
+
+	if boolQuery(r, "stream") {
+		s.streamQuantify(w, waitCtx, call, ai)
+		return
+	}
+
 	body, err := call.wait(waitCtx)
+	fillMeta(ai, call)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -345,10 +620,48 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// fillMeta copies the flight's accounting into the access-log info —
+// only once the flight finished; a caller that gave up while the solve
+// was still running has nothing to report.
+func fillMeta(ai *accessInfo, call *flightCall) {
+	select {
+	case <-call.done:
+		ai.cache = call.meta.cache
+		ai.queueWait = call.meta.queueWait
+		ai.solve = call.meta.solve
+	default:
+	}
+}
+
+// streamQuantify serves POST /v1/quantify?stream=1: instead of blocking
+// for the final bytes, the response becomes the solve's SSE stream —
+// replayed from the start for followers who joined late — ending with a
+// "result" frame that carries the exact bytes a non-streamed request
+// would have received (or an "error" frame).
+func (s *Server) streamQuantify(w http.ResponseWriter, ctx context.Context, call *flightCall, ai *accessInfo) {
+	ls := s.live.find(call.solveID)
+	if ls == nil {
+		// The flight finished so long ago its registry entry aged out of
+		// the retention ring; degrade to the non-streamed response.
+		body, err := call.wait(ctx)
+		fillMeta(ai, call)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	s.streamFrames(w, ctx, ls)
+	fillMeta(ai, call)
+}
+
 // runQuantify is the single-flight leader: admission, prepared-cache
 // lookup/build, solve, and response encoding. It runs detached from any
-// request context.
-func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit bool) ([]byte, error) {
+// request context; ls receives its live progress and meta the
+// accounting shared with coalesced followers.
+func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit bool, ls *liveSolve, meta *callMeta) ([]byte, error) {
 	start := time.Now()
 	if !s.beginWork() {
 		return nil, errDraining
@@ -357,19 +670,39 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 
 	ctx, cancel := context.WithTimeout(s.base, s.cfg.SolveTimeout)
 	defer cancel()
+	// The detached context re-carries the leader request's identity (the
+	// base context cannot: it is shared) plus the live-solve observer the
+	// maxent lifecycle and iteration events feed. The solve-event logger
+	// is re-tagged too, so every solve.start/…/solve.done JSONL line joins
+	// the access log and audit on the same request and solve IDs.
+	ctx = telemetry.WithRequestID(ctx, ls.requestID)
+	ctx = telemetry.WithLogger(ctx,
+		telemetry.Logger(ctx).With("request_id", ls.requestID, "solve_id", ls.id))
+	ctx = telemetry.WithSolveObserver(ctx, ls)
 	ctx, span := telemetry.Start(ctx, "server.quantify",
 		telemetry.String("digest", digest[:12]),
+		telemetry.String("request_id", ls.requestID),
+		telemetry.String("solve_id", ls.id),
 		telemetry.Int("knowledge", len(knowledge)),
 		telemetry.Float("eps", eps),
 		telemetry.Bool("audit", wantAudit))
 	defer span.End()
 
+	queueStart := time.Now()
 	if err := s.lim.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.reg.Counter("pmaxentd_shed_total").Add(1)
+		} else {
+			// The request waited in line and gave up (or timed out):
+			// that wait is real evidence for the Retry-After hint.
+			s.noteQueueWait(time.Since(queueStart))
 		}
 		return nil, err
 	}
+	queueWait := time.Since(queueStart)
+	s.noteQueueWait(queueWait)
+	meta.queueWait = queueWait
+	s.live.markRunning(ls, queueWait)
 	defer func() {
 		s.lim.release()
 		s.observeLoad()
@@ -429,6 +762,25 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 		}
 	}
 	s.reg.Gauge("pmaxentd_cache_entries").Set(float64(s.cache.len()))
+	meta.cache = cacheState
+
+	// Per-stage latency histograms from the pipeline's own timing
+	// breakdown: prepare appears only on cache misses, audit only when
+	// requested — absence of observations is itself the signal.
+	for _, st := range rep.Timings {
+		switch st.Stage {
+		case core.StagePrepare:
+			s.reg.Histogram("pmaxentd_prepare_duration_seconds", telemetry.DurationBuckets).
+				Observe(st.Duration.Seconds())
+		case core.StageSolve:
+			meta.solve = st.Duration
+			s.reg.Histogram("pmaxentd_solve_duration_seconds", telemetry.DurationBuckets).
+				Observe(st.Duration.Seconds())
+		case core.StageAudit:
+			s.reg.Histogram("pmaxentd_audit_duration_seconds", telemetry.DurationBuckets).
+				Observe(st.Duration.Seconds())
+		}
+	}
 
 	resp := buildResponse(digest, cacheState, eps, pub.Schema(), rep, s.q.Config().Solve.Algorithm)
 	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
@@ -437,6 +789,14 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 		return nil, fmt.Errorf("server: encoding response: %w", err)
 	}
 	return append(body, '\n'), nil
+}
+
+// noteQueueWait feeds one observed admission wait into the queue-wait
+// histogram and the adaptive Retry-After hint.
+func (s *Server) noteQueueWait(d time.Duration) {
+	s.retry.observe(d)
+	s.reg.Histogram("pmaxentd_queue_wait_seconds", telemetry.DurationBuckets).
+		Observe(d.Seconds())
 }
 
 // solveErr refines a solve failure: when the server-side budget expired,
@@ -493,13 +853,17 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Tracer != nil {
 		ctx = telemetry.WithTracer(ctx, s.cfg.Tracer)
 	}
+	queueStart := time.Now()
 	if err := s.lim.acquire(ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			s.reg.Counter("pmaxentd_shed_total").Add(1)
+		} else {
+			s.noteQueueWait(time.Since(queueStart))
 		}
 		s.writeError(w, err)
 		return
 	}
+	s.noteQueueWait(time.Since(queueStart))
 	defer func() {
 		s.lim.release()
 		s.observeLoad()
@@ -565,10 +929,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		status, kind = http.StatusTooManyRequests, "overloaded"
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", s.retry.seconds(s.cfg.RetryAfter))
 	case errors.Is(err, errDraining):
 		status, kind = http.StatusServiceUnavailable, "draining"
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		w.Header().Set("Retry-After", s.retry.seconds(s.cfg.RetryAfter))
+	case errors.Is(err, errNotFound):
+		status, kind = http.StatusNotFound, "not_found"
 	case errors.Is(err, errs.ErrInfeasible):
 		status, kind = http.StatusUnprocessableEntity, "infeasible"
 	case errors.Is(err, context.DeadlineExceeded):
@@ -585,14 +951,6 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.reg.Counter("pmaxentd_errors_total").Add(1)
 	s.log.Warn("pmaxentd: request failed", "status", status, "kind", kind, "err", err)
 	writeJSON(w, status, &ErrorResponse{Error: err.Error(), Kind: kind})
-}
-
-func retryAfterSeconds(d time.Duration) string {
-	secs := int(d / time.Second)
-	if secs < 1 {
-		secs = 1
-	}
-	return strconv.Itoa(secs)
 }
 
 // decodeBody reads a JSON request body, rejecting unknown fields so a

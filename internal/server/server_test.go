@@ -153,6 +153,17 @@ func TestQuantifyAuditParity(t *testing.T) {
 	if served.Audit == nil {
 		t.Fatal("?audit=1 response carries no audit")
 	}
+	// The served audit is stamped with the request's ID — provenance, not
+	// solve output. It must match the X-Request-Id response header, and
+	// clearing it must leave the audit byte-identical to the offline one
+	// (whose request_id is empty: no request asked for it).
+	if served.Audit.RequestID == "" {
+		t.Fatal("served audit carries no request_id")
+	}
+	if rid := resp.Header.Get("X-Request-Id"); served.Audit.RequestID != rid {
+		t.Fatalf("audit request_id = %q, response header X-Request-Id = %q", served.Audit.RequestID, rid)
+	}
+	served.Audit.RequestID = ""
 	servedAudit, err := json.Marshal(served.Audit)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"time"
 )
 
 // flightGroup coalesces identical in-flight requests: the first caller
@@ -28,6 +29,25 @@ type flightCall struct {
 	done chan struct{}
 	val  []byte
 	err  error
+
+	// solveID names the leader's live-solve registry entry; set at join
+	// time under the group mutex, so followers reading it immediately
+	// after join (to subscribe to the leader's event stream, or to stamp
+	// their access-log line) observe it without racing the leader.
+	solveID string
+
+	// meta is the leader's request-level accounting — cache disposition,
+	// queue wait, solve duration — written by the leader before done is
+	// closed and read by followers only after <-done.
+	meta callMeta
+}
+
+// callMeta is the per-flight accounting shared with followers for their
+// access-log lines.
+type callMeta struct {
+	cache     string
+	queueWait time.Duration
+	solve     time.Duration
 }
 
 func newFlightGroup() *flightGroup {
@@ -38,14 +58,16 @@ func newFlightGroup() *flightGroup {
 // goroutine when no flight is up. The boolean reports whether the caller
 // joined an existing flight (false for the leader) — known immediately,
 // so the server can count coalesced requests while they are still
-// waiting, not after the fact.
-func (g *flightGroup) join(key string, fn func() ([]byte, error)) (*flightCall, bool) {
+// waiting, not after the fact. solveID labels the flight when this
+// caller becomes the leader; fn receives the call so it can fill in the
+// shared meta.
+func (g *flightGroup) join(key, solveID string, fn func(c *flightCall) ([]byte, error)) (*flightCall, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if c, ok := g.calls[key]; ok {
 		return c, true
 	}
-	c := &flightCall{done: make(chan struct{})}
+	c := &flightCall{done: make(chan struct{}), solveID: solveID}
 	g.calls[key] = c
 	go func() {
 		defer func() {
@@ -54,7 +76,7 @@ func (g *flightGroup) join(key string, fn func() ([]byte, error)) (*flightCall, 
 			g.mu.Unlock()
 			close(c.done)
 		}()
-		c.val, c.err = fn()
+		c.val, c.err = fn(c)
 	}()
 	return c, false
 }

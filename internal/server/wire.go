@@ -91,8 +91,60 @@ type QuantifyResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Kind classifies the failure: "invalid_request", "infeasible",
-	// "interrupted", "deadline", "overloaded", "draining" or "internal".
+	// "interrupted", "deadline", "overloaded", "draining", "not_found"
+	// or "internal".
 	Kind string `json:"kind"`
+}
+
+// SolveStatus is one row of GET /debug/solves: the live progress of a
+// single-flight solve. Counter fields (iterations, grad_norm,
+// components_done) are read from the solve's hot-path atomics, so a
+// snapshot taken mid-solve shows genuinely current numbers.
+type SolveStatus struct {
+	// ID names the solve (digest prefix + daemon-lifetime sequence); it
+	// is the {id} of GET /v1/solves/{id}/events.
+	ID string `json:"id"`
+	// RequestID is the leader request's ID — the join key against access
+	// logs, spans and audit records.
+	RequestID string `json:"request_id"`
+	// State is "queued", "running", "done" or "failed".
+	State string `json:"state"`
+	// Digest, Knowledge, Eps, Audit describe the request being solved.
+	Digest    string  `json:"digest"`
+	Knowledge int     `json:"knowledge"`
+	Eps       float64 `json:"eps,omitempty"`
+	Audit     bool    `json:"audit,omitempty"`
+	// Variables is the solve's variable count (0 until solve.start).
+	Variables int64 `json:"variables"`
+	// Iterations counts optimizer iterations across all components;
+	// GradNorm and Objective are the most recent iteration's values.
+	Iterations int64   `json:"iterations"`
+	GradNorm   float64 `json:"grad_norm"`
+	Objective  float64 `json:"objective"`
+	// ComponentsDone / ComponentsTotal track decomposition progress
+	// (both 0 for non-decomposed solves until events arrive).
+	ComponentsDone  int64 `json:"components_done"`
+	ComponentsTotal int64 `json:"components_total"`
+	// QueueWaitMS is time spent waiting for an admission slot; ElapsedMS
+	// the solve's total wall-clock so far (or at completion).
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// DebugSolvesResponse is the body of GET /debug/solves: live solves
+// first (oldest first), then the retained ring of finished ones.
+type DebugSolvesResponse struct {
+	Solves []SolveStatus `json:"solves"`
+}
+
+// HealthzResponse is the body of GET /healthz: liveness plus build
+// provenance, so one curl identifies exactly which binary is serving.
+type HealthzResponse struct {
+	Status    string `json:"status"`
+	Version   string `json:"version"`
+	Commit    string `json:"commit,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // MineRequest is the body of POST /v1/rules/mine: mine association rules

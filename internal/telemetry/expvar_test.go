@@ -2,9 +2,20 @@ package telemetry
 
 import (
 	"expvar"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
+
+// expvar publication is process-global and permanent, so every run needs
+// a fresh name — -cpu=1,4 (and -count>1) re-runs each test in the same
+// process, where a fixed name would already be taken by the previous run.
+var expvarTestSeq atomic.Int64
+
+func uniqueExpvarName(prefix string) string {
+	return fmt.Sprintf("%s_%d", prefix, expvarTestSeq.Add(1))
+}
 
 // TestPublishExpvarFirstRegistryWins publishes two different registries
 // under the same name: the first must keep serving /debug/vars, the
@@ -16,7 +27,7 @@ func TestPublishExpvarFirstRegistryWins(t *testing.T) {
 	second := NewRegistry()
 	second.Counter("loser").Add(99)
 
-	const name = "telemetry_expvar_first_wins"
+	name := uniqueExpvarName("telemetry_expvar_first_wins")
 	PublishExpvar(name, first)
 	PublishExpvar(name, second)
 
@@ -43,7 +54,7 @@ func TestPublishExpvarFirstRegistryWins(t *testing.T) {
 // TestPublishExpvarNilRegistry: a nil registry must not be published at
 // all — the name stays free for a real registry later.
 func TestPublishExpvarNilRegistry(t *testing.T) {
-	const name = "telemetry_expvar_nil_safe"
+	name := uniqueExpvarName("telemetry_expvar_nil_safe")
 	PublishExpvar(name, nil)
 	if expvar.Get(name) != nil {
 		t.Fatal("nil registry was published")

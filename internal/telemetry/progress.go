@@ -1,0 +1,45 @@
+package telemetry
+
+import "context"
+
+// A SolveObserver receives the live progress of one MaxEnt solve as it
+// happens — the push-based counterpart of the span/logger records that
+// are only useful after the fact. The maxent package feeds it two kinds
+// of signals:
+//
+//   - Lifecycle events, mirroring the solve-event logger: solve.start,
+//     decompose, presolve, component.done, solve.done, solve.failed,
+//     with the same attributes the logger records.
+//   - Per-iteration optimizer progress, taken from the solver TraceEvent
+//     stream: (component, iteration, objective, ∞-gradient).
+//
+// The pmaxentd live-solve registry implements this interface to power
+// GET /debug/solves and the /v1/solves/{id}/events SSE stream. Both
+// methods may be called concurrently (decomposed components solve in
+// parallel) and must not block: SolveIteration in particular sits on the
+// optimizer's hot path and is called once per iteration.
+type SolveObserver interface {
+	// SolveEvent reports a lifecycle transition.
+	SolveEvent(name string, attrs ...Attr)
+	// SolveIteration reports one optimizer iteration of the given
+	// decomposition component (0 when the solve is not decomposed).
+	SolveIteration(component, iteration int, objective, gradNorm float64)
+}
+
+const solveObserverKey ctxKey = 102
+
+// WithSolveObserver installs a solve observer in the context; maxent
+// solves report their progress through it. A nil observer returns the
+// context unchanged.
+func WithSolveObserver(ctx context.Context, o SolveObserver) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, solveObserverKey, o)
+}
+
+// SolveObserverFrom returns the context's solve observer, or nil.
+func SolveObserverFrom(ctx context.Context) SolveObserver {
+	o, _ := ctx.Value(solveObserverKey).(SolveObserver)
+	return o
+}

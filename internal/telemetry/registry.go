@@ -20,6 +20,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	infos      map[string]map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -28,6 +29,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		infos:      make(map[string]map[string]string),
 	}
 }
 
@@ -190,6 +192,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Info registers a constant labeled metric in the Prometheus
+// "something_info" idiom: it is exported as a gauge with fixed value 1
+// whose labels carry the information (build version, commit, …). Labels
+// are copied; registering the same name again replaces the label set.
+func (r *Registry) Info(name string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.infos[name] = cp
+	r.mu.Unlock()
+}
+
 // Snapshot returns a stable-keyed view of every metric, suitable for
 // expvar publication or JSON encoding.
 func (r *Registry) Snapshot() map[string]any {
@@ -218,6 +237,13 @@ func (r *Registry) Snapshot() map[string]any {
 			"buckets": buckets,
 		}
 	}
+	for name, labels := range r.infos {
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			cp[k] = v
+		}
+		out[name] = cp
+	}
 	return out
 }
 
@@ -240,8 +266,23 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for k, v := range r.histograms {
 		histograms[k] = v
 	}
+	infos := make(map[string]map[string]string, len(r.infos))
+	for k, v := range r.infos {
+		infos[k] = v
+	}
 	r.mu.Unlock()
 
+	for _, name := range sortedKeys(infos) {
+		labels := infos[name]
+		parts := make([]string, 0, len(labels))
+		for _, k := range sortedKeys(labels) {
+			parts = append(parts, fmt.Sprintf("%s=%q", promName(k), labels[k]))
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n",
+			promName(name), promName(name), strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
 	for _, name := range sortedKeys(counters) {
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), counters[name].Value()); err != nil {
 			return err

@@ -1,0 +1,28 @@
+package telemetry
+
+import "context"
+
+// Request identity rides the context exactly like the tracer, registry
+// and logger: WithRequestID installs it, RequestID reads it back (empty
+// when none was installed). The pmaxentd server assigns one ID per HTTP
+// request — accepted from X-Request-Id / W3C traceparent or generated —
+// and threads it through spans, the solve-event logger and audit
+// provenance, so every signal a request produced can be joined back to
+// its access-log line.
+
+const requestIDKey ctxKey = 101 // distinct from the iota keys in telemetry.go
+
+// WithRequestID installs a request identifier in the context. An empty
+// id returns the context unchanged.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request identifier, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("empty context carries request ID %q", got)
+	}
+	if WithRequestID(ctx, "") != ctx {
+		t.Fatal("WithRequestID(\"\") should return the context unchanged")
+	}
+	ctx = WithRequestID(ctx, "req-1")
+	if got := RequestID(ctx); got != "req-1" {
+		t.Fatalf("RequestID = %q, want req-1", got)
+	}
+	// Nested installs shadow, detaching never leaks upward.
+	inner := WithRequestID(ctx, "req-2")
+	if got := RequestID(inner); got != "req-2" {
+		t.Fatalf("inner RequestID = %q", got)
+	}
+	if got := RequestID(ctx); got != "req-1" {
+		t.Fatalf("outer RequestID clobbered: %q", got)
+	}
+}
+
+// recordingObserver collects everything it is fed.
+type recordingObserver struct {
+	events     []string
+	iterations int
+}
+
+func (o *recordingObserver) SolveEvent(name string, attrs ...Attr) {
+	o.events = append(o.events, name)
+}
+
+func (o *recordingObserver) SolveIteration(component, iteration int, objective, gradNorm float64) {
+	o.iterations++
+}
+
+func TestSolveObserverRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if SolveObserverFrom(ctx) != nil {
+		t.Fatal("empty context carries an observer")
+	}
+	if WithSolveObserver(ctx, nil) != ctx {
+		t.Fatal("WithSolveObserver(nil) should return the context unchanged")
+	}
+	obs := &recordingObserver{}
+	ctx = WithSolveObserver(ctx, obs)
+	got := SolveObserverFrom(ctx)
+	if got == nil {
+		t.Fatal("observer not recovered from context")
+	}
+	got.SolveEvent("solve.start", Int("variables", 3))
+	got.SolveIteration(0, 1, -1.5, 0.25)
+	if len(obs.events) != 1 || obs.events[0] != "solve.start" || obs.iterations != 1 {
+		t.Fatalf("observer did not receive the signals: %+v", obs)
+	}
+}
+
+func TestRegistryInfo(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Info("x_info", map[string]string{"a": "b"}) // must not panic
+
+	r := NewRegistry()
+	labels := map[string]string{"version": "v1.2.3", "commit": "abc"}
+	r.Info("pmaxentd_build_info", labels)
+	labels["version"] = "mutated-after-register"
+
+	snap := r.Snapshot()
+	info, ok := snap["pmaxentd_build_info"].(map[string]string)
+	if !ok {
+		t.Fatalf("snapshot info = %T", snap["pmaxentd_build_info"])
+	}
+	if info["version"] != "v1.2.3" || info["commit"] != "abc" {
+		t.Fatalf("info labels wrong (caller mutation leaked?): %v", info)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `pmaxentd_build_info{commit="abc",version="v1.2.3"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, buf.String())
+	}
+	if !strings.Contains(buf.String(), "# TYPE pmaxentd_build_info gauge") {
+		t.Fatalf("info series has no TYPE line:\n%s", buf.String())
+	}
+
+	// Re-registering replaces the label set.
+	r.Info("pmaxentd_build_info", map[string]string{"version": "v2"})
+	buf.Reset()
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `pmaxentd_build_info{version="v2"} 1`) {
+		t.Fatalf("re-register did not replace labels:\n%s", buf.String())
+	}
+}

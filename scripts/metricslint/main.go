@@ -1,0 +1,148 @@
+// Command metricslint checks a pmaxentd /metrics scrape against the
+// checked-in allowlist: every pmaxentd_* family in the allowlist must be
+// present in the scrape (a disappeared metric silently breaks dashboards
+// and alerts), every pmaxentd_* family in the scrape must be allowlisted
+// (new names are added deliberately, with review, not by accident), and
+// every name must follow Prometheus conventions (lowercase start,
+// [a-z0-9_] charset, unit-suffixed histograms, _total counters).
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | metricslint -allowlist scripts/metricslint/allowlist.txt
+//	metricslint -allowlist allowlist.txt scrape.txt
+//
+// Exit status 0 means the scrape and allowlist agree; 1 lists every
+// violation; 2 means inputs could not be read.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// nameRE is the Prometheus metric-name convention this repo enforces:
+// stricter than the spec (which also allows ':' and uppercase) because
+// every pmaxentd series is flat snake_case.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func main() {
+	allowPath := flag.String("allowlist", "", "path to the newline-separated metric-family allowlist")
+	flag.Parse()
+	if *allowPath == "" {
+		fmt.Fprintln(os.Stderr, "metricslint: -allowlist is required")
+		os.Exit(2)
+	}
+	allow, err := readAllowlist(*allowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metricslint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	scrape, err := io.ReadAll(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metricslint:", err)
+		os.Exit(2)
+	}
+	problems := lint(string(scrape), allow)
+	if len(problems) == 0 {
+		fmt.Printf("metricslint: %d allowlisted pmaxentd families all present and well-formed\n", len(allow))
+		return
+	}
+	for _, p := range problems {
+		fmt.Println("metricslint:", p)
+	}
+	os.Exit(1)
+}
+
+func readAllowlist(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	allow := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		allow[line] = true
+	}
+	return allow, sc.Err()
+}
+
+// families extracts the pmaxentd_* metric-family names from a Prometheus
+// text scrape, folding histogram sample suffixes (_bucket/_sum/_count)
+// back onto their family when the family was declared by a # TYPE line.
+func families(scrape string) map[string]bool {
+	declared := make(map[string]bool) // families with a # TYPE line
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(scrape, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, _, found := strings.Cut(rest, " "); found {
+				declared[name] = true
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, suffix); ok && declared[base] {
+				name = base
+				break
+			}
+		}
+		seen[name] = true
+	}
+	return seen
+}
+
+// lint compares the scrape's pmaxentd families against the allowlist and
+// the naming convention, returning one line per violation.
+func lint(scrape string, allow map[string]bool) []string {
+	var problems []string
+	seen := families(scrape)
+	for name := range seen {
+		if !strings.HasPrefix(name, "pmaxentd_") {
+			continue
+		}
+		if !nameRE.MatchString(name) {
+			problems = append(problems, fmt.Sprintf("metric %q violates the naming convention (want %s)", name, nameRE))
+		}
+		if !allow[name] {
+			problems = append(problems, fmt.Sprintf("metric %q is not in the allowlist (new metrics are added there deliberately)", name))
+		}
+	}
+	for name := range allow {
+		if !seen[name] {
+			problems = append(problems, fmt.Sprintf("allowlisted metric %q missing from the scrape (removal breaks dashboards; update the allowlist if intentional)", name))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodScrape = `# HELP pmaxentd_requests_total requests served
+# TYPE pmaxentd_requests_total counter
+pmaxentd_requests_total 42
+# TYPE pmaxentd_inflight gauge
+pmaxentd_inflight 2
+# TYPE pmaxentd_build_info gauge
+pmaxentd_build_info{commit="abc",version="(devel)"} 1
+# TYPE pmaxentd_solve_duration_seconds histogram
+pmaxentd_solve_duration_seconds_bucket{le="0.001"} 1
+pmaxentd_solve_duration_seconds_bucket{le="+Inf"} 3
+pmaxentd_solve_duration_seconds_sum 0.5
+pmaxentd_solve_duration_seconds_count 3
+go_goroutines 7
+`
+
+func allowOf(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestFamiliesFoldsHistogramSuffixes(t *testing.T) {
+	fams := families(goodScrape)
+	if !fams["pmaxentd_solve_duration_seconds"] {
+		t.Error("histogram family not folded from its _bucket/_sum/_count samples")
+	}
+	for _, leaked := range []string{
+		"pmaxentd_solve_duration_seconds_bucket",
+		"pmaxentd_solve_duration_seconds_sum",
+		"pmaxentd_solve_duration_seconds_count",
+	} {
+		if fams[leaked] {
+			t.Errorf("suffix %q leaked as its own family", leaked)
+		}
+	}
+	if !fams["pmaxentd_build_info"] {
+		t.Error("labeled gauge family missing")
+	}
+}
+
+func TestLintClean(t *testing.T) {
+	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
+		"pmaxentd_build_info", "pmaxentd_solve_duration_seconds")
+	if problems := lint(goodScrape, allow); len(problems) != 0 {
+		t.Errorf("clean scrape reported problems: %v", problems)
+	}
+}
+
+func TestLintMissingFromScrape(t *testing.T) {
+	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
+		"pmaxentd_build_info", "pmaxentd_solve_duration_seconds",
+		"pmaxentd_vanished_total")
+	problems := lint(goodScrape, allow)
+	if len(problems) != 1 || !strings.Contains(problems[0], "pmaxentd_vanished_total") {
+		t.Errorf("want one missing-from-scrape problem, got %v", problems)
+	}
+}
+
+func TestLintUnlistedMetric(t *testing.T) {
+	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
+		"pmaxentd_solve_duration_seconds")
+	problems := lint(goodScrape, allow)
+	if len(problems) != 1 || !strings.Contains(problems[0], "pmaxentd_build_info") {
+		t.Errorf("want one not-in-allowlist problem, got %v", problems)
+	}
+}
+
+func TestLintBadName(t *testing.T) {
+	scrape := "pmaxentd_BadName 1\npmaxentd_requests_total 2\n"
+	allow := allowOf("pmaxentd_requests_total", "pmaxentd_BadName")
+	problems := lint(scrape, allow)
+	if len(problems) != 1 || !strings.Contains(problems[0], "naming convention") {
+		t.Errorf("want one naming-convention problem, got %v", problems)
+	}
+}
+
+func TestLintIgnoresForeignFamilies(t *testing.T) {
+	if problems := lint("go_goroutines 7\nprocess_cpu_seconds_total 1\n",
+		allowOf()); len(problems) != 0 {
+		t.Errorf("non-pmaxentd families should be ignored, got %v", problems)
+	}
+}
