@@ -39,6 +39,8 @@ func main() {
 		maxIter     = flag.Int("maxiter", 0, "LBFGS iteration budget for accuracy solves (default 6000)")
 		workers     = flag.Int("workers", 0, "concurrent grid evaluations in the sweep figures (0 = GOMAXPROCS, <0 = sequential)")
 		kernelWork  = flag.Int("kernel-workers", 0, "worker shards for the in-solve gradient/exp kernels (0 = inherit, <0 = serial); bit-identical output at any value")
+		reduce      = flag.Bool("reduce", false, "structural presolve: closed-form untouched buckets + Schur-eliminated invariant rows")
+		fastMath    = flag.Bool("fast-math", false, "reassociated multi-accumulator solve kernels (not bit-identical)")
 		auditDir    = flag.String("audit-dir", "", "write per-point solve audits (figures 7a/7b/7c and the solver ablation) into this directory")
 	)
 	flag.Parse()
@@ -58,6 +60,8 @@ func main() {
 		MaxIterations: *maxIter,
 		Workers:       *workers,
 		KernelWorkers: *kernelWork,
+		Reduce:        *reduce,
+		FastMath:      *fastMath,
 		AuditDir:      *auditDir,
 	}
 	if err := run(*figure, cfg, *maxT, parseInts(*buckets), parseInts(*constraints), *k, parseInts(*kGrid)); err != nil {

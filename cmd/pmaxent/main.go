@@ -62,6 +62,8 @@ type options struct {
 	sizes           string
 	algorithm       string
 	kernelWorkers   int
+	reduce          bool
+	fastMath        bool
 	top             int
 	demo            bool
 	trace           bool
@@ -91,6 +93,8 @@ func main() {
 	flag.StringVar(&o.sizes, "sizes", "", "comma-separated QI-subset sizes to mine (default: all)")
 	flag.StringVar(&o.algorithm, "algorithm", "lbfgs", "dual solver: lbfgs, gis, iis, steepest, newton")
 	flag.IntVar(&o.kernelWorkers, "kernel-workers", 0, "worker shards for the in-solve gradient/exp kernels (0 = inherit the solve's worker count, <0 = serial); the posterior is bit-identical at any value")
+	flag.BoolVar(&o.reduce, "reduce", false, "structural presolve: closed-form untouched buckets and Schur-eliminate bucket-local invariant rows before the numeric solve")
+	flag.BoolVar(&o.fastMath, "fast-math", false, "reassociated multi-accumulator solve kernels (faster, not bit-identical to the exact kernels)")
 	flag.IntVar(&o.top, "top", 10, "number of riskiest QI tuples to print")
 	flag.BoolVar(&o.demo, "demo", false, "run on the paper's built-in example instead of a file")
 	flag.BoolVar(&o.trace, "trace", false, "emit a JSON-lines span trace and metrics snapshot to stderr")
@@ -252,7 +256,7 @@ func runOriginal(ctx context.Context, w io.Writer, o options, alg maxent.Algorit
 		Diversity:  o.diversity,
 		MinSupport: o.minSupport,
 		RuleSizes:  ruleSizes,
-		Solve:      maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers},
+		Solve:      maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers, Reduce: o.reduce, FastMath: o.fastMath},
 		Audit:      auditConfig(o),
 	})
 
@@ -319,7 +323,7 @@ func runPublished(ctx context.Context, w io.Writer, o options, alg maxent.Algori
 			return err
 		}
 	}
-	q := core.New(core.Config{Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers}, Audit: auditConfig(o)})
+	q := core.New(core.Config{Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers, Reduce: o.reduce, FastMath: o.fastMath}, Audit: auditConfig(o)})
 	var rep *core.Report
 	if o.eps > 0 {
 		rep, err = q.QuantifyVagueContext(ctx, pub, knowledge, o.eps, nil)

@@ -2,7 +2,7 @@
 //
 //	pmaxentd [-addr :8080] [-cache 16] [-max-inflight N] [-queue N]
 //	         [-timeout 60s] [-retry-after 1s] [-drain-timeout 30s]
-//	         [-algorithm lbfgs] [-kernel-workers N]
+//	         [-algorithm lbfgs] [-kernel-workers N] [-reduce] [-fast-math]
 //	         [-trace-out trace.jsonl] [-solve-log solve.jsonl]
 //	         [-pprof localhost:6060]
 //
@@ -62,6 +62,8 @@ type options struct {
 	drainTimeout  time.Duration
 	algorithm     string
 	kernelWorkers int
+	reduce        bool
+	fastMath      bool
 	traceOut      string
 	solveLog      string
 	pprofAddr     string
@@ -78,6 +80,8 @@ func main() {
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight solves before force-canceling")
 	flag.StringVar(&o.algorithm, "algorithm", "lbfgs", "dual solver: lbfgs, gis, iis, steepest, newton")
 	flag.IntVar(&o.kernelWorkers, "kernel-workers", 0, "worker shards for the in-solve kernels (0 = inherit, <0 = serial)")
+	flag.BoolVar(&o.reduce, "reduce", false, "structural presolve: closed-form untouched buckets and Schur-eliminate bucket-local invariant rows before the numeric solve")
+	flag.BoolVar(&o.fastMath, "fast-math", false, "reassociated multi-accumulator solve kernels (faster, not bit-identical to the exact kernels)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a JSON-lines span trace of every request to this file")
 	flag.StringVar(&o.solveLog, "solve-log", "", "write structured solve lifecycle events as JSON lines to this file")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
@@ -103,7 +107,7 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	cfg := server.Config{
 		Pipeline: core.Config{
-			Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers},
+			Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers, Reduce: o.reduce, FastMath: o.fastMath},
 		},
 		CacheSize:    o.cacheSize,
 		MaxInFlight:  o.maxInFlight,

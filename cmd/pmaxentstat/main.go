@@ -8,8 +8,12 @@
 // limit, queue depth, cache hit/miss/evictions, live SSE clients) and
 // then one line per solve, live solves first:
 //
-//	ID            STATE    REQUEST           ITER     GRAD      COMP   ELAPSED
-//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    2.41s
+//	ID            STATE    REQUEST           ITER     GRAD      COMP   DIM         ELAPSED
+//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    4/982-49b   2.41s
+//
+// The DIM column appears once a solve reports its structural-presolve
+// stats: reduced dual rows over full variables, with "-Nb" counting
+// buckets solved in closed form.
 //
 // -once prints a single snapshot and exits — the scriptable mode CI and
 // quick health checks use.
@@ -66,10 +70,13 @@ type solveRow struct {
 	ID              string  `json:"id"`
 	RequestID       string  `json:"request_id"`
 	State           string  `json:"state"`
+	Variables       int64   `json:"variables"`
 	Iterations      int64   `json:"iterations"`
 	GradNorm        float64 `json:"grad_norm"`
 	ComponentsDone  int64   `json:"components_done"`
 	ComponentsTotal int64   `json:"components_total"`
+	ReducedDualDim  int64   `json:"reduced_dual_dim"`
+	EliminatedBkts  int64   `json:"eliminated_buckets"`
 	QueueWaitMS     float64 `json:"queue_wait_ms"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 }
@@ -153,16 +160,25 @@ func render(s *snapshot) string {
 		b.WriteString("no solves\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %9s\n",
-		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "ELAPSED")
+	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %11s %9s\n",
+		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "DIM", "ELAPSED")
 	for _, r := range s.Solves {
 		comp := "-"
 		if r.ComponentsTotal > 0 {
 			comp = fmt.Sprintf("%d/%d", r.ComponentsDone, r.ComponentsTotal)
 		}
-		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %8.2fs\n",
+		// DIM shows the structural presolve's work: reduced dual rows
+		// over full variables, with "-Nb" for closed-form buckets.
+		dim := "-"
+		if r.ReducedDualDim > 0 || r.EliminatedBkts > 0 {
+			dim = fmt.Sprintf("%d/%d", r.ReducedDualDim, r.Variables)
+			if r.EliminatedBkts > 0 {
+				dim += fmt.Sprintf("-%db", r.EliminatedBkts)
+			}
+		}
+		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %11s %8.2fs\n",
 			clip(r.ID, 22), r.State, clip(r.RequestID, 18),
-			r.Iterations, r.GradNorm, comp, r.ElapsedMS/1000)
+			r.Iterations, r.GradNorm, comp, dim, r.ElapsedMS/1000)
 	}
 	return b.String()
 }

@@ -175,10 +175,31 @@ func AddKnowledge(sys *System, ks ...DistributionKnowledge) error {
 // irrelevant buckets (Definition 5.6). Buckets outside this set keep their
 // closed-form within-bucket MaxEnt distribution (Theorem 5).
 func RelevantBuckets(sys *System) []int {
+	return bucketsTouchedBy(sys, func(k Kind) bool { return k == Knowledge })
+}
+
+// TouchedBuckets generalizes RelevantBuckets to every non-invariant
+// constraint kind: a bucket is touched when any row that is not one of
+// its own QI/SA data invariants mentions one of its terms with a nonzero
+// coefficient — background knowledge (Definition 5.6), individual
+// knowledge (Sec. 6), or any future coupling row. Buckets outside the
+// returned set interact with nothing beyond their own invariants, so
+// their posterior is the closed-form within-bucket MaxEnt distribution
+// (Theorem 5) and the structural presolve assigns it without entering
+// the numeric solve.
+func TouchedBuckets(sys *System) []int {
+	return bucketsTouchedBy(sys, func(k Kind) bool {
+		return k != QIInvariant && k != SAInvariant
+	})
+}
+
+// bucketsTouchedBy returns the sorted buckets mentioned (with nonzero
+// coefficient) by any constraint whose kind satisfies match.
+func bucketsTouchedBy(sys *System, match func(Kind) bool) []int {
 	seen := map[int]bool{}
 	for i := 0; i < sys.Len(); i++ {
 		c := sys.At(i)
-		if c.Kind != Knowledge {
+		if !match(c.Kind) {
 			continue
 		}
 		for k, t := range c.Terms {

@@ -66,6 +66,12 @@ type Config struct {
 	// but it does change the wall-clock the timing figures measure, which
 	// is exactly why it is exposed here (serial-vs-parallel A/B runs).
 	KernelWorkers int
+	// Reduce is passed through to maxent.Options.Reduce: the structural
+	// presolve (closed-form untouched buckets + Schur-reduced dual).
+	Reduce bool
+	// FastMath is passed through to maxent.Options.FastMath: reassociated
+	// multi-accumulator dual kernels.
+	FastMath bool
 	// AuditDir, when non-empty, writes one solve-audit JSON per grid
 	// point of the performance figures (7a/7bc) and per algorithm of the
 	// solver ablation into this directory, named after the point
@@ -170,6 +176,8 @@ func (in *Instance) quantifier() *core.Quantifier {
 		MinSupport: in.Config.MinSupport,
 		Solve: maxent.Options{
 			KernelWorkers: in.Config.KernelWorkers,
+			Reduce:        in.Config.Reduce,
+			FastMath:      in.Config.FastMath,
 			Solver:        solver.Options{MaxIterations: in.Config.MaxIterations, GradTol: 1e-8},
 		},
 	})
@@ -400,6 +408,8 @@ func (in *Instance) solveWithTopK(k int, auditName string) (maxent.Stats, error)
 	}
 	opts := maxent.Options{
 		KernelWorkers: in.Config.KernelWorkers,
+		Reduce:        in.Config.Reduce,
+		FastMath:      in.Config.FastMath,
 		Solver:        solver.Options{MaxIterations: 3000, GradTol: 1e-6},
 	}
 	opts.CaptureTrace = in.Config.AuditDir != ""
@@ -558,6 +568,8 @@ func CompareAlgorithms(in *Instance, k int, algs []maxent.Algorithm) ([]Algorith
 			Decompose:     true,
 			CaptureTrace:  in.Config.AuditDir != "",
 			KernelWorkers: in.Config.KernelWorkers,
+			Reduce:        in.Config.Reduce,
+			FastMath:      in.Config.FastMath,
 			Solver:        solver.Options{MaxIterations: 3000, GradTol: 1e-7},
 		})
 		if err != nil {
@@ -600,6 +612,8 @@ func CompareDecomposition(in *Instance, k int) ([]DecompositionResult, error) {
 			NoDecompose: !dec,
 			Solve: maxent.Options{
 				KernelWorkers: in.Config.KernelWorkers,
+				Reduce:        in.Config.Reduce,
+				FastMath:      in.Config.FastMath,
 				Solver:        solver.Options{MaxIterations: 6000, GradTol: 1e-8},
 			},
 		})

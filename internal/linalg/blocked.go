@@ -72,14 +72,23 @@ func (v ColView) Dot(c int, x []float64) float64 {
 // MulVecRange computes y[r] = (A x)_r for rows lo ≤ r < hi, leaving the
 // rest of y untouched. Each output row is an independent dot product, so
 // disjoint ranges compose into a full MulVec bit-identically regardless
-// of which goroutine computes which range.
+// of which goroutine computes which range. The dot loop is unrolled with
+// a single in-order accumulator (see fused.go), so the unrolling changes
+// nothing at bit level.
 func (m *CSR) MulVecRange(x, y []float64, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		p, q := m.rowPtr[r], m.rowPtr[r+1]
 		vals, cols := m.vals[p:q], m.colIdx[p:q:q]
 		var s float64
-		for k, v := range vals {
-			s += v * x[cols[k]]
+		k := 0
+		for ; k+4 <= len(vals); k += 4 {
+			s += vals[k] * x[cols[k]]
+			s += vals[k+1] * x[cols[k+1]]
+			s += vals[k+2] * x[cols[k+2]]
+			s += vals[k+3] * x[cols[k+3]]
+		}
+		for ; k < len(vals); k++ {
+			s += vals[k] * x[cols[k]]
 		}
 		y[r] = s
 	}

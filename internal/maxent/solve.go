@@ -108,6 +108,32 @@ type Options struct {
 	// algorithms (LBFGS, SteepestDescent, Newton) consume the seed; the
 	// scaling algorithms (GIS, IIS) ignore it.
 	WarmStart []ConstraintDual
+	// Reduce enables the structural presolve (block-structure
+	// elimination). Stage 1: buckets untouched by any knowledge or
+	// individual row keep their closed-form within-bucket posterior
+	// (Theorem 5) and their invariant rows never enter the numeric solve
+	// — this works for every algorithm and also without Decompose.
+	// Stage 2: for the touched buckets, the gradient algorithms (LBFGS,
+	// SteepestDescent) eliminate the bucket-local unit-coefficient
+	// invariant rows analytically, Schur-complement-style, so the numeric
+	// dual's dimension scales with the coupling rows (≈ K knowledge rows
+	// + individual rows) instead of the publication size; see schur.go.
+	// Newton needs the exact Hessian of the reduced dual (per-bucket
+	// Schur complements that can be singular under KeepRedundant) and
+	// GIS/IIS scale original rows, so those algorithms get stage 1 only
+	// and solve the surviving rows with the full dual. Eliminated rows
+	// still report Lagrange multipliers under their original labels
+	// (μ = log of the recovered scaling), so audits, binding-rule
+	// rankings and warm-start reuse are unaffected. Off by default: the
+	// reduced path converges to the same posterior within solver
+	// tolerance but is not bit-identical to the full dual.
+	Reduce bool
+	// FastMath switches the blocked dual kernels to four-wide independent
+	// accumulators (linalg.ExpDotsFast / MulVecRangeFast). Reassociated
+	// sums differ from the exact kernels at rounding level, so the knob
+	// is off by default and its output is gated by the accsnap tolerance
+	// cross-check rather than the bit-parity property tests.
+	FastMath bool
 }
 
 // warmMap indexes the warm-start seed by constraint label; nil when no
@@ -357,6 +383,7 @@ func SolveConstraintsContext(ctx context.Context, n int, cons []constraint.Const
 		stats.Evaluations = sol.Stats.Evaluations
 		stats.Converged = sol.Stats.Converged
 		stats.KernelWorkers = sol.Stats.KernelWorkers
+		stats.ReducedDualDim = sol.Stats.ReducedDualDim
 		// With no component fan-out, the kernels' width is the solve's
 		// actual parallelism.
 		stats.Workers = stats.KernelWorkers
@@ -417,19 +444,35 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 	reg := telemetry.Metrics(ctx)
 	logger := telemetry.Logger(ctx)
 	obs := telemetry.SolveObserverFrom(ctx)
+	// Structural presolve stage 1 (Options.Reduce): find the buckets
+	// touched by any coupling row. It runs before the solve.start emission
+	// so the live introspection layer sees the eliminated-bucket count
+	// while the numeric solve is still in flight.
+	var touched []int
+	eliminated := 0
+	if opts.Reduce {
+		touched = constraint.TouchedBuckets(sys)
+		eliminated = sp.Data().NumBuckets() - len(touched)
+	}
 	logger.Info("solve.start",
 		"algorithm", opts.Algorithm.String(),
 		"decompose", opts.Decompose,
 		"variables", sp.Len(),
 		"constraints", sys.Len())
-	observe(obs, "solve.start",
+	startAttrs := []telemetry.Attr{
 		telemetry.String("algorithm", opts.Algorithm.String()),
 		telemetry.Bool("decompose", opts.Decompose),
 		telemetry.Int("variables", sp.Len()),
-		telemetry.Int("constraints", sys.Len()))
+		telemetry.Int("constraints", sys.Len()),
+	}
+	if opts.Reduce {
+		startAttrs = append(startAttrs, telemetry.Int("eliminated_buckets", eliminated))
+	}
+	observe(obs, "solve.start", startAttrs...)
 	sol := &Solution{space: sp, X: Uniform(sp)}
 	sol.Stats.Workers = 1
 	sol.Stats.KernelWorkers = 1
+	sol.Stats.EliminatedBuckets = eliminated
 
 	finish := func() {
 		sol.Stats.MaxViolation = sys.MaxViolation(sol.X)
@@ -447,6 +490,8 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			"components", sol.Stats.Components,
 			"workers", sol.Stats.Workers,
 			"kernel_workers", sol.Stats.KernelWorkers,
+			"reduced_dual_dim", sol.Stats.ReducedDualDim,
+			"eliminated_buckets", sol.Stats.EliminatedBuckets,
 			"converged", sol.Stats.Converged,
 			"max_violation", sol.Stats.MaxViolation,
 			"duration", sol.Stats.Duration.String())
@@ -454,6 +499,8 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			telemetry.Int("iterations", sol.Stats.Iterations),
 			telemetry.Int("evaluations", sol.Stats.Evaluations),
 			telemetry.Int("components", sol.Stats.Components),
+			telemetry.Int("reduced_dual_dim", sol.Stats.ReducedDualDim),
+			telemetry.Int("eliminated_buckets", sol.Stats.EliminatedBuckets),
 			telemetry.Bool("converged", sol.Stats.Converged),
 			telemetry.Float("max_violation", sol.Stats.MaxViolation),
 			telemetry.String("duration", sol.Stats.Duration.String()))
@@ -461,7 +508,11 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 
 	if opts.Decompose {
 		_, dspan := telemetry.Start(ctx, "maxent.decompose")
-		relevant := constraint.RelevantBuckets(sys)
+		// TouchedBuckets generalizes Definition 5.6's relevant set to every
+		// coupling kind (knowledge and individual rows); for the
+		// knowledge-only systems Solve historically saw, the two sets are
+		// identical.
+		relevant := constraint.TouchedBuckets(sys)
 		sol.Stats.IrrelevantBuckets = sp.Data().NumBuckets() - len(relevant)
 		if len(relevant) == 0 {
 			dspan.SetAttr(telemetry.Int("relevant_buckets", 0))
@@ -496,7 +547,30 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 		return sol, nil
 	}
 
-	red, err := runPresolve(ctx, sp.Len(), systemRows(sys, nil))
+	// Without decomposition, stage 1 still applies: the invariant rows of
+	// untouched buckets drop out of the numeric system and those buckets
+	// keep the closed-form posterior sol.X was initialized with (Theorem
+	// 5). Coupling rows always survive, so the reduced system remains
+	// exactly the system the paper's dual solves over the touched buckets.
+	var keep func(*constraint.Constraint) bool
+	if opts.Reduce && eliminated > 0 {
+		touchedSet := make(map[int]bool, len(touched))
+		for _, b := range touched {
+			touchedSet[b] = true
+		}
+		keep = func(c *constraint.Constraint) bool {
+			if c.Kind != constraint.QIInvariant && c.Kind != constraint.SAInvariant {
+				return true
+			}
+			if len(c.Terms) == 0 {
+				return true
+			}
+			// Invariant rows are bucket-local, so the first term names the
+			// bucket.
+			return touchedSet[sp.Term(c.Terms[0]).Bucket]
+		}
+	}
+	red, err := runPresolve(ctx, sp.Len(), systemRows(sys, keep))
 	if err != nil {
 		logger.Error("solve.failed", "error", err.Error())
 		observe(obs, "solve.failed", telemetry.String("error", err.Error()))
@@ -556,10 +630,10 @@ func runPresolve(ctx context.Context, n int, rows []rowData) (*reduced, error) {
 }
 
 // componentRows groups the relevant buckets into connected components:
-// every knowledge constraint links all the buckets it touches (union by
-// rank would be overkill at these sizes; plain union-find with path
-// compression). Each component receives its buckets' data invariants and
-// its knowledge rows.
+// every coupling constraint — any row that is not a bucket-local QI/SA
+// invariant — links all the buckets it touches (union by rank would be
+// overkill at these sizes; plain union-find with path compression). Each
+// component receives its buckets' data invariants and its coupling rows.
 func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 	sp := sys.Space()
 	parent := make(map[int]int, len(relevant))
@@ -575,9 +649,12 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
 
+	coupling := func(k constraint.Kind) bool {
+		return k != constraint.QIInvariant && k != constraint.SAInvariant
+	}
 	for i := 0; i < sys.Len(); i++ {
 		c := sys.At(i)
-		if c.Kind != constraint.Knowledge || len(c.Terms) == 0 {
+		if !coupling(c.Kind) || len(c.Terms) == 0 {
 			continue
 		}
 		first := sp.Term(c.Terms[0]).Bucket
@@ -610,7 +687,7 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 			continue
 		}
 		b := sp.Term(c.Terms[0]).Bucket
-		if c.Kind == constraint.Knowledge {
+		if coupling(c.Kind) {
 			addRow(find(b), c)
 			continue
 		}
@@ -709,6 +786,7 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
 				local.KernelWorkers = ls.Stats.KernelWorkers
+				local.ReducedDualDim = ls.Stats.ReducedDualDim
 				duals = ls.Duals
 				for k := range ls.Trajectory {
 					ls.Trajectory[k].Component = ci
@@ -877,17 +955,50 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 		sol.Stats.Evaluations = res.iterations
 		sol.Stats.Converged = res.converged
 		sol.Stats.KernelWorkers = 1 // scaling loops have no parallel kernels
+		sol.Stats.ReducedDualDim = a.Rows()
 		// No explicit iteration-counter add here: the scaling loops fire
 		// the (telemetry-wrapped) trace callback once per round, so the
 		// pmaxent_dual_iterations_total series is already fed.
 	case LBFGS, SteepestDescent, Newton:
-		obj := newDualObjective(a, rhs)
-		obj.setRunner(run)
 		sol.Stats.KernelWorkers = 1
 		if run != nil {
 			sol.Stats.KernelWorkers = opts.kernelWorkerCount()
 		}
+		// Structural presolve stage 2: for the gradient algorithms,
+		// eliminate the bucket-local invariant rows analytically and run
+		// the optimizer on the coupling rows alone. Newton keeps the full
+		// dual (its exact Hessian does not survive the elimination), and
+		// a system with nothing eliminable falls through too. A reduced
+		// solve that stops short of its tolerance — boundary-pathological
+		// systems (P = 0/1 knowledge pushes duals toward infinity) degrade
+		// the inner scaling sweeps — is not returned as-is: the full dual
+		// polishes it, warm-started from the recovered multipliers, so
+		// Reduce never delivers worse feasibility than the full path.
+		if opts.Reduce && opts.Algorithm != Newton {
+			if schur := newSchurObjective(a, rhs, red.rows); schur != nil {
+				if err := solveSchur(sol, schur, red, warm, opts, run, xActive); err != nil {
+					return err
+				}
+				if sol.Stats.Converged {
+					for pos, j := range red.active {
+						sol.X[j] = xActive[pos]
+					}
+					return nil
+				}
+				// warm may be shared across concurrent component solves;
+				// rebind, never mutate.
+				warm = make(map[string]float64, len(sol.Duals))
+				for _, du := range sol.Duals {
+					warm[du.Label] = du.Lambda
+				}
+				sol.Duals = sol.Duals[:0]
+			}
+		}
+		obj := newDualObjective(a, rhs)
+		obj.setRunner(run)
+		obj.setFastMath(opts.FastMath)
 		defer obj.release()
+		sol.Stats.ReducedDualDim = a.Rows()
 		lambda0 := make([]float64, a.Rows())
 		if warm != nil {
 			for i, row := range red.rows {
@@ -910,8 +1021,11 @@ func solveReduced(ctx context.Context, sol *Solution, red *reduced, warm map[str
 			return fmt.Errorf("maxent: dual optimization: %w", err)
 		}
 		obj.Primal(res.X, xActive)
-		sol.Stats.Iterations = res.Iterations
-		sol.Stats.Evaluations = res.Evaluations
+		// += not =: a polished reduced solve accumulates its Schur
+		// iterations (zero otherwise), keeping len(Trajectory) ==
+		// Stats.Iterations under CaptureTrace.
+		sol.Stats.Iterations += res.Iterations
+		sol.Stats.Evaluations += res.Evaluations
 		sol.Stats.Converged = res.Converged
 		for i, row := range red.rows {
 			sol.Duals = append(sol.Duals, ConstraintDual{Label: row.label, Kind: row.kind, Lambda: res.X[i]})

@@ -42,6 +42,17 @@ type Stats struct {
 	// inside a single (component) solve. 1 when the kernels ran serially
 	// or the algorithm has none (GIS/IIS); see Options.KernelWorkers.
 	KernelWorkers int
+	// ReducedDualDim is the dimension of the dual problem the numeric
+	// optimizer actually ran on, summed over components. Without
+	// Options.Reduce it equals the presolved row count; with it, only the
+	// coupling rows (knowledge + individual) remain after the
+	// Schur-style elimination of bucket-local invariants.
+	ReducedDualDim int
+	// EliminatedBuckets counts buckets the structural presolve
+	// (Options.Reduce) assigned their closed-form within-bucket posterior
+	// without entering the numeric solve — the paper's irrelevant buckets
+	// (Definition 5.6, Theorem 5), detected on the assembled system.
+	EliminatedBuckets int
 }
 
 // String renders the solver counters in one line, e.g.
@@ -61,6 +72,12 @@ func (s Stats) String() string {
 	if s.KernelWorkers > 1 && s.KernelWorkers != s.Workers {
 		out += fmt.Sprintf(", %d kernel workers", s.KernelWorkers)
 	}
+	if s.EliminatedBuckets > 0 || s.ReducedDualDim > 0 {
+		out += fmt.Sprintf(", reduced dual dim %d", s.ReducedDualDim)
+	}
+	if s.EliminatedBuckets > 0 {
+		out += fmt.Sprintf(", %d buckets closed-form", s.EliminatedBuckets)
+	}
 	return out
 }
 
@@ -77,6 +94,8 @@ func (s *Stats) Merge(o Stats) {
 	s.ActiveVariables += o.ActiveVariables
 	s.IrrelevantBuckets += o.IrrelevantBuckets
 	s.Components += o.Components
+	s.ReducedDualDim += o.ReducedDualDim
+	s.EliminatedBuckets += o.EliminatedBuckets
 	s.Converged = s.Converged && o.Converged
 	if o.MaxViolation > s.MaxViolation {
 		s.MaxViolation = o.MaxViolation
@@ -106,6 +125,10 @@ func (s Stats) record(reg *telemetry.Registry, totalBuckets int) {
 	reg.Histogram("pmaxent_solve_active_variables", telemetry.CountBuckets).Observe(float64(s.ActiveVariables))
 	reg.Gauge("pmaxent_solve_workers").Set(float64(s.Workers))
 	reg.Gauge("pmaxent_solve_kernel_workers").Set(float64(s.KernelWorkers))
+	reg.Histogram("pmaxent_solve_reduced_dual_dim", telemetry.CountBuckets).Observe(float64(s.ReducedDualDim))
+	if s.EliminatedBuckets > 0 {
+		reg.Counter("pmaxent_solve_eliminated_buckets_total").Add(int64(s.EliminatedBuckets))
+	}
 	if !s.Converged {
 		reg.Counter("pmaxent_solve_unconverged_total").Add(1)
 	}

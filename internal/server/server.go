@@ -252,6 +252,51 @@ func (s *Server) declareMetrics() {
 	} {
 		s.reg.Histogram(name, telemetry.DurationBuckets)
 	}
+	// The pipeline-level pmaxent_* families are recorded by internal/core
+	// and internal/maxent against the same registry; several only fire on
+	// particular code paths (decomposed solves, non-convergence, the
+	// structural presolve), so declare them all here for the same
+	// scrape-stability reason.
+	for _, name := range []string{
+		"pmaxent_bucketize_total",
+		"pmaxent_mine_total",
+		"pmaxent_quantify_total",
+		"pmaxent_solve_total",
+		"pmaxent_solve_unconverged_total",
+		"pmaxent_solve_eliminated_buckets_total",
+		"pmaxent_dual_iterations_total",
+		"pmaxent_decompose_buckets_total",
+		"pmaxent_decompose_buckets_closed_form",
+	} {
+		s.reg.Counter(name)
+	}
+	for _, name := range []string{
+		"pmaxent_solve_workers",
+		"pmaxent_solve_kernel_workers",
+		"pmaxent_dual_last_grad_norm",
+	} {
+		s.reg.Gauge(name)
+	}
+	for _, name := range []string{
+		"pmaxent_bucketize_duration_seconds",
+		"pmaxent_mine_duration_seconds",
+		"pmaxent_quantify_duration_seconds",
+		"pmaxent_solve_duration_seconds",
+	} {
+		s.reg.Histogram(name, telemetry.DurationBuckets)
+	}
+	for _, name := range []string{
+		"pmaxent_bucketize_buckets",
+		"pmaxent_mine_rules",
+		"pmaxent_formulate_constraints",
+		"pmaxent_solve_iterations",
+		"pmaxent_solve_evaluations",
+		"pmaxent_solve_active_variables",
+		"pmaxent_component_active_variables",
+		"pmaxent_solve_reduced_dual_dim",
+	} {
+		s.reg.Histogram(name, telemetry.CountBuckets)
+	}
 	// The admission limits are configuration, but exporting them beside
 	// the depth gauges lets a dashboard show utilization without knowing
 	// the flags.

@@ -72,14 +72,16 @@ type liveSolve struct {
 	componentsDone atomic.Int64
 	componentsTot  atomic.Int64
 	variables      atomic.Int64
+	reducedDim     atomic.Int64 // numeric dual dimension (structural presolve)
+	eliminated     atomic.Int64 // buckets closed-formed by the presolve
 	lastFrameNS    atomic.Int64 // unix-nano of the last iteration frame
 
 	mu        sync.Mutex
 	state     string // "queued" → "running" → "done" | "failed"
 	queueWait time.Duration
-	frames    []sseFrame                // replay log, terminal frame last
-	subs      map[chan sseFrame]bool    // live subscribers
-	closed    bool                      // terminal frame delivered
+	frames    []sseFrame             // replay log, terminal frame last
+	subs      map[chan sseFrame]bool // live subscribers
+	closed    bool                   // terminal frame delivered
 }
 
 // SolveEvent implements telemetry.SolveObserver: lifecycle events become
@@ -88,9 +90,27 @@ func (ls *liveSolve) SolveEvent(name string, attrs ...telemetry.Attr) {
 	switch name {
 	case "solve.start":
 		for _, a := range attrs {
-			if a.Key == "variables" {
+			switch a.Key {
+			case "variables":
 				if v, ok := a.Value.(int); ok {
 					ls.variables.Store(int64(v))
+				}
+			case "eliminated_buckets":
+				if v, ok := a.Value.(int); ok {
+					ls.eliminated.Store(int64(v))
+				}
+			}
+		}
+	case "solve.done":
+		for _, a := range attrs {
+			switch a.Key {
+			case "reduced_dual_dim":
+				if v, ok := a.Value.(int); ok {
+					ls.reducedDim.Store(int64(v))
+				}
+			case "eliminated_buckets":
+				if v, ok := a.Value.(int); ok {
+					ls.eliminated.Store(int64(v))
 				}
 			}
 		}
@@ -217,21 +237,23 @@ func (ls *liveSolve) status() SolveStatus {
 	queueWait := ls.queueWait
 	ls.mu.Unlock()
 	return SolveStatus{
-		ID:              ls.id,
-		RequestID:       ls.requestID,
-		State:           state,
-		Digest:          ls.digest,
-		Knowledge:       ls.knowledge,
-		Eps:             ls.eps,
-		Audit:           ls.audit,
-		Variables:       ls.variables.Load(),
-		Iterations:      ls.iterations.Load(),
-		GradNorm:        math.Float64frombits(ls.gradBits.Load()),
-		Objective:       math.Float64frombits(ls.objBits.Load()),
-		ComponentsDone:  ls.componentsDone.Load(),
-		ComponentsTotal: ls.componentsTot.Load(),
-		QueueWaitMS:     float64(queueWait.Nanoseconds()) / 1e6,
-		ElapsedMS:       ls.elapsedMS(),
+		ID:               ls.id,
+		RequestID:        ls.requestID,
+		State:            state,
+		Digest:           ls.digest,
+		Knowledge:        ls.knowledge,
+		Eps:              ls.eps,
+		Audit:            ls.audit,
+		Variables:        ls.variables.Load(),
+		Iterations:       ls.iterations.Load(),
+		GradNorm:         math.Float64frombits(ls.gradBits.Load()),
+		Objective:        math.Float64frombits(ls.objBits.Load()),
+		ComponentsDone:   ls.componentsDone.Load(),
+		ComponentsTotal:  ls.componentsTot.Load(),
+		ReducedDualDim:   ls.reducedDim.Load(),
+		EliminatedBucket: ls.eliminated.Load(),
+		QueueWaitMS:      float64(queueWait.Nanoseconds()) / 1e6,
+		ElapsedMS:        ls.elapsedMS(),
 	}
 }
 

@@ -54,6 +54,11 @@ type SolverStats struct {
 	Converged    bool    `json:"converged"`
 	MaxViolation float64 `json:"max_violation"`
 	Components   int     `json:"components,omitempty"`
+	// ReducedDualDim is the dual dimension the numeric core actually
+	// solved; EliminatedBuckets counts buckets the structural presolve
+	// (Options.Reduce) assigned the closed-form posterior.
+	ReducedDualDim    int `json:"reduced_dual_dim,omitempty"`
+	EliminatedBuckets int `json:"eliminated_buckets,omitempty"`
 }
 
 // QuantifyResponse is the body of a successful POST /v1/quantify. Every
@@ -125,6 +130,11 @@ type SolveStatus struct {
 	// (both 0 for non-decomposed solves until events arrive).
 	ComponentsDone  int64 `json:"components_done"`
 	ComponentsTotal int64 `json:"components_total"`
+	// ReducedDualDim / EliminatedBucket mirror the structural presolve's
+	// reduction: eliminated buckets arrive with solve.start, the numeric
+	// dual dimension with solve.done.
+	ReducedDualDim   int64 `json:"reduced_dual_dim,omitempty"`
+	EliminatedBucket int64 `json:"eliminated_buckets,omitempty"`
 	// QueueWaitMS is time spent waiting for an admission slot; ElapsedMS
 	// the solve's total wall-clock so far (or at completion).
 	QueueWaitMS float64 `json:"queue_wait_ms"`
@@ -221,12 +231,14 @@ func buildResponse(digest, cacheState string, eps float64, schema *dataset.Schem
 		PosteriorEntropyBits: rep.PosteriorEntropy,
 		Posterior:            buildPosterior(rep.Posterior, schema),
 		Solver: SolverStats{
-			Algorithm:    alg.String(),
-			Iterations:   st.Iterations,
-			Evaluations:  st.Evaluations,
-			Converged:    st.Converged,
-			MaxViolation: st.MaxViolation,
-			Components:   st.Components,
+			Algorithm:         alg.String(),
+			Iterations:        st.Iterations,
+			Evaluations:       st.Evaluations,
+			Converged:         st.Converged,
+			MaxViolation:      st.MaxViolation,
+			Components:        st.Components,
+			ReducedDualDim:    st.ReducedDualDim,
+			EliminatedBuckets: st.EliminatedBuckets,
 		},
 		Audit: rep.Audit,
 	}

@@ -43,11 +43,24 @@ func setIntField(ptr any, name string, val int) {
 	}
 }
 
+// setBoolField is setIntField's bool counterpart, for the Reduce and
+// FastMath knobs (PMAXENT_REDUCE / PMAXENT_FAST_MATH per tree).
+func setBoolField(ptr any, name string, val bool) {
+	f := reflect.ValueOf(ptr).Elem().FieldByName(name)
+	if f.IsValid() && f.CanSet() && f.Kind() == reflect.Bool {
+		f.SetBool(val)
+	}
+}
+
 func main() {
 	kernelWorkers, _ := strconv.Atoi(os.Getenv("PMAXENT_KERNEL_WORKERS"))
+	reduce := os.Getenv("PMAXENT_REDUCE") == "1"
+	fastMath := os.Getenv("PMAXENT_FAST_MATH") == "1"
 
 	cfg := experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2}
 	setIntField(&cfg, "KernelWorkers", kernelWorkers)
+	setBoolField(&cfg, "Reduce", reduce)
+	setBoolField(&cfg, "FastMath", fastMath)
 	in, err := experiments.NewInstance(cfg)
 	die(err)
 
@@ -62,6 +75,8 @@ func main() {
 	}
 	solveOpts := maxent.Options{Decompose: true}
 	setIntField(&solveOpts, "KernelWorkers", kernelWorkers)
+	setBoolField(&solveOpts, "Reduce", reduce)
+	setBoolField(&solveOpts, "FastMath", fastMath)
 	sol, err := maxent.Solve(sys, solveOpts)
 	die(err)
 	post := sol.Posterior()

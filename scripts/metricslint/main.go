@@ -128,7 +128,9 @@ func lint(scrape string, allow map[string]bool) []string {
 	var problems []string
 	seen := families(scrape)
 	for name := range seen {
-		if !strings.HasPrefix(name, "pmaxentd_") {
+		// Daemon-level families (pmaxentd_*) and pipeline-level families
+		// (pmaxent_*, recorded by the solve path itself) are both ours.
+		if !strings.HasPrefix(name, "pmaxentd_") && !strings.HasPrefix(name, "pmaxent_") {
 			continue
 		}
 		if !nameRE.MatchString(name) {
