@@ -219,7 +219,7 @@ func TestTraceAndMetricsOut(t *testing.T) {
 	for _, series := range []string{
 		"pmaxent_solve_iterations", "pmaxent_solve_evaluations",
 		"pmaxent_solve_duration_seconds", "pmaxent_decompose_buckets_total",
-		"pmaxent_decompose_buckets_closed_form",
+		"pmaxent_decompose_buckets_closed_form_total",
 	} {
 		if !strings.Contains(string(prom), series) {
 			t.Errorf("metrics snapshot missing %q", series)

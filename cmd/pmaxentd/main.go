@@ -3,6 +3,8 @@
 //	pmaxentd [-addr :8080] [-cache 16] [-max-inflight N] [-queue N]
 //	         [-timeout 60s] [-retry-after 1s] [-drain-timeout 30s]
 //	         [-algorithm lbfgs] [-kernel-workers N] [-reduce] [-fast-math]
+//	         [-history-dir DIR] [-history-retention 65536] [-history-fsync 1s]
+//	         [-done-ring 32] [-sse-keepalive 15s]
 //	         [-trace-out trace.jsonl] [-solve-log solve.jsonl]
 //	         [-pprof localhost:6060]
 //
@@ -14,12 +16,23 @@
 //	                              a "result" frame carrying the response
 //	GET  /v1/solves/{id}/events   SSE stream of one solve's lifecycle and
 //	                              sampled iteration events
+//	GET  /v1/history              recent solve records from the durable
+//	                              journal (requires -history-dir);
+//	                              /v1/history/{digest} narrows to one
+//	                              publication and adds windowed aggregates
 //	POST /v1/rules/mine           mine association rules from inline CSV
 //	GET  /debug/solves            JSON snapshot of in-flight (and recent)
 //	                              solves with live iteration counts
+//	GET  /debug/regressions       active convergence/latency drifts from
+//	                              the history regression detector
 //	GET  /metrics                 Prometheus text exposition (pmaxentd_*)
 //	GET  /healthz                 liveness + build provenance
 //	GET  /readyz                  readiness (503 while draining)
+//
+// With -history-dir set, every finished solve is appended to an
+// append-only CRC-framed journal there; on startup the journal is
+// recovered (crash-torn tails are skipped), so /v1/history and the
+// newest -done-ring entries of /debug/solves survive restarts.
 //
 // Every response carries an X-Request-Id (accepted from the request, or
 // derived from a W3C traceparent, or generated); the same ID appears in
@@ -47,6 +60,7 @@ import (
 	"time"
 
 	"privacymaxent/internal/core"
+	"privacymaxent/internal/history"
 	"privacymaxent/internal/maxent"
 	"privacymaxent/internal/server"
 	"privacymaxent/internal/telemetry"
@@ -64,6 +78,11 @@ type options struct {
 	kernelWorkers int
 	reduce        bool
 	fastMath      bool
+	historyDir    string
+	historyKeep   int
+	historyFsync  string
+	doneRing      int
+	sseKeepAlive  time.Duration
 	traceOut      string
 	solveLog      string
 	pprofAddr     string
@@ -82,6 +101,11 @@ func main() {
 	flag.IntVar(&o.kernelWorkers, "kernel-workers", 0, "worker shards for the in-solve kernels (0 = inherit, <0 = serial)")
 	flag.BoolVar(&o.reduce, "reduce", false, "structural presolve: closed-form untouched buckets and Schur-eliminate bucket-local invariant rows before the numeric solve")
 	flag.BoolVar(&o.fastMath, "fast-math", false, "reassociated multi-accumulator solve kernels (faster, not bit-identical to the exact kernels)")
+	flag.StringVar(&o.historyDir, "history-dir", "", "durable solve-history journal directory (empty disables /v1/history)")
+	flag.IntVar(&o.historyKeep, "history-retention", 65536, "minimum journal records kept on disk before old segments are deleted")
+	flag.StringVar(&o.historyFsync, "history-fsync", "1s", "journal durability: \"always\", \"never\" or an fsync interval like 1s")
+	flag.IntVar(&o.doneRing, "done-ring", 32, "finished solves kept for /debug/solves and SSE replay (also caps journal entries adopted at startup)")
+	flag.DurationVar(&o.sseKeepAlive, "sse-keepalive", 15*time.Second, "idle interval before event streams emit a comment heartbeat (negative disables)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a JSON-lines span trace of every request to this file")
 	flag.StringVar(&o.solveLog, "solve-log", "", "write structured solve lifecycle events as JSON lines to this file")
 	flag.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof and expvar on this extra address")
@@ -114,24 +138,20 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		MaxQueue:     o.queue,
 		SolveTimeout: o.timeout,
 		RetryAfter:   o.retryAfter,
+		DoneRing:     o.doneRing,
+		SSEKeepAlive: o.sseKeepAlive,
 		Registry:     telemetry.NewRegistry(),
 		Logger:       log,
 	}
 
 	var closers []func() error
 	defer func() {
-		for _, c := range closers {
-			c()
+		// Reverse order: the history store flushes before the log/trace
+		// files it may still be writing to are closed.
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
 		}
 	}()
-	if o.traceOut != "" {
-		f, err := os.Create(o.traceOut)
-		if err != nil {
-			return fmt.Errorf("creating trace output: %w", err)
-		}
-		closers = append(closers, f.Close)
-		cfg.Tracer = telemetry.NewTracer(telemetry.NewJSONSink(f))
-	}
 	if o.solveLog != "" {
 		f, err := os.Create(o.solveLog)
 		if err != nil {
@@ -139,6 +159,35 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 		}
 		closers = append(closers, f.Close)
 		cfg.Logger = slog.New(slog.NewJSONHandler(f, nil))
+	}
+	if o.historyDir != "" {
+		fsync, err := history.ParseFsync(o.historyFsync)
+		if err != nil {
+			return err
+		}
+		st, err := history.Open(history.StoreConfig{
+			Dir:              o.historyDir,
+			RetentionRecords: o.historyKeep,
+			Fsync:            fsync,
+			Registry:         cfg.Registry,
+			Logger:           cfg.Logger,
+		})
+		if err != nil {
+			return fmt.Errorf("opening history journal: %w", err)
+		}
+		closers = append(closers, st.Close)
+		cfg.History = st
+		log.Info("pmaxentd: history journal open", "dir", st.Dir(),
+			"retention", o.historyKeep, "fsync", fsync.String(),
+			"recovered", st.Retained())
+	}
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return fmt.Errorf("creating trace output: %w", err)
+		}
+		closers = append(closers, f.Close)
+		cfg.Tracer = telemetry.NewTracer(telemetry.NewJSONSink(f))
 	}
 
 	srv := server.New(cfg)

@@ -97,6 +97,102 @@ func TestServeQuantifyAndDrain(t *testing.T) {
 	}
 }
 
+// TestHistorySurvivesRestart boots the daemon with -history-dir, solves
+// once, restarts it on the same directory, and expects /v1/history to
+// serve the first generation's record.
+func TestHistorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		addr:         "127.0.0.1:0",
+		timeout:      30 * time.Second,
+		retryAfter:   time.Second,
+		drainTimeout: 10 * time.Second,
+		cacheSize:    4,
+		historyDir:   dir,
+		historyKeep:  1024,
+		historyFsync: "always",
+		doneRing:     8,
+	}
+	boot := func() (string, context.CancelFunc, chan error) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func() { done <- run(ctx, opts, ready) }()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, cancel, done
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		panic("unreachable")
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("drain exit: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+
+	d, err := bucket.FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub bytes.Buffer
+	if err := bucket.WriteJSON(&pub, d); err != nil {
+		t.Fatal(err)
+	}
+
+	base, cancel, done := boot()
+	qresp, err := http.Post(base+"/v1/quantify", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"published": %s}`, pub.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, qresp.Body)
+	qresp.Body.Close()
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("quantify = %d", qresp.StatusCode)
+	}
+	reqID := qresp.Header.Get("X-Request-Id")
+	stop(cancel, done)
+
+	base, cancel, done = boot()
+	defer stop(cancel, done)
+	hresp, err := http.Get(base + "/v1/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/history after restart = %d: %s", hresp.StatusCode, raw)
+	}
+	var hist struct {
+		Records []struct {
+			RequestID string `json:"request_id"`
+			Outcome   string `json:"outcome"`
+		} `json:"records"`
+	}
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Records) != 1 || hist.Records[0].RequestID != reqID || hist.Records[0].Outcome != "ok" {
+		t.Fatalf("recovered history does not match the pre-restart solve (request %q): %s", reqID, raw)
+	}
+}
+
 func TestParseAlgorithmRejectsUnknown(t *testing.T) {
 	if _, err := parseAlgorithm("simplex"); err == nil {
 		t.Fatal("unknown algorithm accepted")

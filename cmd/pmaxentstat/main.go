@@ -3,6 +3,7 @@
 // a live one-line-per-solve view, top-style, on the terminal.
 //
 //	pmaxentstat [-addr http://localhost:8080] [-interval 1s] [-once]
+//	pmaxentstat -history DIR
 //
 // Each refresh prints a daemon summary line (requests, in-flight vs
 // limit, queue depth, cache hit/miss/evictions, live SSE clients) and
@@ -17,6 +18,13 @@
 //
 // -once prints a single snapshot and exits — the scriptable mode CI and
 // quick health checks use.
+//
+// -history DIR switches to offline mode: instead of scraping a live
+// daemon, the solve-history journal under DIR is scanned (the same files
+// pmaxentd -history-dir writes) and summarized per publication digest —
+// solve counts, error/unconverged totals, p50/p95 latency and iteration
+// windows, and any convergence regressions the detector would flag.
+// Works on a journal copied off a dead host; no daemon required.
 package main
 
 import (
@@ -30,15 +38,28 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"privacymaxent/internal/history"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "base URL of the pmaxentd to watch")
-		interval = flag.Duration("interval", time.Second, "refresh interval")
-		once     = flag.Bool("once", false, "print one snapshot and exit")
+		addr       = flag.String("addr", "http://localhost:8080", "base URL of the pmaxentd to watch")
+		interval   = flag.Duration("interval", time.Second, "refresh interval")
+		once       = flag.Bool("once", false, "print one snapshot and exit")
+		historyDir = flag.String("history", "", "offline mode: summarize the solve-history journal in this directory and exit")
 	)
 	flag.Parse()
+
+	if *historyDir != "" {
+		out, err := renderHistory(*historyDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmaxentstat:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	for {
@@ -192,6 +213,62 @@ func clip(s string, n int) string {
 		return s[:n]
 	}
 	return s[:n-1] + "…"
+}
+
+// renderHistory is the -history offline mode: scan a solve-history
+// journal directory, replay it through the same aggregator the daemon
+// runs, and print one line per publication digest plus any regressions
+// the detector flags across the replayed window.
+func renderHistory(dir string) (string, error) {
+	agg := history.NewAggregator(history.RegressionConfig{})
+	stats, err := history.Scan(dir, agg.Observe)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "journal %s: %d records in %d segments (%d bytes", dir, stats.Records, stats.Segments, stats.Bytes)
+	if stats.Torn > 0 {
+		fmt.Fprintf(&b, ", %d torn frames skipped", stats.Torn)
+	}
+	b.WriteString(")\n")
+	digests := agg.Digests()
+	if len(digests) == 0 {
+		b.WriteString("no solves\n")
+		return b.String(), nil
+	}
+	fmt.Fprintf(&b, "%-18s %8s %5s %7s %20s %17s  %s\n",
+		"DIGEST", "SOLVES", "ERR", "UNCONV", "SOLVE p50/p95 (ms)", "ITER p50/p95", "LAST")
+	for _, d := range digests {
+		solve := d.Metrics[history.MetricSolveMS]
+		iter := d.Metrics[history.MetricIterations]
+		fmt.Fprintf(&b, "%-18s %8d %5d %7d %10.2f/%-9.2f %8.0f/%-8.0f  %s\n",
+			clip(d.Digest, 18), d.Records, d.Errors, d.Unconverged,
+			recentOrBaseline(solve, 0.50), recentOrBaseline(solve, 0.95),
+			recentOrBaseline(iter, 0.50), recentOrBaseline(iter, 0.95),
+			d.LastOutcome)
+	}
+	agg.CheckAll()
+	for _, reg := range agg.Regressions() {
+		fmt.Fprintf(&b, "REGRESSION %s %s: p50 %.2f -> %.2f (x%.1f over %d baseline samples)\n",
+			clip(reg.Digest, 18), reg.Metric, reg.BaselineP50, reg.RecentP50, reg.Ratio, reg.BaselineCount)
+	}
+	return b.String(), nil
+}
+
+// recentOrBaseline prefers the recent window's quantile, falling back to
+// the baseline when too few new samples exist (small journals put
+// everything in the baseline).
+func recentOrBaseline(w history.WindowQuantiles, q float64) float64 {
+	pick := func(recent, baseline float64) float64 {
+		if w.RecentCount > 0 {
+			return recent
+		}
+		return baseline
+	}
+	if q >= 0.95 {
+		return pick(w.RecentP95, w.BaselineP95)
+	}
+	return pick(w.RecentP50, w.BaselineP50)
 }
 
 // sortLiveFirst orders rows live-states first, oldest first within each

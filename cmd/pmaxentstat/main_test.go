@@ -1,8 +1,13 @@
 package main
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"privacymaxent/internal/history"
 )
 
 const sampleMetrics = `# TYPE pmaxentd_build_info gauge
@@ -93,5 +98,88 @@ func TestClip(t *testing.T) {
 	}
 	if got := clip("ab", 4); got != "ab" {
 		t.Errorf("clip = %q", got)
+	}
+}
+
+func TestRenderHistoryOffline(t *testing.T) {
+	dir := t.TempDir()
+	st, err := history.Open(history.StoreConfig{Dir: dir, Fsync: history.FsyncPolicy{Always: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		st.Append(history.Record{
+			Schema:      history.RecordSchema,
+			SolveID:     fmt.Sprintf("abcdef123456-%d", i),
+			RequestID:   fmt.Sprintf("req-%d", i),
+			Digest:      "abcdef1234567890",
+			Outcome:     "ok",
+			StartUnixNS: int64(i) * 1e9,
+			ElapsedMS:   12.5,
+			StagesMS:    map[string]float64{"solve": 10},
+			Solver:      &history.SolverSummary{Iterations: 20 + i, Converged: true},
+		})
+	}
+	st.Append(history.Record{
+		Schema:    history.RecordSchema,
+		SolveID:   "abcdef123456-9",
+		RequestID: "req-9",
+		Digest:    "abcdef1234567890",
+		Outcome:   "error",
+		ErrorKind: "deadline",
+	})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash-torn tail must be reported, not fatal.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`00000000 {"schema":1,"torn`)
+	f.Close()
+
+	out, err := renderHistory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"6 records",
+		"1 torn frames skipped",
+		"abcdef1234567890",
+		"DIGEST",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("offline view missing %q:\n%s", want, out)
+		}
+	}
+	// One error among six records shows in the ERR column; the digest row
+	// carries the counts.
+	var row string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "abcdef1234567890") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("no digest row:\n%s", out)
+	}
+	fields := strings.Fields(row)
+	if len(fields) < 4 || fields[1] != "6" || fields[2] != "1" {
+		t.Fatalf("digest row counts wrong (want 6 solves, 1 error): %q", row)
+	}
+}
+
+func TestRenderHistoryMissingDir(t *testing.T) {
+	out, err := renderHistory(filepath.Join(t.TempDir(), "nope"))
+	if err != nil {
+		t.Fatalf("missing journal dir should render as empty, got %v", err)
+	}
+	if !strings.Contains(out, "no solves") {
+		t.Fatalf("want \"no solves\", got:\n%s", out)
 	}
 }

@@ -1,0 +1,492 @@
+package history
+
+import (
+	"sort"
+	"sync"
+)
+
+// The aggregate layer answers "is this publication's solve drifting?"
+// from the journal's raw records. Per digest it keeps a bounded ring of
+// compact per-solve samples; quantiles are read through fixed-bucket
+// histograms (geometric grids, interpolated within a bucket), so the
+// p50/p95/p99 of a window costs O(buckets) and no sorting. The
+// regression detector splits the ring into a baseline window (everything
+// but the newest RecentWindow samples) and a recent window (the newest
+// RecentWindow), and flags a metric when the recent p50 exceeds the
+// baseline p50 by both a configurable ratio and an absolute floor — the
+// floor keeps sub-millisecond noise from tripping the ratio on tiny
+// solves.
+
+// Metric names the detector and the DigestStats maps use.
+const (
+	MetricSolveMS      = "solve_ms"      // pipeline solve-stage latency
+	MetricTotalMS      = "total_ms"      // whole-solve wall clock
+	MetricIterations   = "iterations"    // optimizer iterations
+	MetricMaxViolation = "max_violation" // feasibility residual ‖Ax−c‖∞
+	MetricDualityGap   = "duality_gap"   // |λᵀ(Ax−c)| when audited
+)
+
+// RegressionConfig tunes the drift detector. Zero values take the
+// defaults noted on each field.
+type RegressionConfig struct {
+	// WindowCap bounds the per-digest sample ring (baseline + recent).
+	// Default 512.
+	WindowCap int
+	// RecentWindow is how many newest samples form the "now" window.
+	// Default 32.
+	RecentWindow int
+	// MinBaseline is the fewest baseline samples the detector will judge
+	// against. Default 32.
+	MinBaseline int
+	// LatencyRatio / LatencyMinDeltaMS gate the solve_ms comparison: a
+	// regression needs recent p50 > ratio × baseline p50 AND recent p50 −
+	// baseline p50 > the floor. Defaults 2.0 and 5ms.
+	LatencyRatio      float64
+	LatencyMinDeltaMS float64
+	// IterationRatio / IterationMinDelta gate the iteration comparison.
+	// Defaults 2.0 and 10 iterations.
+	IterationRatio    float64
+	IterationMinDelta float64
+	// ResidualRatio / ResidualMinDelta gate the feasibility-residual
+	// comparison. Defaults 10.0 and 1e-9.
+	ResidualRatio    float64
+	ResidualMinDelta float64
+}
+
+func (c RegressionConfig) withDefaults() RegressionConfig {
+	if c.WindowCap <= 0 {
+		c.WindowCap = 512
+	}
+	if c.RecentWindow <= 0 {
+		c.RecentWindow = 32
+	}
+	if c.MinBaseline <= 0 {
+		c.MinBaseline = 32
+	}
+	if c.LatencyRatio <= 0 {
+		c.LatencyRatio = 2
+	}
+	if c.LatencyMinDeltaMS <= 0 {
+		c.LatencyMinDeltaMS = 5
+	}
+	if c.IterationRatio <= 0 {
+		c.IterationRatio = 2
+	}
+	if c.IterationMinDelta <= 0 {
+		c.IterationMinDelta = 10
+	}
+	if c.ResidualRatio <= 0 {
+		c.ResidualRatio = 10
+	}
+	if c.ResidualMinDelta <= 0 {
+		c.ResidualMinDelta = 1e-9
+	}
+	if c.WindowCap < c.RecentWindow+c.MinBaseline {
+		c.WindowCap = c.RecentWindow + c.MinBaseline
+	}
+	return c
+}
+
+// Regression is one detected drift: a metric of one publication whose
+// recent window moved past the baseline window's distribution.
+type Regression struct {
+	Digest string `json:"digest"`
+	// Metric is which distribution drifted (MetricSolveMS,
+	// MetricIterations or MetricMaxViolation).
+	Metric string `json:"metric"`
+	// Baseline*/Recent* are the two windows' histogram quantiles at
+	// detection-refresh time; Ratio is RecentP50/BaselineP50.
+	BaselineP50   float64 `json:"baseline_p50"`
+	RecentP50     float64 `json:"recent_p50"`
+	BaselineP95   float64 `json:"baseline_p95"`
+	RecentP95     float64 `json:"recent_p95"`
+	Ratio         float64 `json:"ratio"`
+	BaselineCount int     `json:"baseline_count"`
+	RecentCount   int     `json:"recent_count"`
+	// SinceUnixNS is the start time of the newest record when the
+	// regression was first detected.
+	SinceUnixNS int64 `json:"since_unix_ns"`
+}
+
+// WindowQuantiles is the baseline-vs-recent distribution of one metric.
+type WindowQuantiles struct {
+	BaselineCount int     `json:"baseline_count"`
+	RecentCount   int     `json:"recent_count"`
+	BaselineP50   float64 `json:"baseline_p50"`
+	BaselineP95   float64 `json:"baseline_p95"`
+	BaselineP99   float64 `json:"baseline_p99"`
+	RecentP50     float64 `json:"recent_p50"`
+	RecentP95     float64 `json:"recent_p95"`
+	RecentP99     float64 `json:"recent_p99"`
+}
+
+// DigestStats is the aggregate view of one publication's solve history.
+type DigestStats struct {
+	Digest string `json:"digest"`
+	// Records counts everything observed for this digest (including
+	// samples that have aged out of the ring); Errors and Unconverged
+	// are lifetime counts of failed and non-converged solves.
+	Records     int64 `json:"records"`
+	Errors      int64 `json:"errors"`
+	Unconverged int64 `json:"unconverged"`
+	// LastUnixNS / LastOutcome describe the newest record.
+	LastUnixNS  int64  `json:"last_unix_ns"`
+	LastOutcome string `json:"last_outcome"`
+	// Metrics maps metric name → windowed quantiles. Latency metrics are
+	// present for every digest with samples; duality_gap only when
+	// audited records exist.
+	Metrics map[string]WindowQuantiles `json:"metrics,omitempty"`
+}
+
+// sample is the compact per-record form the ring stores. NaN-free:
+// absent values are negative (every real metric here is ≥ 0).
+type sample struct {
+	solveMS      float64
+	totalMS      float64
+	iterations   float64
+	maxViolation float64
+	dualityGap   float64 // -1 when the solve was not audited
+}
+
+// digestWindow is one digest's ring plus lifetime counters.
+type digestWindow struct {
+	ring        []sample // capacity cfg.WindowCap, oldest first
+	records     int64
+	errors      int64
+	unconverged int64
+	lastUnixNS  int64
+	lastOutcome string
+}
+
+// Aggregator folds records into per-digest windows and runs the
+// regression detector. Safe for concurrent use.
+type Aggregator struct {
+	cfg RegressionConfig
+
+	mu     sync.Mutex
+	digest map[string]*digestWindow
+	active map[string]Regression // keyed digest+"\x00"+metric
+	checks int64
+}
+
+// NewAggregator builds an empty aggregator (see RegressionConfig for
+// defaults).
+func NewAggregator(cfg RegressionConfig) *Aggregator {
+	return &Aggregator{
+		cfg:    cfg.withDefaults(),
+		digest: make(map[string]*digestWindow),
+		active: make(map[string]Regression),
+	}
+}
+
+// Observe folds one record into its digest's window. Failed solves count
+// toward the error totals but contribute no samples — their timings
+// describe the failure path, not the solve.
+func (a *Aggregator) Observe(rec Record) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	dw := a.digest[rec.Digest]
+	if dw == nil {
+		dw = &digestWindow{}
+		a.digest[rec.Digest] = dw
+	}
+	dw.records++
+	dw.lastUnixNS = rec.StartUnixNS
+	dw.lastOutcome = rec.Outcome
+	if rec.Failed() {
+		dw.errors++
+		return
+	}
+	s := sample{totalMS: rec.ElapsedMS, dualityGap: -1}
+	if rec.StagesMS != nil {
+		s.solveMS = rec.StagesMS["solve"]
+	}
+	if rec.Solver != nil {
+		s.iterations = float64(rec.Solver.Iterations)
+		s.maxViolation = rec.Solver.MaxViolation
+		if !rec.Solver.Converged {
+			dw.unconverged++
+		}
+	}
+	if rec.AuditSummary != nil {
+		s.dualityGap = abs(rec.AuditSummary.DualityGap)
+	}
+	if len(dw.ring) >= a.cfg.WindowCap {
+		copy(dw.ring, dw.ring[1:])
+		dw.ring = dw.ring[:len(dw.ring)-1]
+	}
+	dw.ring = append(dw.ring, s)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Check refreshes the detector for one digest, returning the regressions
+// that newly appeared and those that cleared since the last check.
+func (a *Aggregator) Check(digest string) (detected, cleared []Regression) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checkLocked(digest)
+}
+
+// CheckAll refreshes the detector for every digest — used once after a
+// journal replay so regressions that were active at crash time resurface
+// without waiting for fresh traffic.
+func (a *Aggregator) CheckAll() (detected, cleared []Regression) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for digest := range a.digest {
+		d, c := a.checkLocked(digest)
+		detected = append(detected, d...)
+		cleared = append(cleared, c...)
+	}
+	return detected, cleared
+}
+
+// checkLocked evaluates the three drift comparisons for one digest.
+func (a *Aggregator) checkLocked(digest string) (detected, cleared []Regression) {
+	a.checks++
+	dw := a.digest[digest]
+	if dw == nil {
+		return nil, nil
+	}
+	recent, baseline := a.split(dw)
+	for _, m := range []struct {
+		metric   string
+		value    func(sample) float64
+		buckets  []float64
+		ratio    float64
+		minDelta float64
+	}{
+		{MetricSolveMS, func(s sample) float64 { return s.solveMS }, latencyBucketsMS, a.cfg.LatencyRatio, a.cfg.LatencyMinDeltaMS},
+		{MetricIterations, func(s sample) float64 { return s.iterations }, countBuckets, a.cfg.IterationRatio, a.cfg.IterationMinDelta},
+		{MetricMaxViolation, func(s sample) float64 { return s.maxViolation }, residualBuckets, a.cfg.ResidualRatio, a.cfg.ResidualMinDelta},
+	} {
+		key := digest + "\x00" + m.metric
+		if len(recent) < a.cfg.RecentWindow || len(baseline) < a.cfg.MinBaseline {
+			continue // not enough evidence either way; leave state as is
+		}
+		bh := histOf(baseline, m.value, m.buckets)
+		rh := histOf(recent, m.value, m.buckets)
+		b50, r50 := bh.quantile(0.50), rh.quantile(0.50)
+		regressed := r50 > m.ratio*b50 && r50-b50 > m.minDelta
+		_, wasActive := a.active[key]
+		switch {
+		case regressed && !wasActive:
+			reg := Regression{
+				Digest:        digest,
+				Metric:        m.metric,
+				BaselineP50:   b50,
+				RecentP50:     r50,
+				BaselineP95:   bh.quantile(0.95),
+				RecentP95:     rh.quantile(0.95),
+				Ratio:         ratio(r50, b50),
+				BaselineCount: len(baseline),
+				RecentCount:   len(recent),
+				SinceUnixNS:   dw.lastUnixNS,
+			}
+			a.active[key] = reg
+			detected = append(detected, reg)
+		case regressed && wasActive:
+			// Refresh the numbers but keep the original detection time.
+			reg := a.active[key]
+			reg.BaselineP50, reg.RecentP50 = b50, r50
+			reg.BaselineP95, reg.RecentP95 = bh.quantile(0.95), rh.quantile(0.95)
+			reg.Ratio = ratio(r50, b50)
+			reg.BaselineCount, reg.RecentCount = len(baseline), len(recent)
+			a.active[key] = reg
+		case !regressed && wasActive:
+			cleared = append(cleared, a.active[key])
+			delete(a.active, key)
+		}
+	}
+	return detected, cleared
+}
+
+func ratio(num, den float64) float64 {
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// split returns the recent window (newest RecentWindow samples) and the
+// baseline (everything older).
+func (a *Aggregator) split(dw *digestWindow) (recent, baseline []sample) {
+	n := len(dw.ring)
+	w := a.cfg.RecentWindow
+	if w > n {
+		w = n
+	}
+	return dw.ring[n-w:], dw.ring[:n-w]
+}
+
+// Regressions lists the currently active regressions, sorted by digest
+// then metric for stable output.
+func (a *Aggregator) Regressions() []Regression {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Regression, 0, len(a.active))
+	for _, reg := range a.active {
+		out = append(out, reg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Digest != out[j].Digest {
+			return out[i].Digest < out[j].Digest
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}
+
+// Checks counts detector refreshes since construction.
+func (a *Aggregator) Checks() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.checks
+}
+
+// Digests lists every digest's aggregate stats, most-recently-active
+// first.
+func (a *Aggregator) Digests() []DigestStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]DigestStats, 0, len(a.digest))
+	for digest := range a.digest {
+		out = append(out, a.statsLocked(digest))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LastUnixNS != out[j].LastUnixNS {
+			return out[i].LastUnixNS > out[j].LastUnixNS
+		}
+		return out[i].Digest < out[j].Digest
+	})
+	return out
+}
+
+// Digest returns one publication's aggregate stats.
+func (a *Aggregator) Digest(digest string) (DigestStats, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.digest[digest] == nil {
+		return DigestStats{}, false
+	}
+	return a.statsLocked(digest), true
+}
+
+func (a *Aggregator) statsLocked(digest string) DigestStats {
+	dw := a.digest[digest]
+	st := DigestStats{
+		Digest:      digest,
+		Records:     dw.records,
+		Errors:      dw.errors,
+		Unconverged: dw.unconverged,
+		LastUnixNS:  dw.lastUnixNS,
+		LastOutcome: dw.lastOutcome,
+	}
+	recent, baseline := a.split(dw)
+	if len(recent)+len(baseline) == 0 {
+		return st
+	}
+	st.Metrics = make(map[string]WindowQuantiles, 5)
+	add := func(metric string, value func(sample) float64, buckets []float64) {
+		bh := histOf(baseline, value, buckets)
+		rh := histOf(recent, value, buckets)
+		st.Metrics[metric] = WindowQuantiles{
+			BaselineCount: bh.total,
+			RecentCount:   rh.total,
+			BaselineP50:   bh.quantile(0.50),
+			BaselineP95:   bh.quantile(0.95),
+			BaselineP99:   bh.quantile(0.99),
+			RecentP50:     rh.quantile(0.50),
+			RecentP95:     rh.quantile(0.95),
+			RecentP99:     rh.quantile(0.99),
+		}
+	}
+	add(MetricSolveMS, func(s sample) float64 { return s.solveMS }, latencyBucketsMS)
+	add(MetricTotalMS, func(s sample) float64 { return s.totalMS }, latencyBucketsMS)
+	add(MetricIterations, func(s sample) float64 { return s.iterations }, countBuckets)
+	add(MetricMaxViolation, func(s sample) float64 { return s.maxViolation }, residualBuckets)
+	gapValue := func(s sample) float64 { return s.dualityGap }
+	if gh := histOf(append(append([]sample(nil), baseline...), recent...), gapValue, residualBuckets); gh.total > 0 {
+		add(MetricDualityGap, gapValue, residualBuckets)
+	}
+	return st
+}
+
+// hist is a fixed-bucket histogram: counts[i] covers (bounds[i-1],
+// bounds[i]], with an implicit +Inf bucket at the end.
+type hist struct {
+	bounds []float64
+	counts []int
+	total  int
+}
+
+// histOf builds a histogram of value over the window, skipping negative
+// values (the "absent" marker).
+func histOf(window []sample, value func(sample) float64, bounds []float64) *hist {
+	h := &hist{bounds: bounds, counts: make([]int, len(bounds)+1)}
+	for _, s := range window {
+		v := value(s)
+		if v < 0 {
+			continue
+		}
+		h.counts[sort.SearchFloat64s(bounds, v)]++
+		h.total++
+	}
+	return h
+}
+
+// quantile reads the q-quantile from the histogram, interpolating
+// linearly within the winning bucket. The +Inf bucket saturates at the
+// last finite bound.
+func (h *hist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: saturate
+		}
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + frac*(h.bounds[i]-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// geometric bucket grids shared by all windows of a metric, so the
+// baseline and recent histograms are always comparable.
+var (
+	latencyBucketsMS = geomBuckets(0.05, 600_000, 1.35) // 50µs … 10min
+	countBuckets     = geomBuckets(1, 30_000, 1.3)      // iterations
+	residualBuckets  = geomBuckets(1e-14, 1, 10)        // residuals/gaps
+)
+
+func geomBuckets(lo, hi, factor float64) []float64 {
+	var out []float64
+	for v := lo; v < hi*factor; v *= factor {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package history
+
+import (
+	"testing"
+)
+
+// tinyCfg keeps the detector windows small enough to drive from a test.
+func tinyCfg() RegressionConfig {
+	return RegressionConfig{
+		WindowCap:    16,
+		RecentWindow: 4,
+		MinBaseline:  4,
+	}
+}
+
+func okRecord(digest string, solveMS float64, iters int, viol float64) Record {
+	return Record{
+		Digest:    digest,
+		Outcome:   "ok",
+		ElapsedMS: solveMS + 1,
+		StagesMS:  map[string]float64{"solve": solveMS},
+		Solver:    &SolverSummary{Iterations: iters, Converged: true, MaxViolation: viol},
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var window []sample
+	for i := 1; i <= 100; i++ {
+		window = append(window, sample{solveMS: float64(i)})
+	}
+	h := histOf(window, func(s sample) float64 { return s.solveMS }, latencyBucketsMS)
+	if h.total != 100 {
+		t.Fatalf("total %d, want 100", h.total)
+	}
+	p50 := h.quantile(0.50)
+	if p50 < 25 || p50 > 90 {
+		t.Fatalf("p50 of 1..100 = %v, wildly off", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+	if empty := (&hist{bounds: latencyBucketsMS, counts: make([]int, len(latencyBucketsMS)+1)}); empty.quantile(0.5) != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", empty.quantile(0.5))
+	}
+}
+
+func TestHistSkipsAbsentValues(t *testing.T) {
+	window := []sample{{dualityGap: -1}, {dualityGap: 1e-9}, {dualityGap: -1}}
+	h := histOf(window, func(s sample) float64 { return s.dualityGap }, residualBuckets)
+	if h.total != 1 {
+		t.Fatalf("absent (-1) samples counted: total %d, want 1", h.total)
+	}
+}
+
+func TestAggregatorDetectsLatencyRegression(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	for i := 0; i < 8; i++ {
+		a.Observe(okRecord("d1", 1, 10, 1e-12)) // baseline: ~1ms
+	}
+	if det, _ := a.Check("d1"); len(det) != 0 {
+		t.Fatalf("flat history flagged: %+v", det)
+	}
+	for i := 0; i < 4; i++ {
+		a.Observe(okRecord("d1", 200, 10, 1e-12)) // recent: ~200ms
+	}
+	det, _ := a.Check("d1")
+	if len(det) != 1 || det[0].Metric != MetricSolveMS {
+		t.Fatalf("latency regression not detected: %+v", det)
+	}
+	if det[0].Ratio < 2 {
+		t.Fatalf("ratio %v, want >= 2", det[0].Ratio)
+	}
+	if got := a.Regressions(); len(got) != 1 || got[0].Digest != "d1" {
+		t.Fatalf("Regressions() = %+v", got)
+	}
+	// Re-checking an ongoing regression must not re-report it as new.
+	if det, _ := a.Check("d1"); len(det) != 0 {
+		t.Fatalf("ongoing regression re-detected: %+v", det)
+	}
+}
+
+func TestAggregatorDetectsIterationAndResidualRegression(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	for i := 0; i < 12; i++ {
+		a.Observe(okRecord("d1", 1, 5, 1e-12))
+	}
+	for i := 0; i < 4; i++ {
+		a.Observe(okRecord("d1", 1, 400, 1e-4)) // iterations and residual blow up
+	}
+	det, _ := a.Check("d1")
+	metrics := map[string]bool{}
+	for _, r := range det {
+		metrics[r.Metric] = true
+	}
+	if !metrics[MetricIterations] || !metrics[MetricMaxViolation] {
+		t.Fatalf("detected %v, want iterations and max_violation", metrics)
+	}
+}
+
+func TestAggregatorClearsRecoveredRegression(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	for i := 0; i < 8; i++ {
+		a.Observe(okRecord("d1", 1, 10, 1e-12))
+	}
+	for i := 0; i < 4; i++ {
+		a.Observe(okRecord("d1", 200, 10, 1e-12))
+	}
+	if det, _ := a.Check("d1"); len(det) != 1 {
+		t.Fatalf("setup detection failed: %+v", det)
+	}
+	// Ring slides: once the slow burst ages into the baseline and the
+	// recent window is fast again, the regression clears.
+	for i := 0; i < 12; i++ {
+		a.Observe(okRecord("d1", 1, 10, 1e-12))
+	}
+	_, cleared := a.Check("d1")
+	if len(cleared) != 1 || cleared[0].Metric != MetricSolveMS {
+		t.Fatalf("regression did not clear: %+v (active %+v)", cleared, a.Regressions())
+	}
+	if got := a.Regressions(); len(got) != 0 {
+		t.Fatalf("active regressions after clear: %+v", got)
+	}
+}
+
+func TestAggregatorNeedsEnoughEvidence(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	a.Observe(okRecord("d1", 1, 10, 1e-12))
+	a.Observe(okRecord("d1", 500, 10, 1e-12))
+	if det, _ := a.Check("d1"); len(det) != 0 {
+		t.Fatalf("two samples flagged a regression: %+v", det)
+	}
+	if det, _ := a.Check("unknown"); det != nil {
+		t.Fatalf("unknown digest produced detections: %+v", det)
+	}
+}
+
+func TestAggregatorDigestStats(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	for i := 0; i < 6; i++ {
+		rec := okRecord("d1", 10, 20, 1e-12)
+		rec.StartUnixNS = int64(100 + i)
+		rec.AuditSummary = &AuditSummary{DualityGap: -1e-10, Feasible: true}
+		a.Observe(rec)
+	}
+	fail := Record{Digest: "d1", Outcome: "error", ErrorKind: "infeasible", StartUnixNS: 200}
+	a.Observe(fail)
+
+	st, ok := a.Digest("d1")
+	if !ok {
+		t.Fatal("digest missing")
+	}
+	if st.Records != 7 || st.Errors != 1 {
+		t.Fatalf("records/errors = %d/%d, want 7/1", st.Records, st.Errors)
+	}
+	if st.LastOutcome != "error" || st.LastUnixNS != 200 {
+		t.Fatalf("last outcome %q @ %d, want error @ 200", st.LastOutcome, st.LastUnixNS)
+	}
+	wq, ok := st.Metrics[MetricSolveMS]
+	if !ok || wq.BaselineCount+wq.RecentCount != 6 {
+		t.Fatalf("solve_ms window %+v, want 6 samples", wq)
+	}
+	if _, ok := st.Metrics[MetricDualityGap]; !ok {
+		t.Fatalf("audited records present but duality_gap metric missing: %v", st.Metrics)
+	}
+
+	if _, ok := a.Digest("none"); ok {
+		t.Fatal("unknown digest reported present")
+	}
+	if ds := a.Digests(); len(ds) != 1 || ds[0].Digest != "d1" {
+		t.Fatalf("Digests() = %+v", ds)
+	}
+}
+
+func TestAggregatorUnconvergedCounted(t *testing.T) {
+	a := NewAggregator(tinyCfg())
+	rec := okRecord("d1", 10, 500, 1e-3)
+	rec.Solver.Converged = false
+	a.Observe(rec)
+	st, _ := a.Digest("d1")
+	if st.Unconverged != 1 {
+		t.Fatalf("unconverged = %d, want 1", st.Unconverged)
+	}
+}

@@ -1,0 +1,372 @@
+package history
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The journal's on-disk format, chosen so a solve record survives
+// anything short of media loss and a partial write never poisons its
+// neighbours:
+//
+//   - One record per line ("JSONL"), each line CRC-framed:
+//     "<8-hex crc32(payload)> <payload>\n". The CRC covers exactly the
+//     JSON payload; the frame is human-greppable (`cut -d' ' -f2- | jq`)
+//     while still detecting truncation and bit rot.
+//   - Records append to the newest segment file
+//     ("journal-<8-digit-seq>.jsonl"); when a segment reaches
+//     SegmentRecords records a new one is opened. Rotation is what makes
+//     retention cheap (delete whole files, never rewrite) and recovery
+//     incremental.
+//   - A torn final frame — the line a crash cut mid-write — is detected
+//     by its missing newline or failing CRC, skipped on recovery, and
+//     truncated away before the journal appends again, so the torn bytes
+//     never corrupt the frame that follows them. Torn or corrupt frames
+//     are counted, not fatal: the journal's contract is "every record
+//     whose write completed survives", not "the file is pristine".
+
+// journalPrefix/journalSuffix name segment files: journal-00000001.jsonl.
+const (
+	journalPrefix = "journal-"
+	journalSuffix = ".jsonl"
+)
+
+// frameOverhead is the framing around each JSON payload: 8 hex CRC
+// characters and one space.
+const frameOverhead = 9
+
+// ScanStats summarizes one recovery pass over a journal directory.
+type ScanStats struct {
+	// Segments and Records count what the scan accepted; Bytes is the
+	// on-disk size of all segments.
+	Segments int
+	Records  int
+	Bytes    int64
+	// Torn counts frames that failed the CRC or ended mid-line — crash
+	// debris, skipped.
+	Torn int
+}
+
+// segment tracks one on-disk segment file.
+type segment struct {
+	seq     int
+	records int
+	bytes   int64
+}
+
+// journal is the append side of the store: the active segment file, its
+// buffered writer, and the bookkeeping retention needs. Not safe for
+// concurrent use — the Store serializes access through its writer
+// goroutine.
+type journal struct {
+	dir        string
+	segRecords int // records per segment before rotation
+	retention  int // min records kept; older whole segments are deleted
+
+	segs   []segment // oldest first; last is active
+	f      *os.File
+	w      *bufio.Writer
+	synced bool // no writes since the last fsync
+}
+
+// segPath renders the path of segment seq.
+func segPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", journalPrefix, seq, journalSuffix))
+}
+
+// segSeq parses a segment filename, reporting ok=false for foreign files.
+func segSeq(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, journalPrefix)
+	if !ok {
+		return 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, journalSuffix)
+	if !ok {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(rest)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the directory's segment files, oldest first.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := segSeq(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// scanSegment reads one segment file, calling fn for every valid record.
+// It returns the number of valid records, the byte offset just past the
+// last valid frame (the truncation point for a torn tail), and the count
+// of torn/corrupt frames.
+func scanSegment(path string, fn func(Record)) (records int, goodEnd int64, torn int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		line, readErr := r.ReadString('\n')
+		if readErr != nil && readErr != io.EOF {
+			return records, goodEnd, torn, readErr
+		}
+		complete := strings.HasSuffix(line, "\n")
+		if rec, ok := decodeFrame(strings.TrimSuffix(line, "\n")); ok && complete {
+			records++
+			off += int64(len(line))
+			goodEnd = off
+			if fn != nil {
+				fn(rec)
+			}
+		} else if len(line) > 0 {
+			// Torn or corrupt: skip the line but keep scanning — a
+			// mid-file bad frame must not hide the records after it.
+			torn++
+			off += int64(len(line))
+		}
+		if readErr == io.EOF {
+			return records, goodEnd, torn, nil
+		}
+	}
+}
+
+// decodeFrame validates one CRC-framed line and decodes its record.
+func decodeFrame(line string) (Record, bool) {
+	if len(line) < frameOverhead+2 || line[8] != ' ' {
+		return Record{}, false
+	}
+	var crcBytes [4]byte
+	if _, err := hex.Decode(crcBytes[:], []byte(line[:8])); err != nil {
+		return Record{}, false
+	}
+	want := uint32(crcBytes[0])<<24 | uint32(crcBytes[1])<<16 | uint32(crcBytes[2])<<8 | uint32(crcBytes[3])
+	payload := line[frameOverhead:]
+	if crc32.ChecksumIEEE([]byte(payload)) != want {
+		return Record{}, false
+	}
+	var rec Record
+	if err := json.Unmarshal([]byte(payload), &rec); err != nil {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Scan replays every valid record of the journal at dir, oldest first,
+// without taking ownership of the files — the read-only entry point
+// offline tools (pmaxentstat -history) use against a live daemon's
+// directory. A missing directory is an empty journal, not an error.
+func Scan(dir string, fn func(Record)) (ScanStats, error) {
+	var st ScanStats
+	seqs, err := listSegments(dir)
+	if os.IsNotExist(err) {
+		return st, nil
+	}
+	if err != nil {
+		return st, err
+	}
+	for _, seq := range seqs {
+		path := segPath(dir, seq)
+		records, _, torn, err := scanSegment(path, fn)
+		if err != nil {
+			return st, fmt.Errorf("history: scanning %s: %w", path, err)
+		}
+		st.Segments++
+		st.Records += records
+		st.Torn += torn
+		if fi, err := os.Stat(path); err == nil {
+			st.Bytes += fi.Size()
+		}
+	}
+	return st, nil
+}
+
+// openJournal opens (or creates) the journal at dir for appending,
+// replaying every recovered record through fn and truncating a torn tail
+// off the active segment so later appends start on a clean frame
+// boundary.
+func openJournal(dir string, segRecords, retention int, fn func(Record)) (*journal, ScanStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, ScanStats{}, fmt.Errorf("history: creating %s: %w", dir, err)
+	}
+	j := &journal{dir: dir, segRecords: segRecords, retention: retention}
+	var st ScanStats
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, st, fmt.Errorf("history: listing %s: %w", dir, err)
+	}
+	for i, seq := range seqs {
+		path := segPath(dir, seq)
+		records, goodEnd, torn, err := scanSegment(path, fn)
+		if err != nil {
+			return nil, st, fmt.Errorf("history: recovering %s: %w", path, err)
+		}
+		st.Segments++
+		st.Records += records
+		st.Torn += torn
+		active := i == len(seqs)-1
+		size := goodEnd
+		if !active {
+			if fi, err := os.Stat(path); err == nil {
+				size = fi.Size()
+			}
+		} else if torn > 0 || truncNeeded(path, goodEnd) {
+			// The active segment ends in crash debris: cut the file back
+			// to the last complete frame before appending to it.
+			if err := os.Truncate(path, goodEnd); err != nil {
+				return nil, st, fmt.Errorf("history: truncating torn tail of %s: %w", path, err)
+			}
+		}
+		j.segs = append(j.segs, segment{seq: seq, records: records, bytes: size})
+		st.Bytes += size
+	}
+	if len(j.segs) == 0 {
+		j.segs = append(j.segs, segment{seq: 1})
+	}
+	if err := j.openActive(); err != nil {
+		return nil, st, err
+	}
+	return j, st, nil
+}
+
+// truncNeeded reports whether the file extends past the last valid
+// frame (a torn tail with zero counted frames, e.g. pure garbage).
+func truncNeeded(path string, goodEnd int64) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.Size() > goodEnd
+}
+
+// openActive opens the newest segment for appending.
+func (j *journal) openActive() error {
+	path := segPath(j.dir, j.active().seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("history: opening %s: %w", path, err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	j.synced = true
+	return nil
+}
+
+func (j *journal) active() *segment { return &j.segs[len(j.segs)-1] }
+
+// totalRecords sums the records across all live segments.
+func (j *journal) totalRecords() int {
+	n := 0
+	for i := range j.segs {
+		n += j.segs[i].records
+	}
+	return n
+}
+
+// totalBytes sums the on-disk size across all live segments.
+func (j *journal) totalBytes() int64 {
+	var n int64
+	for i := range j.segs {
+		n += j.segs[i].bytes
+	}
+	return n
+}
+
+// append frames and writes one record, rotating and enforcing retention
+// afterwards. The write lands in the OS (bufio flushed) before append
+// returns; durability against power loss additionally needs sync().
+func (j *journal) append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("history: encoding record: %w", err)
+	}
+	frame := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(payload), payload)
+	if _, err := j.w.WriteString(frame); err != nil {
+		return fmt.Errorf("history: appending record: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("history: flushing record: %w", err)
+	}
+	j.synced = false
+	j.active().records++
+	j.active().bytes += int64(len(frame))
+	if j.active().records >= j.segRecords {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rotate fsyncs and closes the active segment, opens the next one, and
+// deletes the oldest segments no longer needed to keep `retention`
+// records. Whole segments are the retention unit: the journal keeps at
+// least `retention` records, rounded up to a segment boundary.
+func (j *journal) rotate() error {
+	if err := j.sync(); err != nil {
+		return err
+	}
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("history: closing segment: %w", err)
+	}
+	j.segs = append(j.segs, segment{seq: j.active().seq + 1})
+	if err := j.openActive(); err != nil {
+		return err
+	}
+	total := j.totalRecords()
+	for len(j.segs) > 1 && total-j.segs[0].records >= j.retention {
+		path := segPath(j.dir, j.segs[0].seq)
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("history: expiring %s: %w", path, err)
+		}
+		total -= j.segs[0].records
+		j.segs = j.segs[1:]
+	}
+	return nil
+}
+
+// sync flushes and fsyncs the active segment (no-op when already synced).
+func (j *journal) sync() error {
+	if j.synced {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("history: fsync: %w", err)
+	}
+	j.synced = true
+	return nil
+}
+
+// close fsyncs and closes the active segment.
+func (j *journal) close() error {
+	syncErr := j.sync()
+	if err := j.f.Close(); err != nil && syncErr == nil {
+		syncErr = err
+	}
+	return syncErr
+}

@@ -1,0 +1,257 @@
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testRecord(i int, digest string) Record {
+	return Record{
+		Schema:      RecordSchema,
+		SolveID:     fmt.Sprintf("%s-%d", digest, i),
+		RequestID:   fmt.Sprintf("req-%d", i),
+		Digest:      digest,
+		Outcome:     "ok",
+		StartUnixNS: int64(1000 + i),
+		Knowledge:   3,
+		ElapsedMS:   float64(i),
+		StagesMS:    map[string]float64{"solve": float64(i)},
+		Solver:      &SolverSummary{Iterations: i, Converged: true, MaxViolation: 1e-12},
+	}
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	j, st, err := openJournal(dir, 1024, 65536, nil)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	if st.Records != 0 || st.Segments != 0 {
+		t.Fatalf("fresh journal scanned %+v, want empty", st)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.append(testRecord(i, "d1")); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var got []Record
+	st2, err := Scan(dir, func(r Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if st2.Records != 10 || st2.Segments != 1 || st2.Torn != 0 {
+		t.Fatalf("Scan stats %+v, want 10 records / 1 segment / 0 torn", st2)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.SolveID != fmt.Sprintf("d1-%d", i) {
+			t.Fatalf("record %d out of order: %q", i, r.SolveID)
+		}
+		if r.Solver == nil || r.Solver.Iterations != i {
+			t.Fatalf("record %d lost solver summary: %+v", i, r.Solver)
+		}
+	}
+}
+
+func TestJournalTornTailSkippedAndTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 1024, 65536, nil)
+	if err != nil {
+		t.Fatalf("openJournal: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.append(testRecord(i, "d1")); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Simulate a crash mid-write: a frame cut off without its newline.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`deadbeef {"schema":1,"solve_id":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize, _ := os.Stat(path)
+
+	var replayed int
+	j2, st, err := openJournal(dir, 1024, 65536, func(Record) { replayed++ })
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if replayed != 5 || st.Records != 5 {
+		t.Fatalf("recovered %d records (stats %+v), want 5", replayed, st)
+	}
+	if st.Torn != 1 {
+		t.Fatalf("torn count %d, want 1", st.Torn)
+	}
+	// The torn bytes must be gone so the next append starts on a clean
+	// frame boundary.
+	if fi, err := os.Stat(path); err != nil || fi.Size() >= tornSize.Size() {
+		t.Fatalf("torn tail not truncated: size %d (was %d)", fi.Size(), tornSize.Size())
+	}
+	if err := j2.append(testRecord(5, "d1")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := j2.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	st2, err := Scan(dir, nil)
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if st2.Records != 6 || st2.Torn != 0 {
+		t.Fatalf("post-recovery scan %+v, want 6 clean records", st2)
+	}
+}
+
+func TestJournalMidFileCorruptionSkipped(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 1024, 65536, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.append(testRecord(i, "d1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte of the middle record: its CRC fails but the
+	// records around it must still replay.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines++
+			if lines == 1 {
+				data[i+frameOverhead+5] ^= 0xff
+				break
+			}
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []Record
+	st, err := Scan(dir, func(r Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if st.Records != 2 || st.Torn != 1 {
+		t.Fatalf("scan stats %+v, want 2 records / 1 torn", st)
+	}
+	if len(got) != 2 || got[0].SolveID != "d1-0" || got[1].SolveID != "d1-2" {
+		t.Fatalf("mid-file corruption hid neighbours: %+v", got)
+	}
+}
+
+func TestJournalRotationAndRetention(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 4, 8, nil) // 4 records/segment, keep >= 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := j.append(testRecord(i, "d1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) < 2 {
+		t.Fatalf("expected rotation to leave multiple segments, got %v", seqs)
+	}
+	if seqs[0] == 1 {
+		t.Fatalf("oldest segment never expired: %v", seqs)
+	}
+
+	var got []Record
+	st, err := Scan(dir, func(r Record) { got = append(got, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records < 8 {
+		t.Fatalf("retention kept %d records, want >= 8", st.Records)
+	}
+	// The survivors must be the newest records, contiguous to the end.
+	if got[len(got)-1].SolveID != "d1-19" {
+		t.Fatalf("newest record missing, tail is %q", got[len(got)-1].SolveID)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].StartUnixNS != got[i-1].StartUnixNS+1 {
+			t.Fatalf("retention left a gap around %q", got[i].SolveID)
+		}
+	}
+}
+
+func TestScanMissingDirIsEmpty(t *testing.T) {
+	st, err := Scan(filepath.Join(t.TempDir(), "nope"), nil)
+	if err != nil {
+		t.Fatalf("Scan of missing dir: %v", err)
+	}
+	if st != (ScanStats{}) {
+		t.Fatalf("missing dir scanned %+v, want zero", st)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	cases := []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"always", FsyncPolicy{Always: true}, true},
+		{"never", FsyncPolicy{}, true},
+		{"off", FsyncPolicy{}, true},
+		{"1s", FsyncPolicy{Interval: time.Second}, true},
+		{"250ms", FsyncPolicy{Interval: 250 * time.Millisecond}, true},
+		{"bogus", FsyncPolicy{}, false},
+		{"-1s", FsyncPolicy{}, false},
+		{"0s", FsyncPolicy{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseFsync(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseFsync(%q) err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseFsync(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, c := range []struct{ p FsyncPolicy }{{FsyncPolicy{Always: true}}, {FsyncPolicy{Interval: time.Second}}, {FsyncPolicy{}}} {
+		if back, err := ParseFsync(c.p.String()); err != nil || back != c.p {
+			t.Fatalf("String/Parse roundtrip of %+v failed: %+v, %v", c.p, back, err)
+		}
+	}
+}

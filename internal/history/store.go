@@ -1,0 +1,405 @@
+package history
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+
+	"privacymaxent/internal/telemetry"
+)
+
+// Store is the daemon-facing assembly: journal + in-memory recent ring +
+// aggregator + regression detector, glued by a write-behind writer
+// goroutine. Append never blocks the solve path: the in-memory surfaces
+// (Recent, Digests, Regressions) update synchronously, while the disk
+// write rides a bounded queue — when the queue is full the record's
+// durability is dropped (and counted), never the solve's latency.
+type Store struct {
+	cfg   StoreConfig
+	agg   *Aggregator
+	reg   *telemetry.Registry
+	log   *slog.Logger
+	fsync FsyncPolicy
+
+	queue chan queueMsg
+	wg    sync.WaitGroup // writer goroutine
+
+	// closeMu fences queue sends against Close: senders hold the read
+	// side, Close takes the write side before closing the channel, so a
+	// late Append can never send on a closed queue.
+	closeMu sync.RWMutex
+	closed  bool
+
+	mu     sync.Mutex // recent ring + journal
+	j      *journal
+	recent []Record // oldest first, capped at cfg.RecentCap
+}
+
+// queueMsg is one unit of writer work: a record to append, or a flush
+// request (rec unused) acknowledged on done.
+type queueMsg struct {
+	rec   Record
+	flush bool
+	done  chan error
+}
+
+// FsyncPolicy says when the journal calls fsync: after every record
+// (Always), on a fixed interval (Interval > 0), or never (the OS page
+// cache decides; records still survive process death, just not power
+// loss).
+type FsyncPolicy struct {
+	Always   bool
+	Interval time.Duration
+}
+
+// ParseFsync reads a policy from its flag form: "always", "never"/"off",
+// or a Go duration like "1s".
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncPolicy{Always: true}, nil
+	case "never", "off":
+		return FsyncPolicy{}, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return FsyncPolicy{}, fmt.Errorf("history: fsync policy %q (want \"always\", \"never\" or a positive duration)", s)
+	}
+	return FsyncPolicy{Interval: d}, nil
+}
+
+func (p FsyncPolicy) String() string {
+	switch {
+	case p.Always:
+		return "always"
+	case p.Interval > 0:
+		return p.Interval.String()
+	default:
+		return "never"
+	}
+}
+
+// StoreConfig configures Open. Only Dir is required.
+type StoreConfig struct {
+	// Dir is the journal directory (created if missing).
+	Dir string
+	// SegmentRecords caps records per segment file. Default 1024.
+	SegmentRecords int
+	// RetentionRecords is the minimum records kept on disk; older whole
+	// segments are deleted on rotation. Default 65536.
+	RetentionRecords int
+	// Fsync is the durability policy. The zero value syncs every 1s.
+	Fsync FsyncPolicy
+	// RecentCap bounds the in-memory ring GET /v1/history serves.
+	// Default 4096.
+	RecentCap int
+	// QueueCap bounds the write-behind queue. Default 256.
+	QueueCap int
+	// Regression tunes the drift detector.
+	Regression RegressionConfig
+	// Registry receives the pmaxentd_history_* / pmaxentd_regression_*
+	// series (nil disables metrics); Logger the structured regression
+	// and journal events (nil discards).
+	Registry *telemetry.Registry
+	Logger   *slog.Logger
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.SegmentRecords <= 0 {
+		c.SegmentRecords = 1024
+	}
+	if c.RetentionRecords <= 0 {
+		c.RetentionRecords = 65536
+	}
+	if !c.Fsync.Always && c.Fsync.Interval == 0 {
+		c.Fsync.Interval = time.Second
+	}
+	if c.RecentCap <= 0 {
+		c.RecentCap = 4096
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.Logger == nil {
+		c.Logger = telemetry.Logger(context.Background())
+	}
+	return c
+}
+
+// Open recovers the journal at cfg.Dir — replaying every intact record
+// into the aggregates and the recent ring, skipping (and truncating)
+// crash-torn frames — and starts the write-behind writer.
+func Open(cfg StoreConfig) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("history: StoreConfig.Dir is required")
+	}
+	s := &Store{
+		cfg:   cfg,
+		agg:   NewAggregator(cfg.Regression),
+		reg:   cfg.Registry,
+		log:   cfg.Logger,
+		fsync: cfg.Fsync,
+		queue: make(chan queueMsg, cfg.QueueCap),
+	}
+	j, st, err := openJournal(cfg.Dir, cfg.SegmentRecords, cfg.RetentionRecords, func(rec Record) {
+		s.agg.Observe(rec)
+		s.pushRecent(rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.j = j
+	// Regressions that were active when the last process died must
+	// resurface from the replay alone, before any fresh traffic.
+	detected, _ := s.agg.CheckAll()
+	for _, reg := range detected {
+		s.logRegression("detected", reg)
+	}
+	s.reg.Counter("pmaxentd_history_recovered_total").Add(int64(st.Records))
+	s.reg.Counter("pmaxentd_history_torn_frames_total").Add(int64(st.Torn))
+	s.publishGauges()
+	s.log.Info("history: journal recovered",
+		"dir", cfg.Dir, "records", st.Records, "segments", st.Segments,
+		"torn_frames", st.Torn, "bytes", st.Bytes, "fsync", cfg.Fsync.String())
+
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+// Dir exposes the journal directory (for logs and artifacts).
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// Append records one finished solve: the in-memory surfaces update
+// synchronously (so /v1/history and /debug/regressions reflect the solve
+// immediately), the disk append is queued behind the writer. Never
+// blocks: a full queue drops the record's durability and counts it.
+func (s *Store) Append(rec Record) {
+	if rec.Schema == 0 {
+		rec.Schema = RecordSchema
+	}
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return
+	}
+	s.pushRecent(rec)
+	s.agg.Observe(rec)
+	detected, cleared := s.agg.Check(rec.Digest)
+	s.noteRegressions(detected, cleared)
+	s.reg.Counter("pmaxentd_history_records_total").Add(1)
+
+	select {
+	case s.queue <- queueMsg{rec: rec}:
+	default:
+		s.reg.Counter("pmaxentd_history_dropped_total").Add(1)
+		s.log.Warn("history: write-behind queue full, record not journaled",
+			"solve_id", rec.SolveID, "digest", rec.Digest)
+	}
+}
+
+func (s *Store) pushRecent(rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pushRecentLocked(rec)
+}
+
+func (s *Store) pushRecentLocked(rec Record) {
+	if len(s.recent) >= s.cfg.RecentCap {
+		copy(s.recent, s.recent[1:])
+		s.recent = s.recent[:len(s.recent)-1]
+	}
+	s.recent = append(s.recent, rec)
+}
+
+// noteRegressions translates detector transitions into metrics and
+// structured log events.
+func (s *Store) noteRegressions(detected, cleared []Regression) {
+	s.reg.Counter("pmaxentd_regression_checks_total").Add(1)
+	for _, reg := range detected {
+		s.reg.Counter("pmaxentd_regression_detected_total").Add(1)
+		s.logRegression("detected", reg)
+	}
+	for _, reg := range cleared {
+		s.logRegression("cleared", reg)
+	}
+	if len(detected)+len(cleared) > 0 {
+		s.reg.Gauge("pmaxentd_regression_active").Set(float64(len(s.agg.Regressions())))
+	}
+}
+
+func (s *Store) logRegression(what string, reg Regression) {
+	s.log.Warn("history: regression "+what,
+		"digest", reg.Digest,
+		"metric", reg.Metric,
+		"baseline_p50", reg.BaselineP50,
+		"recent_p50", reg.RecentP50,
+		"ratio", reg.Ratio,
+		"baseline_count", reg.BaselineCount,
+		"recent_count", reg.RecentCount)
+}
+
+// writer is the write-behind goroutine: it drains the queue into the
+// journal, fsyncing per the policy (after each drained batch for Always,
+// on a ticker for Interval).
+func (s *Store) writer() {
+	defer s.wg.Done()
+	var tick <-chan time.Time
+	if s.fsync.Interval > 0 {
+		t := time.NewTicker(s.fsync.Interval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case msg, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.handle(msg)
+			// Drain whatever queued behind it so an Always policy pays
+			// one fsync per batch, not per record.
+			if !s.drainPending() {
+				return
+			}
+			if s.fsync.Always {
+				s.journalSync()
+			}
+			s.publishGauges()
+		case <-tick:
+			s.journalSync()
+		}
+	}
+}
+
+// drainPending handles every already-queued message without blocking,
+// reporting false when the queue was closed.
+func (s *Store) drainPending() bool {
+	for {
+		select {
+		case msg, ok := <-s.queue:
+			if !ok {
+				return false
+			}
+			s.handle(msg)
+		default:
+			return true
+		}
+	}
+}
+
+func (s *Store) handle(msg queueMsg) {
+	s.mu.Lock()
+	var err error
+	if msg.flush {
+		err = s.j.sync()
+	} else {
+		start := time.Now()
+		err = s.j.append(msg.rec)
+		s.reg.Histogram("pmaxentd_history_append_duration_seconds", telemetry.DurationBuckets).
+			Observe(time.Since(start).Seconds())
+	}
+	s.mu.Unlock()
+	if err != nil {
+		s.log.Error("history: journal write failed", "err", err)
+	}
+	if msg.done != nil {
+		msg.done <- err
+	}
+}
+
+func (s *Store) journalSync() {
+	s.mu.Lock()
+	err := s.j.sync()
+	s.mu.Unlock()
+	if err != nil {
+		s.log.Error("history: fsync failed", "err", err)
+	} else {
+		s.reg.Counter("pmaxentd_history_fsyncs_total").Add(1)
+	}
+}
+
+func (s *Store) publishGauges() {
+	s.mu.Lock()
+	segs, bytes := len(s.j.segs), s.j.totalBytes()
+	s.mu.Unlock()
+	s.reg.Gauge("pmaxentd_history_segments").Set(float64(segs))
+	s.reg.Gauge("pmaxentd_history_bytes").Set(float64(bytes))
+}
+
+// Flush blocks until every record appended so far is written and fsynced
+// — the test and shutdown barrier.
+func (s *Store) Flush() error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil
+	}
+	done := make(chan error, 1)
+	s.queue <- queueMsg{flush: true, done: done}
+	s.closeMu.RUnlock()
+	return <-done
+}
+
+// Close flushes the queue, fsyncs and closes the journal. The store
+// drops (silently) any Append that races past Close.
+func (s *Store) Close() error {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.close()
+}
+
+// Recent returns up to limit records, newest first, optionally filtered
+// by digest. limit <= 0 means everything retained in memory.
+func (s *Store) Recent(limit int, digest string) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	capHint := len(s.recent)
+	if limit > 0 && limit < capHint {
+		capHint = limit
+	}
+	out := make([]Record, 0, capHint)
+	for i := len(s.recent) - 1; i >= 0; i-- {
+		if digest != "" && s.recent[i].Digest != digest {
+			continue
+		}
+		out = append(out, s.recent[i])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Retained reports how many records the in-memory ring holds.
+func (s *Store) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recent)
+}
+
+// Digests lists aggregate stats per publication, newest activity first.
+func (s *Store) Digests() []DigestStats { return s.agg.Digests() }
+
+// Digest returns one publication's aggregate stats.
+func (s *Store) Digest(digest string) (DigestStats, bool) { return s.agg.Digest(digest) }
+
+// Regressions lists the currently active regressions.
+func (s *Store) Regressions() []Regression { return s.agg.Regressions() }
+
+// Checks counts detector refreshes (the /debug/regressions "checks"
+// field).
+func (s *Store) Checks() int64 { return s.agg.Checks() }

@@ -1,0 +1,169 @@
+package history
+
+import (
+	"os"
+	"testing"
+
+	"privacymaxent/internal/telemetry"
+)
+
+func openTestStore(t *testing.T, dir string, reg *telemetry.Registry) *Store {
+	t.Helper()
+	s, err := Open(StoreConfig{
+		Dir:        dir,
+		Fsync:      FsyncPolicy{Always: true},
+		Regression: tinyCfg(),
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func TestStoreAppendFlushRecover(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s := openTestStore(t, dir, reg)
+
+	for i := 0; i < 10; i++ {
+		s.Append(testRecord(i, "d1"))
+	}
+	s.Append(testRecord(10, "d2"))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := s.Retained(); got != 11 {
+		t.Fatalf("Retained = %d, want 11", got)
+	}
+	if got := reg.Counter("pmaxentd_history_records_total").Value(); got != 11 {
+		t.Fatalf("records_total = %d, want 11", got)
+	}
+
+	// Recent is newest-first and filterable by digest.
+	recent := s.Recent(3, "")
+	if len(recent) != 3 || recent[0].SolveID != "d2-10" || recent[1].SolveID != "d1-9" {
+		t.Fatalf("Recent(3) = %v", ids(recent))
+	}
+	onlyD2 := s.Recent(0, "d2")
+	if len(onlyD2) != 1 || onlyD2[0].Digest != "d2" {
+		t.Fatalf("Recent(d2) = %v", ids(onlyD2))
+	}
+	if ds := s.Digests(); len(ds) != 2 {
+		t.Fatalf("Digests = %d entries, want 2", len(ds))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Close is idempotent; Append/Flush after Close are safe no-ops.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	s.Append(testRecord(99, "d1"))
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+
+	// A new store over the same dir recovers everything — recent ring and
+	// aggregates — as if the process had never died.
+	reg2 := telemetry.NewRegistry()
+	s2 := openTestStore(t, dir, reg2)
+	defer s2.Close()
+	if got := s2.Retained(); got != 11 {
+		t.Fatalf("recovered Retained = %d, want 11", got)
+	}
+	if got := reg2.Counter("pmaxentd_history_recovered_total").Value(); got != 11 {
+		t.Fatalf("recovered_total = %d, want 11", got)
+	}
+	st, ok := s2.Digest("d1")
+	if !ok || st.Records != 10 {
+		t.Fatalf("recovered aggregate for d1 = %+v", st)
+	}
+	if top := s2.Recent(1, ""); len(top) != 1 || top[0].SolveID != "d2-10" {
+		t.Fatalf("recovered Recent order wrong: %v", ids(top))
+	}
+}
+
+func TestStoreRecoverySkipsTornFrame(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir, nil)
+	for i := 0; i < 5; i++ {
+		s.Append(testRecord(i, "d1"))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash debris: half a frame at the end of the active segment.
+	f, err := os.OpenFile(segPath(dir, 1), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("0badc0de {\"schema\":1,\"solve"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := telemetry.NewRegistry()
+	s2 := openTestStore(t, dir, reg)
+	defer s2.Close()
+	if got := s2.Retained(); got != 5 {
+		t.Fatalf("recovered %d records past torn frame, want 5", got)
+	}
+	if got := reg.Counter("pmaxentd_history_torn_frames_total").Value(); got != 1 {
+		t.Fatalf("torn_frames_total = %d, want 1", got)
+	}
+	// And appends keep working on the truncated segment.
+	s2.Append(testRecord(5, "d1"))
+	if err := s2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := Scan(dir, nil); err != nil || st.Records != 6 || st.Torn != 0 {
+		t.Fatalf("post-recovery scan %+v (err %v), want 6 clean records", st, err)
+	}
+}
+
+func TestStoreRegressionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	s := openTestStore(t, dir, reg)
+	for i := 0; i < 12; i++ {
+		s.Append(okRecord("d1", 1, 10, 1e-12))
+	}
+	for i := 0; i < 4; i++ {
+		s.Append(okRecord("d1", 300, 10, 1e-12))
+	}
+	if got := s.Regressions(); len(got) != 1 || got[0].Metric != MetricSolveMS {
+		t.Fatalf("live regression not active: %+v", got)
+	}
+	if reg.Counter("pmaxentd_regression_detected_total").Value() != 1 {
+		t.Fatal("regression_detected_total not incremented")
+	}
+	if reg.Gauge("pmaxentd_regression_active").Value() != 1 {
+		t.Fatal("regression_active gauge not set")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replay alone — no fresh traffic — must resurface the regression.
+	s2 := openTestStore(t, dir, telemetry.NewRegistry())
+	defer s2.Close()
+	if got := s2.Regressions(); len(got) != 1 || got[0].Metric != MetricSolveMS || got[0].Digest != "d1" {
+		t.Fatalf("regression lost across restart: %+v", got)
+	}
+}
+
+func TestStoreRequiresDir(t *testing.T) {
+	if _, err := Open(StoreConfig{}); err == nil {
+		t.Fatal("Open without Dir succeeded")
+	}
+}
+
+func ids(recs []Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.SolveID
+	}
+	return out
+}

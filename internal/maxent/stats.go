@@ -134,6 +134,6 @@ func (s Stats) record(reg *telemetry.Registry, totalBuckets int) {
 	}
 	if totalBuckets > 0 {
 		reg.Counter("pmaxent_decompose_buckets_total").Add(int64(totalBuckets))
-		reg.Counter("pmaxent_decompose_buckets_closed_form").Add(int64(s.IrrelevantBuckets))
+		reg.Counter("pmaxent_decompose_buckets_closed_form_total").Add(int64(s.IrrelevantBuckets))
 	}
 }

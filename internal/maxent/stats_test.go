@@ -181,7 +181,7 @@ func TestParallelSolveTelemetryRace(t *testing.T) {
 		t.Fatal("no per-component size observations")
 	}
 	if reg.Counter("pmaxent_decompose_buckets_total").Value() == 0 ||
-		reg.Counter("pmaxent_decompose_buckets_closed_form").Value() == 0 {
+		reg.Counter("pmaxent_decompose_buckets_closed_form_total").Value() == 0 {
 		t.Fatal("decomposition hit-rate counters empty")
 	}
 

@@ -1,0 +1,130 @@
+package server
+
+// The history endpoints expose the durable solve journal (see
+// internal/history): GET /v1/history lists recent solve records across
+// restarts, GET /v1/history/{digest} narrows to one publication and adds
+// its windowed aggregates, and GET /debug/regressions reports the drift
+// detector's view. All three return 404 when the daemon runs without
+// -history-dir — absence of durability is an explicit condition, not an
+// empty list.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"privacymaxent/internal/history"
+)
+
+// defaultHistoryLimit caps GET /v1/history responses when the client
+// does not pass ?limit=.
+const defaultHistoryLimit = 100
+
+// HistoryResponse is the body of GET /v1/history.
+type HistoryResponse struct {
+	// Retained counts records currently held in memory (the journal on
+	// disk may retain more; see -history-retention).
+	Retained int `json:"retained"`
+	// Records is newest first, capped at the request's limit.
+	Records []history.Record `json:"records"`
+}
+
+// HistoryDigestResponse is the body of GET /v1/history/{digest}: one
+// publication's aggregate stats plus its newest records.
+type HistoryDigestResponse struct {
+	Stats   history.DigestStats `json:"stats"`
+	Records []history.Record    `json:"records"`
+}
+
+// RegressionsResponse is the body of GET /debug/regressions.
+type RegressionsResponse struct {
+	// Checks counts detector refreshes since the store opened (replay
+	// included).
+	Checks int64 `json:"checks"`
+	// Regressions lists the currently active drifts, sorted by digest
+	// then metric.
+	Regressions []history.Regression `json:"regressions"`
+	// Digests summarizes every publication's windows, newest activity
+	// first — the data behind the regression verdicts.
+	Digests []history.DigestStats `json:"digests"`
+}
+
+// historyStore returns the configured store or a not-found error when
+// the daemon runs without history.
+func (s *Server) historyStore() (*history.Store, error) {
+	if s.cfg.History == nil {
+		return nil, fmt.Errorf("%w: history is not enabled (start pmaxentd with -history-dir)", errNotFound)
+	}
+	return s.cfg.History, nil
+}
+
+// limitQuery parses ?limit=, falling back to def; limit=0 means "no
+// cap".
+func limitQuery(r *http.Request, def int) (int, error) {
+	raw := r.URL.Query().Get("limit")
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%w: limit %q", errBadRequest, raw)
+	}
+	return n, nil
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	st, err := s.historyStore()
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	limit, err := limitQuery(r, defaultHistoryLimit)
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &HistoryResponse{
+		Retained: st.Retained(),
+		Records:  st.Recent(limit, r.URL.Query().Get("digest")),
+	})
+}
+
+func (s *Server) handleHistoryDigest(w http.ResponseWriter, r *http.Request) {
+	st, err := s.historyStore()
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	digest := r.PathValue("digest")
+	stats, ok := st.Digest(digest)
+	if !ok {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: no history for digest %q", errNotFound, digest))
+		return
+	}
+	limit, err := limitQuery(r, defaultHistoryLimit)
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &HistoryDigestResponse{
+		Stats:   stats,
+		Records: st.Recent(limit, digest),
+	})
+}
+
+func (s *Server) handleRegressions(w http.ResponseWriter, r *http.Request) {
+	st, err := s.historyStore()
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	regs := st.Regressions()
+	if regs == nil {
+		regs = []history.Regression{} // "[]", not "null": the empty state is healthy
+	}
+	writeJSON(w, http.StatusOK, &RegressionsResponse{
+		Checks:      st.Checks(),
+		Regressions: regs,
+		Digests:     st.Digests(),
+	})
+}

@@ -1,0 +1,431 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"privacymaxent/internal/history"
+	"privacymaxent/internal/telemetry"
+)
+
+// openHistory opens a history store in dir with durable writes and a
+// small, fast-firing regression detector so server tests need only a
+// dozen solves to cross the evidence thresholds.
+func openHistory(t *testing.T, dir string, reg *telemetry.Registry) *history.Store {
+	t.Helper()
+	st, err := history.Open(history.StoreConfig{
+		Dir:      dir,
+		Fsync:    history.FsyncPolicy{Always: true},
+		Registry: reg,
+		Regression: history.RegressionConfig{
+			WindowCap:    16,
+			RecentWindow: 4,
+			MinBaseline:  4,
+			// Sensitive thresholds: the loose→tight tolerance flip below
+			// multiplies iterations severalfold, but on the paper's tiny
+			// example the absolute counts are small.
+			IterationRatio:    1.5,
+			IterationMinDelta: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// knowledgeP is the paper rule with a parameterized probability — each
+// distinct p is a distinct flight key and a distinct solve, defeating
+// both response caching and single-flight coalescing across requests.
+func knowledgeP(p float64) string {
+	return fmt.Sprintf(`[{"if": {"Gender": "male"}, "then": "Breast Cancer", "p": %g}]`, p)
+}
+
+// TestHistoryEndpoints: every finished solve lands in GET /v1/history
+// with the joinable identifiers (request ID, solve ID, digest) and the
+// solver summary; /v1/history/{digest} narrows and adds aggregates; the
+// endpoints 404 on unknown digests, reject bad limits, and 404 entirely
+// when the server runs without a store.
+func TestHistoryEndpoints(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	st := openHistory(t, t.TempDir(), nil)
+	defer st.Close()
+	ts := httptest.NewServer(New(Config{History: st}))
+	defer ts.Close()
+
+	var reqIDs []string
+	for i := 0; i < 3; i++ {
+		resp, raw := postQuantify(t, ts, "/v1/quantify", quantifyBody(pubJSON, knowledgeP(float64(i)/100)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		reqIDs = append(reqIDs, resp.Header.Get("X-Request-Id"))
+	}
+
+	resp, raw := postGet(t, ts, "/v1/history")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/history = %d: %s", resp.StatusCode, raw)
+	}
+	var hist HistoryResponse
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if hist.Retained != 3 || len(hist.Records) != 3 {
+		t.Fatalf("retained %d, %d records, want 3/3: %s", hist.Retained, len(hist.Records), raw)
+	}
+	// Newest first; every record joinable back to its request.
+	for i, rec := range hist.Records {
+		wantReq := reqIDs[len(reqIDs)-1-i]
+		if rec.RequestID != wantReq {
+			t.Fatalf("record %d request_id = %q, want %q (newest first)", i, rec.RequestID, wantReq)
+		}
+		if rec.Outcome != "ok" || rec.SolveID == "" || rec.Digest == "" || rec.Cache == "" {
+			t.Fatalf("record %d incomplete: %+v", i, rec)
+		}
+		if rec.Solver == nil || rec.Solver.Iterations == 0 {
+			t.Fatalf("record %d has no solver summary: %+v", i, rec.Solver)
+		}
+		if rec.StagesMS["solve"] < 0 || len(rec.StagesMS) == 0 {
+			t.Fatalf("record %d has no stage timings: %+v", i, rec.StagesMS)
+		}
+	}
+
+	digest := hist.Records[0].Digest
+	resp, raw = postGet(t, ts, "/v1/history/"+digest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/history/{digest} = %d: %s", resp.StatusCode, raw)
+	}
+	var dig HistoryDigestResponse
+	if err := json.Unmarshal(raw, &dig); err != nil {
+		t.Fatal(err)
+	}
+	if dig.Stats.Digest != digest || dig.Stats.Records != 3 || len(dig.Records) != 3 {
+		t.Fatalf("digest view wrong: %s", raw)
+	}
+
+	resp, _ = postGet(t, ts, "/v1/history/no-such-digest")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postGet(t, ts, "/v1/history?limit=bogus")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad limit = %d, want 400", resp.StatusCode)
+	}
+	resp, raw = postGet(t, ts, "/v1/history?limit=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("limit=1 rejected")
+	}
+	if err := json.Unmarshal(raw, &hist); err != nil || len(hist.Records) != 1 {
+		t.Fatalf("limit=1 returned %d records: %s", len(hist.Records), raw)
+	}
+
+	// Without a store the whole surface is 404 — explicitly disabled, not
+	// empty.
+	plain := httptest.NewServer(New(Config{}))
+	defer plain.Close()
+	for _, path := range []string{"/v1/history", "/v1/history/" + digest, "/debug/regressions"} {
+		resp, raw := postGet(t, plain, path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without history = %d, want 404: %s", path, resp.StatusCode, raw)
+		}
+	}
+}
+
+// TestHistoryCrashRecovery: solves journaled before a crash — including
+// a torn final frame from the crash itself — are served after a restart
+// by GET /v1/history, and the done ring adopts them so /debug/solves and
+// the SSE replay still answer for pre-crash solve IDs.
+func TestHistoryCrashRecovery(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	dir := t.TempDir()
+
+	st1 := openHistory(t, dir, nil)
+	ts1 := httptest.NewServer(New(Config{History: st1}))
+	var solveIDs []string
+	for i := 0; i < 2; i++ {
+		resp, raw := postQuantify(t, ts1, "/v1/quantify", quantifyBody(pubJSON, knowledgeP(float64(i)/100)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	r1, raw1 := postGet(t, ts1, "/v1/history")
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash /v1/history = %d", r1.StatusCode)
+	}
+	var before HistoryResponse
+	if err := json.Unmarshal(raw1, &before); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range before.Records {
+		solveIDs = append(solveIDs, rec.SolveID)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash's torn write: a frame with no trailing newline
+	// appended to the newest segment.
+	segs, err := filepath.Glob(filepath.Join(dir, "journal-*.jsonl"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no journal segments in %s (%v)", dir, err)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`00000000 {"schema":1,"solve_id":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := telemetry.NewRegistry()
+	st2 := openHistory(t, dir, reg)
+	defer st2.Close()
+	srv2 := New(Config{History: st2, Registry: reg})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	// The journal survived: both completed records, torn frame skipped.
+	resp, raw := postGet(t, ts2, "/v1/history")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart /v1/history = %d: %s", resp.StatusCode, raw)
+	}
+	var after HistoryResponse
+	if err := json.Unmarshal(raw, &after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2: %s", len(after.Records), raw)
+	}
+	for i, rec := range after.Records {
+		if rec.SolveID != before.Records[i].SolveID || rec.RequestID != before.Records[i].RequestID {
+			t.Fatalf("record %d diverged across restart: %+v vs %+v", i, rec, before.Records[i])
+		}
+	}
+
+	// The done ring adopted them: /debug/solves answers for pre-crash IDs,
+	// flagged as recovered with frozen elapsed time.
+	resp, raw = postGet(t, ts2, "/debug/solves")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/solves = %d", resp.StatusCode)
+	}
+	var debug DebugSolvesResponse
+	if err := json.Unmarshal(raw, &debug); err != nil {
+		t.Fatal(err)
+	}
+	adopted := map[string]SolveStatus{}
+	for _, st := range debug.Solves {
+		adopted[st.ID] = st
+	}
+	for _, id := range solveIDs {
+		st, ok := adopted[id]
+		if !ok {
+			t.Fatalf("pre-crash solve %q missing from /debug/solves: %s", id, raw)
+		}
+		if !st.Recovered || st.State != "done" || st.Iterations == 0 || st.ElapsedMS <= 0 {
+			t.Fatalf("adopted solve %q not a frozen recovered entry: %+v", id, st)
+		}
+	}
+
+	// SSE replay for an adopted solve is the synthesized recovered frame.
+	resp, raw = postGet(t, ts2, "/v1/solves/"+solveIDs[0]+"/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered events = %d: %s", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "event: recovered") {
+		t.Fatalf("recovered solve replay missing recovered frame:\n%s", raw)
+	}
+
+	// The recovery metrics agree: 2 replayed records, 1 torn frame.
+	resp, raw = postGet(t, ts2, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	scrape := string(raw)
+	for _, want := range []string{
+		"pmaxentd_history_recovered_total 2",
+		"pmaxentd_history_torn_frames_total 1",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestRegressionObservatory: tightening the solver tolerance between two
+// daemon generations (the classic convergence regression: same workload,
+// a config or code change that multiplies iterations) is caught by the
+// detector and surfaced via /debug/regressions and the
+// pmaxentd_regression_* metric families — with the baseline evidence
+// coming entirely from the journal written by the previous generation.
+func TestRegressionObservatory(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	dir := t.TempDir()
+
+	// Generation 1: loose tolerance, 8 solves — the baseline window.
+	st1 := openHistory(t, dir, nil)
+	cfg1 := Config{History: st1}
+	cfg1.Pipeline.Solve.Solver.GradTol = 1e-2
+	ts1 := httptest.NewServer(New(cfg1))
+	var digest string
+	for i := 0; i < 8; i++ {
+		resp, raw := postQuantify(t, ts1, "/v1/quantify", quantifyBody(pubJSON, knowledgeP(float64(i)/100)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("baseline solve %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+	if recs := st1.Recent(1, ""); len(recs) == 1 {
+		digest = recs[0].Digest
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Generation 2: tight tolerance, fresh process recovering the same
+	// journal. Four solves fill the recent window with the slow regime.
+	reg := telemetry.NewRegistry()
+	st2 := openHistory(t, dir, reg)
+	defer st2.Close()
+	cfg2 := Config{History: st2, Registry: reg}
+	cfg2.Pipeline.Solve.Solver.GradTol = 1e-12
+	ts2 := httptest.NewServer(New(cfg2))
+	defer ts2.Close()
+	for i := 0; i < 4; i++ {
+		resp, raw := postQuantify(t, ts2, "/v1/quantify", quantifyBody(pubJSON, knowledgeP(0.2+float64(i)/100)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("regressed solve %d: %d: %s", i, resp.StatusCode, raw)
+		}
+	}
+
+	resp, raw := postGet(t, ts2, "/debug/regressions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/regressions = %d: %s", resp.StatusCode, raw)
+	}
+	var regs RegressionsResponse
+	if err := json.Unmarshal(raw, &regs); err != nil {
+		t.Fatal(err)
+	}
+	if regs.Checks == 0 {
+		t.Fatal("detector never ran")
+	}
+	var iterReg *history.Regression
+	for i := range regs.Regressions {
+		if regs.Regressions[i].Metric == history.MetricIterations {
+			iterReg = &regs.Regressions[i]
+		}
+	}
+	if iterReg == nil {
+		t.Fatalf("no iteration regression despite the tolerance flip: %s", raw)
+	}
+	if iterReg.Digest != digest || iterReg.RecentP50 <= iterReg.BaselineP50 {
+		t.Fatalf("implausible regression: %+v (digest %q)", iterReg, digest)
+	}
+
+	resp, raw = postGet(t, ts2, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	scrape := string(raw)
+	if !strings.Contains(scrape, "pmaxentd_regression_detected_total") {
+		t.Error("scrape missing pmaxentd_regression_detected_total")
+	}
+	for _, line := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(line, "pmaxentd_regression_detected_total ") && strings.TrimSpace(line[len("pmaxentd_regression_detected_total "):]) == "0" {
+			t.Errorf("detected counter still zero: %s", line)
+		}
+		if strings.HasPrefix(line, "pmaxentd_regression_active ") && strings.TrimSpace(line[len("pmaxentd_regression_active "):]) == "0" {
+			t.Errorf("active gauge still zero: %s", line)
+		}
+	}
+}
+
+// TestSSEKeepAlive: an idle event stream emits comment heartbeats
+// between real frames so intermediaries don't sever a long solve, and
+// the heartbeats stop mattering once the terminal frame arrives.
+func TestSSEKeepAlive(t *testing.T) {
+	srv := New(Config{SSEKeepAlive: 20 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ls := srv.live.begin("keepalivedigest", "req-keepalive", 1, 0, false)
+	srv.live.markRunning(ls, 0)
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/solves/" + ls.id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+
+	// Let the stream idle across several keep-alive periods, then finish
+	// the solve so the stream terminates and the body can be read whole.
+	time.Sleep(120 * time.Millisecond)
+	srv.live.finish(ls, []byte(`{"done":true}`), nil)
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	beats := strings.Count(body, ": keep-alive\n\n")
+	if beats < 2 {
+		t.Fatalf("want ≥2 heartbeats on a ~120ms idle stream at 20ms interval, got %d:\n%s", beats, body)
+	}
+	result := strings.Index(body, "event: result")
+	if result < 0 {
+		t.Fatalf("stream missing terminal result frame:\n%s", body)
+	}
+	if firstBeat := strings.Index(body, ": keep-alive"); firstBeat > result {
+		t.Fatalf("heartbeats only after the terminal frame:\n%s", body)
+	}
+}
+
+// TestAccessLogOutcomeOnError: failed requests stamp their error kind
+// into the access log's outcome field, joining the log line to the
+// history record's error_kind.
+func TestAccessLogOutcomeOnError(t *testing.T) {
+	var logBuf syncBuffer
+	ts := httptest.NewServer(New(Config{Logger: slog.New(slog.NewJSONHandler(&logBuf, nil))}))
+	defer ts.Close()
+
+	resp, _ := postQuantify(t, ts, "/v1/quantify", `{"published": null}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		for _, line := range strings.Split(logBuf.String(), "\n") {
+			if !strings.Contains(line, "pmaxentd: access") {
+				continue
+			}
+			var ev map[string]any
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				t.Fatalf("corrupt access line: %v\n%s", err, line)
+			}
+			if ev["outcome"] != "invalid_request" {
+				t.Fatalf("outcome = %v, want invalid_request", ev["outcome"])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no access-log line:\n%s", logBuf.String())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -340,6 +340,11 @@ func TestRequestIDPropagation(t *testing.T) {
 	if access["status"] != float64(http.StatusOK) {
 		t.Fatalf("access log status = %v", access["status"])
 	}
+	// The outcome field joins the access log to the history record (both
+	// carry the request ID, the outcome confirms which way the solve went).
+	if access["outcome"] != "ok" {
+		t.Fatalf("access log outcome = %v, want ok", access["outcome"])
+	}
 }
 
 func TestRequestIdentityHeaders(t *testing.T) {
@@ -488,10 +493,13 @@ func TestMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, line := range strings.Split(string(allow), "\n") {
-		name := strings.TrimSpace(line)
-		if name == "" || strings.HasPrefix(name, "#") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		// Allowlist lines are "name" or "name count" (see metricslint);
+		// only the name appears in the scrape.
+		name, _, _ := strings.Cut(line, " ")
 		if !regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(\{|_bucket\{| )`).MatchString(scrape) {
 			t.Errorf("allowlisted family %q absent from a fresh server's scrape", name)
 		}

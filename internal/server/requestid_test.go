@@ -1,0 +1,133 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", ""},
+		{"token", "req-1.A_b:c", "req-1.A_b:c"},
+		{"max length kept", strings.Repeat("a", maxRequestIDLen), strings.Repeat("a", maxRequestIDLen)},
+		{"oversized dropped", strings.Repeat("a", maxRequestIDLen+1), ""},
+		{"space rejected", "id with space", ""},
+		{"control char rejected", "id\nnewline", ""},
+		{"log-breaking quote rejected", `id"quote`, ""},
+		{"non-ascii rejected", "idé", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := sanitizeRequestID(tc.in); got != tc.want {
+				t.Errorf("sanitizeRequestID(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	cases := []struct {
+		name, in string
+		want     string
+		ok       bool
+	}{
+		{"valid", "00-" + traceID + "-00f067aa0ba902b7-01", traceID, true},
+		{"future version accepted", "cc-" + traceID + "-00f067aa0ba902b7-01", traceID, true},
+		{"empty", "", "", false},
+		{"too few parts", "00-" + traceID + "-01", "", false},
+		{"too many parts", "00-" + traceID + "-00f067aa0ba902b7-01-extra", "", false},
+		{"short trace-id", "00-abc123-00f067aa0ba902b7-01", "", false},
+		{"long trace-id", "00-" + traceID + "ff-00f067aa0ba902b7-01", "", false},
+		{"non-hex trace-id", "00-" + strings.Repeat("g", 32) + "-00f067aa0ba902b7-01", "", false},
+		{"uppercase hex rejected", "00-" + strings.ToUpper(traceID) + "-00f067aa0ba902b7-01", "", false},
+		{"non-hex version", "zz-" + traceID + "-00f067aa0ba902b7-01", "", false},
+		{"short parent-id", "00-" + traceID + "-00f067aa-01", "", false},
+		{"non-hex flags", "00-" + traceID + "-00f067aa0ba902b7-xx", "", false},
+		{"all-zero trace-id invalid", "00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01", "", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := parseTraceparent(tc.in)
+			if got != tc.want || ok != tc.ok {
+				t.Errorf("parseTraceparent(%q) = (%q, %v), want (%q, %v)", tc.in, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}
+
+// TestRequestIdentityFallback: a malformed client identity never leaks
+// into the response — a fresh random ID is generated and echoed instead,
+// and the traceparent fallback only applies when X-Request-Id is absent
+// or rejected.
+func TestRequestIdentityFallback(t *testing.T) {
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	cases := []struct {
+		name    string
+		headers map[string]string
+		want    string // "" means "a generated 32-hex ID"
+	}{
+		{"oversized X-Request-Id replaced", map[string]string{
+			"X-Request-Id": strings.Repeat("x", maxRequestIDLen+1),
+		}, ""},
+		{"hostile X-Request-Id replaced", map[string]string{
+			// A tab survives Go's client-side header validation but would
+			// break log lines, so the server must regenerate.
+			"X-Request-Id": "evil\theader",
+		}, ""},
+		{"bad version length falls through to generated", map[string]string{
+			"Traceparent": "000-" + traceID + "-00f067aa0ba902b7-01",
+		}, ""},
+		{"non-hex trace-id falls through to generated", map[string]string{
+			"Traceparent": "00-" + strings.Repeat("z", 32) + "-00f067aa0ba902b7-01",
+		}, ""},
+		{"valid traceparent used", map[string]string{
+			"Traceparent": "00-" + traceID + "-00f067aa0ba902b7-01",
+		}, traceID},
+		{"rejected X-Request-Id still lets traceparent through", map[string]string{
+			"X-Request-Id": "has spaces",
+			"Traceparent":  "00-" + traceID + "-00f067aa0ba902b7-01",
+		}, traceID},
+	}
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range tc.headers {
+				req.Header.Set(k, v)
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			got := resp.Header.Get("X-Request-Id")
+			if tc.want != "" {
+				if got != tc.want {
+					t.Fatalf("X-Request-Id = %q, want %q", got, tc.want)
+				}
+				return
+			}
+			// Generated fallback: 32 lowercase hex chars, never the
+			// client's bytes.
+			if len(got) != 32 || !isHex(got) {
+				t.Fatalf("X-Request-Id = %q, want a generated 32-hex ID", got)
+			}
+			for _, v := range tc.headers {
+				if got == v {
+					t.Fatalf("malformed client identity %q echoed back", v)
+				}
+			}
+		})
+	}
+}

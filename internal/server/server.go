@@ -34,8 +34,18 @@
 // POST /v1/quantify?stream=1 enters that stream directly, terminated by
 // a frame carrying the final response bytes.
 //
+// With Config.History set, every finished solve is also journaled
+// durably (internal/history): GET /v1/history lists records across
+// restarts, GET /v1/history/{digest} adds per-publication windowed
+// aggregates, and GET /debug/regressions reports convergence/latency
+// drifts the rolling detector has flagged. On startup the newest
+// journaled records are adopted into the finished-solve ring, so
+// /debug/solves and the SSE replay keep answering for pre-restart solve
+// IDs (marked recovered, with frozen counters).
+//
 // Endpoints: POST /v1/quantify (+?stream=1), POST /v1/rules/mine,
-// GET /v1/solves/{id}/events, GET /debug/solves, GET /metrics,
+// GET /v1/solves/{id}/events, GET /v1/history[/{digest}],
+// GET /debug/solves, GET /debug/regressions, GET /metrics,
 // GET /healthz, GET /readyz. Error bodies are ErrorResponse; the Kind
 // field mirrors the facade error taxonomy (see the privacymaxent
 // package's error docs).
@@ -63,6 +73,7 @@ import (
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/errs"
+	"privacymaxent/internal/history"
 	"privacymaxent/internal/solver"
 	"privacymaxent/internal/telemetry"
 )
@@ -106,6 +117,21 @@ type Config struct {
 	// take the audit package defaults (5 rows, 1e-6).
 	AuditTop       int
 	AuditTolerance float64
+	// History, when non-nil, receives a durable record for every finished
+	// solve and backs GET /v1/history and /debug/regressions; its most
+	// recent records also seed the done ring on startup, so /debug/solves
+	// and the SSE replay survive a restart. Nil disables the endpoints
+	// (they return 404).
+	History *history.Store
+	// DoneRing caps the ring of finished solves kept for /debug/solves
+	// and subscribe-after-done SSE replay. Default 32. With History set,
+	// up to DoneRing recovered records are adopted into the ring at
+	// startup.
+	DoneRing int
+	// SSEKeepAlive is the idle interval after which event streams emit a
+	// comment heartbeat (":" frame) so proxies don't sever long solves.
+	// Default 15s; negative disables.
+	SSEKeepAlive time.Duration
 	// Registry receives the server and pipeline metrics. A private
 	// registry is created when nil so metrics code never branches.
 	Registry *telemetry.Registry
@@ -133,6 +159,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.DoneRing <= 0 {
+		c.DoneRing = defaultDoneRetention
+	}
+	if c.SSEKeepAlive == 0 {
+		c.SSEKeepAlive = 15 * time.Second
 	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
@@ -193,7 +225,7 @@ func New(cfg Config) *Server {
 		q:          core.New(cfg.Pipeline),
 		flight:     newFlightGroup(),
 		lim:        newLimiter(cfg.MaxInFlight, cfg.MaxQueue),
-		live:       newSolveRegistry(cfg.Registry),
+		live:       newSolveRegistry(cfg.Registry, cfg.DoneRing),
 		retry:      &retryHint{},
 		reg:        cfg.Registry,
 		log:        telemetry.Logger(base),
@@ -204,14 +236,26 @@ func New(cfg Config) *Server {
 		s.reg.Counter("pmaxentd_cache_evictions_total").Add(1)
 	})
 	s.declareMetrics()
+	if cfg.History != nil {
+		// Seed the done ring with the newest recovered records so
+		// pre-restart solves stay addressable; journal order (oldest of
+		// the adopted slice first) keeps the ring newest-last.
+		recs := cfg.History.Recent(cfg.DoneRing, "")
+		for i := len(recs) - 1; i >= 0; i-- {
+			s.live.adopt(recs[i])
+		}
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quantify", s.handleQuantify)
 	mux.HandleFunc("GET /v1/solves/{id}/events", s.handleSolveEvents)
 	mux.HandleFunc("POST /v1/rules/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/history/{digest}", s.handleHistoryDigest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/solves", s.handleDebugSolves)
+	mux.HandleFunc("GET /debug/regressions", s.handleRegressions)
 	s.mux = mux
 	return s
 }
@@ -219,89 +263,111 @@ func New(cfg Config) *Server {
 // declareMetrics pre-registers every pmaxentd_* series so a scrape (and
 // the CI allowlist check) sees the full surface from the first request —
 // lazily created metrics would otherwise pop in and out of existence
-// depending on which code paths have run.
+// depending on which code paths have run. Each family carries HELP text;
+// metricslint enforces both its presence and the unit-suffix convention.
 func (s *Server) declareMetrics() {
-	for _, name := range []string{
-		"pmaxentd_requests_total",
-		"pmaxentd_coalesced_total",
-		"pmaxentd_shed_total",
-		"pmaxentd_errors_total",
-		"pmaxentd_mine_total",
-		"pmaxentd_cache_hits_total",
-		"pmaxentd_cache_misses_total",
-		"pmaxentd_cache_evictions_total",
+	for name, help := range map[string]string{
+		"pmaxentd_requests_total":            "HTTP requests accepted by the v1 API.",
+		"pmaxentd_coalesced_total":           "Requests that joined another caller's in-flight solve.",
+		"pmaxentd_shed_total":                "Requests shed with 429 because the admission queue was full.",
+		"pmaxentd_errors_total":              "Requests that ended in an error response.",
+		"pmaxentd_mine_total":                "Completed rule-mining requests.",
+		"pmaxentd_cache_hits_total":          "Prepared-system cache hits.",
+		"pmaxentd_cache_misses_total":        "Prepared-system cache misses.",
+		"pmaxentd_cache_evictions_total":     "Prepared systems evicted from the LRU cache.",
+		"pmaxentd_history_records_total":     "Solve records appended to the history store.",
+		"pmaxentd_history_recovered_total":   "Solve records recovered from the journal at startup.",
+		"pmaxentd_history_dropped_total":     "Records dropped because the write-behind queue was full.",
+		"pmaxentd_history_torn_frames_total": "Torn or corrupt journal frames skipped during recovery.",
+		"pmaxentd_history_fsyncs_total":      "Journal fsync calls.",
+		"pmaxentd_regression_checks_total":   "Regression-detector refreshes.",
+		"pmaxentd_regression_detected_total": "Regressions newly detected.",
 	} {
 		s.reg.Counter(name)
+		s.reg.SetHelp(name, help)
 	}
-	for _, name := range []string{
-		"pmaxentd_cache_entries",
-		"pmaxentd_cache_oldest_entry_age_seconds",
-		"pmaxentd_inflight",
-		"pmaxentd_queue_depth",
-		"pmaxentd_solves_live",
-		"pmaxentd_sse_clients",
+	for name, help := range map[string]string{
+		"pmaxentd_cache_entries":                  "Prepared systems currently cached.",
+		"pmaxentd_cache_oldest_entry_age_seconds": "Age of the oldest cached prepared system.",
+		"pmaxentd_inflight":                       "Solves currently holding an admission slot.",
+		"pmaxentd_queue_depth":                    "Requests waiting for an admission slot.",
+		"pmaxentd_solves_live":                    "Entries in the live solve table.",
+		"pmaxentd_sse_clients":                    "Attached solve-event stream subscribers.",
+		"pmaxentd_history_segments":               "Journal segment files on disk.",
+		"pmaxentd_history_bytes":                  "Journal bytes on disk across all segments.",
+		"pmaxentd_regression_active":              "Currently active convergence/latency regressions.",
 	} {
 		s.reg.Gauge(name)
+		s.reg.SetHelp(name, help)
 	}
-	for _, name := range []string{
-		"pmaxentd_request_duration_seconds",
-		"pmaxentd_queue_wait_seconds",
-		"pmaxentd_prepare_duration_seconds",
-		"pmaxentd_solve_duration_seconds",
-		"pmaxentd_audit_duration_seconds",
+	for name, help := range map[string]string{
+		"pmaxentd_request_duration_seconds":        "End-to-end quantify request latency.",
+		"pmaxentd_queue_wait_seconds":              "Time requests spent waiting for an admission slot.",
+		"pmaxentd_prepare_duration_seconds":        "Invariant-system build time (cache misses only).",
+		"pmaxentd_solve_duration_seconds":          "Optimizer solve-stage latency.",
+		"pmaxentd_audit_duration_seconds":          "Solve-audit stage latency (?audit=1 only).",
+		"pmaxentd_history_append_duration_seconds": "Journal append latency (write-behind path).",
 	} {
 		s.reg.Histogram(name, telemetry.DurationBuckets)
+		s.reg.SetHelp(name, help)
 	}
 	// The pipeline-level pmaxent_* families are recorded by internal/core
 	// and internal/maxent against the same registry; several only fire on
 	// particular code paths (decomposed solves, non-convergence, the
 	// structural presolve), so declare them all here for the same
 	// scrape-stability reason.
-	for _, name := range []string{
-		"pmaxent_bucketize_total",
-		"pmaxent_mine_total",
-		"pmaxent_quantify_total",
-		"pmaxent_solve_total",
-		"pmaxent_solve_unconverged_total",
-		"pmaxent_solve_eliminated_buckets_total",
-		"pmaxent_dual_iterations_total",
-		"pmaxent_decompose_buckets_total",
-		"pmaxent_decompose_buckets_closed_form",
+	for name, help := range map[string]string{
+		"pmaxent_bucketize_total":                     "Bucketize pipeline runs.",
+		"pmaxent_mine_total":                          "Rule-mining pipeline runs.",
+		"pmaxent_quantify_total":                      "Quantification pipeline runs.",
+		"pmaxent_solve_total":                         "Maximum-entropy solves.",
+		"pmaxent_solve_unconverged_total":             "Solves that hit the iteration cap before converging.",
+		"pmaxent_solve_eliminated_buckets_total":      "Buckets the structural presolve solved in closed form.",
+		"pmaxent_dual_iterations_total":               "Dual-optimizer iterations across all solves.",
+		"pmaxent_decompose_buckets_total":             "Buckets routed through component decomposition.",
+		"pmaxent_decompose_buckets_closed_form_total": "Decomposed singleton buckets answered in closed form.",
 	} {
 		s.reg.Counter(name)
+		s.reg.SetHelp(name, help)
 	}
-	for _, name := range []string{
-		"pmaxent_solve_workers",
-		"pmaxent_solve_kernel_workers",
-		"pmaxent_dual_last_grad_norm",
+	for name, help := range map[string]string{
+		"pmaxent_solve_workers":        "Component workers used by the latest solve.",
+		"pmaxent_solve_kernel_workers": "Kernel workers used by the latest solve.",
+		"pmaxent_dual_last_grad_norm":  "Final infinity-norm dual gradient of the latest solve.",
 	} {
 		s.reg.Gauge(name)
+		s.reg.SetHelp(name, help)
 	}
-	for _, name := range []string{
-		"pmaxent_bucketize_duration_seconds",
-		"pmaxent_mine_duration_seconds",
-		"pmaxent_quantify_duration_seconds",
-		"pmaxent_solve_duration_seconds",
+	for name, help := range map[string]string{
+		"pmaxent_bucketize_duration_seconds": "Bucketize stage latency.",
+		"pmaxent_mine_duration_seconds":      "Rule-mining stage latency.",
+		"pmaxent_quantify_duration_seconds":  "Whole quantification pipeline latency.",
+		"pmaxent_solve_duration_seconds":     "Maximum-entropy solve latency.",
 	} {
 		s.reg.Histogram(name, telemetry.DurationBuckets)
+		s.reg.SetHelp(name, help)
 	}
-	for _, name := range []string{
-		"pmaxent_bucketize_buckets",
-		"pmaxent_mine_rules",
-		"pmaxent_formulate_constraints",
-		"pmaxent_solve_iterations",
-		"pmaxent_solve_evaluations",
-		"pmaxent_solve_active_variables",
-		"pmaxent_component_active_variables",
-		"pmaxent_solve_reduced_dual_dim",
+	for name, help := range map[string]string{
+		"pmaxent_bucketize_buckets":          "Buckets produced per bucketize run.",
+		"pmaxent_mine_rules":                 "Rules mined per run.",
+		"pmaxent_formulate_constraints":      "Constraints per formulated system.",
+		"pmaxent_solve_iterations":           "Optimizer iterations per solve.",
+		"pmaxent_solve_evaluations":          "Objective evaluations per solve.",
+		"pmaxent_solve_active_variables":     "Active variables per solve.",
+		"pmaxent_component_active_variables": "Active variables per decomposed component.",
+		"pmaxent_solve_reduced_dual_dim":     "Numeric dual dimension after the structural presolve.",
 	} {
 		s.reg.Histogram(name, telemetry.CountBuckets)
+		s.reg.SetHelp(name, help)
 	}
 	// The admission limits are configuration, but exporting them beside
 	// the depth gauges lets a dashboard show utilization without knowing
 	// the flags.
 	s.reg.Gauge("pmaxentd_inflight_limit").Set(float64(s.cfg.MaxInFlight))
+	s.reg.SetHelp("pmaxentd_inflight_limit", "Configured concurrent-solve limit.")
 	s.reg.Gauge("pmaxentd_queue_limit").Set(float64(s.cfg.MaxQueue))
+	s.reg.SetHelp("pmaxentd_queue_limit", "Configured admission-queue limit.")
+	s.reg.SetHelp("pmaxentd_build_info", "Build provenance of the serving binary.")
 	bi := buildinfo.Get()
 	s.reg.Info("pmaxentd_build_info", map[string]string{
 		"version":   bi.Version,
@@ -322,6 +388,10 @@ type accessInfo struct {
 	coalesced bool
 	queueWait time.Duration
 	solve     time.Duration
+	// outcome is "ok" for successful solves and the error-taxonomy kind
+	// otherwise — the field that joins an access-log line with the
+	// history record written under the same request ID.
+	outcome string
 }
 
 type accessInfoKey struct{}
@@ -390,6 +460,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"request_id", rid,
 		"solve_id", ai.solveID,
 		"cache", ai.cache,
+		"outcome", ai.outcome,
 		"coalesced", ai.coalesced,
 		"queue_wait_ms", float64(ai.queueWait.Nanoseconds())/1e6,
 		"solve_ms", float64(ai.solve.Nanoseconds())/1e6,
@@ -496,7 +567,7 @@ func (s *Server) handleDebugSolves(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSolveEvents(w http.ResponseWriter, r *http.Request) {
 	ls := s.live.find(r.PathValue("id"))
 	if ls == nil {
-		s.writeError(w, fmt.Errorf("%w: unknown solve %q", errNotFound, r.PathValue("id")))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: unknown solve %q", errNotFound, r.PathValue("id")))
 		return
 	}
 	s.streamFrames(w, r.Context(), ls)
@@ -507,7 +578,7 @@ func (s *Server) handleSolveEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) streamFrames(w http.ResponseWriter, ctx context.Context, ls *liveSolve) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		s.writeError(w, fmt.Errorf("server: response writer cannot stream"))
+		s.writeError(w, ctx, fmt.Errorf("server: response writer cannot stream"))
 		return
 	}
 	replay, ch := ls.subscribe()
@@ -535,6 +606,14 @@ func (s *Server) streamFrames(w http.ResponseWriter, ctx context.Context, ls *li
 	if ch == nil {
 		return
 	}
+	// Idle streams heartbeat with an SSE comment frame so proxies and
+	// load balancers don't sever a long solve between iteration samples.
+	var keepAlive <-chan time.Time
+	if s.cfg.SSEKeepAlive > 0 {
+		t := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer t.Stop()
+		keepAlive = t.C
+	}
 	for {
 		select {
 		case f, ok := <-ch:
@@ -546,6 +625,9 @@ func (s *Server) streamFrames(w http.ResponseWriter, ctx context.Context, ls *li
 			if f.terminal() {
 				return
 			}
+		case <-keepAlive:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			fl.Flush()
 		case <-ctx.Done():
 			return
 		}
@@ -588,40 +670,40 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Counter("pmaxentd_requests_total").Add(1)
 	if s.isDraining() {
-		s.writeError(w, errDraining)
+		s.writeError(w, r.Context(), errDraining)
 		return
 	}
 
 	var req QuantifyRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 	if len(req.Published) == 0 {
-		s.writeError(w, fmt.Errorf("%w: missing \"published\"", errBadRequest))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: missing \"published\"", errBadRequest))
 		return
 	}
 	pub, err := bucket.ReadJSON(bytes.NewReader(req.Published))
 	if err != nil {
-		s.writeError(w, fmt.Errorf("%w: published view: %v", errBadRequest, err))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: published view: %v", errBadRequest, err))
 		return
 	}
 	var knowledge []constraint.DistributionKnowledge
 	if len(req.Knowledge) > 0 {
 		knowledge, err = constraint.ParseKnowledgeJSON(bytes.NewReader(req.Knowledge), pub.Schema())
 		if err != nil {
-			s.writeError(w, fmt.Errorf("%w: knowledge: %v", errBadRequest, err))
+			s.writeError(w, r.Context(), fmt.Errorf("%w: knowledge: %v", errBadRequest, err))
 			return
 		}
 	}
 	wantAudit := boolQuery(r, "audit")
 	if wantAudit && req.Eps > 0 {
-		s.writeError(w, fmt.Errorf("%w: vague (eps>0) solves are not audited", errBadRequest))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: vague (eps>0) solves are not audited", errBadRequest))
 		return
 	}
 	digest, err := DigestPublished(pub)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 
@@ -639,6 +721,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
 		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, ls, &c.meta)
 		s.live.finish(ls, body, err)
+		s.recordHistory(ls, &c.meta, err)
 		return body, err
 	})
 	if joined {
@@ -656,7 +739,7 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	body, err := call.wait(waitCtx)
 	fillMeta(ai, call)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 	s.reg.Histogram("pmaxentd_request_duration_seconds", telemetry.DurationBuckets).
@@ -674,8 +757,68 @@ func fillMeta(ai *accessInfo, call *flightCall) {
 		ai.cache = call.meta.cache
 		ai.queueWait = call.meta.queueWait
 		ai.solve = call.meta.solve
+		if call.err == nil {
+			ai.outcome = "ok"
+		} else if _, kind := classify(call.err); ai.outcome == "" {
+			ai.outcome = kind
+		}
 	default:
 	}
+}
+
+// recordHistory journals one finished solve. Runs on the single-flight
+// leader goroutine right after the live registry's finish, so the record
+// matches what /debug/solves and the SSE terminal frame reported.
+func (s *Server) recordHistory(ls *liveSolve, meta *callMeta, solveErr error) {
+	if s.cfg.History == nil {
+		return
+	}
+	rec := history.Record{
+		SolveID:     ls.id,
+		RequestID:   ls.requestID,
+		Digest:      ls.digest,
+		Outcome:     "ok",
+		StartUnixNS: ls.started.UnixNano(),
+		Knowledge:   ls.knowledge,
+		Eps:         ls.eps,
+		Audited:     ls.audit,
+		Cache:       meta.cache,
+		QueueWaitMS: float64(meta.queueWait.Nanoseconds()) / 1e6,
+		ElapsedMS:   ls.elapsedMS(),
+	}
+	if solveErr != nil {
+		rec.Outcome = "error"
+		_, rec.ErrorKind = classify(solveErr)
+	}
+	if rep := meta.report; rep != nil {
+		if len(rep.Timings) > 0 {
+			rec.StagesMS = make(map[string]float64, len(rep.Timings))
+			for _, st := range rep.Timings {
+				rec.StagesMS[st.Stage] = float64(st.Duration.Nanoseconds()) / 1e6
+			}
+		}
+		st := rep.Solution.Stats
+		rec.Solver = &history.SolverSummary{
+			Algorithm:         s.q.Config().Solve.Algorithm.String(),
+			Iterations:        st.Iterations,
+			Evaluations:       st.Evaluations,
+			Converged:         st.Converged,
+			MaxViolation:      st.MaxViolation,
+			Components:        st.Components,
+			Variables:         int(ls.variables.Load()),
+			ReducedDualDim:    st.ReducedDualDim,
+			EliminatedBuckets: st.EliminatedBuckets,
+		}
+		if a := rep.Audit; a != nil {
+			rec.AuditSummary = &history.AuditSummary{
+				MaxViolation: a.MaxViolation,
+				DualityGap:   a.DualityGap,
+				EntropyBits:  a.EntropyBits,
+				Feasible:     a.Feasible,
+			}
+		}
+	}
+	s.cfg.History.Append(rec)
 }
 
 // streamQuantify serves POST /v1/quantify?stream=1: instead of blocking
@@ -691,7 +834,7 @@ func (s *Server) streamQuantify(w http.ResponseWriter, ctx context.Context, call
 		body, err := call.wait(ctx)
 		fillMeta(ai, call)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, ctx, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -808,6 +951,7 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 	}
 	s.reg.Gauge("pmaxentd_cache_entries").Set(float64(s.cache.len()))
 	meta.cache = cacheState
+	meta.report = rep
 
 	// Per-stage latency histograms from the pipeline's own timing
 	// breakdown: prepare appears only on cache misses, audit only when
@@ -858,16 +1002,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.reg.Counter("pmaxentd_requests_total").Add(1)
 	if s.isDraining() {
-		s.writeError(w, errDraining)
+		s.writeError(w, r.Context(), errDraining)
 		return
 	}
 	var req MineRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 	if req.CSV == "" || req.SA == "" {
-		s.writeError(w, fmt.Errorf("%w: \"csv\" and \"sa\" are required", errBadRequest))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: \"csv\" and \"sa\" are required", errBadRequest))
 		return
 	}
 	roles := map[string]dataset.Role{req.SA: dataset.Sensitive}
@@ -876,16 +1020,16 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 	t, err := dataset.ReadCSV(strings.NewReader(req.CSV), roles)
 	if err != nil {
-		s.writeError(w, fmt.Errorf("%w: csv: %v", errBadRequest, err))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: csv: %v", errBadRequest, err))
 		return
 	}
 	if t.Schema().SAIndex() < 0 {
-		s.writeError(w, fmt.Errorf("%w: column %q not present", errs.ErrNoSensitiveAttribute, req.SA))
+		s.writeError(w, r.Context(), fmt.Errorf("%w: column %q not present", errs.ErrNoSensitiveAttribute, req.SA))
 		return
 	}
 
 	if !s.beginWork() {
-		s.writeError(w, errDraining)
+		s.writeError(w, r.Context(), errDraining)
 		return
 	}
 	defer s.endWork()
@@ -905,7 +1049,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		} else {
 			s.noteQueueWait(time.Since(queueStart))
 		}
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 	s.noteQueueWait(time.Since(queueStart))
@@ -920,7 +1064,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		Sizes:      req.Sizes,
 	})
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r.Context(), err)
 		return
 	}
 	selected := rules
@@ -964,34 +1108,43 @@ func (s *Server) observeLoad() {
 // went away before the response": the request was canceled, not failed.
 const statusClientClosedRequest = 499
 
-// writeError maps an error onto the HTTP taxonomy and writes the
-// ErrorResponse body. The mapping mirrors the facade's errors.Is
-// documentation: infeasible → 422, interrupted/canceled → 499, deadline
-// → 504, invalid input → 400, overload → 429, draining → 503.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
-	var status int
-	var kind string
+// classify maps an error onto the HTTP taxonomy. The mapping mirrors the
+// facade's errors.Is documentation: infeasible → 422, interrupted/
+// canceled → 499, deadline → 504, invalid input → 400, overload → 429,
+// draining → 503. The kind also labels history records and the
+// access-log outcome field, so every surface agrees on what a failure
+// was.
+func classify(err error) (status int, kind string) {
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		status, kind = http.StatusTooManyRequests, "overloaded"
-		w.Header().Set("Retry-After", s.retry.seconds(s.cfg.RetryAfter))
+		return http.StatusTooManyRequests, "overloaded"
 	case errors.Is(err, errDraining):
-		status, kind = http.StatusServiceUnavailable, "draining"
-		w.Header().Set("Retry-After", s.retry.seconds(s.cfg.RetryAfter))
+		return http.StatusServiceUnavailable, "draining"
 	case errors.Is(err, errNotFound):
-		status, kind = http.StatusNotFound, "not_found"
+		return http.StatusNotFound, "not_found"
 	case errors.Is(err, errs.ErrInfeasible):
-		status, kind = http.StatusUnprocessableEntity, "infeasible"
+		return http.StatusUnprocessableEntity, "infeasible"
 	case errors.Is(err, context.DeadlineExceeded):
-		status, kind = http.StatusGatewayTimeout, "deadline"
+		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, solver.ErrInterrupted), errors.Is(err, context.Canceled):
-		status, kind = statusClientClosedRequest, "interrupted"
+		return statusClientClosedRequest, "interrupted"
 	case errors.Is(err, errBadRequest),
 		errors.Is(err, errs.ErrInvalidSchema),
 		errors.Is(err, errs.ErrNoSensitiveAttribute):
-		status, kind = http.StatusBadRequest, "invalid_request"
+		return http.StatusBadRequest, "invalid_request"
 	default:
-		status, kind = http.StatusInternalServerError, "internal"
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeError classifies err, stamps the access-log outcome, and writes
+// the ErrorResponse body.
+func (s *Server) writeError(w http.ResponseWriter, ctx context.Context, err error) {
+	status, kind := classify(err)
+	accessFrom(ctx).outcome = kind
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", s.retry.seconds(s.cfg.RetryAfter))
 	}
 	s.reg.Counter("pmaxentd_errors_total").Add(1)
 	s.log.Warn("pmaxentd: request failed", "status", status, "kind", kind, "err", err)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"privacymaxent/internal/core"
 )
 
 // flightGroup coalesces identical in-flight requests: the first caller
@@ -43,11 +45,13 @@ type flightCall struct {
 }
 
 // callMeta is the per-flight accounting shared with followers for their
-// access-log lines.
+// access-log lines, plus the pipeline report the history record is built
+// from (leader-only; written before done closes).
 type callMeta struct {
 	cache     string
 	queueWait time.Duration
 	solve     time.Duration
+	report    *core.Report
 }
 
 func newFlightGroup() *flightGroup {

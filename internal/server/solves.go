@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privacymaxent/internal/history"
 	"privacymaxent/internal/telemetry"
 )
 
@@ -38,10 +39,11 @@ import (
 // iteration SSE frames (per solve, across components).
 const iterationFrameInterval = 100 * time.Millisecond
 
-// doneRetention bounds the ring of finished solves kept for
+// defaultDoneRetention bounds the ring of finished solves kept for
 // subscribe-after-done replay (a streamed request that lost the
 // single-flight race, or a client connecting just as the solve ends).
-const doneRetention = 32
+// Overridable per server via Config.DoneRing (the -done-ring flag).
+const defaultDoneRetention = 32
 
 // sseFrame is one server-sent event: an event name and a single-line
 // JSON payload.
@@ -65,6 +67,11 @@ type liveSolve struct {
 	eps       float64
 	audit     bool
 	started   time.Time
+	// recovered marks an entry reconstructed from the history journal
+	// after a restart rather than observed live; such entries carry no
+	// event replay beyond a synthesized "recovered" frame, and their
+	// elapsed time is the journaled one, frozen.
+	recovered bool
 
 	iterations     atomic.Int64
 	gradBits       atomic.Uint64 // float64 bits of the last ∞-grad
@@ -82,6 +89,9 @@ type liveSolve struct {
 	frames    []sseFrame             // replay log, terminal frame last
 	subs      map[chan sseFrame]bool // live subscribers
 	closed    bool                   // terminal frame delivered
+	// doneElapsed freezes the solve's wall clock at finish, so a finished
+	// (or recovered) entry in /debug/solves stops aging.
+	doneElapsed time.Duration
 }
 
 // SolveEvent implements telemetry.SolveObserver: lifecycle events become
@@ -171,7 +181,15 @@ func (ls *liveSolve) eventJSON(name string, attrs []telemetry.Attr) []byte {
 	return data
 }
 
+// elapsedMS is the solve's wall clock: live solves age, finished (and
+// recovered) solves report the frozen at-completion value.
 func (ls *liveSolve) elapsedMS() float64 {
+	ls.mu.Lock()
+	frozen := ls.doneElapsed
+	ls.mu.Unlock()
+	if frozen > 0 {
+		return float64(frozen.Nanoseconds()) / 1e6
+	}
 	return float64(time.Since(ls.started).Nanoseconds()) / 1e6
 }
 
@@ -240,6 +258,7 @@ func (ls *liveSolve) status() SolveStatus {
 		ID:               ls.id,
 		RequestID:        ls.requestID,
 		State:            state,
+		Recovered:        ls.recovered,
 		Digest:           ls.digest,
 		Knowledge:        ls.knowledge,
 		Eps:              ls.eps,
@@ -259,16 +278,20 @@ func (ls *liveSolve) status() SolveStatus {
 
 // solveRegistry owns the live table and the finished ring.
 type solveRegistry struct {
-	reg *telemetry.Registry // solves_live gauge
+	reg       *telemetry.Registry // solves_live gauge
+	retention int                 // finished-ring capacity
 
 	mu   sync.Mutex
 	seq  int64
 	live map[string]*liveSolve
-	done []*liveSolve // most recent last, capped at doneRetention
+	done []*liveSolve // most recent last, capped at retention
 }
 
-func newSolveRegistry(reg *telemetry.Registry) *solveRegistry {
-	return &solveRegistry{reg: reg, live: make(map[string]*liveSolve)}
+func newSolveRegistry(reg *telemetry.Registry, retention int) *solveRegistry {
+	if retention <= 0 {
+		retention = defaultDoneRetention
+	}
+	return &solveRegistry{reg: reg, retention: retention, live: make(map[string]*liveSolve)}
 }
 
 // begin registers a new solve in state "queued" and returns its handle.
@@ -328,6 +351,7 @@ func (r *solveRegistry) finish(ls *liveSolve, body []byte, err error) {
 	} else {
 		ls.state = "done"
 	}
+	ls.doneElapsed = time.Since(ls.started)
 	ls.mu.Unlock()
 
 	if err != nil {
@@ -343,12 +367,64 @@ func (r *solveRegistry) finish(ls *liveSolve, body []byte, err error) {
 	r.mu.Lock()
 	delete(r.live, ls.id)
 	r.done = append(r.done, ls)
-	if len(r.done) > doneRetention {
-		r.done = r.done[len(r.done)-doneRetention:]
+	if len(r.done) > r.retention {
+		r.done = r.done[len(r.done)-r.retention:]
 	}
 	n := len(r.live)
 	r.mu.Unlock()
 	r.reg.Gauge("pmaxentd_solves_live").Set(float64(n))
+}
+
+// adopt seeds the finished ring with a solve recovered from the history
+// journal: /debug/solves and GET /v1/solves/{id}/events keep answering
+// for pre-restart solves. The entry is already terminal — its replay is
+// a single synthesized "recovered" frame (the original event stream died
+// with the old process) and its elapsed time is the journaled one,
+// frozen. Call in journal order (oldest first) before serving traffic.
+func (r *solveRegistry) adopt(rec history.Record) {
+	state := "done"
+	if rec.Failed() {
+		state = "failed"
+	}
+	ls := &liveSolve{
+		id:          rec.SolveID,
+		requestID:   rec.RequestID,
+		digest:      rec.Digest,
+		knowledge:   rec.Knowledge,
+		eps:         rec.Eps,
+		audit:       rec.Audited,
+		started:     time.Unix(0, rec.StartUnixNS),
+		recovered:   true,
+		state:       state,
+		queueWait:   time.Duration(rec.QueueWaitMS * 1e6),
+		doneElapsed: time.Duration(rec.ElapsedMS * 1e6),
+	}
+	if ls.doneElapsed <= 0 {
+		ls.doneElapsed = time.Nanosecond // freeze even zero-length records
+	}
+	if s := rec.Solver; s != nil {
+		ls.iterations.Store(int64(s.Iterations))
+		ls.variables.Store(int64(s.Variables))
+		ls.componentsTot.Store(int64(s.Components))
+		ls.componentsDone.Store(int64(s.Components))
+		ls.reducedDim.Store(int64(s.ReducedDualDim))
+		ls.eliminated.Store(int64(s.EliminatedBuckets))
+	}
+	data, _ := json.Marshal(map[string]any{
+		"event":      "recovered",
+		"solve_id":   ls.id,
+		"outcome":    rec.Outcome,
+		"elapsed_ms": rec.ElapsedMS,
+	})
+	ls.frames = []sseFrame{{event: "recovered", data: data}}
+	ls.closed = true
+
+	r.mu.Lock()
+	r.done = append(r.done, ls)
+	if len(r.done) > r.retention {
+		r.done = r.done[len(r.done)-r.retention:]
+	}
+	r.mu.Unlock()
 }
 
 // find returns the solve with the given ID, live or recently finished.

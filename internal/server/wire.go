@@ -112,8 +112,12 @@ type SolveStatus struct {
 	// RequestID is the leader request's ID — the join key against access
 	// logs, spans and audit records.
 	RequestID string `json:"request_id"`
-	// State is "queued", "running", "done" or "failed".
-	State string `json:"state"`
+	// State is "queued", "running", "done" or "failed". Recovered marks
+	// entries reconstructed from the history journal after a restart: the
+	// solve finished under a previous process, so its counters are the
+	// journaled summary and its elapsed time is frozen.
+	State     string `json:"state"`
+	Recovered bool   `json:"recovered,omitempty"`
 	// Digest, Knowledge, Eps, Audit describe the request being solved.
 	Digest    string  `json:"digest"`
 	Knowledge int     `json:"knowledge"`

@@ -21,6 +21,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	infos      map[string]map[string]string
+	helps      map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -30,7 +31,20 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 		infos:      make(map[string]map[string]string),
+		helps:      make(map[string]string),
 	}
+}
+
+// SetHelp attaches Prometheus HELP text to the named family; WriteProm
+// emits it on the "# HELP" line before the family's "# TYPE". Setting
+// again replaces the text; no-op on a nil receiver.
+func (r *Registry) SetHelp(name, help string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.helps[name] = help
+	r.mu.Unlock()
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -270,13 +284,28 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for k, v := range r.infos {
 		infos[k] = v
 	}
+	helps := make(map[string]string, len(r.helps))
+	for k, v := range r.helps {
+		helps[k] = v
+	}
 	r.mu.Unlock()
 
+	writeHelp := func(name string) error {
+		help, ok := helps[name]
+		if !ok || help == "" {
+			return nil
+		}
+		_, err := fmt.Fprintf(w, "# HELP %s %s\n", promName(name), promHelp(help))
+		return err
+	}
 	for _, name := range sortedKeys(infos) {
 		labels := infos[name]
 		parts := make([]string, 0, len(labels))
 		for _, k := range sortedKeys(labels) {
 			parts = append(parts, fmt.Sprintf("%s=%q", promName(k), labels[k]))
+		}
+		if err := writeHelp(name); err != nil {
+			return err
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s{%s} 1\n",
 			promName(name), promName(name), strings.Join(parts, ",")); err != nil {
@@ -284,11 +313,17 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 	}
 	for _, name := range sortedKeys(counters) {
+		if err := writeHelp(name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", promName(name), promName(name), counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(gauges) {
+		if err := writeHelp(name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", promName(name), promName(name), gauges[name].Value()); err != nil {
 			return err
 		}
@@ -296,6 +331,9 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	for _, name := range sortedKeys(histograms) {
 		h := histograms[name]
 		pn := promName(name)
+		if err := writeHelp(name); err != nil {
+			return err
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
 			return err
 		}
@@ -334,6 +372,13 @@ func promName(name string) string {
 			return '_'
 		}
 	}, name)
+}
+
+// promHelp escapes HELP text per the Prometheus exposition format
+// (backslash and newline are the only special characters).
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 func formatBound(b float64) string {

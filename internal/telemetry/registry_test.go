@@ -105,6 +105,34 @@ func TestWriteProm(t *testing.T) {
 	}
 }
 
+// TestWritePromHelp checks HELP lines: emitted directly above the
+// family's TYPE line, escaped, and absent for families without help.
+func TestWritePromHelp(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("with_help_total").Add(1)
+	r.Counter("without_help_total").Add(1)
+	r.SetHelp("with_help_total", "Solves finished.\nSecond \\ line")
+	r.SetHelp("absent_family", "help for a family that was never created")
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := "# HELP with_help_total Solves finished.\\nSecond \\\\ line\n# TYPE with_help_total counter\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("prom output missing escaped HELP block %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "# HELP without_help_total") {
+		t.Fatalf("family without help grew a HELP line:\n%s", out)
+	}
+	if strings.Contains(out, "absent_family") {
+		t.Fatalf("help for an uncreated family leaked into the exposition:\n%s", out)
+	}
+	var nilReg *Registry
+	nilReg.SetHelp("x", "y") // no panic
+}
+
 // TestSnapshotAndExpvar publishes the registry and reads it back through
 // the expvar interface; double publication must not panic.
 func TestSnapshotAndExpvar(t *testing.T) {

@@ -3,13 +3,19 @@
 // present in the scrape (a disappeared metric silently breaks dashboards
 // and alerts), every pmaxentd_* family in the scrape must be allowlisted
 // (new names are added deliberately, with review, not by accident), and
-// every name must follow Prometheus conventions (lowercase start,
-// [a-z0-9_] charset, unit-suffixed histograms, _total counters).
+// every name must follow Prometheus conventions — lowercase start,
+// [a-z0-9_] charset, non-empty HELP text, counters ending in _total and
+// histograms in a unit suffix (_seconds/_bytes) unless the allowlist
+// annotates them as dimensionless counts.
 //
 // Usage:
 //
 //	curl -s localhost:8080/metrics | metricslint -allowlist scripts/metricslint/allowlist.txt
 //	metricslint -allowlist allowlist.txt scrape.txt
+//
+// Allowlist lines are "name" or "name count"; the count annotation marks
+// a histogram whose observations are dimensionless counts (iterations,
+// buckets), exempting it from the unit-suffix rule.
 //
 // Exit status 0 means the scrape and allowlist agree; 1 lists every
 // violation; 2 means inputs could not be read.
@@ -30,6 +36,21 @@ import (
 // stricter than the spec (which also allows ':' and uppercase) because
 // every pmaxentd series is flat snake_case.
 var nameRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// allowlist is the parsed allowlist: the family names plus their
+// annotations.
+type allowlist struct {
+	names map[string]bool
+	// countHist marks histograms of dimensionless counts, exempt from
+	// the _seconds/_bytes suffix rule.
+	countHist map[string]bool
+}
+
+// familyInfo is what the scrape declares about one family.
+type familyInfo struct {
+	typ     string // counter | gauge | histogram (from # TYPE)
+	hasHelp bool   // a non-empty # HELP line was present
+}
 
 func main() {
 	allowPath := flag.String("allowlist", "", "path to the newline-separated metric-family allowlist")
@@ -60,7 +81,7 @@ func main() {
 	}
 	problems := lint(string(scrape), allow)
 	if len(problems) == 0 {
-		fmt.Printf("metricslint: %d allowlisted pmaxentd families all present and well-formed\n", len(allow))
+		fmt.Printf("metricslint: %d allowlisted pmaxentd families all present and well-formed\n", len(allow.names))
 		return
 	}
 	for _, p := range problems {
@@ -69,38 +90,62 @@ func main() {
 	os.Exit(1)
 }
 
-func readAllowlist(path string) (map[string]bool, error) {
+func readAllowlist(path string) (*allowlist, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	allow := make(map[string]bool)
+	allow := &allowlist{names: make(map[string]bool), countHist: make(map[string]bool)}
 	sc := bufio.NewScanner(f)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		allow[line] = true
+		name, annot, _ := strings.Cut(line, " ")
+		allow.names[name] = true
+		switch strings.TrimSpace(annot) {
+		case "":
+		case "count":
+			allow.countHist[name] = true
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown annotation %q (want \"count\")", path, lineNo, annot)
+		}
 	}
 	return allow, sc.Err()
 }
 
-// families extracts the pmaxentd_* metric-family names from a Prometheus
-// text scrape, folding histogram sample suffixes (_bucket/_sum/_count)
-// back onto their family when the family was declared by a # TYPE line.
-func families(scrape string) map[string]bool {
-	declared := make(map[string]bool) // families with a # TYPE line
-	seen := make(map[string]bool)
+// families extracts the pmaxentd_* metric families from a Prometheus
+// text scrape — their declared type and whether HELP text was present —
+// folding histogram sample suffixes (_bucket/_sum/_count) back onto
+// their family when the family was declared by a # TYPE line.
+func families(scrape string) map[string]*familyInfo {
+	seen := make(map[string]*familyInfo)
+	get := func(name string) *familyInfo {
+		fi, ok := seen[name]
+		if !ok {
+			fi = &familyInfo{}
+			seen[name] = fi
+		}
+		return fi
+	}
 	for _, line := range strings.Split(scrape, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
 		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
-			if name, _, found := strings.Cut(rest, " "); found {
-				declared[name] = true
+			if name, typ, found := strings.Cut(rest, " "); found {
+				get(name).typ = strings.TrimSpace(typ)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			if name, help, found := strings.Cut(rest, " "); found && strings.TrimSpace(help) != "" {
+				get(name).hasHelp = true
 			}
 			continue
 		}
@@ -112,36 +157,56 @@ func families(scrape string) map[string]bool {
 			name = name[:i]
 		}
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			if base, ok := strings.CutSuffix(name, suffix); ok && declared[base] {
-				name = base
-				break
+			if base, ok := strings.CutSuffix(name, suffix); ok {
+				if fi, declared := seen[base]; declared && fi.typ == "histogram" {
+					name = base
+					break
+				}
 			}
 		}
-		seen[name] = true
+		get(name)
 	}
 	return seen
 }
 
+// ours reports whether a family belongs to this repo's namespace:
+// daemon-level families (pmaxentd_*) and pipeline-level families
+// (pmaxent_*, recorded by the solve path itself) are both ours.
+func ours(name string) bool {
+	return strings.HasPrefix(name, "pmaxentd_") || strings.HasPrefix(name, "pmaxent_")
+}
+
 // lint compares the scrape's pmaxentd families against the allowlist and
-// the naming convention, returning one line per violation.
-func lint(scrape string, allow map[string]bool) []string {
+// the naming conventions, returning one line per violation.
+func lint(scrape string, allow *allowlist) []string {
 	var problems []string
 	seen := families(scrape)
-	for name := range seen {
-		// Daemon-level families (pmaxentd_*) and pipeline-level families
-		// (pmaxent_*, recorded by the solve path itself) are both ours.
-		if !strings.HasPrefix(name, "pmaxentd_") && !strings.HasPrefix(name, "pmaxent_") {
+	for name, fi := range seen {
+		if !ours(name) {
 			continue
 		}
 		if !nameRE.MatchString(name) {
 			problems = append(problems, fmt.Sprintf("metric %q violates the naming convention (want %s)", name, nameRE))
 		}
-		if !allow[name] {
+		if !allow.names[name] {
 			problems = append(problems, fmt.Sprintf("metric %q is not in the allowlist (new metrics are added there deliberately)", name))
 		}
+		if !fi.hasHelp {
+			problems = append(problems, fmt.Sprintf("metric %q has no HELP text (declare it with Registry.SetHelp)", name))
+		}
+		switch fi.typ {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				problems = append(problems, fmt.Sprintf("counter %q must end in _total", name))
+			}
+		case "histogram":
+			if !strings.HasSuffix(name, "_seconds") && !strings.HasSuffix(name, "_bytes") && !allow.countHist[name] {
+				problems = append(problems, fmt.Sprintf("histogram %q needs a unit suffix (_seconds/_bytes) or a \"count\" allowlist annotation", name))
+			}
+		}
 	}
-	for name := range allow {
-		if !seen[name] {
+	for name := range allow.names {
+		if _, ok := seen[name]; !ok {
 			problems = append(problems, fmt.Sprintf("allowlisted metric %q missing from the scrape (removal breaks dashboards; update the allowlist if intentional)", name))
 		}
 	}

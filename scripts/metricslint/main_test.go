@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -8,57 +10,76 @@ import (
 const goodScrape = `# HELP pmaxentd_requests_total requests served
 # TYPE pmaxentd_requests_total counter
 pmaxentd_requests_total 42
+# HELP pmaxentd_inflight requests currently executing
 # TYPE pmaxentd_inflight gauge
 pmaxentd_inflight 2
+# HELP pmaxentd_build_info build metadata as labels
 # TYPE pmaxentd_build_info gauge
 pmaxentd_build_info{commit="abc",version="(devel)"} 1
+# HELP pmaxentd_solve_duration_seconds wall time per solve
 # TYPE pmaxentd_solve_duration_seconds histogram
 pmaxentd_solve_duration_seconds_bucket{le="0.001"} 1
 pmaxentd_solve_duration_seconds_bucket{le="+Inf"} 3
 pmaxentd_solve_duration_seconds_sum 0.5
 pmaxentd_solve_duration_seconds_count 3
+# HELP pmaxent_solve_iterations dual ascent iterations per solve
+# TYPE pmaxent_solve_iterations histogram
+pmaxent_solve_iterations_bucket{le="+Inf"} 3
+pmaxent_solve_iterations_sum 40
+pmaxent_solve_iterations_count 3
 go_goroutines 7
 `
 
-func allowOf(names ...string) map[string]bool {
-	m := make(map[string]bool, len(names))
+func allowOf(names ...string) *allowlist {
+	a := &allowlist{names: make(map[string]bool), countHist: make(map[string]bool)}
 	for _, n := range names {
-		m[n] = true
+		name, annot, _ := strings.Cut(n, " ")
+		a.names[name] = true
+		if annot == "count" {
+			a.countHist[name] = true
+		}
 	}
-	return m
+	return a
+}
+
+func goodAllow() *allowlist {
+	return allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
+		"pmaxentd_build_info", "pmaxentd_solve_duration_seconds",
+		"pmaxent_solve_iterations count")
 }
 
 func TestFamiliesFoldsHistogramSuffixes(t *testing.T) {
 	fams := families(goodScrape)
-	if !fams["pmaxentd_solve_duration_seconds"] {
-		t.Error("histogram family not folded from its _bucket/_sum/_count samples")
+	fi := fams["pmaxentd_solve_duration_seconds"]
+	if fi == nil {
+		t.Fatal("histogram family not folded from its _bucket/_sum/_count samples")
+	}
+	if fi.typ != "histogram" || !fi.hasHelp {
+		t.Errorf("histogram family info = %+v, want histogram with help", fi)
 	}
 	for _, leaked := range []string{
 		"pmaxentd_solve_duration_seconds_bucket",
 		"pmaxentd_solve_duration_seconds_sum",
 		"pmaxentd_solve_duration_seconds_count",
 	} {
-		if fams[leaked] {
+		if fams[leaked] != nil {
 			t.Errorf("suffix %q leaked as its own family", leaked)
 		}
 	}
-	if !fams["pmaxentd_build_info"] {
+	if fams["pmaxentd_build_info"] == nil {
 		t.Error("labeled gauge family missing")
 	}
 }
 
 func TestLintClean(t *testing.T) {
-	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
-		"pmaxentd_build_info", "pmaxentd_solve_duration_seconds")
-	if problems := lint(goodScrape, allow); len(problems) != 0 {
+	if problems := lint(goodScrape, goodAllow()); len(problems) != 0 {
 		t.Errorf("clean scrape reported problems: %v", problems)
 	}
 }
 
 func TestLintMissingFromScrape(t *testing.T) {
-	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
-		"pmaxentd_build_info", "pmaxentd_solve_duration_seconds",
-		"pmaxentd_vanished_total")
+	allow := goodAllow()
+	allow.names["pmaxentd_vanished_total"] = true
 	problems := lint(goodScrape, allow)
 	if len(problems) != 1 || !strings.Contains(problems[0], "pmaxentd_vanished_total") {
 		t.Errorf("want one missing-from-scrape problem, got %v", problems)
@@ -66,8 +87,8 @@ func TestLintMissingFromScrape(t *testing.T) {
 }
 
 func TestLintUnlistedMetric(t *testing.T) {
-	allow := allowOf("pmaxentd_requests_total", "pmaxentd_inflight",
-		"pmaxentd_solve_duration_seconds")
+	allow := goodAllow()
+	delete(allow.names, "pmaxentd_build_info")
 	problems := lint(goodScrape, allow)
 	if len(problems) != 1 || !strings.Contains(problems[0], "pmaxentd_build_info") {
 		t.Errorf("want one not-in-allowlist problem, got %v", problems)
@@ -75,11 +96,64 @@ func TestLintUnlistedMetric(t *testing.T) {
 }
 
 func TestLintBadName(t *testing.T) {
-	scrape := "pmaxentd_BadName 1\npmaxentd_requests_total 2\n"
-	allow := allowOf("pmaxentd_requests_total", "pmaxentd_BadName")
+	scrape := `# HELP pmaxentd_BadName oops
+# TYPE pmaxentd_BadName gauge
+pmaxentd_BadName 1
+`
+	allow := allowOf("pmaxentd_BadName")
 	problems := lint(scrape, allow)
 	if len(problems) != 1 || !strings.Contains(problems[0], "naming convention") {
 		t.Errorf("want one naming-convention problem, got %v", problems)
+	}
+}
+
+func TestLintMissingHelp(t *testing.T) {
+	scrape := `# TYPE pmaxentd_inflight gauge
+pmaxentd_inflight 2
+`
+	problems := lint(scrape, allowOf("pmaxentd_inflight"))
+	if len(problems) != 1 || !strings.Contains(problems[0], "HELP") {
+		t.Errorf("want one missing-HELP problem, got %v", problems)
+	}
+}
+
+func TestLintEmptyHelpCounts_AsMissing(t *testing.T) {
+	scrape := `# HELP pmaxentd_inflight
+# TYPE pmaxentd_inflight gauge
+pmaxentd_inflight 2
+`
+	problems := lint(scrape, allowOf("pmaxentd_inflight"))
+	if len(problems) != 1 || !strings.Contains(problems[0], "HELP") {
+		t.Errorf("empty HELP text should count as missing, got %v", problems)
+	}
+}
+
+func TestLintCounterSuffix(t *testing.T) {
+	scrape := `# HELP pmaxentd_shed how many requests were shed
+# TYPE pmaxentd_shed counter
+pmaxentd_shed 3
+`
+	problems := lint(scrape, allowOf("pmaxentd_shed"))
+	if len(problems) != 1 || !strings.Contains(problems[0], "_total") {
+		t.Errorf("want one counter-suffix problem, got %v", problems)
+	}
+}
+
+func TestLintHistogramSuffix(t *testing.T) {
+	scrape := `# HELP pmaxentd_solve_latency solve latency
+# TYPE pmaxentd_solve_latency histogram
+pmaxentd_solve_latency_bucket{le="+Inf"} 1
+pmaxentd_solve_latency_sum 1
+pmaxentd_solve_latency_count 1
+`
+	problems := lint(scrape, allowOf("pmaxentd_solve_latency"))
+	if len(problems) != 1 || !strings.Contains(problems[0], "unit suffix") {
+		t.Errorf("want one histogram-suffix problem, got %v", problems)
+	}
+	// The same scrape with a "count" annotation is clean: dimensionless
+	// count histograms are exempt.
+	if problems := lint(scrape, allowOf("pmaxentd_solve_latency count")); len(problems) != 0 {
+		t.Errorf("count-annotated histogram should be exempt, got %v", problems)
 	}
 }
 
@@ -87,5 +161,55 @@ func TestLintIgnoresForeignFamilies(t *testing.T) {
 	if problems := lint("go_goroutines 7\nprocess_cpu_seconds_total 1\n",
 		allowOf()); len(problems) != 0 {
 		t.Errorf("non-pmaxentd families should be ignored, got %v", problems)
+	}
+}
+
+func TestReadAllowlistAnnotations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow.txt")
+	const body = `# comment
+pmaxentd_requests_total
+
+pmaxent_solve_iterations count
+`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allow, err := readAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !allow.names["pmaxentd_requests_total"] || !allow.names["pmaxent_solve_iterations"] {
+		t.Errorf("names not parsed: %+v", allow.names)
+	}
+	if allow.countHist["pmaxentd_requests_total"] || !allow.countHist["pmaxent_solve_iterations"] {
+		t.Errorf("count annotation misparsed: %+v", allow.countHist)
+	}
+}
+
+func TestReadAllowlistRejectsUnknownAnnotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow.txt")
+	if err := os.WriteFile(path, []byte("pmaxentd_x gadget\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAllowlist(path); err == nil {
+		t.Error("unknown annotation should be rejected")
+	}
+}
+
+// TestRepoAllowlistMatchesConventions lints the checked-in allowlist
+// itself: every entry must satisfy the naming regexp, so a typo in the
+// file fails here instead of only at scrape time.
+func TestRepoAllowlistMatchesConventions(t *testing.T) {
+	allow, err := readAllowlist("allowlist.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range allow.names {
+		if !nameRE.MatchString(name) {
+			t.Errorf("allowlist entry %q violates naming convention", name)
+		}
+		if !ours(name) {
+			t.Errorf("allowlist entry %q is outside the pmaxent/pmaxentd namespace", name)
+		}
 	}
 }
