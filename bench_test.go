@@ -48,6 +48,12 @@ var reduceEnv = os.Getenv("PMAXENT_REDUCE") == "1"
 // the reassociated multi-accumulator flavours (maxent.Options.FastMath).
 var fastMathEnv = os.Getenv("PMAXENT_FAST_MATH") == "1"
 
+// deltaEnv reads PMAXENT_DELTA: "1" routes BenchmarkDeltaResolve through
+// maxent.SolveDelta against the pre-solved baseline, so scripts/benchab
+// can A/B a 1-rule incremental re-solve against the cold solve of the
+// same system.
+var deltaEnv = os.Getenv("PMAXENT_DELTA") == "1"
+
 // benchConfig is the scaled-down workload shared by the figure benches:
 // 2000 records → 400 buckets of five at 5-diversity (paper: 14,210 →
 // 2,842).
@@ -305,6 +311,72 @@ func BenchmarkSolveWarmStarted(b *testing.B) {
 		sys := base.Clone()
 		if _, err := maxent.Solve(sys, maxent.Options{Decompose: true, WarmStart: seed.Duals, KernelWorkers: kernelWorkersEnv, Reduce: reduceEnv, FastMath: fastMathEnv}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaResolve measures a 1-rule re-publication: the invariant
+// base plus Top-(25,25) knowledge minus its top rule is solved once
+// outside the timer (the state a serving cache would hold), then each
+// iteration assembles the full system and re-solves it. With
+// PMAXENT_DELTA=1 the re-solve goes through maxent.SolveDelta — clean
+// components reuse the baseline posterior verbatim, only the component
+// the added rule touches is re-solved — and without it the whole system
+// solves cold, so the A/B isolates exactly what an incremental
+// re-publication saves. Top-(25,25) rather than the Top-(50,50) of
+// BenchmarkSolveWithKnowledge: the smaller bound keeps the conditioned
+// system in several connected components (the larger bound couples
+// everything into one, leaving a delta nothing to reuse) and lets the
+// baseline converge, which the delta path requires.
+func BenchmarkDeltaResolve(b *testing.B) {
+	in := getInstance(b)
+	sp := constraint.NewSpace(in.Data)
+	selected := TopK(in.Rules, 25, 25)
+	base := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	for j := 1; j < len(selected); j++ {
+		kn := selected[j].Knowledge()
+		c, err := kn.Constraint(sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := base.Add(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	opts := maxent.Options{Decompose: true, KernelWorkers: kernelWorkersEnv, Reduce: reduceEnv, FastMath: fastMathEnv}
+	// The baseline needs ~600 LBFGS iterations; the default cap would
+	// leave it unconverged and unusable as a delta ancestor.
+	opts.Solver.MaxIterations = 5000
+	baseline, err := maxent.Solve(base, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !baseline.Stats.Converged {
+		b.Fatalf("baseline did not converge: %s", baseline.Stats.String())
+	}
+	kn := selected[0].Knowledge()
+	added, err := kn.Constraint(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := base.Clone()
+		if err := sys.Add(added); err != nil {
+			b.Fatal(err)
+		}
+		if deltaEnv {
+			sol, err := maxent.SolveDelta(sys, &maxent.Baseline{Sys: base, Sol: baseline}, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sol.Stats.ReusedComponents == 0 {
+				b.Fatal("delta solve reused no components — it fell back to a cold solve")
+			}
+		} else {
+			if _, err := maxent.Solve(sys, opts); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -452,6 +452,9 @@ func printReport(w io.Writer, schema *dataset.Schema, records int, rep *core.Rep
 	fmt.Fprintf(w, "  solver:                %s\n", st.String())
 	fmt.Fprintf(w, "  presolve:              %d variables fixed, %d solved numerically\n", st.FixedVariables, st.ActiveVariables)
 	fmt.Fprintf(w, "  irrelevant buckets:    %d (closed-form, Sec. 5.5)\n", st.IrrelevantBuckets)
+	if st.ReusedComponents > 0 || st.DirtyComponents > 0 {
+		fmt.Fprintf(w, "  delta:                 %d components reused from baseline, %d re-solved\n", st.ReusedComponents, st.DirtyComponents)
+	}
 	if st.Workers > 1 || st.KernelWorkers > 1 {
 		fmt.Fprintf(w, "  parallelism:           %d workers over %d components, %d kernel shards\n", st.Workers, st.Components, st.KernelWorkers)
 	}

@@ -3,6 +3,7 @@
 //	pmaxentd [-addr :8080] [-cache 16] [-max-inflight N] [-queue N]
 //	         [-timeout 60s] [-retry-after 1s] [-drain-timeout 30s]
 //	         [-algorithm lbfgs] [-kernel-workers N] [-reduce] [-fast-math]
+//	         [-delta]
 //	         [-history-dir DIR] [-history-retention 65536] [-history-fsync 1s]
 //	         [-done-ring 32] [-sse-keepalive 15s]
 //	         [-trace-out trace.jsonl] [-solve-log solve.jsonl]
@@ -13,7 +14,16 @@
 //	POST /v1/quantify             quantify a published view; ?audit=1
 //	                              inlines the solve audit; ?stream=1
 //	                              streams progress over SSE, ending with
-//	                              a "result" frame carrying the response
+//	                              a "result" frame carrying the response;
+//	                              "delta": true (with -delta) re-solves
+//	                              only constraint components changed
+//	                              since the publication's last solve
+//	POST /v1/quantify/batch       quantify many knowledge variants over
+//	                              one published view; variants share one
+//	                              prepared system and coalesce with
+//	                              identical in-flight requests; ?stream=1
+//	                              emits a variant.done SSE frame per
+//	                              variant, then the batch result
 //	GET  /v1/solves/{id}/events   SSE stream of one solve's lifecycle and
 //	                              sampled iteration events
 //	GET  /v1/history              recent solve records from the durable
@@ -78,6 +88,7 @@ type options struct {
 	kernelWorkers int
 	reduce        bool
 	fastMath      bool
+	delta         bool
 	historyDir    string
 	historyKeep   int
 	historyFsync  string
@@ -101,6 +112,7 @@ func main() {
 	flag.IntVar(&o.kernelWorkers, "kernel-workers", 0, "worker shards for the in-solve kernels (0 = inherit, <0 = serial)")
 	flag.BoolVar(&o.reduce, "reduce", false, "structural presolve: closed-form untouched buckets and Schur-eliminate bucket-local invariant rows before the numeric solve")
 	flag.BoolVar(&o.fastMath, "fast-math", false, "reassociated multi-accumulator solve kernels (faster, not bit-identical to the exact kernels)")
+	flag.BoolVar(&o.delta, "delta", false, "chain delta baselines per publication: \"delta\": true requests re-solve only constraint components changed since the last converged solve")
 	flag.StringVar(&o.historyDir, "history-dir", "", "durable solve-history journal directory (empty disables /v1/history)")
 	flag.IntVar(&o.historyKeep, "history-retention", 65536, "minimum journal records kept on disk before old segments are deleted")
 	flag.StringVar(&o.historyFsync, "history-fsync", "1s", "journal durability: \"always\", \"never\" or an fsync interval like 1s")
@@ -134,6 +146,7 @@ func run(ctx context.Context, o options, ready chan<- string) error {
 			Solve: maxent.Options{Algorithm: alg, KernelWorkers: o.kernelWorkers, Reduce: o.reduce, FastMath: o.fastMath},
 		},
 		CacheSize:    o.cacheSize,
+		DeltaChain:   o.delta,
 		MaxInFlight:  o.maxInFlight,
 		MaxQueue:     o.queue,
 		SolveTimeout: o.timeout,

@@ -9,12 +9,14 @@
 // limit, queue depth, cache hit/miss/evictions, live SSE clients) and
 // then one line per solve, live solves first:
 //
-//	ID            STATE    REQUEST           ITER     GRAD      COMP   DIM         ELAPSED
-//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    4/982-49b   2.41s
+//	ID            STATE    REQUEST           ITER     GRAD      COMP   DIM         DELTA   ELAPSED
+//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    4/982-49b   2r/1d   2.41s
 //
 // The DIM column appears once a solve reports its structural-presolve
 // stats: reduced dual rows over full variables, with "-Nb" counting
-// buckets solved in closed form.
+// buckets solved in closed form. The DELTA column appears for
+// incremental solves (pmaxentd -delta): components reused verbatim from
+// the publication's chained baseline over components re-solved.
 //
 // -once prints a single snapshot and exits — the scriptable mode CI and
 // quick health checks use.
@@ -98,6 +100,8 @@ type solveRow struct {
 	ComponentsTotal int64   `json:"components_total"`
 	ReducedDualDim  int64   `json:"reduced_dual_dim"`
 	EliminatedBkts  int64   `json:"eliminated_buckets"`
+	ReusedComps     int64   `json:"reused_components"`
+	DirtyComps      int64   `json:"dirty_components"`
 	QueueWaitMS     float64 `json:"queue_wait_ms"`
 	ElapsedMS       float64 `json:"elapsed_ms"`
 }
@@ -181,8 +185,8 @@ func render(s *snapshot) string {
 		b.WriteString("no solves\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %11s %9s\n",
-		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "DIM", "ELAPSED")
+	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %11s %7s %9s\n",
+		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "DIM", "DELTA", "ELAPSED")
 	for _, r := range s.Solves {
 		comp := "-"
 		if r.ComponentsTotal > 0 {
@@ -197,9 +201,15 @@ func render(s *snapshot) string {
 				dim += fmt.Sprintf("-%db", r.EliminatedBkts)
 			}
 		}
-		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %11s %8.2fs\n",
+		// DELTA shows an incremental solve's split: components reused
+		// verbatim from the chained baseline over components re-solved.
+		delta := "-"
+		if r.ReusedComps > 0 || r.DirtyComps > 0 {
+			delta = fmt.Sprintf("%dr/%dd", r.ReusedComps, r.DirtyComps)
+		}
+		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %11s %7s %8.2fs\n",
 			clip(r.ID, 22), r.State, clip(r.RequestID, 18),
-			r.Iterations, r.GradNorm, comp, dim, r.ElapsedMS/1000)
+			r.Iterations, r.GradNorm, comp, dim, delta, r.ElapsedMS/1000)
 	}
 	return b.String()
 }

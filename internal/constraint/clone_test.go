@@ -62,3 +62,82 @@ func TestSystemCloneIsolation(t *testing.T) {
 		}
 	}
 }
+
+// TestSystemCloneBaseMutationGuard pins the copy-on-write guard: once a
+// clone exists, appending to the base — repeatedly, and interleaved with
+// clone appends in any order — can never alias into the overlay. The
+// original overlay relied on the capacity clamp alone, which kept base
+// appends out of the clones' *views* but still wrote them into shared
+// backing storage whenever capacity allowed; the guard copies before the
+// first post-clone append on either side, making isolation structural.
+func TestSystemCloneBaseMutationGuard(t *testing.T) {
+	_, _, sp := paperSpace(t)
+	base := DataInvariants(sp, InvariantOptions{DropRedundant: true})
+	baseLen := base.Len()
+
+	row := func(term int, label string) Constraint {
+		return Constraint{Kind: Knowledge, Terms: []int{term}, Coeffs: []float64{1}, RHS: 0.1, Label: label}
+	}
+	snapshot := func(s *System) []Constraint {
+		out := make([]Constraint, s.Len())
+		for i := range out {
+			out[i] = *s.At(i)
+		}
+		return out
+	}
+	same := func(a, b Constraint) bool {
+		if a.Kind != b.Kind || a.Label != b.Label || a.RHS != b.RHS || len(a.Terms) != len(b.Terms) {
+			return false
+		}
+		for k := range a.Terms {
+			if a.Terms[k] != b.Terms[k] || a.Coeffs[k] != b.Coeffs[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	clone := base.Clone()
+	clone.MustAdd(row(0, "c0"))
+	want := snapshot(clone)
+
+	// Grow the base far past the clone's length; every append must copy
+	// out of (or stay out of) the storage the clone reads.
+	for i := 0; i < 8; i++ {
+		base.MustAdd(row(i%sp.Len(), "base-grow"))
+	}
+	if clone.Len() != len(want) {
+		t.Fatalf("clone length %d after base growth, want %d", clone.Len(), len(want))
+	}
+	for i := range want {
+		if !same(*clone.At(i), want[i]) {
+			t.Fatalf("base growth mutated clone row %d: got %v, want %v", i, clone.At(i), &want[i])
+		}
+	}
+
+	// Interleave: clone append, base append, clone append — both stay
+	// isolated, contents included.
+	clone.MustAdd(row(1, "c1"))
+	base.MustAdd(row(2, "base-late"))
+	clone.MustAdd(row(3, "c2"))
+	if got := clone.At(clone.Len() - 2).Label; got != "c1" {
+		t.Fatalf("clone row overwritten by interleaved base append: got %q, want c1", got)
+	}
+	if got := base.At(base.Len() - 1).Label; got != "base-late" {
+		t.Fatalf("base row overwritten by interleaved clone append: got %q, want base-late", got)
+	}
+	for i := 0; i < base.Len(); i++ {
+		if base.At(i).Label == "c0" || base.At(i).Label == "c1" || base.At(i).Label == "c2" {
+			t.Fatalf("clone append %q leaked into base at row %d", base.At(i).Label, i)
+		}
+	}
+
+	// A fresh clone of the grown base sees the new rows.
+	fresh := base.Clone()
+	if fresh.Len() != baseLen+9 {
+		t.Fatalf("fresh clone length %d, want %d", fresh.Len(), baseLen+9)
+	}
+	if got := fresh.At(fresh.Len() - 1).Label; got != "base-late" {
+		t.Fatalf("fresh clone tail = %q, want base-late", got)
+	}
+}

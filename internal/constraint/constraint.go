@@ -3,6 +3,7 @@ package constraint
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"privacymaxent/internal/linalg"
 )
@@ -98,6 +99,15 @@ func (c *Constraint) String() string {
 type System struct {
 	space *Space
 	cons  []Constraint
+	// shared marks that cons' backing array may be visible to a clone
+	// (or to the system this one was cloned from). The next Add copies
+	// the headers to a fresh array before appending, so overlay
+	// isolation holds by construction — not merely by the capacity
+	// clamp Clone applies — even when base and clones are appended to
+	// in any interleaving. Atomic because Clone may be called
+	// concurrently on a shared base (core.Prepared is documented safe
+	// for concurrent use).
+	shared atomic.Bool
 }
 
 // NewSystem creates an empty system over the space.
@@ -111,12 +121,17 @@ func (s *System) Space() *Space { return s.space }
 // Clone returns an overlay of the system: a new System sharing the base
 // constraints (and their term/coefficient storage) with the original.
 // Appending to either the clone or the original never mutates the other —
-// the clone's slice capacity is clamped so the first Add copies only the
-// constraint headers. This is the cheap per-grid-point reuse path for
+// both sides are marked shared, so the first Add on either copies the
+// constraint headers to a fresh backing array before appending
+// (copy-on-write). This is the cheap per-grid-point reuse path for
 // sweeps that build the data invariants once and append K knowledge rows
-// per point.
+// per point, and it stays safe when the base itself is appended to after
+// clones were taken.
 func (s *System) Clone() *System {
-	return &System{space: s.space, cons: s.cons[:len(s.cons):len(s.cons)]}
+	s.shared.Store(true)
+	c := &System{space: s.space, cons: s.cons[:len(s.cons):len(s.cons)]}
+	c.shared.Store(true)
+	return c
 }
 
 // Len reports the number of constraints.
@@ -139,6 +154,16 @@ func (s *System) Add(c Constraint) error {
 			return fmt.Errorf("constraint: duplicate term index %d", t)
 		}
 		seen[t] = true
+	}
+	if s.shared.Load() {
+		// The backing array is (or was) visible to a clone: copy the
+		// headers out before appending so the append can never land in
+		// storage another overlay reads. Headroom amortizes the sweeps'
+		// append-K-rows-per-grid-point pattern to one copy per overlay.
+		fresh := make([]Constraint, len(s.cons), len(s.cons)+16)
+		copy(fresh, s.cons)
+		s.cons = fresh
+		s.shared.Store(false)
 	}
 	s.cons = append(s.cons, c)
 	return nil

@@ -1,0 +1,202 @@
+package constraint
+
+import "testing"
+
+// krow builds a unit-coefficient knowledge row over the given terms.
+func krow(terms []int, rhs float64, label string) Constraint {
+	coeffs := make([]float64, len(terms))
+	for i := range coeffs {
+		coeffs[i] = 1
+	}
+	return Constraint{Kind: Knowledge, Terms: terms, Coeffs: coeffs, RHS: rhs, Label: label}
+}
+
+// diffFixture returns the invariant base plus term handles into the
+// paper example's three buckets.
+func diffFixture(t *testing.T) (*System, *Space) {
+	t.Helper()
+	_, _, sp := paperSpace(t)
+	return DataInvariants(sp, InvariantOptions{DropRedundant: true}), sp
+}
+
+func classCounts(t *testing.T, d *SystemDiff, clean, dirty, new_ int) {
+	t.Helper()
+	if d.Clean != clean || d.Dirty != dirty || d.New != new_ {
+		t.Fatalf("diff counts clean/dirty/new = %d/%d/%d, want %d/%d/%d",
+			d.Clean, d.Dirty, d.New, clean, dirty, new_)
+	}
+	if len(d.Components) != clean+dirty+new_ {
+		t.Fatalf("%d components, want %d", len(d.Components), clean+dirty+new_)
+	}
+}
+
+// TestDiffSystemsIdentical: an unchanged system diffs entirely clean,
+// with every row paired to a content-identical old row.
+func TestDiffSystemsIdentical(t *testing.T) {
+	base, sp := diffFixture(t)
+	build := func() *System {
+		s := base.Clone()
+		s.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+		s.MustAdd(krow([]int{sp.TermsInBucket(1)[0]}, 0.3, "k1"))
+		return s
+	}
+	old, new := build(), build()
+	d := DiffSystems(old, new)
+	classCounts(t, d, 2, 0, 0)
+	for _, cd := range d.Components {
+		if len(cd.OldRows) != len(cd.Rows) {
+			t.Fatalf("clean component OldRows/Rows length mismatch: %d/%d", len(cd.OldRows), len(cd.Rows))
+		}
+		for k, ri := range cd.Rows {
+			if got, want := rowSignature(old.At(cd.OldRows[k])), rowSignature(new.At(ri)); got != want {
+				t.Fatalf("paired rows differ in content: old %q vs new %q", got, want)
+			}
+		}
+	}
+	// Components come out in ascending root order.
+	for i := 1; i < len(d.Components); i++ {
+		if d.Components[i-1].Root >= d.Components[i].Root {
+			t.Fatalf("components not ordered by root: %d then %d", d.Components[i-1].Root, d.Components[i].Root)
+		}
+	}
+}
+
+// TestDiffSystemsRenameAndReorderClean: renaming labels and reordering
+// rows inside a component keeps the component clean — row identity is
+// content only, compared as a multiset.
+func TestDiffSystemsRenameAndReorderClean(t *testing.T) {
+	base, sp := diffFixture(t)
+	b0 := sp.TermsInBucket(0)
+	old := base.Clone()
+	old.MustAdd(krow([]int{b0[0]}, 0.2, "first"))
+	old.MustAdd(krow([]int{b0[1]}, 0.3, "second"))
+	new := base.Clone()
+	new.MustAdd(krow([]int{b0[1]}, 0.3, "renamed-b"))
+	new.MustAdd(krow([]int{b0[0]}, 0.2, "renamed-a"))
+	d := DiffSystems(old, new)
+	classCounts(t, d, 1, 0, 0)
+	cd := d.Components[0]
+	// The pairing crosses the rename: each new row maps to the old row
+	// with its content, regardless of label or position.
+	for k, ri := range cd.Rows {
+		if got, want := rowSignature(old.At(cd.OldRows[k])), rowSignature(new.At(ri)); got != want {
+			t.Fatalf("pairing broken across rename/reorder: old %q vs new %q", got, want)
+		}
+	}
+}
+
+// TestDiffSystemsCoefficientChangeDirty: a changed RHS (or coefficient)
+// makes the component dirty, and the old component's rows are reported
+// as the warm-start source.
+func TestDiffSystemsCoefficientChangeDirty(t *testing.T) {
+	base, sp := diffFixture(t)
+	b0 := sp.TermsInBucket(0)
+	old := base.Clone()
+	old.MustAdd(krow([]int{b0[0]}, 0.2, "k"))
+	new := base.Clone()
+	new.MustAdd(krow([]int{b0[0]}, 0.25, "k"))
+	d := DiffSystems(old, new)
+	classCounts(t, d, 0, 1, 0)
+	cd := d.Components[0]
+	if len(cd.OldRows) == 0 {
+		t.Fatal("dirty component has no old rows to warm-start from")
+	}
+	// Every old row of the overlapping component is available.
+	found := false
+	for _, oi := range cd.OldRows {
+		if old.At(oi).Label == "k" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("old knowledge row missing from dirty component's OldRows")
+	}
+}
+
+// TestDiffSystemsNewComponent: knowledge over a bucket no old component
+// touched diffs as new, while an untouched component stays clean.
+func TestDiffSystemsNewComponent(t *testing.T) {
+	base, sp := diffFixture(t)
+	old := base.Clone()
+	old.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	new := base.Clone()
+	new.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	new.MustAdd(krow([]int{sp.TermsInBucket(1)[0]}, 0.3, "k1"))
+	d := DiffSystems(old, new)
+	classCounts(t, d, 1, 0, 1)
+	for _, cd := range d.Components {
+		switch cd.Class {
+		case DiffClean:
+			if cd.Buckets[0] != 0 {
+				t.Fatalf("clean component over bucket %d, want 0", cd.Buckets[0])
+			}
+		case DiffNew:
+			if cd.Buckets[0] != 1 {
+				t.Fatalf("new component over bucket %d, want 1", cd.Buckets[0])
+			}
+			if cd.OldRows != nil {
+				t.Fatal("new component carries OldRows")
+			}
+		}
+	}
+}
+
+// TestDiffSystemsMerge: two old components joined by a spanning row in
+// the new system form one dirty component whose OldRows union both old
+// components (the widest warm-start seed available).
+func TestDiffSystemsMerge(t *testing.T) {
+	base, sp := diffFixture(t)
+	old := base.Clone()
+	old.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	old.MustAdd(krow([]int{sp.TermsInBucket(1)[0]}, 0.3, "k1"))
+	new := base.Clone()
+	new.MustAdd(krow([]int{sp.TermsInBucket(0)[0], sp.TermsInBucket(1)[0]}, 0.4, "span"))
+	d := DiffSystems(old, new)
+	classCounts(t, d, 0, 1, 0)
+	cd := d.Components[0]
+	if len(cd.Buckets) != 2 || cd.Buckets[0] != 0 || cd.Buckets[1] != 1 {
+		t.Fatalf("merged component buckets = %v, want [0 1]", cd.Buckets)
+	}
+	labels := map[string]bool{}
+	for _, oi := range cd.OldRows {
+		labels[old.At(oi).Label] = true
+	}
+	if !labels["k0"] || !labels["k1"] {
+		t.Fatalf("merged OldRows missing a source component's knowledge rows (have %v)", labels)
+	}
+}
+
+// TestDiffSystemsSplit: one old spanning component split into two
+// per-bucket components diffs both halves dirty (bucket overlap without
+// bucket-set equality).
+func TestDiffSystemsSplit(t *testing.T) {
+	base, sp := diffFixture(t)
+	old := base.Clone()
+	old.MustAdd(krow([]int{sp.TermsInBucket(0)[0], sp.TermsInBucket(1)[0]}, 0.4, "span"))
+	new := base.Clone()
+	new.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	new.MustAdd(krow([]int{sp.TermsInBucket(1)[0]}, 0.3, "k1"))
+	d := DiffSystems(old, new)
+	classCounts(t, d, 0, 2, 0)
+	for _, cd := range d.Components {
+		if len(cd.OldRows) == 0 {
+			t.Fatalf("split component over buckets %v has no warm-start rows", cd.Buckets)
+		}
+	}
+}
+
+// TestDiffSystemsNoBaseline: a nil old system — or one over a different
+// Space — degrades every component to new.
+func TestDiffSystemsNoBaseline(t *testing.T) {
+	base, sp := diffFixture(t)
+	new := base.Clone()
+	new.MustAdd(krow([]int{sp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	d := DiffSystems(nil, new)
+	classCounts(t, d, 0, 0, 1)
+
+	otherBase, osp := diffFixture(t)
+	other := otherBase.Clone()
+	other.MustAdd(krow([]int{osp.TermsInBucket(0)[0]}, 0.2, "k0"))
+	d = DiffSystems(other, new)
+	classCounts(t, d, 0, 0, 1)
+}

@@ -258,11 +258,25 @@ func (q *Quantifier) QuantifyContext(ctx context.Context, d *bucket.Bucketized, 
 // QuantifyContext and Prepared. auditOpts selects whether (and how) the
 // solve is audited; callers on the classic path pass q.cfg.Audit.
 func (q *Quantifier) solveAndScore(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, auditOpts *audit.Options, tm *Timings) (*Report, error) {
+	return q.solveAndScoreDelta(ctx, sys, knowledge, truth, opts, auditOpts, nil, tm)
+}
+
+// solveAndScoreDelta is solveAndScore with an optional incremental
+// baseline: non-nil routes the solve through maxent.SolveDeltaContext so
+// unchanged decomposition components are reused verbatim (and an
+// unusable baseline degrades to a cold solve inside the maxent layer).
+func (q *Quantifier) solveAndScoreDelta(ctx context.Context, sys *constraint.System, knowledge []constraint.DistributionKnowledge, truth *dataset.Conditional, opts maxent.Options, auditOpts *audit.Options, base *maxent.Baseline, tm *Timings) (*Report, error) {
 	if auditOpts != nil {
 		opts.CaptureTrace = true
 	}
 	solveStart := time.Now()
-	sol, err := maxent.SolveContext(ctx, sys, opts)
+	var sol *maxent.Solution
+	var err error
+	if base != nil {
+		sol, err = maxent.SolveDeltaContext(ctx, sys, base, opts)
+	} else {
+		sol, err = maxent.SolveContext(ctx, sys, opts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: maxent solve: %w", err)
 	}
@@ -404,6 +418,57 @@ func (p *Prepared) QuantifyWithOptions(ctx context.Context, o QuantifyOptions) (
 	opts.Decompose = !p.q.cfg.NoDecompose
 	opts.WarmStart = o.Warm
 	return p.q.solveAndScore(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, &tm)
+}
+
+// DeltaState is the opaque baseline a delta quantification reuses: the
+// previously assembled constraint system and its converged solution.
+// QuantifyDelta consumes one (nil means cold) and returns the next; the
+// state chains naturally across a sequence of knowledge variants —
+// digest N's state seeds digest N+1's solve. A DeltaState is immutable
+// after creation and safe to share across goroutines.
+type DeltaState struct {
+	sys *constraint.System
+	sol *maxent.Solution
+}
+
+// QuantifyDelta is QuantifyWithOptions with incremental reuse: the new
+// knowledge overlay is diffed against prev's system, decomposition
+// components whose constraint rows are unchanged carry their converged
+// posterior and duals over verbatim (zero solver iterations), and only
+// changed or new components re-solve, warm-started from prev's duals.
+// prev == nil (or an unusable/unconverged baseline) degrades to a cold
+// solve. The returned DeltaState seeds the next call; it is nil when
+// this solve did not converge, so a failed solve never becomes a
+// baseline. Decomposition is forced on for the delta path — components
+// are the unit of reuse.
+func (p *Prepared) QuantifyDelta(ctx context.Context, o QuantifyOptions, prev *DeltaState) (*Report, *DeltaState, error) {
+	ctx, span := telemetry.Start(ctx, "core.quantify",
+		telemetry.Int("knowledge", len(o.Knowledge)),
+		telemetry.Bool("delta", prev != nil))
+	defer span.End()
+	var tm Timings
+	fstart := time.Now()
+	sys := p.base.Clone()
+	if err := constraint.AddKnowledge(sys, o.Knowledge...); err != nil {
+		return nil, nil, fmt.Errorf("core: adding knowledge: %w", err)
+	}
+	tm.Add(StageFormulate, time.Since(fstart))
+	opts := p.q.cfg.Solve
+	opts.Decompose = true
+	opts.WarmStart = o.Warm
+	var base *maxent.Baseline
+	if prev != nil {
+		base = &maxent.Baseline{Sys: prev.sys, Sol: prev.sol}
+	}
+	rep, err := p.q.solveAndScoreDelta(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, base, &tm)
+	if err != nil {
+		return nil, nil, err
+	}
+	var next *DeltaState
+	if rep.Solution.Stats.Converged {
+		next = &DeltaState{sys: sys, sol: rep.Solution}
+	}
+	return rep, next, nil
 }
 
 // QuantifyWithRules applies the Top-(KPos, KNeg) strongest rules from a

@@ -84,6 +84,11 @@ type SolverSummary struct {
 	// revision changed how much of the publication stays closed-form.
 	ReducedDualDim    int `json:"reduced_dual_dim,omitempty"`
 	EliminatedBuckets int `json:"eliminated_buckets,omitempty"`
+	// ReusedComponents / DirtyComponents record a delta solve's split —
+	// components carried over verbatim from the chained baseline versus
+	// re-solved. Both zero for cold solves.
+	ReusedComponents int `json:"reused_components,omitempty"`
+	DirtyComponents  int `json:"dirty_components,omitempty"`
 }
 
 // AuditSummary is the durable condensation of a SolveAudit.

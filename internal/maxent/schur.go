@@ -115,14 +115,19 @@ type schurObjective struct {
 // caller falls back to the full dual.
 func newSchurObjective(a *linalg.CSR, rhs []float64, rows []rowData) *schurObjective {
 	nCols := a.Cols()
+	// The α/β owner maps share one backing allocation. They are all the
+	// per-column state the decline paths below ever touch, so a
+	// certainty-heavy workload that boundaryCoupling rejects pays one
+	// int32 allocation and the partition loop — never the per-row column
+	// views, group structures or IPF scaling state.
+	owners := make([]int32, 2*nCols)
+	for i := range owners {
+		owners[i] = -1
+	}
 	o := &schurObjective{
 		nCols:   nCols,
-		alphaOf: make([]int32, nCols),
-		betaOf:  make([]int32, nCols),
-	}
-	for c := range o.alphaOf {
-		o.alphaOf[c] = -1
-		o.betaOf[c] = -1
+		alphaOf: owners[:nCols:nCols],
+		betaOf:  owners[nCols:],
 	}
 
 	// A row is eliminable when it is a unit-coefficient QI/SA invariant
@@ -173,9 +178,8 @@ func newSchurObjective(a *linalg.CSR, rhs []float64, rows []rowData) *schurObjec
 			continue
 		}
 		li := int32(len(o.localIdx))
-		isBeta := rows[i].kind == constraint.SAInvariant
 		owner := o.alphaOf
-		if isBeta {
+		if rows[i].kind == constraint.SAInvariant {
 			owner = o.betaOf
 		}
 		for _, c := range cols {
@@ -183,8 +187,6 @@ func newSchurObjective(a *linalg.CSR, rhs []float64, rows []rowData) *schurObjec
 		}
 		o.localIdx = append(o.localIdx, i)
 		o.localRHS = append(o.localRHS, rhs[i])
-		o.localCols = append(o.localCols, cols)
-		o.isBeta = append(o.isBeta, isBeta)
 	}
 	if len(o.localIdx) == 0 {
 		return nil
@@ -194,8 +196,20 @@ func newSchurObjective(a *linalg.CSR, rhs []float64, rows []rowData) *schurObjec
 		// eliminated row's mass exactly, forcing the complement terms to
 		// zero — the dual optimum is at infinity and neither the reduced
 		// nor the full solve converges, but the reduced attempt would pay
-		// its whole stall-and-fallback cost first. Skip it outright.
+		// its whole stall-and-fallback cost first. Skip it outright —
+		// before the per-row column views and the IPF scaling state below
+		// are ever built, so a declined system costs only the owner maps.
 		return nil
+	}
+	// The elimination goes ahead: materialize the per-row structures the
+	// group partition and the scaling sweeps need (deferred until here so
+	// the decline paths above never allocate them).
+	o.localCols = make([][]int, len(o.localIdx))
+	o.isBeta = make([]bool, len(o.localIdx))
+	for li, ri := range o.localIdx {
+		cols, _ := a.Row(ri)
+		o.localCols[li] = cols
+		o.isBeta[li] = rows[ri].kind == constraint.SAInvariant
 	}
 	o.buildGroups()
 	o.demoteIncompleteGroups()

@@ -538,7 +538,11 @@ func SolveContext(ctx context.Context, sys *constraint.System, opts Options) (*S
 			telemetry.Int("components", len(components)))
 		sol.Stats.Components = len(components)
 		sol.Stats.Converged = true
-		if err := solveComponents(ctx, sol, components, opts); err != nil {
+		comps := make([]solveComponent, len(components))
+		for i, rows := range components {
+			comps[i] = solveComponent{rows: rows}
+		}
+		if err := solveComponents(ctx, sol, comps, opts); err != nil {
 			logger.Error("solve.failed", "error", err.Error())
 			observe(obs, "solve.failed", telemetry.String("error", err.Error()))
 			return nil, err
@@ -708,11 +712,35 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 	return out
 }
 
+// solveComponent is one unit of the component fan-out: either a set of
+// rows to presolve and solve numerically, or — on the delta path — a
+// reuse record that copies a baseline's converged posterior slice and
+// duals verbatim instead of solving. dirty marks numerically solved
+// components that a delta classification flagged as changed, so the
+// ReusedComponents/DirtyComponents counters stay zero on cold solves.
+type solveComponent struct {
+	rows  []rowData
+	dirty bool
+	reuse *componentReuse
+}
+
+// componentReuse transfers one clean component from a baseline solution:
+// src's values for every term of the listed buckets are copied into the
+// new solution bit-for-bit, and duals carries the baseline multipliers
+// already relabeled for the new system's rows.
+type componentReuse struct {
+	buckets []int
+	src     []float64
+	duals   []ConstraintDual
+}
+
 // solveComponents presolves and solves each component, sequentially or
 // with up to Options.workerCount() goroutines (Workers zero means
 // GOMAXPROCS). Components write disjoint slices of sol.X; the stats are
 // merged under a mutex. Each component gets its own
 // "maxent.solve.component" span, so traces show the parallel loop.
+// Components carrying a reuse record skip the numeric solve entirely and
+// copy their baseline slice instead (delta solves, zero iterations).
 //
 // The first component to fail cancels the run: in-flight siblings are
 // stopped via the solver's Interrupt hook (chained with any
@@ -720,7 +748,7 @@ func componentRows(sys *constraint.System, relevant []int) [][]rowData {
 // error reported is the original failure, never a sibling's
 // solver.ErrInterrupted — the failing component records its error before
 // cancelling, so interrupted siblings always find firstErr already set.
-func solveComponents(ctx context.Context, sol *Solution, components [][]rowData, opts Options) error {
+func solveComponents(ctx context.Context, sol *Solution, components []solveComponent, opts Options) error {
 	n := sol.space.Len()
 	workers := opts.workerCount()
 	if len(components) < workers {
@@ -760,10 +788,46 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 	trajByComp := make([][]TracePoint, len(components))
 	var mu sync.Mutex
 	var firstErr error
-	run := func(ci int, rows []rowData) {
+	run := func(ci int, comp solveComponent) {
 		if cancelCtx.Err() != nil {
 			return // a sibling already failed; skip un-started work
 		}
+		if re := comp.reuse; re != nil {
+			// Clean component: the baseline solved an identical subproblem,
+			// so its slice of X transfers bit-for-bit — including the
+			// presolve-fixed terms, since a component's buckets cover every
+			// term its rows and fixings mention. Zero iterations.
+			_, span := telemetry.Start(cancelCtx, "maxent.solve.component",
+				telemetry.Int("component", ci),
+				telemetry.Bool("reused", true))
+			terms := 0
+			for _, b := range re.buckets {
+				for _, t := range sol.space.TermsInBucket(b) {
+					sol.X[t] = re.src[t]
+					terms++
+				}
+			}
+			span.SetAttr(telemetry.Int("terms", terms))
+			span.End()
+			telemetry.Logger(ctx).Info("component.done",
+				"component", ci,
+				"active", 0,
+				"iterations", 0,
+				"converged", true,
+				"reused", true)
+			observe(telemetry.SolveObserverFrom(ctx), "component.done",
+				telemetry.Int("component", ci),
+				telemetry.Int("active", 0),
+				telemetry.Int("iterations", 0),
+				telemetry.Bool("converged", true),
+				telemetry.Bool("reused", true))
+			mu.Lock()
+			sol.Stats.ReusedComponents++
+			dualsByComp[ci] = re.duals
+			mu.Unlock()
+			return
+		}
+		rows := comp.rows
 		cctx, span := telemetry.Start(cancelCtx, "maxent.solve.component",
 			telemetry.Int("component", ci),
 			telemetry.Int("rows", len(rows)))
@@ -782,6 +846,19 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				// sol.X (disjoint across components) and local stats.
 				ls := &Solution{X: sol.X}
 				err = solveReduced(cctx, ls, red, warm, opts, kernelRunner(cctx, p, kw), ci)
+				if err == nil && comp.dirty && !ls.Stats.Converged && len(warm) > 0 && cancelCtx.Err() == nil {
+					// A stale baseline dual can steer the line search into a
+					// stall the cold path avoids. The warm start is a pure
+					// performance hint, so retry this component once from
+					// scratch and keep the retry's result, charging both
+					// attempts' work to the component.
+					retry := &Solution{X: sol.X}
+					if err = solveReduced(cctx, retry, red, nil, opts, kernelRunner(cctx, p, kw), ci); err == nil {
+						retry.Stats.Iterations += ls.Stats.Iterations
+						retry.Stats.Evaluations += ls.Stats.Evaluations
+						ls = retry
+					}
+				}
 				local.Iterations = ls.Stats.Iterations
 				local.Evaluations = ls.Stats.Evaluations
 				local.Converged = ls.Stats.Converged
@@ -817,6 +894,9 @@ func solveComponents(ctx context.Context, sol *Solution, components [][]rowData,
 				telemetry.Int("active", local.ActiveVariables),
 				telemetry.Int("iterations", local.Iterations),
 				telemetry.Bool("converged", local.Converged))
+		}
+		if comp.dirty {
+			local.DirtyComponents = 1
 		}
 		mu.Lock()
 		if err != nil && firstErr == nil {

@@ -53,6 +53,15 @@ type Stats struct {
 	// without entering the numeric solve — the paper's irrelevant buckets
 	// (Definition 5.6, Theorem 5), detected on the assembled system.
 	EliminatedBuckets int
+	// ReusedComponents counts decomposition components a delta solve
+	// (SolveDelta) carried over verbatim from its baseline — identical
+	// rows, so the converged posterior slice and duals transfer with
+	// zero iterations. Always 0 for cold solves.
+	ReusedComponents int
+	// DirtyComponents counts components a delta solve had to re-solve
+	// numerically (changed or new relative to the baseline), warm-started
+	// from the baseline duals where available. Always 0 for cold solves.
+	DirtyComponents int
 }
 
 // String renders the solver counters in one line, e.g.
@@ -78,6 +87,9 @@ func (s Stats) String() string {
 	if s.EliminatedBuckets > 0 {
 		out += fmt.Sprintf(", %d buckets closed-form", s.EliminatedBuckets)
 	}
+	if s.ReusedComponents > 0 || s.DirtyComponents > 0 {
+		out += fmt.Sprintf(", delta %d reused/%d dirty", s.ReusedComponents, s.DirtyComponents)
+	}
 	return out
 }
 
@@ -96,6 +108,8 @@ func (s *Stats) Merge(o Stats) {
 	s.Components += o.Components
 	s.ReducedDualDim += o.ReducedDualDim
 	s.EliminatedBuckets += o.EliminatedBuckets
+	s.ReusedComponents += o.ReusedComponents
+	s.DirtyComponents += o.DirtyComponents
 	s.Converged = s.Converged && o.Converged
 	if o.MaxViolation > s.MaxViolation {
 		s.MaxViolation = o.MaxViolation
@@ -128,6 +142,12 @@ func (s Stats) record(reg *telemetry.Registry, totalBuckets int) {
 	reg.Histogram("pmaxent_solve_reduced_dual_dim", telemetry.CountBuckets).Observe(float64(s.ReducedDualDim))
 	if s.EliminatedBuckets > 0 {
 		reg.Counter("pmaxent_solve_eliminated_buckets_total").Add(int64(s.EliminatedBuckets))
+	}
+	if s.ReusedComponents > 0 {
+		reg.Counter("pmaxent_solve_reused_components_total").Add(int64(s.ReusedComponents))
+	}
+	if s.DirtyComponents > 0 {
+		reg.Counter("pmaxent_solve_dirty_components_total").Add(int64(s.DirtyComponents))
 	}
 	if !s.Converged {
 		reg.Counter("pmaxent_solve_unconverged_total").Add(1)

@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+const secondKnowledge = `[
+	{"if": {"Gender": "male"}, "then": "Breast Cancer", "p": 0},
+	{"if": {"Gender": "female"}, "then": "Pneumonia", "p": 0}]`
+
+func batchBody(pub []byte, delta bool, variants ...string) string {
+	var buf bytes.Buffer
+	buf.WriteString(`{"published": `)
+	buf.Write(pub)
+	buf.WriteString(`, "variants": [`)
+	for i, v := range variants {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		if v == "" {
+			buf.WriteString(`{}`)
+		} else {
+			buf.WriteString(`{"knowledge": ` + v + `}`)
+		}
+	}
+	buf.WriteString(`]`)
+	if delta {
+		buf.WriteString(`, "delta": true`)
+	}
+	buf.WriteString(`}`)
+	return buf.String()
+}
+
+func decodeBatch(t *testing.T, raw []byte) *BatchQuantifyResponse {
+	t.Helper()
+	var br BatchQuantifyResponse
+	if err := json.Unmarshal(raw, &br); err != nil {
+		t.Fatalf("decoding batch response: %v\n%s", err, raw)
+	}
+	return &br
+}
+
+// variantResponse decodes variant i's embedded quantify response,
+// failing the test if the variant errored.
+func variantResponse(t *testing.T, br *BatchQuantifyResponse, i int) *QuantifyResponse {
+	t.Helper()
+	v := br.Variants[i]
+	if v.Error != nil {
+		t.Fatalf("variant %d failed: %s (%s)", i, v.Error.Error, v.Error.Kind)
+	}
+	var qr QuantifyResponse
+	if err := json.Unmarshal(v.Response, &qr); err != nil {
+		t.Fatalf("variant %d response undecodable: %v\n%s", i, err, v.Response)
+	}
+	return &qr
+}
+
+// TestBatchParityWithIndividual: a one-variant batch on a fresh server
+// carries, byte for byte (volatile timings aside), the response an
+// individual POST /v1/quantify on an equally fresh server produces. The
+// batch endpoint routes every variant through the same single-flight
+// leader path, so parity is by construction, not by re-implementation.
+func TestBatchParityWithIndividual(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+
+	tsA := httptest.NewServer(New(Config{}))
+	defer tsA.Close()
+	resp, raw := postQuantify(t, tsA, "/v1/quantify/batch", batchBody(pubJSON, false, paperKnowledge))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, raw)
+	}
+	br := decodeBatch(t, raw)
+	if len(br.Variants) != 1 || br.Variants[0].Index != 0 {
+		t.Fatalf("batch variants malformed: %s", raw)
+	}
+	if br.Variants[0].SolveID == "" {
+		t.Fatal("batch variant carries no solve_id")
+	}
+
+	tsB := httptest.NewServer(New(Config{}))
+	defer tsB.Close()
+	respI, rawI := postQuantify(t, tsB, "/v1/quantify", quantifyBody(pubJSON, paperKnowledge))
+	if respI.StatusCode != http.StatusOK {
+		t.Fatalf("individual status = %d: %s", respI.StatusCode, rawI)
+	}
+
+	got := stripVolatile(t, br.Variants[0].Response)
+	want := stripVolatile(t, rawI)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch variant diverges from individual request:\nbatch:      %s\nindividual: %s", got, want)
+	}
+	if br.Digest == "" || br.Digest != variantResponse(t, br, 0).Digest {
+		t.Fatalf("batch digest %q does not match variant digest", br.Digest)
+	}
+}
+
+// TestBatchOrderAndScores: a multi-variant batch returns results in
+// request order, and each variant's posterior scores match what an
+// individual request on a fresh server computes. Warm-start chaining
+// across variants may change iteration counts, never the posterior.
+func TestBatchOrderAndScores(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	variants := []string{"", paperKnowledge, secondKnowledge}
+
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+	resp, raw := postQuantify(t, ts, "/v1/quantify/batch", batchBody(pubJSON, false, variants...))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d: %s", resp.StatusCode, raw)
+	}
+	br := decodeBatch(t, raw)
+	if len(br.Variants) != len(variants) {
+		t.Fatalf("got %d variant results, want %d", len(br.Variants), len(variants))
+	}
+	for i, v := range variants {
+		if br.Variants[i].Index != i {
+			t.Fatalf("result %d carries index %d — order not preserved", i, br.Variants[i].Index)
+		}
+		qr := variantResponse(t, br, i)
+		if !qr.Solver.Converged {
+			t.Fatalf("variant %d did not converge", i)
+		}
+
+		fresh := httptest.NewServer(New(Config{}))
+		respI, rawI := postQuantify(t, fresh, "/v1/quantify", quantifyBody(pubJSON, v))
+		fresh.Close()
+		if respI.StatusCode != http.StatusOK {
+			t.Fatalf("individual variant %d status = %d: %s", i, respI.StatusCode, rawI)
+		}
+		var qi QuantifyResponse
+		if err := json.Unmarshal(rawI, &qi); err != nil {
+			t.Fatal(err)
+		}
+		if d := qr.MaxDisclosure - qi.MaxDisclosure; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("variant %d max_disclosure %g diverges from individual %g", i, qr.MaxDisclosure, qi.MaxDisclosure)
+		}
+		if d := qr.PosteriorEntropyBits - qi.PosteriorEntropyBits; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("variant %d entropy %g diverges from individual %g", i, qr.PosteriorEntropyBits, qi.PosteriorEntropyBits)
+		}
+	}
+}
+
+// TestBatchCoalescesDuplicateVariants: two identical variants in one
+// batch share a single solve — same single-flight key, one leader, two
+// byte-identical embedded responses. The leader is parked on the solve
+// hook until the duplicate has joined, so the assertion cannot race.
+func TestBatchCoalescesDuplicateVariants(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	srv := New(Config{})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	srv.solveHook = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := make(chan []byte, 1)
+	go func() {
+		_, raw := postQuantify(t, ts, "/v1/quantify/batch", batchBody(pubJSON, false, paperKnowledge, paperKnowledge))
+		done <- raw
+	}()
+
+	<-entered // leader holds the solve slot
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Registry().Counter("pmaxentd_coalesced_total").Value() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate variant never coalesced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	br := decodeBatch(t, <-done)
+
+	if got := srv.Registry().Counter("pmaxent_quantify_total").Value(); got != 1 {
+		t.Fatalf("pipeline ran %d solves for 2 identical variants, want 1", got)
+	}
+	if br.Variants[0].Error != nil || br.Variants[1].Error != nil {
+		t.Fatalf("coalesced variants errored: %+v", br.Variants)
+	}
+	if !bytes.Equal(br.Variants[0].Response, br.Variants[1].Response) {
+		t.Fatal("coalesced variants returned different bytes")
+	}
+	if br.Variants[0].SolveID != br.Variants[1].SolveID {
+		t.Fatalf("coalesced variants carry different solve IDs: %q vs %q",
+			br.Variants[0].SolveID, br.Variants[1].SolveID)
+	}
+	if got := srv.Registry().Counter("pmaxentd_batch_variants_total").Value(); got != 2 {
+		t.Fatalf("batch variants counter = %d, want 2", got)
+	}
+}
+
+// TestBatchStream: ?stream=1 turns the batch into an SSE stream — one
+// variant.done frame per variant, then a terminal result frame whose
+// body is the full batch response.
+func TestBatchStream(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	resp, raw := postQuantify(t, ts, "/v1/quantify/batch?stream=1", batchBody(pubJSON, false, "", paperKnowledge))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	frames := parseSSE(t, raw)
+	var doneFrames []sseFrame
+	for _, f := range frames {
+		if f.event == "variant.done" {
+			doneFrames = append(doneFrames, f)
+		}
+	}
+	if len(doneFrames) != 2 {
+		t.Fatalf("got %d variant.done frames, want 2: %v", len(doneFrames), frames)
+	}
+	seen := map[int]bool{}
+	for _, f := range doneFrames {
+		var d struct {
+			Index   int    `json:"index"`
+			SolveID string `json:"solve_id"`
+			OK      bool   `json:"ok"`
+		}
+		if err := json.Unmarshal(f.data, &d); err != nil {
+			t.Fatalf("variant.done frame undecodable: %v\n%s", err, f.data)
+		}
+		if !d.OK || d.SolveID == "" {
+			t.Fatalf("variant.done frame not ok: %s", f.data)
+		}
+		seen[d.Index] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("variant.done frames cover %v, want indexes 0 and 1", seen)
+	}
+	ri := frameIndex(frames, "result")
+	if ri != len(frames)-1 {
+		t.Fatalf("result frame at %d, want terminal (of %d)", ri, len(frames))
+	}
+	br := decodeBatch(t, frames[ri].data)
+	if len(br.Variants) != 2 {
+		t.Fatalf("streamed result carries %d variants, want 2", len(br.Variants))
+	}
+	for i := range br.Variants {
+		if variantResponse(t, br, i).Digest != br.Digest {
+			t.Fatalf("variant %d digest mismatch", i)
+		}
+	}
+}
+
+// TestBatchErrors: malformed batches fail whole, before any solve.
+func TestBatchErrors(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	ts := httptest.NewServer(New(Config{}))
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"missing published", `{"variants": [{}]}`},
+		{"empty variants", `{"published": ` + string(pubJSON) + `}`},
+		{"bad variant knowledge", batchBody(pubJSON, false,
+			paperKnowledge, `[{"if": {"Gender": "male"}, "then": "No Such Disease", "p": 0}]`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, raw := postQuantify(t, ts, "/v1/quantify/batch", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", resp.StatusCode, raw)
+			}
+			var e ErrorResponse
+			if err := json.Unmarshal(raw, &e); err != nil || e.Kind != "invalid_request" {
+				t.Fatalf("error body = %s (err %v), want kind invalid_request", raw, err)
+			}
+		})
+	}
+}
+
+// TestQuantifyDeltaChain: with the delta chain enabled, a second
+// "delta": true request on the same publication diffs against the
+// first solve's state and re-solves only changed components — the
+// response's solver stats expose the reused/dirty split, and the
+// posterior matches a cold solve of the same knowledge.
+func TestQuantifyDeltaChain(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	srv := New(Config{DeltaChain: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	deltaBody := func(knowledge string) string {
+		b := `{"published": ` + string(pubJSON)
+		if knowledge != "" {
+			b += `, "knowledge": ` + knowledge
+		}
+		return b + `, "delta": true}`
+	}
+
+	resp1, raw1 := postQuantify(t, ts, "/v1/quantify", deltaBody(paperKnowledge))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first status = %d: %s", resp1.StatusCode, raw1)
+	}
+	var r1 QuantifyResponse
+	if err := json.Unmarshal(raw1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Solver.ReusedComponents != 0 || r1.Solver.DirtyComponents != 0 {
+		t.Fatalf("first delta request has no baseline yet, counters = %d/%d, want 0/0",
+			r1.Solver.ReusedComponents, r1.Solver.DirtyComponents)
+	}
+
+	resp2, raw2 := postQuantify(t, ts, "/v1/quantify", deltaBody(secondKnowledge))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d: %s", resp2.StatusCode, raw2)
+	}
+	var r2 QuantifyResponse
+	if err := json.Unmarshal(raw2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Solver.Converged {
+		t.Fatal("delta solve did not converge")
+	}
+	if r2.Solver.DirtyComponents == 0 {
+		t.Fatalf("second delta request took no delta path: reused/dirty = %d/%d",
+			r2.Solver.ReusedComponents, r2.Solver.DirtyComponents)
+	}
+	t.Logf("delta split: %d reused, %d dirty", r2.Solver.ReusedComponents, r2.Solver.DirtyComponents)
+
+	// Cold reference on a fresh server: the delta path may change
+	// iteration counts, never the posterior.
+	fresh := httptest.NewServer(New(Config{}))
+	defer fresh.Close()
+	respC, rawC := postQuantify(t, fresh, "/v1/quantify", quantifyBody(pubJSON, secondKnowledge))
+	if respC.StatusCode != http.StatusOK {
+		t.Fatalf("cold status = %d: %s", respC.StatusCode, rawC)
+	}
+	var rc QuantifyResponse
+	if err := json.Unmarshal(rawC, &rc); err != nil {
+		t.Fatal(err)
+	}
+	if d := r2.MaxDisclosure - rc.MaxDisclosure; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("delta max_disclosure %g diverges from cold %g", r2.MaxDisclosure, rc.MaxDisclosure)
+	}
+	if d := r2.PosteriorEntropyBits - rc.PosteriorEntropyBits; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("delta entropy %g diverges from cold %g", r2.PosteriorEntropyBits, rc.PosteriorEntropyBits)
+	}
+
+	// Without -delta the flag is inert: same request, cold counters.
+	off := httptest.NewServer(New(Config{}))
+	defer off.Close()
+	postQuantify(t, off, "/v1/quantify", deltaBody(paperKnowledge))
+	_, rawOff := postQuantify(t, off, "/v1/quantify", deltaBody(secondKnowledge))
+	var ro QuantifyResponse
+	if err := json.Unmarshal(rawOff, &ro); err != nil {
+		t.Fatal(err)
+	}
+	if ro.Solver.ReusedComponents != 0 || ro.Solver.DirtyComponents != 0 {
+		t.Fatalf("delta flag active without DeltaChain: %d/%d", ro.Solver.ReusedComponents, ro.Solver.DirtyComponents)
+	}
+}
+
+// TestBatchDeltaChain: a "delta": true batch runs variants sequentially,
+// chaining each variant's converged state into the next diff.
+func TestBatchDeltaChain(t *testing.T) {
+	_, pubJSON := paperPublished(t)
+	srv := New(Config{DeltaChain: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, raw := postQuantify(t, ts, "/v1/quantify/batch", batchBody(pubJSON, true, "", paperKnowledge, secondKnowledge))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	br := decodeBatch(t, raw)
+	sawDelta := false
+	for i := range br.Variants {
+		qr := variantResponse(t, br, i)
+		if !qr.Solver.Converged {
+			t.Fatalf("variant %d did not converge", i)
+		}
+		if qr.Solver.DirtyComponents > 0 || qr.Solver.ReusedComponents > 0 {
+			sawDelta = true
+		}
+	}
+	if v0 := variantResponse(t, br, 0); v0.Solver.DirtyComponents != 0 || v0.Solver.ReusedComponents != 0 {
+		t.Fatal("first variant has no baseline, yet reports a delta split")
+	}
+	if !sawDelta {
+		t.Fatal("no batch variant took the delta path")
+	}
+}

@@ -47,6 +47,12 @@ type cacheEntry struct {
 
 	warmMu sync.Mutex
 	warm   []maxent.ConstraintDual
+	// state chains delta baselines across requests on this publication:
+	// the most recent converged solve's assembled system and solution
+	// (core.DeltaState). A delta request diffs against it — its nearest
+	// cached ancestor — and re-solves only changed components; the chain
+	// advances whenever a converged solve stores its successor state.
+	state *core.DeltaState
 }
 
 // build constructs the prepared base exactly once per entry; every
@@ -79,6 +85,28 @@ func (e *cacheEntry) storeWarm(duals []maxent.ConstraintDual) {
 	}
 	e.warmMu.Lock()
 	e.warm = duals
+	e.warmMu.Unlock()
+}
+
+// takeState snapshots the delta-chain baseline (nil when no converged
+// solve has stored one yet). DeltaState is immutable, so concurrent
+// holders share it safely.
+func (e *cacheEntry) takeState() *core.DeltaState {
+	e.warmMu.Lock()
+	defer e.warmMu.Unlock()
+	return e.state
+}
+
+// storeState advances the delta chain. QuantifyDelta returns a state
+// only for converged solves, so the same history-independence argument
+// as storeWarm applies: reuse changes iteration counts, never the
+// posterior a request reports.
+func (e *cacheEntry) storeState(st *core.DeltaState) {
+	if st == nil {
+		return
+	}
+	e.warmMu.Lock()
+	e.state = st
 	e.warmMu.Unlock()
 }
 

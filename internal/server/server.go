@@ -117,6 +117,14 @@ type Config struct {
 	// take the audit package defaults (5 rows, 1e-6).
 	AuditTop       int
 	AuditTolerance float64
+	// DeltaChain enables incremental solving (the -delta flag): each
+	// publication's cache entry chains the most recent converged solve's
+	// system and solution, and requests carrying "delta": true diff
+	// against that baseline and re-solve only changed decomposition
+	// components. Off by default; vague (eps>0) and audited solves never
+	// use the chain. Reuse changes solver counters (iterations,
+	// reused/dirty components), never the posterior.
+	DeltaChain bool
 	// History, when non-nil, receives a durable record for every finished
 	// solve and backs GET /v1/history and /debug/regressions; its most
 	// recent records also seed the done ring on startup, so /debug/solves
@@ -247,6 +255,7 @@ func New(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/quantify", s.handleQuantify)
+	mux.HandleFunc("POST /v1/quantify/batch", s.handleQuantifyBatch)
 	mux.HandleFunc("GET /v1/solves/{id}/events", s.handleSolveEvents)
 	mux.HandleFunc("POST /v1/rules/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/history", s.handleHistory)
@@ -272,6 +281,8 @@ func (s *Server) declareMetrics() {
 		"pmaxentd_shed_total":                "Requests shed with 429 because the admission queue was full.",
 		"pmaxentd_errors_total":              "Requests that ended in an error response.",
 		"pmaxentd_mine_total":                "Completed rule-mining requests.",
+		"pmaxentd_batch_requests_total":      "Batch quantify requests accepted.",
+		"pmaxentd_batch_variants_total":      "Knowledge variants solved across all batch requests.",
 		"pmaxentd_cache_hits_total":          "Prepared-system cache hits.",
 		"pmaxentd_cache_misses_total":        "Prepared-system cache misses.",
 		"pmaxentd_cache_evictions_total":     "Prepared systems evicted from the LRU cache.",
@@ -323,6 +334,8 @@ func (s *Server) declareMetrics() {
 		"pmaxent_solve_total":                         "Maximum-entropy solves.",
 		"pmaxent_solve_unconverged_total":             "Solves that hit the iteration cap before converging.",
 		"pmaxent_solve_eliminated_buckets_total":      "Buckets the structural presolve solved in closed form.",
+		"pmaxent_solve_reused_components_total":       "Components delta solves carried over verbatim from their baseline.",
+		"pmaxent_solve_dirty_components_total":        "Components delta solves re-solved as changed or new.",
 		"pmaxent_dual_iterations_total":               "Dual-optimizer iterations across all solves.",
 		"pmaxent_decompose_buckets_total":             "Buckets routed through component decomposition.",
 		"pmaxent_decompose_buckets_closed_form_total": "Decomposed singleton buckets answered in closed form.",
@@ -701,6 +714,11 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r.Context(), fmt.Errorf("%w: vague (eps>0) solves are not audited", errBadRequest))
 		return
 	}
+	// Delta reuse needs the server-side chain and an equality solve whose
+	// posterior the reuse cannot perturb: audited solves capture
+	// per-component trajectories a reused component does not have, and
+	// vague solves bypass the prepared cache entirely.
+	delta := req.Delta && s.cfg.DeltaChain && req.Eps == 0 && !wantAudit
 	digest, err := DigestPublished(pub)
 	if err != nil {
 		s.writeError(w, r.Context(), err)
@@ -717,9 +735,9 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	// (and the leader's own requester) can give up independently.
 	waitCtx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
 	defer cancel()
-	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit)
+	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit, delta)
 	call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
-		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, ls, &c.meta)
+		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, delta, ls, &c.meta)
 		s.live.finish(ls, body, err)
 		s.recordHistory(ls, &c.meta, err)
 		return body, err
@@ -808,6 +826,8 @@ func (s *Server) recordHistory(ls *liveSolve, meta *callMeta, solveErr error) {
 			Variables:         int(ls.variables.Load()),
 			ReducedDualDim:    st.ReducedDualDim,
 			EliminatedBuckets: st.EliminatedBuckets,
+			ReusedComponents:  st.ReusedComponents,
+			DirtyComponents:   st.DirtyComponents,
 		}
 		if a := rep.Audit; a != nil {
 			rec.AuditSummary = &history.AuditSummary{
@@ -845,11 +865,180 @@ func (s *Server) streamQuantify(w http.ResponseWriter, ctx context.Context, call
 	fillMeta(ai, call)
 }
 
+// handleQuantifyBatch serves POST /v1/quantify/batch: many knowledge
+// variants over one published view. Every variant runs through the same
+// single-flight group and leader path as an individual POST /v1/quantify
+// — same key, same response bytes — so the invariant system is prepared
+// once, identical variants coalesce (with each other and with concurrent
+// individual requests), and the admission limiter is the worker pool
+// bounding batch parallelism exactly as it bounds independent requests.
+//
+// With "delta": true (and the server's -delta chain enabled), variants
+// run sequentially instead: each diffs against the nearest previously
+// converged variant chained on the publication's cache entry and
+// re-solves only changed components.
+//
+// ?stream=1 turns the response into an SSE stream: one "variant.done"
+// frame per completed variant (completion order), then a terminal
+// "result" frame carrying the full batch response bytes.
+func (s *Server) handleQuantifyBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.reg.Counter("pmaxentd_requests_total").Add(1)
+	if s.isDraining() {
+		s.writeError(w, r.Context(), errDraining)
+		return
+	}
+	var req BatchQuantifyRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	if len(req.Published) == 0 {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: missing \"published\"", errBadRequest))
+		return
+	}
+	if len(req.Variants) == 0 {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: missing \"variants\"", errBadRequest))
+		return
+	}
+	pub, err := bucket.ReadJSON(bytes.NewReader(req.Published))
+	if err != nil {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: published view: %v", errBadRequest, err))
+		return
+	}
+	// Parse every variant up front: a malformed variant fails the whole
+	// batch before any solve starts, not halfway through.
+	parsed := make([][]constraint.DistributionKnowledge, len(req.Variants))
+	for i, v := range req.Variants {
+		if len(v.Knowledge) == 0 {
+			continue
+		}
+		parsed[i], err = constraint.ParseKnowledgeJSON(bytes.NewReader(v.Knowledge), pub.Schema())
+		if err != nil {
+			s.writeError(w, r.Context(), fmt.Errorf("%w: variant %d knowledge: %v", errBadRequest, i, err))
+			return
+		}
+	}
+	digest, err := DigestPublished(pub)
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	delta := req.Delta && s.cfg.DeltaChain
+	s.reg.Counter("pmaxentd_batch_requests_total").Add(1)
+	s.reg.Counter("pmaxentd_batch_variants_total").Add(int64(len(req.Variants)))
+
+	waitCtx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
+	defer cancel()
+	rid := telemetry.RequestID(r.Context())
+
+	runVariant := func(i int) BatchVariantResult {
+		kraw := req.Variants[i].Knowledge
+		ls := s.live.begin(digest, rid, len(parsed[i]), 0, false)
+		key := requestKey(digest, kraw, 0, false, delta)
+		call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
+			body, err := s.runQuantify(pub, parsed[i], digest, 0, false, delta, ls, &c.meta)
+			s.live.finish(ls, body, err)
+			s.recordHistory(ls, &c.meta, err)
+			return body, err
+		})
+		if joined {
+			s.live.abort(ls)
+			s.reg.Counter("pmaxentd_coalesced_total").Add(1)
+		}
+		out := BatchVariantResult{Index: i, SolveID: call.solveID}
+		body, err := call.wait(waitCtx)
+		if err != nil {
+			_, kind := classify(err)
+			out.Error = &ErrorResponse{Error: err.Error(), Kind: kind}
+			return out
+		}
+		out.Response = json.RawMessage(bytes.TrimRight(body, "\n"))
+		return out
+	}
+
+	results := make([]BatchVariantResult, len(req.Variants))
+	completed := make(chan BatchVariantResult, len(req.Variants))
+	go func() {
+		if delta {
+			// Sequential: variant i+1's diff sees variant i's converged
+			// state — the chain is the point of the delta batch.
+			for i := range req.Variants {
+				completed <- runVariant(i)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for i := range req.Variants {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					completed <- runVariant(i)
+				}(i)
+			}
+			wg.Wait()
+		}
+		close(completed)
+	}()
+
+	stream := boolQuery(r, "stream")
+	var fl http.Flusher
+	if stream {
+		if f, ok := w.(http.Flusher); ok {
+			fl = f
+			h := w.Header()
+			h.Set("Content-Type", "text/event-stream")
+			h.Set("Cache-Control", "no-store")
+			h.Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+		} else {
+			stream = false
+		}
+	}
+	failed := 0
+	for res := range completed {
+		results[res.Index] = res
+		if res.Error != nil {
+			failed++
+		}
+		if stream {
+			data, _ := json.Marshal(map[string]any{
+				"index":      res.Index,
+				"solve_id":   res.SolveID,
+				"ok":         res.Error == nil,
+				"elapsed_ms": float64(time.Since(start).Nanoseconds()) / 1e6,
+			})
+			writeSSE(w, sseFrame{event: "variant.done", data: data})
+			fl.Flush()
+		}
+	}
+	resp := &BatchQuantifyResponse{
+		Digest:    digest,
+		Variants:  results,
+		ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+	}
+	ai := accessFrom(r.Context())
+	if failed == 0 {
+		ai.outcome = "ok"
+	} else if ai.outcome == "" {
+		ai.outcome = "partial"
+	}
+	s.reg.Histogram("pmaxentd_request_duration_seconds", telemetry.DurationBuckets).
+		Observe(time.Since(start).Seconds())
+	if stream {
+		data, _ := json.Marshal(resp)
+		writeSSE(w, sseFrame{event: "result", data: data})
+		fl.Flush()
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // runQuantify is the single-flight leader: admission, prepared-cache
 // lookup/build, solve, and response encoding. It runs detached from any
 // request context; ls receives its live progress and meta the
-// accounting shared with coalesced followers.
-func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit bool, ls *liveSolve, meta *callMeta) ([]byte, error) {
+// accounting shared with coalesced followers. delta routes the solve
+// through the publication's delta chain (see Config.DeltaChain).
+func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit, delta bool, ls *liveSolve, meta *callMeta) ([]byte, error) {
 	start := time.Now()
 	if !s.beginWork() {
 		return nil, errDraining
@@ -929,13 +1118,23 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 			s.cache.drop(digest)
 			return nil, s.solveErr(ctx, err)
 		}
-		rep, err = prepared.QuantifyWithOptions(ctx, core.QuantifyOptions{
+		qopts := core.QuantifyOptions{
 			Knowledge: knowledge,
 			Warm:      entry.takeWarm(),
 			Audit:     auditOpts,
-		})
-		if err != nil {
-			return nil, s.solveErr(ctx, err)
+		}
+		if delta {
+			var next *core.DeltaState
+			rep, next, err = prepared.QuantifyDelta(ctx, qopts, entry.takeState())
+			if err != nil {
+				return nil, s.solveErr(ctx, err)
+			}
+			entry.storeState(next)
+		} else {
+			rep, err = prepared.QuantifyWithOptions(ctx, qopts)
+			if err != nil {
+				return nil, s.solveErr(ctx, err)
+			}
 		}
 		if rep.Solution.Stats.Converged {
 			entry.storeWarm(rep.Solution.Duals)

@@ -81,6 +81,8 @@ type liveSolve struct {
 	variables      atomic.Int64
 	reducedDim     atomic.Int64 // numeric dual dimension (structural presolve)
 	eliminated     atomic.Int64 // buckets closed-formed by the presolve
+	reusedComps    atomic.Int64 // components copied from a delta baseline
+	dirtyComps     atomic.Int64 // components a delta solve re-solved
 	lastFrameNS    atomic.Int64 // unix-nano of the last iteration frame
 
 	mu        sync.Mutex
@@ -121,6 +123,14 @@ func (ls *liveSolve) SolveEvent(name string, attrs ...telemetry.Attr) {
 			case "eliminated_buckets":
 				if v, ok := a.Value.(int); ok {
 					ls.eliminated.Store(int64(v))
+				}
+			case "reused_components":
+				if v, ok := a.Value.(int); ok {
+					ls.reusedComps.Store(int64(v))
+				}
+			case "dirty_components":
+				if v, ok := a.Value.(int); ok {
+					ls.dirtyComps.Store(int64(v))
 				}
 			}
 		}
@@ -271,6 +281,8 @@ func (ls *liveSolve) status() SolveStatus {
 		ComponentsTotal:  ls.componentsTot.Load(),
 		ReducedDualDim:   ls.reducedDim.Load(),
 		EliminatedBucket: ls.eliminated.Load(),
+		ReusedComponents: ls.reusedComps.Load(),
+		DirtyComponents:  ls.dirtyComps.Load(),
 		QueueWaitMS:      float64(queueWait.Nanoseconds()) / 1e6,
 		ElapsedMS:        ls.elapsedMS(),
 	}
@@ -409,6 +421,8 @@ func (r *solveRegistry) adopt(rec history.Record) {
 		ls.componentsDone.Store(int64(s.Components))
 		ls.reducedDim.Store(int64(s.ReducedDualDim))
 		ls.eliminated.Store(int64(s.EliminatedBuckets))
+		ls.reusedComps.Store(int64(s.ReusedComponents))
+		ls.dirtyComps.Store(int64(s.DirtyComponents))
 	}
 	data, _ := json.Marshal(map[string]any{
 		"event":      "recovered",

@@ -31,6 +31,14 @@ type QuantifyRequest struct {
 	// prepared-system cache (inequalities do not overlay the equality
 	// base) and are never audited.
 	Eps float64 `json:"eps,omitempty"`
+	// Delta opts this request into incremental solving: the server diffs
+	// the assembled system against the last converged solve chained on
+	// this publication's cache entry and re-solves only the changed
+	// decomposition components. Requires the server's delta chain
+	// (pmaxentd -delta) and is ignored for vague (eps>0) and audited
+	// solves. Posterior and scores are unchanged; only solver counters
+	// (reused/dirty components, iterations) reflect the reuse.
+	Delta bool `json:"delta,omitempty"`
 	// TimeoutMS caps how long this request waits for its result,
 	// queueing included. Zero or values above the server's solve budget
 	// fall back to the server default. The solve itself is detached:
@@ -59,6 +67,11 @@ type SolverStats struct {
 	// (Options.Reduce) assigned the closed-form posterior.
 	ReducedDualDim    int `json:"reduced_dual_dim,omitempty"`
 	EliminatedBuckets int `json:"eliminated_buckets,omitempty"`
+	// ReusedComponents / DirtyComponents report a delta solve's split:
+	// components copied verbatim from the chained baseline versus
+	// components re-solved. Both zero for cold solves.
+	ReusedComponents int `json:"reused_components,omitempty"`
+	DirtyComponents  int `json:"dirty_components,omitempty"`
 }
 
 // QuantifyResponse is the body of a successful POST /v1/quantify. Every
@@ -139,6 +152,10 @@ type SolveStatus struct {
 	// dual dimension with solve.done.
 	ReducedDualDim   int64 `json:"reduced_dual_dim,omitempty"`
 	EliminatedBucket int64 `json:"eliminated_buckets,omitempty"`
+	// ReusedComponents / DirtyComponents arrive with a delta solve's
+	// solve.done event; both 0 for cold solves.
+	ReusedComponents int64 `json:"reused_components,omitempty"`
+	DirtyComponents  int64 `json:"dirty_components,omitempty"`
 	// QueueWaitMS is time spent waiting for an admission slot; ElapsedMS
 	// the solve's total wall-clock so far (or at completion).
 	QueueWaitMS float64 `json:"queue_wait_ms"`
@@ -159,6 +176,60 @@ type HealthzResponse struct {
 	Commit    string `json:"commit,omitempty"`
 	Modified  bool   `json:"modified,omitempty"`
 	GoVersion string `json:"go_version,omitempty"`
+}
+
+// BatchVariant is one knowledge variant of a batch quantification.
+type BatchVariant struct {
+	// Knowledge is this variant's statement list in the same format as
+	// QuantifyRequest.Knowledge; empty solves the bare invariant system.
+	Knowledge json.RawMessage `json:"knowledge,omitempty"`
+}
+
+// BatchQuantifyRequest is the body of POST /v1/quantify/batch: one
+// published view, many knowledge variants. The invariant system is
+// prepared once and shared; each variant runs through the same
+// single-flight machinery as an individual POST /v1/quantify, so a
+// variant's response bytes are exactly what the individual call would
+// have returned (and concurrent individual calls coalesce with it).
+type BatchQuantifyRequest struct {
+	// Published is the published view D′, as in QuantifyRequest.
+	Published json.RawMessage `json:"published"`
+	// Variants lists the knowledge sets to quantify, all against the
+	// same publication.
+	Variants []BatchVariant `json:"variants"`
+	// Delta opts the batch into incremental solving: variants chain
+	// delta state through the publication's cache entry, so each variant
+	// diffs against the nearest previously converged variant and
+	// re-solves only changed components. Requires the server's delta
+	// chain (pmaxentd -delta).
+	Delta bool `json:"delta,omitempty"`
+	// TimeoutMS bounds the whole batch, as QuantifyRequest.TimeoutMS
+	// bounds one request.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchVariantResult is one variant's outcome inside a batch response.
+type BatchVariantResult struct {
+	// Index is the variant's position in the request.
+	Index int `json:"index"`
+	// SolveID names the solve that served this variant (possibly another
+	// caller's, when the variant coalesced).
+	SolveID string `json:"solve_id,omitempty"`
+	// Response carries the exact QuantifyResponse bytes an individual
+	// POST /v1/quantify with this variant's knowledge would have
+	// returned. Nil when the variant failed.
+	Response json.RawMessage `json:"response,omitempty"`
+	// Error carries the variant's failure when Response is nil.
+	Error *ErrorResponse `json:"error,omitempty"`
+}
+
+// BatchQuantifyResponse is the body of a successful POST
+// /v1/quantify/batch. Variants appear in request order regardless of
+// completion order.
+type BatchQuantifyResponse struct {
+	Digest    string               `json:"digest"`
+	Variants  []BatchVariantResult `json:"variants"`
+	ElapsedMS float64              `json:"elapsed_ms"`
 }
 
 // MineRequest is the body of POST /v1/rules/mine: mine association rules
@@ -243,6 +314,8 @@ func buildResponse(digest, cacheState string, eps float64, schema *dataset.Schem
 			Components:        st.Components,
 			ReducedDualDim:    st.ReducedDualDim,
 			EliminatedBuckets: st.EliminatedBuckets,
+			ReusedComponents:  st.ReusedComponents,
+			DirtyComponents:   st.DirtyComponents,
 		},
 		Audit: rep.Audit,
 	}
@@ -258,11 +331,13 @@ func buildResponse(digest, cacheState string, eps float64, schema *dataset.Schem
 // requestKey is the single-flight key: the published digest plus a hash
 // of everything else that shapes the response bytes. Two requests
 // coalesce exactly when their responses would be identical. TimeoutMS is
-// deliberately excluded — it bounds the wait, not the work.
-func requestKey(digest string, knowledge json.RawMessage, eps float64, wantAudit bool) string {
+// deliberately excluded — it bounds the wait, not the work. The delta
+// flag is included: a delta solve reports different solver counters
+// (reused/dirty components) than a cold solve of the same knowledge.
+func requestKey(digest string, knowledge json.RawMessage, eps float64, wantAudit, delta bool) string {
 	h := sha256.New()
 	h.Write([]byte(digest))
 	h.Write(knowledge)
-	_ = json.NewEncoder(h).Encode([]any{eps, wantAudit})
+	_ = json.NewEncoder(h).Encode([]any{eps, wantAudit, delta})
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -13,6 +13,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"strconv"
@@ -52,10 +53,90 @@ func setBoolField(ptr any, name string, val bool) {
 	}
 }
 
+// deltaParity is the PMAXENT_DELTA cross-check: solve the
+// BenchmarkDeltaResolve workload (invariants + Top-(25,25), top rule
+// held out of the baseline) both cold and through maxent.SolveDelta, and
+// fail unless the delta path actually reused components and its
+// posterior scores match the cold solve to within solver tolerance. The
+// returned map is merged into the snapshot for the record; the emitted
+// headline numbers stay cold-path either way, so the A/B harness's
+// seed-vs-head comparison is unaffected. (Direct SolveDelta use means
+// this file no longer compiles in pre-delta checkouts; the benchab
+// cross-tree copy is only taken for same-repo env A/Bs here, which share
+// one tree.)
+func deltaParity(in *experiments.Instance, opts maxent.Options) (map[string]any, error) {
+	sp := constraint.NewSpace(in.Data)
+	selected := assoc.TopK(in.Rules, 25, 25)
+	base := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
+	for _, r := range selected[1:] {
+		kn := r.Knowledge()
+		c, err := kn.Constraint(sp)
+		if err != nil {
+			return nil, err
+		}
+		if err := base.Add(c); err != nil {
+			return nil, err
+		}
+	}
+	opts.Decompose = true
+	opts.Solver.MaxIterations = 5000
+	baseline, err := maxent.Solve(base, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !baseline.Stats.Converged {
+		return nil, fmt.Errorf("delta parity: baseline did not converge: %s", baseline.Stats)
+	}
+	full := base.Clone()
+	kn := selected[0].Knowledge()
+	c, err := kn.Constraint(sp)
+	if err != nil {
+		return nil, err
+	}
+	if err := full.Add(c); err != nil {
+		return nil, err
+	}
+	cold, err := maxent.Solve(full, opts)
+	if err != nil {
+		return nil, err
+	}
+	delta, err := maxent.SolveDelta(full, &maxent.Baseline{Sys: base, Sol: baseline}, opts)
+	if err != nil {
+		return nil, err
+	}
+	if delta.Stats.ReusedComponents == 0 {
+		return nil, fmt.Errorf("delta parity: no components reused — delta fell back to a cold solve")
+	}
+	if cold.Stats.Converged != delta.Stats.Converged {
+		return nil, fmt.Errorf("delta parity: convergence differs (cold %v, delta %v)", cold.Stats.Converged, delta.Stats.Converged)
+	}
+	accCold, err := metrics.EstimationAccuracy(in.Truth, cold.Posterior())
+	if err != nil {
+		return nil, err
+	}
+	accDelta, err := metrics.EstimationAccuracy(in.Truth, delta.Posterior())
+	if err != nil {
+		return nil, err
+	}
+	const tol = 1e-9
+	accDiff := math.Abs(accCold - accDelta)
+	discDiff := math.Abs(metrics.MaxDisclosure(cold.Posterior()) - metrics.MaxDisclosure(delta.Posterior()))
+	if accDiff > tol || discDiff > tol {
+		return nil, fmt.Errorf("delta parity: posterior diverges (accuracy diff %g, disclosure diff %g, tol %g)", accDiff, discDiff, tol)
+	}
+	return map[string]any{
+		"delta_reused_components":   delta.Stats.ReusedComponents,
+		"delta_dirty_components":    delta.Stats.DirtyComponents,
+		"delta_accuracy_diff":       accDiff,
+		"delta_max_disclosure_diff": discDiff,
+	}, nil
+}
+
 func main() {
 	kernelWorkers, _ := strconv.Atoi(os.Getenv("PMAXENT_KERNEL_WORKERS"))
 	reduce := os.Getenv("PMAXENT_REDUCE") == "1"
 	fastMath := os.Getenv("PMAXENT_FAST_MATH") == "1"
+	deltaCheck := os.Getenv("PMAXENT_DELTA") == "1"
 
 	cfg := experiments.Config{Records: 2000, Seed: 1, MaxRuleSize: 2}
 	setIntField(&cfg, "KernelWorkers", kernelWorkers)
@@ -100,12 +181,20 @@ func main() {
 		}
 	}
 
-	die(json.NewEncoder(os.Stdout).Encode(map[string]any{
+	out := map[string]any{
 		"estimation_accuracy": acc,
 		"max_disclosure":      metrics.MaxDisclosure(post),
 		"converged":           converged,
 		"iterations":          sol.Stats.Iterations,
 		"figure5_accuracies":  fig5Points,
 		"figure5_converged":   fig5Conv,
-	}))
+	}
+	if deltaCheck {
+		extra, err := deltaParity(in, solveOpts)
+		die(err)
+		for k, v := range extra {
+			out[k] = v
+		}
+	}
+	die(json.NewEncoder(os.Stdout).Encode(out))
 }
