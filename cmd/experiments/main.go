@@ -10,7 +10,9 @@
 //
 // Figures: 5, 6, 7a, 7b, 7c, stages (per-stage running-time breakdown
 // from Report.Timings), solvers (Malouf-style ablation), decomposition
-// (Sec. 5.5 ablation), baseline.
+// (Sec. 5.5 ablation), baseline, frontier (per-scheme disclosure vs
+// utility sweep across Anatomy, Mondrian and randomized response; -out
+// additionally writes the points as CSV).
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "which figure to regenerate: 5, 6, 7a, 7b, 7c, stages, solvers, decomposition, baseline, all")
+		figure      = flag.String("figure", "all", "which figure to regenerate: 5, 6, 7a, 7b, 7c, stages, solvers, decomposition, baseline, frontier, all")
 		records     = flag.Int("records", 1500, "synthetic Adult records (paper: 14210)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		diversity   = flag.Int("l", 5, "L-diversity / bucket size")
@@ -42,6 +44,7 @@ func main() {
 		reduce      = flag.Bool("reduce", false, "structural presolve: closed-form untouched buckets + Schur-eliminated invariant rows")
 		fastMath    = flag.Bool("fast-math", false, "reassociated multi-accumulator solve kernels (not bit-identical)")
 		auditDir    = flag.String("audit-dir", "", "write per-point solve audits (figures 7a/7b/7c and the solver ablation) into this directory")
+		out         = flag.String("out", "", "write the frontier points as CSV to this file (frontier figure only)")
 	)
 	flag.Parse()
 
@@ -64,7 +67,7 @@ func main() {
 		FastMath:      *fastMath,
 		AuditDir:      *auditDir,
 	}
-	if err := run(*figure, cfg, *maxT, parseInts(*buckets), parseInts(*constraints), *k, parseInts(*kGrid)); err != nil {
+	if err := run(*figure, cfg, *maxT, parseInts(*buckets), parseInts(*constraints), *k, parseInts(*kGrid), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -82,8 +85,8 @@ func parseInts(s string) []int {
 	return out
 }
 
-func run(figure string, cfg experiments.Config, maxT int, buckets, constraints []int, k int, kGrid []int) error {
-	needsInstance := map[string]bool{"5": true, "6": true, "7a": true, "stages": true, "solvers": true, "decomposition": true, "baseline": true, "all": true}
+func run(figure string, cfg experiments.Config, maxT int, buckets, constraints []int, k int, kGrid []int, out string) error {
+	needsInstance := map[string]bool{"5": true, "6": true, "7a": true, "stages": true, "solvers": true, "decomposition": true, "baseline": true, "frontier": true, "all": true}
 	var in *experiments.Instance
 	var err error
 	if needsInstance[figure] {
@@ -154,6 +157,31 @@ func run(figure string, cfg experiments.Config, maxT int, buckets, constraints [
 				return err
 			}
 			fmt.Println()
+		}
+	}
+	if want("frontier") {
+		points, err := experiments.Frontier(in, k, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Privacy–utility frontier (Top-(%d,%d) knowledge) ==\n", k, k)
+		if err := experiments.PrintFrontier(os.Stdout, points); err != nil {
+			return err
+		}
+		fmt.Println()
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteFrontierCSV(f, points); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("frontier CSV written to %s\n\n", out)
 		}
 	}
 	if want("stages") {

@@ -22,7 +22,7 @@ func TestParseInts(t *testing.T) {
 // checking the plumbing end to end.
 func TestRunBaseline(t *testing.T) {
 	cfg := experiments.Config{Records: 200, Seed: 3, MaxRuleSize: 1}
-	if err := run("baseline", cfg, 1, nil, nil, 5, nil); err != nil {
+	if err := run("baseline", cfg, 1, nil, nil, 5, nil, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,7 +30,7 @@ func TestRunBaseline(t *testing.T) {
 func TestRunUnknownFigureIsNoop(t *testing.T) {
 	// An unrecognized figure name needs no instance and produces no
 	// output; it must not error.
-	if err := run("7b", experiments.Config{Records: 120, Seed: 3, MaxRuleSize: 1}, 1, []int{10, 20}, []int{0}, 5, nil); err != nil {
+	if err := run("7b", experiments.Config{Records: 120, Seed: 3, MaxRuleSize: 1}, 1, []int{10, 20}, []int{0}, 5, nil, ""); err != nil {
 		t.Fatal(err)
 	}
 }

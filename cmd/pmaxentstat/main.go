@@ -9,8 +9,8 @@
 // limit, queue depth, cache hit/miss/evictions, live SSE clients) and
 // then one line per solve, live solves first:
 //
-//	ID            STATE    REQUEST           ITER     GRAD      COMP   DIM         DELTA   ELAPSED
-//	0b6e3d…-7     running  9f0c4a1be2d344a1  1204     3.2e-05   3/5    4/982-49b   2r/1d   2.41s
+//	ID            STATE    REQUEST           SCHEME    ITER     GRAD      COMP   DIM         DELTA   ELAPSED
+//	0b6e3d…-7     running  9f0c4a1be2d344a1  mondrian  1204     3.2e-05   3/5    4/982-49b   2r/1d   2.41s
 //
 // The DIM column appears once a solve reports its structural-presolve
 // stats: reduced dual rows over full variables, with "-Nb" counting
@@ -93,6 +93,7 @@ type solveRow struct {
 	ID              string  `json:"id"`
 	RequestID       string  `json:"request_id"`
 	State           string  `json:"state"`
+	Scheme          string  `json:"scheme"`
 	Variables       int64   `json:"variables"`
 	Iterations      int64   `json:"iterations"`
 	GradNorm        float64 `json:"grad_norm"`
@@ -185,9 +186,14 @@ func render(s *snapshot) string {
 		b.WriteString("no solves\n")
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-22s %-8s %-18s %8s %10s %7s %11s %7s %9s\n",
-		"ID", "STATE", "REQUEST", "ITER", "GRAD", "COMP", "DIM", "DELTA", "ELAPSED")
+	fmt.Fprintf(&b, "%-22s %-8s %-18s %-10s %8s %10s %7s %11s %7s %9s\n",
+		"ID", "STATE", "REQUEST", "SCHEME", "ITER", "GRAD", "COMP", "DIM", "DELTA", "ELAPSED")
 	for _, r := range s.Solves {
+		// Requests without a scheme field are the classic anatomy default.
+		schemeCol := r.Scheme
+		if schemeCol == "" {
+			schemeCol = "-"
+		}
 		comp := "-"
 		if r.ComponentsTotal > 0 {
 			comp = fmt.Sprintf("%d/%d", r.ComponentsDone, r.ComponentsTotal)
@@ -207,8 +213,8 @@ func render(s *snapshot) string {
 		if r.ReusedComps > 0 || r.DirtyComps > 0 {
 			delta = fmt.Sprintf("%dr/%dd", r.ReusedComps, r.DirtyComps)
 		}
-		fmt.Fprintf(&b, "%-22s %-8s %-18s %8d %10.2e %7s %11s %7s %8.2fs\n",
-			clip(r.ID, 22), r.State, clip(r.RequestID, 18),
+		fmt.Fprintf(&b, "%-22s %-8s %-18s %-10s %8d %10.2e %7s %11s %7s %8.2fs\n",
+			clip(r.ID, 22), r.State, clip(r.RequestID, 18), clip(schemeCol, 10),
 			r.Iterations, r.GradNorm, comp, dim, delta, r.ElapsedMS/1000)
 	}
 	return b.String()

@@ -131,6 +131,12 @@ type SolveAudit struct {
 	// numerically while legitimately differing here.
 	Build     string `json:"build,omitempty"`
 	RequestID string `json:"request_id,omitempty"`
+	// Scheme names the publication scheme the quantified view was
+	// declared under ("mondrian", "randomized_response", …); empty for
+	// the classic default. Informational provenance like Build: the same
+	// constraint system audited under two scheme declarations must agree
+	// numerically, so auditdiff excludes it from comparison.
+	Scheme string `json:"scheme,omitempty"`
 	// Tolerance is the feasibility threshold the audit judged against.
 	Tolerance float64 `json:"tolerance"`
 	// Feasible reports MaxViolation <= Tolerance.

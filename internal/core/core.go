@@ -26,6 +26,7 @@ import (
 	"privacymaxent/internal/individuals"
 	"privacymaxent/internal/maxent"
 	"privacymaxent/internal/metrics"
+	"privacymaxent/internal/scheme"
 	"privacymaxent/internal/telemetry"
 )
 
@@ -315,6 +316,14 @@ type Prepared struct {
 	d    *bucket.Bucketized
 	sp   *constraint.Space
 	base *constraint.System
+	// sch is the publication scheme the base system was built under; nil
+	// means the classic default (Anatomy-style equality invariants).
+	sch scheme.Scheme
+	// ineqs holds the scheme's inequality rows (observation boxes).
+	// Non-empty routes every solve through the boxed dual, which
+	// supports neither decomposition, warm starts, delta reuse, nor
+	// audits.
+	ineqs []maxent.Inequality
 }
 
 // Prepare builds the reusable base for quantifications of d: term space
@@ -322,8 +331,21 @@ type Prepared struct {
 // as a "core.prepare" span. It is the context-first front door of the
 // prepared pipeline — library users and the pmaxentd server build the
 // invariant system once per publication, then append only the per-request
-// knowledge rows via Prepared.QuantifyContext and friends.
+// knowledge rows via Prepared.QuantifyContext and friends. It is
+// PrepareScheme under the default scheme: the classic Theorem 1–3
+// equality invariants every Anatomy/Mondrian view certifies.
 func (q *Quantifier) Prepare(ctx context.Context, d *bucket.Bucketized) (*Prepared, error) {
+	return q.PrepareScheme(ctx, d, nil)
+}
+
+// PrepareScheme is Prepare with an explicit publication scheme: the
+// constraint rows come from sch.Invariants instead of the fixed
+// equality-invariant builder, so a randomized-response view's
+// observation boxes (or any future scheme's rows) flow through the same
+// prepared pipeline — shared space, shared knowledge overlay, shared
+// caching. A nil scheme means the classic default and is exactly
+// Prepare.
+func (q *Quantifier) PrepareScheme(ctx context.Context, d *bucket.Bucketized, sch scheme.Scheme) (*Prepared, error) {
 	if d == nil {
 		return nil, fmt.Errorf("core: prepare: nil published view: %w", errs.ErrInvalidSchema)
 	}
@@ -336,11 +358,26 @@ func (q *Quantifier) Prepare(ctx context.Context, d *bucket.Bucketized) (*Prepar
 	_, span := telemetry.Start(ctx, "core.prepare")
 	defer span.End()
 	sp := constraint.NewSpace(d)
-	base := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant})
+	iopts := constraint.InvariantOptions{DropRedundant: !q.cfg.KeepRedundant}
+	var (
+		base  *constraint.System
+		ineqs []maxent.Inequality
+	)
+	if sch == nil {
+		base = constraint.DataInvariants(sp, iopts)
+	} else {
+		var err error
+		base, ineqs, err = sch.Invariants(sp, iopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s invariants: %w", sch.Name(), err)
+		}
+		span.SetAttr(telemetry.String("scheme", sch.Name()))
+	}
 	span.SetAttr(
 		telemetry.Int("variables", sp.Len()),
-		telemetry.Int("invariants", base.Len()))
-	return &Prepared{q: q, d: d, sp: sp, base: base}, nil
+		telemetry.Int("invariants", base.Len()),
+		telemetry.Int("inequalities", len(ineqs)))
+	return &Prepared{q: q, d: d, sp: sp, base: base, sch: sch, ineqs: ineqs}, nil
 }
 
 // Space returns the cached term space.
@@ -348,6 +385,15 @@ func (p *Prepared) Space() *constraint.Space { return p.sp }
 
 // Data returns the published data the base system was built for.
 func (p *Prepared) Data() *bucket.Bucketized { return p.d }
+
+// Scheme returns the publication scheme the base system was built
+// under; nil means the classic default (equality invariants).
+func (p *Prepared) Scheme() scheme.Scheme { return p.sch }
+
+// Boxed reports whether solves route through the boxed (inequality)
+// dual — true when the scheme emitted observation boxes. Boxed solves
+// support neither decomposition, warm starts, delta reuse, nor audits.
+func (p *Prepared) Boxed() bool { return len(p.ineqs) > 0 }
 
 // CloneSystem returns a copy-on-append overlay of the data-invariant
 // base system: appending knowledge rows to the clone never mutates the
@@ -401,7 +447,11 @@ type QuantifyOptions struct {
 
 // QuantifyWithOptions is the fully general prepared solve: knowledge
 // overlay, optional warm start, and per-call audit selection. The other
-// Quantify* methods on Prepared are thin wrappers over it.
+// Quantify* methods on Prepared are thin wrappers over it. On a boxed
+// Prepared (scheme with observation boxes) the solve routes through the
+// inequality dual: knowledge still enters as equality rows over the
+// same overlay, but decomposition, warm starts and audits do not apply
+// (the audit request is ignored, matching QuantifyVague's contract).
 func (p *Prepared) QuantifyWithOptions(ctx context.Context, o QuantifyOptions) (*Report, error) {
 	ctx, span := telemetry.Start(ctx, "core.quantify",
 		telemetry.Int("knowledge", len(o.Knowledge)),
@@ -414,10 +464,42 @@ func (p *Prepared) QuantifyWithOptions(ctx context.Context, o QuantifyOptions) (
 		return nil, fmt.Errorf("core: adding knowledge: %w", err)
 	}
 	tm.Add(StageFormulate, time.Since(fstart))
+	if p.Boxed() {
+		return p.quantifyBoxed(ctx, sys, o, &tm)
+	}
 	opts := p.q.cfg.Solve
 	opts.Decompose = !p.q.cfg.NoDecompose
 	opts.WarmStart = o.Warm
-	return p.q.solveAndScore(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, &tm)
+	rep, err := p.q.solveAndScore(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, &tm)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Audit != nil && p.sch != nil {
+		rep.Audit.Scheme = p.sch.Name()
+	}
+	return rep, nil
+}
+
+// quantifyBoxed is the boxed-dual tail of a prepared solve: the
+// knowledge-augmented equality system plus the scheme's observation
+// boxes, solved with maxent.SolveWithInequalitiesContext. Mirrors
+// QuantifyVagueContext's solve/score/metrics tail.
+func (p *Prepared) quantifyBoxed(ctx context.Context, sys *constraint.System, o QuantifyOptions, tm *Timings) (*Report, error) {
+	solveStart := time.Now()
+	sol, err := maxent.SolveWithInequalitiesContext(ctx, sys, p.ineqs, p.q.cfg.Solve)
+	if err != nil {
+		return nil, fmt.Errorf("core: inequality solve: %w", err)
+	}
+	tm.Add(StageSolve, time.Since(solveStart))
+	rep, err := p.q.score(ctx, sol, o.Knowledge, o.Truth, tm)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timings = *tm
+	if reg := telemetry.Metrics(ctx); reg != nil {
+		reg.Counter("pmaxent_quantify_total").Add(1)
+	}
+	return rep, nil
 }
 
 // DeltaState is the opaque baseline a delta quantification reuses: the
@@ -442,6 +524,13 @@ type DeltaState struct {
 // baseline. Decomposition is forced on for the delta path — components
 // are the unit of reuse.
 func (p *Prepared) QuantifyDelta(ctx context.Context, o QuantifyOptions, prev *DeltaState) (*Report, *DeltaState, error) {
+	if p.Boxed() {
+		// The boxed dual has no decomposition components to reuse, so a
+		// delta request degrades to a plain boxed solve with no
+		// chainable state.
+		rep, err := p.QuantifyWithOptions(ctx, o)
+		return rep, nil, err
+	}
 	ctx, span := telemetry.Start(ctx, "core.quantify",
 		telemetry.Int("knowledge", len(o.Knowledge)),
 		telemetry.Bool("delta", prev != nil))
@@ -463,6 +552,9 @@ func (p *Prepared) QuantifyDelta(ctx context.Context, o QuantifyOptions, prev *D
 	rep, err := p.q.solveAndScoreDelta(ctx, sys, o.Knowledge, o.Truth, opts, o.Audit, base, &tm)
 	if err != nil {
 		return nil, nil, err
+	}
+	if rep.Audit != nil && p.sch != nil {
+		rep.Audit.Scheme = p.sch.Name()
 	}
 	var next *DeltaState
 	if rep.Solution.Stats.Converged {

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFrontierShape: the sweep yields one point per (scheme, parameter)
+// setting, every scheme appears, and the knowledge-free utility axis
+// behaves monotonically within the anatomy family — bigger buckets hide
+// more of P(S|Q), so the weighted-KL distance grows with l.
+func TestFrontierShape(t *testing.T) {
+	in := smallInstance(t)
+	points, err := Frontier(in, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(frontierSweep(in.Config.Seed)); len(points) != want {
+		t.Fatalf("points = %d, want %d", len(points), want)
+	}
+	byScheme := make(map[string][]FrontierPoint)
+	for _, p := range points {
+		byScheme[p.Scheme] = append(byScheme[p.Scheme], p)
+		if p.Disclosure <= 0 || p.Disclosure > 1+1e-9 {
+			t.Errorf("%s %s disclosure = %g", p.Scheme, p.Param, p.Disclosure)
+		}
+		if p.Utility < 0 {
+			t.Errorf("%s %s utility = %g", p.Scheme, p.Param, p.Utility)
+		}
+	}
+	for _, name := range []string{"anatomy", "mondrian", "randomized_response"} {
+		if len(byScheme[name]) != 3 {
+			t.Errorf("scheme %s has %d points, want 3", name, len(byScheme[name]))
+		}
+	}
+	anat := byScheme["anatomy"] // sweep order: l=2, 4, 6
+	if !(anat[0].Utility <= anat[1].Utility && anat[1].Utility <= anat[2].Utility) {
+		t.Errorf("anatomy utility-KL not monotone in l: %g, %g, %g",
+			anat[0].Utility, anat[1].Utility, anat[2].Utility)
+	}
+}
+
+func TestWriteFrontierCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFrontierCSV(&buf, []FrontierPoint{
+		{Scheme: "anatomy", Param: "l=2", Disclosure: 0.5, EntropyBits: 1.25, Utility: 0.01, Converged: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "scheme,param,disclosure,entropy_bits,utility_kl,converged" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "anatomy,l=2,0.5,1.25,0.01,true" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

@@ -5,10 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"privacymaxent/internal/constraint"
-	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
-	"privacymaxent/internal/maxent"
 )
 
 func testTable(rng *rand.Rand, rows int) *dataset.Table {
@@ -114,46 +111,6 @@ func TestMondrianValidation(t *testing.T) {
 	noQI.MustAppend("x")
 	if _, err := Mondrian(noQI, 1); err == nil {
 		t.Fatal("expected no-QI error")
-	}
-}
-
-func TestPublishFeedsMaxEnt(t *testing.T) {
-	// The headline property: a Mondrian generalization drops straight
-	// into the Privacy-MaxEnt pipeline via its class-induced buckets.
-	rng := rand.New(rand.NewSource(77))
-	tbl := testTable(rng, 120)
-	d, classes, err := Publish(tbl, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if d.NumBuckets() != len(classes) {
-		t.Fatalf("buckets = %d, classes = %d", d.NumBuckets(), len(classes))
-	}
-	sp := constraint.NewSpace(d)
-	sys := constraint.DataInvariants(sp, constraint.InvariantOptions{DropRedundant: true})
-	sol, err := maxent.Solve(sys, maxent.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sol.Stats.MaxViolation > 1e-7 {
-		t.Fatalf("violation %g", sol.Stats.MaxViolation)
-	}
-	// And through the full Quantifier with mined knowledge.
-	q := core.New(core.Config{MinSupport: 2})
-	rules, err := q.MineRules(tbl)
-	if err != nil {
-		t.Fatal(err)
-	}
-	truth, err := dataset.TrueConditional(tbl, d.Universe())
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, err := q.QuantifyWithRules(d, rules, core.Bound{KPos: 5, KNeg: 5}, truth)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.EstimationAccuracy < 0 {
-		t.Fatalf("accuracy = %g", rep.EstimationAccuracy)
 	}
 }
 

@@ -51,6 +51,12 @@ type Record struct {
 	Audited   bool    `json:"audited,omitempty"`
 	// Cache is the prepared-cache disposition ("hit", "miss", "bypass").
 	Cache string `json:"cache,omitempty"`
+	// Scheme names the publication scheme the request declared
+	// ("anatomy", "mondrian", "randomized_response"); empty for requests
+	// without a scheme field (the classic anatomy default). Parameter
+	// values are bound into Digest, so two parameterizations of one
+	// scheme never aggregate together.
+	Scheme string `json:"scheme,omitempty"`
 	// QueueWaitMS is admission-queue time; ElapsedMS the whole solve
 	// wall clock; StagesMS the pipeline's per-stage breakdown
 	// (prepare/formulate/solve/score/audit — stages present depend on

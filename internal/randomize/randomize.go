@@ -21,6 +21,7 @@ import (
 	"math"
 	"math/rand"
 
+	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/constraint"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/errs"
@@ -114,89 +115,133 @@ func EstimateContext(ctx context.Context, published *dataset.Table, mech Mechani
 	if z <= 0 {
 		z = 3
 	}
-	u := dataset.NewUniverse(published)
-	m := mech.M
-	n := u.Len() * m
-	bigN := float64(published.Len())
-	varIdx := func(qid, s int) int { return qid*m + s }
-
-	// Observed perturbed counts per (q, s′).
-	observed := make([]int, n)
-	for r := 0; r < published.Len(); r++ {
-		qid, ok := u.QID(published.QIKey(r))
-		if !ok {
-			return nil, maxent.Stats{}, fmt.Errorf("randomize: row %d missing from universe", r)
-		}
-		observed[varIdx(qid, published.SACode(r))]++
+	// The estimator is the offline twin of the served
+	// RandomizedResponseScheme path: group the perturbed table by QI
+	// tuple into a bucketized view, build the scheme's invariant rows
+	// (exact QI equalities + observation boxes) over the view's term
+	// space, and solve the boxed dual. Sharing the row builders keeps
+	// the two paths' constraint systems identical by construction; see
+	// DESIGN.md §13 for the (intentional) divergence from the older
+	// full-domain formulation.
+	view, err := GroupByQI(published)
+	if err != nil {
+		return nil, maxent.Stats{}, err
 	}
+	sp := constraint.NewSpace(view)
+	sys, ineqs, err := Invariants(sp, mech, z)
+	if err != nil {
+		return nil, maxent.Stats{}, err
+	}
+	sol, err := maxent.SolveWithInequalitiesContext(ctx, sys, ineqs, opts)
+	if err != nil {
+		return nil, maxent.Stats{}, err
+	}
+	return sol.Posterior(), sol.Stats, nil
+}
 
-	// Equalities: Σ_s P(q,s) = P(q) (exact — QI values are unperturbed).
-	var cons []constraint.Constraint
-	for qid := 0; qid < u.Len(); qid++ {
-		terms := make([]int, m)
-		coeffs := make([]float64, m)
-		for s := 0; s < m; s++ {
-			terms[s] = varIdx(qid, s)
-			coeffs[s] = 1
+// GroupByQI builds the randomized-response published view: one bucket
+// per distinct QI tuple, holding that tuple's records with their
+// (perturbed) SA values. Bucket order follows the table's universe
+// (first-appearance order of QI keys), so the construction is
+// deterministic and bucket b's single distinct QID is qid b.
+func GroupByQI(t *dataset.Table) (*bucket.Bucketized, error) {
+	if t.Schema().SAIndex() < 0 {
+		return nil, fmt.Errorf("randomize: table has no sensitive attribute: %w", errs.ErrNoSensitiveAttribute)
+	}
+	u := dataset.NewUniverse(t)
+	groups := make([][]int, u.Len())
+	for r := 0; r < t.Len(); r++ {
+		qid, ok := u.QID(t.QIKey(r))
+		if !ok {
+			return nil, fmt.Errorf("randomize: row %d missing from universe", r)
 		}
-		cons = append(cons, constraint.Constraint{
+		groups[qid] = append(groups[qid], r)
+	}
+	return bucket.FromPartition(t, groups)
+}
+
+// Invariants builds what a randomized-response view certifies, over the
+// view's term space: per-bucket QI marginal equalities (exact — QI
+// columns are unperturbed) and, for every observed (QI, SA′) cell, a
+// sampling-tolerance observation box
+//
+//	Σ_s M(s′|s)·P(q,s,b) ∈ [target − ε, target + ε],
+//
+// with target the observed share, σ̂ its binomial standard error, and
+// ε = z·σ̂ + 1/N. SA values never observed for a QI group have no
+// variable in the space (Eq. 6 zero-invariants held structurally), so
+// both the coefficient sums and the zero-count boxes are restricted to
+// the observed support. The view must be QI-grouped: every bucket has
+// exactly one distinct QI tuple (GroupByQI's output shape).
+func Invariants(sp *constraint.Space, mech Mechanism, z float64) (*constraint.System, []maxent.Inequality, error) {
+	if err := mech.Validate(); err != nil {
+		return nil, nil, err
+	}
+	d := sp.Data()
+	if mech.M != d.SACardinality() {
+		return nil, nil, fmt.Errorf("randomize: mechanism domain %d does not match SA cardinality %d",
+			mech.M, d.SACardinality())
+	}
+	if z <= 0 {
+		z = 3
+	}
+	bigN := float64(d.N())
+	sys := constraint.NewSystem(sp)
+	var ineqs []maxent.Inequality
+	for b := 0; b < d.NumBuckets(); b++ {
+		bk := d.Bucket(b)
+		qids := bk.DistinctQIDs()
+		if len(qids) != 1 {
+			return nil, nil, fmt.Errorf("randomize: bucket %d has %d distinct QI tuples, want 1 (view must be QI-grouped): %w",
+				b, len(qids), errs.ErrInvalidSchema)
+		}
+		q := qids[0]
+		sas := bk.DistinctSAs()
+
+		// Exact QI marginal: Σ_s P(q,s,b) = P(q ∧ b).
+		terms := make([]int, 0, len(sas))
+		coeffs := make([]float64, 0, len(sas))
+		for _, s := range sas {
+			id, ok := sp.Index(constraint.Term{QID: q, SA: s, Bucket: b})
+			if !ok {
+				return nil, nil, fmt.Errorf("randomize: bucket term missing from space")
+			}
+			terms = append(terms, id)
+			coeffs = append(coeffs, 1)
+		}
+		sys.MustAdd(constraint.Constraint{
 			Kind:   constraint.QIInvariant,
-			Label:  fmt.Sprintf("QI q%d", qid+1),
+			Label:  fmt.Sprintf("QI q%d b%d", q+1, b+1),
 			Terms:  terms,
 			Coeffs: coeffs,
-			RHS:    u.P(qid),
+			RHS:    d.PQB(q, b),
 		})
-	}
 
-	// Boxes: for each (q, s′), Σ_s M(s′|s)·P(q,s) within sampling
-	// tolerance of the observed share.
-	var ineqs []maxent.Inequality
-	for qid := 0; qid < u.Len(); qid++ {
-		for o := 0; o < m; o++ {
-			terms := make([]int, m)
-			coeffs := make([]float64, m)
-			for s := 0; s < m; s++ {
-				terms[s] = varIdx(qid, s)
-				coeffs[s] = mech.Prob(o, s)
+		// Observation boxes over the observed support.
+		for _, o := range sas {
+			bterms := make([]int, 0, len(sas))
+			bcoeffs := make([]float64, 0, len(sas))
+			for _, s := range sas {
+				id, ok := sp.Index(constraint.Term{QID: q, SA: s, Bucket: b})
+				if !ok {
+					return nil, nil, fmt.Errorf("randomize: bucket term missing from space")
+				}
+				bterms = append(bterms, id)
+				bcoeffs = append(bcoeffs, mech.Prob(o, s))
 			}
-			target := float64(observed[varIdx(qid, o)]) / bigN
+			target := d.PSB(o, b)
 			sigma := math.Sqrt(math.Max(target*(1-target), target) / bigN) // binomial SE of the share
 			eps := z*sigma + 1/bigN
 			ineqs = append(ineqs, maxent.Inequality{
-				Label:  fmt.Sprintf("obs q%d s'%d", qid+1, o+1),
-				Terms:  terms,
-				Coeffs: coeffs,
+				Label:  fmt.Sprintf("obs q%d s'%d", q+1, o+1),
+				Terms:  bterms,
+				Coeffs: bcoeffs,
 				Lo:     math.Max(0, target-eps),
 				Hi:     target + eps,
 			})
 		}
 	}
-
-	// Initialize from the independent joint P(q)·P̂(s): any variable the
-	// solver leaves untouched stays at a sane prior.
-	init := make([]float64, n)
-	for qid := 0; qid < u.Len(); qid++ {
-		for s := 0; s < m; s++ {
-			init[varIdx(qid, s)] = u.P(qid) / float64(m)
-		}
-	}
-
-	x, stats, err := maxent.SolveConstraintsWithInequalitiesContext(ctx, n, cons, ineqs, init, opts)
-	if err != nil {
-		return nil, maxent.Stats{}, err
-	}
-	cond := dataset.NewConditional(u, m)
-	for qid := 0; qid < u.Len(); qid++ {
-		pq := u.P(qid)
-		if pq <= 0 {
-			continue
-		}
-		for s := 0; s < m; s++ {
-			cond.Set(qid, s, math.Max(0, x[varIdx(qid, s)])/pq)
-		}
-	}
-	cond.Normalize()
-	return cond, stats, nil
+	return sys, ineqs, nil
 }
 
 // ObservedConditional is the naive baseline: read P(S|Q) off the

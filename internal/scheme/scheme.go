@@ -1,0 +1,366 @@
+// Package scheme unifies the repo's publication mechanisms — Anatomy
+// bucketization, Mondrian generalization, and uniform randomized
+// response — behind one PublicationScheme interface, so the same mined
+// background knowledge and the same MaxEnt solver quantify every
+// mechanism. The paper evaluates one mechanism (Anatomy); Rastogi et
+// al.'s privacy–utility boundary and Martin et al.'s worst-case
+// background knowledge frame the question a publisher actually faces:
+// disclosure versus utility across mechanisms and parameters, compared
+// under the same adversary. That comparison is only meaningful when
+// every mechanism flows through the identical Prepare→Quantify pipeline,
+// which is what this package provides.
+//
+// The common currency is the bucketized view (bucket.Bucketized): every
+// scheme publishes one, every scheme's constraint rows are expressed
+// over the term space constraint.NewSpace derives from it. What differs
+// is the *invariants* a view certifies:
+//
+//   - Anatomy and Mondrian views certify exact per-bucket QI and SA
+//     marginals (Theorems 1–3) — the classic equality system
+//     constraint.DataInvariants builds.
+//   - Randomized-response views group records by QI tuple (one bucket
+//     per distinct QI value, SA column perturbed); they certify exact
+//     QI marginals but only *noisy* SA evidence, entering the solve as
+//     sampling-tolerance observation boxes (inequalities) rather than
+//     equalities. See randomize.Invariants.
+//
+// Schemes are pure values: Params() returns the defaulted, canonical
+// parameter struct whose JSON encoding (fixed field order) is the
+// canonical byte form bound into publication digests, so caches, delta
+// chains and history records never conflate two schemes — or two
+// parameterizations of one scheme — over the same table.
+package scheme
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/dataset"
+	"privacymaxent/internal/generalize"
+	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/randomize"
+)
+
+// Scheme is a publication mechanism: how a table becomes a published
+// view, and what constraint rows that view certifies to an adversary.
+// Implementations are immutable values, safe for concurrent use.
+type Scheme interface {
+	// Name is the wire identifier ("anatomy", "mondrian",
+	// "randomized_response").
+	Name() string
+	// Params returns the defaulted parameter struct. Its JSON encoding
+	// is canonical (struct field order is fixed), making it usable as a
+	// digest component.
+	Params() any
+	// Publish produces the published view from the original microdata.
+	Publish(t *dataset.Table) (*bucket.Bucketized, error)
+	// Invariants builds what the published view pins down: the equality
+	// system (data invariants) and any inequality rows (observation
+	// boxes) over the view's term space. A non-empty inequality slice
+	// routes the solve through the boxed dual, which supports neither
+	// decomposition, warm starts, delta reuse, nor audits — see
+	// DESIGN.md §13 for the contract.
+	Invariants(sp *constraint.Space, opts constraint.InvariantOptions) (*constraint.System, []maxent.Inequality, error)
+}
+
+// Anatomy is the paper's mechanism: partition into L-diverse buckets of
+// L records, QI and SA columns both published exactly (linked only
+// through bucket membership). Its invariants are the full Theorem 1–3
+// equality system — this is the identity scheme the rest of the repo
+// has always quantified.
+type Anatomy struct {
+	// L is the diversity parameter and target bucket size. Default 5.
+	L int `json:"l"`
+	// NoExemption disables the footnote-3 relaxation that exempts the
+	// most frequent SA value from the diversity check.
+	NoExemption bool `json:"no_exemption,omitempty"`
+}
+
+// NewAnatomy returns the Anatomy scheme with defaults applied.
+func NewAnatomy(l int) Anatomy {
+	a := Anatomy{L: l}
+	return a.withDefaults()
+}
+
+func (a Anatomy) withDefaults() Anatomy {
+	if a.L <= 0 {
+		a.L = 5
+	}
+	return a
+}
+
+// Name implements Scheme.
+func (a Anatomy) Name() string { return "anatomy" }
+
+// Params implements Scheme.
+func (a Anatomy) Params() any { return a.withDefaults() }
+
+// Validate checks the parameters.
+func (a Anatomy) Validate() error {
+	if a.L < 0 {
+		return fmt.Errorf("scheme: anatomy diversity %d negative", a.L)
+	}
+	return nil
+}
+
+// Publish implements Scheme via bucket.Anatomize. The row partition
+// (ground truth, never published) is discarded.
+func (a Anatomy) Publish(t *dataset.Table) (*bucket.Bucketized, error) {
+	a = a.withDefaults()
+	d, _, err := bucket.Anatomize(t, bucket.Options{
+		L:                  a.L,
+		ExemptMostFrequent: !a.NoExemption,
+	})
+	return d, err
+}
+
+// Invariants implements Scheme: the classic equality system. Parameters
+// do not enter — L shapes the published view, not what the view
+// certifies.
+func (a Anatomy) Invariants(sp *constraint.Space, opts constraint.InvariantOptions) (*constraint.System, []maxent.Inequality, error) {
+	return constraint.DataInvariants(sp, opts), nil, nil
+}
+
+// Mondrian is k-anonymous generalization (median-cut partitioning):
+// each equivalence class of at least K records becomes one bucket. The
+// published view certifies the same per-bucket marginal structure as
+// Anatomy, so its invariants are the identical equality system — the
+// mechanisms differ in the views they publish, not in what a given view
+// pins down.
+type Mondrian struct {
+	// K is the anonymity parameter (minimum class size). Default 5.
+	K int `json:"k"`
+}
+
+// NewMondrian returns the Mondrian scheme with defaults applied.
+func NewMondrian(k int) Mondrian {
+	m := Mondrian{K: k}
+	return m.withDefaults()
+}
+
+func (m Mondrian) withDefaults() Mondrian {
+	if m.K <= 0 {
+		m.K = 5
+	}
+	return m
+}
+
+// Name implements Scheme.
+func (m Mondrian) Name() string { return "mondrian" }
+
+// Params implements Scheme.
+func (m Mondrian) Params() any { return m.withDefaults() }
+
+// Validate checks the parameters.
+func (m Mondrian) Validate() error {
+	if m.K < 0 {
+		return fmt.Errorf("scheme: mondrian k %d negative", m.K)
+	}
+	return nil
+}
+
+// Publish implements Scheme via generalize.Publish; the equivalence
+// classes (recoverable from the view) are discarded.
+func (m Mondrian) Publish(t *dataset.Table) (*bucket.Bucketized, error) {
+	m = m.withDefaults()
+	d, _, err := generalize.Publish(t, m.K)
+	return d, err
+}
+
+// Invariants implements Scheme: identical to Anatomy's equality system.
+func (m Mondrian) Invariants(sp *constraint.Space, opts constraint.InvariantOptions) (*constraint.System, []maxent.Inequality, error) {
+	return constraint.DataInvariants(sp, opts), nil, nil
+}
+
+// RandomizedResponse is uniform randomized response on the sensitive
+// attribute: each record keeps its true SA value with probability Rho,
+// otherwise reports a uniform draw from the whole domain; QI columns are
+// untouched and Rho is public. The published view groups records by QI
+// tuple (one bucket per distinct QI value), so QI marginals are exact
+// equalities while the perturbed SA counts enter as sampling-tolerance
+// observation boxes — the inequality machinery of Sec. 4.5.
+type RandomizedResponse struct {
+	// Rho is the retention probability in [0, 1].
+	Rho float64 `json:"rho"`
+	// Z is the sampling-tolerance width: each observation box has
+	// half-width Z·σ̂ + 1/N around the observed share. Default 3.
+	Z float64 `json:"z,omitempty"`
+	// Seed drives the perturbation draw in Publish; it does not affect
+	// Invariants (the adversary sees only the published view and Rho).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// NewRandomizedResponse returns the randomized-response scheme with
+// defaults applied.
+func NewRandomizedResponse(rho float64, seed int64) RandomizedResponse {
+	r := RandomizedResponse{Rho: rho, Seed: seed}
+	return r.withDefaults()
+}
+
+func (r RandomizedResponse) withDefaults() RandomizedResponse {
+	if r.Z <= 0 {
+		r.Z = 3
+	}
+	return r
+}
+
+// Name implements Scheme.
+func (r RandomizedResponse) Name() string { return "randomized_response" }
+
+// Params implements Scheme.
+func (r RandomizedResponse) Params() any { return r.withDefaults() }
+
+// Validate checks the parameters.
+func (r RandomizedResponse) Validate() error {
+	if r.Rho < 0 || r.Rho > 1 {
+		return fmt.Errorf("scheme: randomized_response rho %g outside [0,1]", r.Rho)
+	}
+	if r.Z < 0 {
+		return fmt.Errorf("scheme: randomized_response z %g negative", r.Z)
+	}
+	return nil
+}
+
+// Publish implements Scheme: perturb the SA column under Rho/Seed, then
+// group the perturbed table by QI tuple into the bucketized view.
+func (r RandomizedResponse) Publish(t *dataset.Table) (*bucket.Bucketized, error) {
+	r = r.withDefaults()
+	perturbed, _, err := randomize.Perturb(t, r.Rho, r.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return randomize.GroupByQI(perturbed)
+}
+
+// Invariants implements Scheme via randomize.Invariants: exact QI
+// marginal equalities plus per-(QI, observed-SA) observation boxes. The
+// InvariantOptions are ignored — the system has no SA equality rows to
+// drop. SA values never observed for a QI group are excluded
+// structurally by the term space (the Eq. 6 zero-invariant convention);
+// see DESIGN.md §13 for how this diverges from a full-domain estimator.
+func (r RandomizedResponse) Invariants(sp *constraint.Space, _ constraint.InvariantOptions) (*constraint.System, []maxent.Inequality, error) {
+	r = r.withDefaults()
+	mech := randomize.Mechanism{Rho: r.Rho, M: sp.Data().SACardinality()}
+	return randomize.Invariants(sp, mech, r.Z)
+}
+
+// Descriptor is the capability-discovery record a daemon advertises for
+// one scheme: wire name, parameter schema (parameter → type/doc), and
+// whether the scheme solves through the boxed (inequality) dual, which
+// forgoes delta chaining, warm starts and audits.
+type Descriptor struct {
+	Name   string            `json:"name"`
+	Params map[string]string `json:"params"`
+	Boxed  bool              `json:"boxed,omitempty"`
+}
+
+// Describe lists every registered scheme's descriptor, sorted by name.
+func Describe() []Descriptor {
+	out := []Descriptor{
+		{
+			Name: "anatomy",
+			Params: map[string]string{
+				"l":            "int ≥ 1 — diversity parameter and bucket size (default 5)",
+				"no_exemption": "bool — disable the most-frequent-SA diversity exemption",
+			},
+		},
+		{
+			Name: "mondrian",
+			Params: map[string]string{
+				"k": "int ≥ 1 — anonymity parameter, minimum equivalence-class size (default 5)",
+			},
+		},
+		{
+			Name: "randomized_response",
+			Params: map[string]string{
+				"rho":  "float in [0,1] — probability the true SA value is retained",
+				"z":    "float > 0 — observation-box half-width multiplier z·σ̂ + 1/N (default 3)",
+				"seed": "int — perturbation seed (Publish only; ignored by Invariants)",
+			},
+			Boxed: true,
+		},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists the registered scheme names, sorted.
+func Names() []string {
+	ds := Describe()
+	names := make([]string, len(ds))
+	for i := range ds {
+		names[i] = ds[i].Name
+	}
+	return names
+}
+
+// Parse resolves a wire scheme spec — name plus raw JSON params — into
+// a Scheme, with defaults applied and parameters validated. Unknown
+// names, unknown parameter fields, and out-of-range values all error;
+// nil/empty params mean the scheme's defaults.
+func Parse(name string, params json.RawMessage) (Scheme, error) {
+	decode := func(into interface{ Validate() error }) error {
+		if len(params) == 0 || string(params) == "null" {
+			return nil
+		}
+		dec := json.NewDecoder(bytes.NewReader(params))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(into); err != nil {
+			return fmt.Errorf("scheme: %s params: %w", name, err)
+		}
+		return nil
+	}
+	switch name {
+	case "anatomy":
+		var a Anatomy
+		if err := decode(&a); err != nil {
+			return nil, err
+		}
+		a = a.withDefaults()
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		return a, nil
+	case "mondrian":
+		var m Mondrian
+		if err := decode(&m); err != nil {
+			return nil, err
+		}
+		m = m.withDefaults()
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "randomized_response":
+		var r RandomizedResponse
+		if err := decode(&r); err != nil {
+			return nil, err
+		}
+		r = r.withDefaults()
+		if err := r.Validate(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		return nil, fmt.Errorf("scheme: unknown scheme %q", name)
+	}
+}
+
+// CanonicalParams returns the canonical byte form of a scheme's
+// parameters: the JSON encoding of the defaulted Params() struct.
+// encoding/json emits struct fields in declaration order, so the bytes
+// are deterministic — the form digests and single-flight keys bind.
+func CanonicalParams(s Scheme) ([]byte, error) {
+	return json.Marshal(s.Params())
+}
+
+// Boxed reports whether the scheme emits inequality rows (observation
+// boxes), routing solves through the boxed dual.
+func Boxed(s Scheme) bool {
+	_, ok := s.(RandomizedResponse)
+	return ok
+}

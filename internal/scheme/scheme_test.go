@@ -1,0 +1,248 @@
+package scheme
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"privacymaxent/internal/bucket"
+	"privacymaxent/internal/constraint"
+	"privacymaxent/internal/dataset"
+)
+
+func paperView(t *testing.T) *bucket.Bucketized {
+	t.Helper()
+	d, err := bucket.FromPartition(dataset.PaperExample(), dataset.PaperBuckets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAnatomyInvariantsMatchDataInvariants: the identity scheme must
+// produce exactly the classic equality system — row for row — so
+// PrepareScheme(d, Anatomy{}) and Prepare(d) are interchangeable.
+func TestAnatomyInvariantsMatchDataInvariants(t *testing.T) {
+	d := paperView(t)
+	sp := constraint.NewSpace(d)
+	opts := constraint.InvariantOptions{DropRedundant: true}
+	want := constraint.DataInvariants(sp, opts)
+	got, ineqs, err := NewAnatomy(0).Invariants(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ineqs) != 0 {
+		t.Fatalf("anatomy emitted %d inequalities", len(ineqs))
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("rows = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.At(i).Label != want.At(i).Label {
+			t.Fatalf("row %d label = %q, want %q", i, got.At(i).Label, want.At(i).Label)
+		}
+	}
+}
+
+// TestMondrianInvariantsMatchDataInvariants: same identity property —
+// Mondrian differs from Anatomy in the views it publishes, not in what a
+// given view certifies.
+func TestMondrianInvariantsMatchDataInvariants(t *testing.T) {
+	d := paperView(t)
+	sp := constraint.NewSpace(d)
+	opts := constraint.InvariantOptions{DropRedundant: false}
+	want := constraint.DataInvariants(sp, opts)
+	got, ineqs, err := NewMondrian(0).Invariants(sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ineqs) != 0 || got.Len() != want.Len() {
+		t.Fatalf("rows = %d (+%d ineqs), want %d (+0)", got.Len(), len(ineqs), want.Len())
+	}
+}
+
+// TestRandomizedResponseInvariants: the boxed scheme publishes one
+// bucket per distinct QI tuple, emits exact QI equality rows and one
+// observation box per observed (QI, SA') cell, every box containing the
+// observed share.
+func TestRandomizedResponseInvariants(t *testing.T) {
+	sch := NewRandomizedResponse(0.7, 11)
+	view, err := sch.Publish(dataset.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.NumBuckets() != view.Universe().Len() {
+		t.Fatalf("buckets = %d, distinct QI = %d", view.NumBuckets(), view.Universe().Len())
+	}
+	sp := constraint.NewSpace(view)
+	sys, ineqs, err := sch.Invariants(sp, constraint.InvariantOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() == 0 || len(ineqs) == 0 {
+		t.Fatalf("system %d rows, %d boxes — both must be non-empty", sys.Len(), len(ineqs))
+	}
+	for i := 0; i < sys.Len(); i++ {
+		if sys.At(i).Kind != constraint.QIInvariant {
+			t.Fatalf("row %d kind = %v, want QIInvariant only", i, sys.At(i).Kind)
+		}
+	}
+	for _, iq := range ineqs {
+		if iq.Lo < 0 || iq.Hi <= iq.Lo {
+			t.Fatalf("box %q has degenerate bounds [%g, %g]", iq.Label, iq.Lo, iq.Hi)
+		}
+	}
+}
+
+// TestRandomizedResponseBoxesShrinkWithZ: tighter z means tighter boxes.
+func TestRandomizedResponseBoxesShrinkWithZ(t *testing.T) {
+	tbl := dataset.PaperExample()
+	width := func(z float64) float64 {
+		sch := RandomizedResponse{Rho: 0.7, Z: z, Seed: 11}
+		view, err := sch.Publish(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ineqs, err := sch.Invariants(constraint.NewSpace(view), constraint.InvariantOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, iq := range ineqs {
+			total += iq.Hi - iq.Lo
+		}
+		return total
+	}
+	if wide, narrow := width(5), width(1); narrow >= wide {
+		t.Fatalf("z=1 width %g not tighter than z=5 width %g", narrow, wide)
+	}
+}
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		params  string
+		wantErr string
+	}{
+		{"anatomy", "", ""},
+		{"anatomy", `{"l": 3}`, ""},
+		{"anatomy", `null`, ""},
+		{"mondrian", `{"k": 7}`, ""},
+		{"randomized_response", `{"rho": 0.5, "seed": 4}`, ""},
+		{"randomized_response", `{"rho": 1.5}`, "outside [0,1]"},
+		{"anatomy", `{"diversity": 3}`, "unknown field"},
+		{"anatomy", `{"l": "three"}`, "cannot unmarshal"},
+		{"bucketize", "", `unknown scheme "bucketize"`},
+		{"", "", `unknown scheme ""`},
+	} {
+		var raw json.RawMessage
+		if tc.params != "" {
+			raw = json.RawMessage(tc.params)
+		}
+		s, err := Parse(tc.name, raw)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("Parse(%q, %s) error: %v", tc.name, tc.params, err)
+			} else if s.Name() != tc.name {
+				t.Errorf("Parse(%q).Name() = %q", tc.name, s.Name())
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Parse(%q, %s) error = %v, want containing %q", tc.name, tc.params, err, tc.wantErr)
+		}
+	}
+}
+
+// TestParseAppliesDefaults: parsed schemes carry defaults, so the
+// canonical parameter bytes of {"name": "anatomy"} and {"name":
+// "anatomy", "params": {"l": 5}} are identical — they digest alike.
+func TestParseAppliesDefaults(t *testing.T) {
+	a, err := Parse("anatomy", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("anatomy", json.RawMessage(`{"l": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, _ := CanonicalParams(a)
+	cb, _ := CanonicalParams(b)
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("defaulted params diverge: %s vs %s", ca, cb)
+	}
+	r, err := Parse("randomized_response", json.RawMessage(`{"rho": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := r.(RandomizedResponse).Z; z != 3 {
+		t.Fatalf("default z = %g, want 3", z)
+	}
+}
+
+func TestDescribeSortedAndComplete(t *testing.T) {
+	ds := Describe()
+	if !sort.SliceIsSorted(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name }) {
+		t.Fatal("Describe not sorted by name")
+	}
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, d := range ds {
+		if len(d.Params) == 0 {
+			t.Errorf("scheme %s has no parameter schema", d.Name)
+		}
+		if d.Boxed != (d.Name == "randomized_response") {
+			t.Errorf("scheme %s boxed = %v", d.Name, d.Boxed)
+		}
+		if s, err := Parse(d.Name, nil); err != nil {
+			t.Errorf("descriptor %s does not Parse: %v", d.Name, err)
+		} else if Boxed(s) != d.Boxed {
+			t.Errorf("Boxed(%s) = %v, descriptor says %v", d.Name, Boxed(s), d.Boxed)
+		}
+	}
+}
+
+// TestCanonicalParamsDeterministic: the digest component must be stable
+// byte-for-byte across calls.
+func TestCanonicalParamsDeterministic(t *testing.T) {
+	for _, s := range []Scheme{NewAnatomy(2), NewMondrian(9), NewRandomizedResponse(0.3, 7)} {
+		a, err := CanonicalParams(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := CanonicalParams(s)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s params not deterministic: %s vs %s", s.Name(), a, b)
+		}
+	}
+}
+
+// TestPublishedSchemesSolve: every scheme's (Publish, Invariants) pair
+// yields a view whose published marginals the solved posterior must
+// reproduce — the end-to-end contract PrepareScheme relies on.
+func TestSchemePublishRoundTrip(t *testing.T) {
+	tbl := dataset.PaperExample()
+	for _, sch := range []Scheme{NewAnatomy(2), NewMondrian(2), NewRandomizedResponse(0.8, 5)} {
+		view, err := sch.Publish(tbl)
+		if err != nil {
+			t.Fatalf("%s publish: %v", sch.Name(), err)
+		}
+		if view.NumBuckets() == 0 {
+			t.Fatalf("%s published no buckets", sch.Name())
+		}
+		var total float64
+		for b := 0; b < view.NumBuckets(); b++ {
+			for s := 0; s < view.SACardinality(); s++ {
+				total += view.PSB(s, b)
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("%s view mass = %g", sch.Name(), total)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"privacymaxent/internal/bucket"
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/scheme"
 )
 
 // DigestPublished computes the cache key of a published view D′: the
@@ -21,9 +22,31 @@ import (
 // bucket membership, SA multisets — is in that wire form, and nothing
 // else is, so equal digests mean equal Theorem 1–3 systems.
 func DigestPublished(d *bucket.Bucketized) (string, error) {
+	return DigestScheme(d, nil)
+}
+
+// DigestScheme is DigestPublished with the publication scheme bound in:
+// any scheme other than the default appends its name and canonical
+// parameter bytes to the hashed material, so two schemes — or two
+// parameterizations of one scheme — over the same view never share a
+// cache entry, delta chain or history aggregate. Anatomy (nil or
+// explicit) keeps the bare publication digest: it is the identity
+// scheme whose invariants every view certifies by default, and its
+// parameters shape publishing, not what a given view pins down.
+func DigestScheme(d *bucket.Bucketized, sch scheme.Scheme) (string, error) {
 	h := sha256.New()
 	if err := bucket.WriteJSON(h, d); err != nil {
 		return "", fmt.Errorf("server: digesting published view: %w", err)
+	}
+	if sch != nil && sch.Name() != "anatomy" {
+		canon, err := scheme.CanonicalParams(sch)
+		if err != nil {
+			return "", fmt.Errorf("server: digesting scheme params: %w", err)
+		}
+		h.Write([]byte{0})
+		h.Write([]byte(sch.Name()))
+		h.Write([]byte{0})
+		h.Write(canon)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -58,11 +81,14 @@ type cacheEntry struct {
 // build constructs the prepared base exactly once per entry; every
 // caller gets the same result. prepTime records the invariant-build cost
 // so the first request on a publication can report it as the "prepare"
-// stage of its timings.
-func (e *cacheEntry) build(ctx context.Context, q *core.Quantifier, d *bucket.Bucketized) (*core.Prepared, time.Duration, error) {
+// stage of its timings. sch selects the scheme whose invariant rows the
+// base carries (nil = the classic default); the entry's digest already
+// binds the scheme, so every caller of one entry passes an equivalent
+// scheme and the once-guarded build cannot race two schemes.
+func (e *cacheEntry) build(ctx context.Context, q *core.Quantifier, d *bucket.Bucketized, sch scheme.Scheme) (*core.Prepared, time.Duration, error) {
 	e.once.Do(func() {
 		start := time.Now()
-		e.prepared, e.err = q.Prepare(ctx, d)
+		e.prepared, e.err = q.PrepareScheme(ctx, d, sch)
 		e.prepTime = time.Since(start)
 	})
 	return e.prepared, e.prepTime, e.err

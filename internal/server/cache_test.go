@@ -83,7 +83,7 @@ func TestCacheEntryBuildOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, _, err := e.build(context.Background(), q, d)
+			p, _, err := e.build(context.Background(), q, d, nil)
 			if err != nil {
 				t.Error(err)
 			}

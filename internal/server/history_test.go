@@ -360,7 +360,7 @@ func TestSSEKeepAlive(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	ls := srv.live.begin("keepalivedigest", "req-keepalive", 1, 0, false)
+	ls := srv.live.begin("keepalivedigest", "req-keepalive", "", 1, 0, false)
 	srv.live.markRunning(ls, 0)
 
 	resp, err := ts.Client().Get(ts.URL + "/v1/solves/" + ls.id + "/events")

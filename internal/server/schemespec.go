@@ -1,0 +1,118 @@
+package server
+
+// Publication-scheme resolution for the v1 API. A request may declare
+// the scheme its published view was produced under ({"scheme": {"name":
+// ..., "params": {...}}}); the server resolves the declaration into a
+// scheme.Scheme, threads it through Prepare (the scheme decides what
+// constraint rows the view certifies), and binds it into the
+// publication digest so the prepared-system LRU, delta chains and
+// history records never conflate two schemes — or two parameterizations
+// of one scheme — over the same table. An absent field is the classic
+// anatomy default and resolves to nil, keeping those requests
+// byte-identical to the pre-scheme API.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"privacymaxent/internal/scheme"
+)
+
+// SchemeSpec is the wire form of a publication-scheme declaration, used
+// on requests (client's declaration, params optional) and echoed on
+// responses (canonical: defaults applied, fixed field order).
+type SchemeSpec struct {
+	// Name is the scheme identifier; GET /healthz lists the supported
+	// names and their parameter schemas.
+	Name string `json:"name"`
+	// Params is the scheme's parameter object. Unknown fields and
+	// out-of-range values are rejected with 400; absent params mean the
+	// scheme's defaults.
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// errScheme marks scheme-spec failures (unknown name, malformed or
+// invalid params) so writeError can attach the supported-scheme list to
+// the structured 400 body.
+var errScheme = errors.New("server: bad scheme")
+
+// resolvedScheme is a parsed, validated scheme declaration: the scheme
+// value plus its canonical parameter bytes (defaults applied, fixed
+// field order) — the form digests, single-flight keys and response
+// echoes bind. A nil *resolvedScheme is the absent-field default and
+// every method tolerates it.
+type resolvedScheme struct {
+	sch    scheme.Scheme
+	name   string
+	params json.RawMessage
+}
+
+// resolveScheme parses a request's scheme declaration. A nil spec
+// (absent field) resolves to nil: the classic anatomy default.
+func resolveScheme(spec *SchemeSpec) (*resolvedScheme, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if spec.Name == "" {
+		return nil, fmt.Errorf("%w: missing \"name\"", errScheme)
+	}
+	sch, err := scheme.Parse(spec.Name, spec.Params)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errScheme, err)
+	}
+	canon, err := scheme.CanonicalParams(sch)
+	if err != nil {
+		return nil, fmt.Errorf("server: canonical scheme params: %w", err)
+	}
+	return &resolvedScheme{sch: sch, name: sch.Name(), params: canon}, nil
+}
+
+// echo is the response's scheme field: canonical spec when the request
+// declared a scheme, nil (omitted) otherwise — absent-field requests
+// stay byte-identical to the pre-scheme API.
+func (rs *resolvedScheme) echo() *SchemeSpec {
+	if rs == nil {
+		return nil
+	}
+	return &SchemeSpec{Name: rs.name, Params: rs.params}
+}
+
+// schemeOf returns the scheme value to prepare under; nil for the
+// default.
+func (rs *resolvedScheme) schemeOf() scheme.Scheme {
+	if rs == nil {
+		return nil
+	}
+	return rs.sch
+}
+
+// schemeName labels live solves and history records; empty for the
+// default.
+func (rs *resolvedScheme) schemeName() string {
+	if rs == nil {
+		return ""
+	}
+	return rs.name
+}
+
+// boxed reports whether solves route through the boxed (inequality)
+// dual, which supports neither audits, vague (eps>0) knowledge, nor
+// delta chaining.
+func (rs *resolvedScheme) boxed() bool {
+	return rs != nil && scheme.Boxed(rs.sch)
+}
+
+// key returns the bytes folded into the single-flight request key. An
+// explicit declaration keys differently from the absent default even
+// for anatomy: the response echoes the declaration, so the bytes
+// differ.
+func (rs *resolvedScheme) key() []byte {
+	if rs == nil {
+		return nil
+	}
+	k := make([]byte, 0, len(rs.name)+1+len(rs.params))
+	k = append(k, rs.name...)
+	k = append(k, 0)
+	return append(k, rs.params...)
+}

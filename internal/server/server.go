@@ -74,6 +74,7 @@ import (
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/errs"
 	"privacymaxent/internal/history"
+	"privacymaxent/internal/scheme"
 	"privacymaxent/internal/solver"
 	"privacymaxent/internal/telemetry"
 )
@@ -293,6 +294,9 @@ func (s *Server) declareMetrics() {
 		"pmaxentd_history_fsyncs_total":      "Journal fsync calls.",
 		"pmaxentd_regression_checks_total":   "Regression-detector refreshes.",
 		"pmaxentd_regression_detected_total": "Regressions newly detected.",
+		"pmaxentd_scheme_requests_total":     "Quantify requests that declared an explicit publication scheme.",
+		"pmaxentd_scheme_unknown_total":      "Requests rejected for an unknown or malformed scheme declaration.",
+		"pmaxentd_scheme_boxed_solves_total": "Solves routed through the boxed (inequality) dual for a boxed scheme.",
 	} {
 		s.reg.Counter(name)
 		s.reg.SetHelp(name, help)
@@ -550,6 +554,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Commit:    bi.Commit,
 		Modified:  bi.Modified,
 		GoVersion: bi.GoVersion,
+		Schemes:   scheme.Describe(),
 	})
 }
 
@@ -663,6 +668,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"cache_entries": s.cache.len(),
 		"inflight":      s.lim.inflight(),
 		"queued":        s.lim.queued(),
+		"schemes":       scheme.Names(),
 	})
 }
 
@@ -709,17 +715,36 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	rs, err := resolveScheme(req.Scheme)
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	if rs != nil {
+		s.reg.Counter("pmaxentd_scheme_requests_total").Add(1)
+	}
 	wantAudit := boolQuery(r, "audit")
 	if wantAudit && req.Eps > 0 {
 		s.writeError(w, r.Context(), fmt.Errorf("%w: vague (eps>0) solves are not audited", errBadRequest))
 		return
 	}
+	// Boxed schemes solve through the inequality dual, which carries no
+	// audit trajectories and no vague-knowledge layering.
+	if rs.boxed() && wantAudit {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: scheme %q solves are not audited", errBadRequest, rs.schemeName()))
+		return
+	}
+	if rs.boxed() && req.Eps > 0 {
+		s.writeError(w, r.Context(), fmt.Errorf("%w: scheme %q does not support vague (eps>0) knowledge", errBadRequest, rs.schemeName()))
+		return
+	}
 	// Delta reuse needs the server-side chain and an equality solve whose
 	// posterior the reuse cannot perturb: audited solves capture
-	// per-component trajectories a reused component does not have, and
-	// vague solves bypass the prepared cache entirely.
-	delta := req.Delta && s.cfg.DeltaChain && req.Eps == 0 && !wantAudit
-	digest, err := DigestPublished(pub)
+	// per-component trajectories a reused component does not have, vague
+	// solves bypass the prepared cache entirely, and boxed-scheme solves
+	// have no decomposed equality components to diff.
+	delta := req.Delta && s.cfg.DeltaChain && req.Eps == 0 && !wantAudit && !rs.boxed()
+	digest, err := DigestScheme(pub, rs.schemeOf())
 	if err != nil {
 		s.writeError(w, r.Context(), err)
 		return
@@ -728,16 +753,16 @@ func (s *Server) handleQuantify(w http.ResponseWriter, r *http.Request) {
 	// Every request pre-registers a live-solve entry; losing the
 	// single-flight race below aborts it and adopts the leader's.
 	ai := accessFrom(r.Context())
-	ls := s.live.begin(digest, telemetry.RequestID(r.Context()), len(knowledge), req.Eps, wantAudit)
+	ls := s.live.begin(digest, telemetry.RequestID(r.Context()), rs.schemeName(), len(knowledge), req.Eps, wantAudit)
 
 	// The wait — not the solve — is bounded by the request context. The
 	// leader runs detached under the server's base context so followers
 	// (and the leader's own requester) can give up independently.
 	waitCtx, cancel := context.WithTimeout(r.Context(), s.waitBudget(req.TimeoutMS))
 	defer cancel()
-	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit, delta)
+	key := requestKey(digest, req.Knowledge, req.Eps, wantAudit, delta, rs.key())
 	call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
-		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, delta, ls, &c.meta)
+		body, err := s.runQuantify(pub, knowledge, digest, req.Eps, wantAudit, delta, rs, ls, &c.meta)
 		s.live.finish(ls, body, err)
 		s.recordHistory(ls, &c.meta, err)
 		return body, err
@@ -795,6 +820,7 @@ func (s *Server) recordHistory(ls *liveSolve, meta *callMeta, solveErr error) {
 		SolveID:     ls.id,
 		RequestID:   ls.requestID,
 		Digest:      ls.digest,
+		Scheme:      ls.scheme,
 		Outcome:     "ok",
 		StartUnixNS: ls.started.UnixNano(),
 		Knowledge:   ls.knowledge,
@@ -919,12 +945,20 @@ func (s *Server) handleQuantifyBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	digest, err := DigestPublished(pub)
+	rs, err := resolveScheme(req.Scheme)
 	if err != nil {
 		s.writeError(w, r.Context(), err)
 		return
 	}
-	delta := req.Delta && s.cfg.DeltaChain
+	if rs != nil {
+		s.reg.Counter("pmaxentd_scheme_requests_total").Add(1)
+	}
+	digest, err := DigestScheme(pub, rs.schemeOf())
+	if err != nil {
+		s.writeError(w, r.Context(), err)
+		return
+	}
+	delta := req.Delta && s.cfg.DeltaChain && !rs.boxed()
 	s.reg.Counter("pmaxentd_batch_requests_total").Add(1)
 	s.reg.Counter("pmaxentd_batch_variants_total").Add(int64(len(req.Variants)))
 
@@ -934,10 +968,10 @@ func (s *Server) handleQuantifyBatch(w http.ResponseWriter, r *http.Request) {
 
 	runVariant := func(i int) BatchVariantResult {
 		kraw := req.Variants[i].Knowledge
-		ls := s.live.begin(digest, rid, len(parsed[i]), 0, false)
-		key := requestKey(digest, kraw, 0, false, delta)
+		ls := s.live.begin(digest, rid, rs.schemeName(), len(parsed[i]), 0, false)
+		key := requestKey(digest, kraw, 0, false, delta, rs.key())
 		call, joined := s.flight.join(key, ls.id, func(c *flightCall) ([]byte, error) {
-			body, err := s.runQuantify(pub, parsed[i], digest, 0, false, delta, ls, &c.meta)
+			body, err := s.runQuantify(pub, parsed[i], digest, 0, false, delta, rs, ls, &c.meta)
 			s.live.finish(ls, body, err)
 			s.recordHistory(ls, &c.meta, err)
 			return body, err
@@ -1013,6 +1047,7 @@ func (s *Server) handleQuantifyBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := &BatchQuantifyResponse{
 		Digest:    digest,
+		Scheme:    rs.echo(),
 		Variants:  results,
 		ElapsedMS: float64(time.Since(start).Nanoseconds()) / 1e6,
 	}
@@ -1037,8 +1072,9 @@ func (s *Server) handleQuantifyBatch(w http.ResponseWriter, r *http.Request) {
 // lookup/build, solve, and response encoding. It runs detached from any
 // request context; ls receives its live progress and meta the
 // accounting shared with coalesced followers. delta routes the solve
-// through the publication's delta chain (see Config.DeltaChain).
-func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit, delta bool, ls *liveSolve, meta *callMeta) ([]byte, error) {
+// through the publication's delta chain (see Config.DeltaChain); rs is
+// the request's resolved publication scheme (nil = classic anatomy).
+func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.DistributionKnowledge, digest string, eps float64, wantAudit, delta bool, rs *resolvedScheme, ls *liveSolve, meta *callMeta) ([]byte, error) {
 	start := time.Now()
 	if !s.beginWork() {
 		return nil, errDraining
@@ -1113,10 +1149,13 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 			cacheState = "miss"
 			s.reg.Counter("pmaxentd_cache_misses_total").Add(1)
 		}
-		prepared, prepTime, err := entry.build(ctx, s.q, pub)
+		prepared, prepTime, err := entry.build(ctx, s.q, pub, rs.schemeOf())
 		if err != nil {
 			s.cache.drop(digest)
 			return nil, s.solveErr(ctx, err)
+		}
+		if prepared.Boxed() {
+			s.reg.Counter("pmaxentd_scheme_boxed_solves_total").Add(1)
 		}
 		qopts := core.QuantifyOptions{
 			Knowledge: knowledge,
@@ -1171,6 +1210,7 @@ func (s *Server) runQuantify(pub *bucket.Bucketized, knowledge []constraint.Dist
 	}
 
 	resp := buildResponse(digest, cacheState, eps, pub.Schema(), rep, s.q.Config().Solve.Algorithm)
+	resp.Scheme = rs.echo()
 	resp.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
 	body, err := json.Marshal(resp)
 	if err != nil {
@@ -1328,6 +1368,7 @@ func classify(err error) (status int, kind string) {
 	case errors.Is(err, solver.ErrInterrupted), errors.Is(err, context.Canceled):
 		return statusClientClosedRequest, "interrupted"
 	case errors.Is(err, errBadRequest),
+		errors.Is(err, errScheme),
 		errors.Is(err, errs.ErrInvalidSchema),
 		errors.Is(err, errs.ErrNoSensitiveAttribute):
 		return http.StatusBadRequest, "invalid_request"
@@ -1347,7 +1388,14 @@ func (s *Server) writeError(w http.ResponseWriter, ctx context.Context, err erro
 	}
 	s.reg.Counter("pmaxentd_errors_total").Add(1)
 	s.log.Warn("pmaxentd: request failed", "status", status, "kind", kind, "err", err)
-	writeJSON(w, status, &ErrorResponse{Error: err.Error(), Kind: kind})
+	resp := &ErrorResponse{Error: err.Error(), Kind: kind}
+	if errors.Is(err, errScheme) {
+		// Scheme failures carry the supported-name list so a client can
+		// self-correct without a second round trip to /healthz.
+		resp.Supported = scheme.Names()
+		s.reg.Counter("pmaxentd_scheme_unknown_total").Add(1)
+	}
+	writeJSON(w, status, resp)
 }
 
 // decodeBody reads a JSON request body, rejecting unknown fields so a

@@ -63,6 +63,9 @@ type liveSolve struct {
 	id        string
 	requestID string
 	digest    string
+	// scheme names the publication scheme the request declared; empty
+	// for the classic anatomy default (absent scheme field).
+	scheme    string
 	knowledge int
 	eps       float64
 	audit     bool
@@ -270,6 +273,7 @@ func (ls *liveSolve) status() SolveStatus {
 		State:            state,
 		Recovered:        ls.recovered,
 		Digest:           ls.digest,
+		Scheme:           ls.scheme,
 		Knowledge:        ls.knowledge,
 		Eps:              ls.eps,
 		Audit:            ls.audit,
@@ -309,7 +313,7 @@ func newSolveRegistry(reg *telemetry.Registry, retention int) *solveRegistry {
 // begin registers a new solve in state "queued" and returns its handle.
 // The ID is the digest prefix plus a monotonic sequence number — stable,
 // unique for the daemon's lifetime, and greppable back to the cache key.
-func (r *solveRegistry) begin(digest, requestID string, knowledge int, eps float64, wantAudit bool) *liveSolve {
+func (r *solveRegistry) begin(digest, requestID, schemeName string, knowledge int, eps float64, wantAudit bool) *liveSolve {
 	r.mu.Lock()
 	r.seq++
 	short := digest
@@ -320,6 +324,7 @@ func (r *solveRegistry) begin(digest, requestID string, knowledge int, eps float
 		id:        fmt.Sprintf("%s-%d", short, r.seq),
 		requestID: requestID,
 		digest:    digest,
+		scheme:    schemeName,
 		knowledge: knowledge,
 		eps:       eps,
 		audit:     wantAudit,
@@ -402,6 +407,7 @@ func (r *solveRegistry) adopt(rec history.Record) {
 		id:          rec.SolveID,
 		requestID:   rec.RequestID,
 		digest:      rec.Digest,
+		scheme:      rec.Scheme,
 		knowledge:   rec.Knowledge,
 		eps:         rec.Eps,
 		audit:       rec.Audited,

@@ -15,6 +15,7 @@ import (
 	"privacymaxent/internal/core"
 	"privacymaxent/internal/dataset"
 	"privacymaxent/internal/maxent"
+	"privacymaxent/internal/scheme"
 )
 
 // QuantifyRequest is the body of POST /v1/quantify.
@@ -26,6 +27,13 @@ type QuantifyRequest struct {
 	// ParseKnowledgeJSON format ([{"if": {...}, "then": "...", "p": p}]),
 	// resolved against the published schema. Optional.
 	Knowledge json.RawMessage `json:"knowledge,omitempty"`
+	// Scheme declares the publication scheme the view was produced
+	// under; GET /healthz lists the supported names and parameter
+	// schemas. Absent means anatomy (the classic default) and leaves the
+	// response byte-identical to the pre-scheme API. Boxed schemes
+	// (randomized_response) solve through the inequality dual and reject
+	// ?audit=1, eps > 0 and delta reuse.
+	Scheme *SchemeSpec `json:"scheme,omitempty"`
 	// Eps > 0 runs the Sec. 4.5 vague-knowledge variant: every statement
 	// becomes a ±eps box instead of an equality. Vague solves bypass the
 	// prepared-system cache (inequalities do not overlay the equality
@@ -85,6 +93,10 @@ type QuantifyResponse struct {
 	// this D′ and "miss" when this request built it. On a miss the
 	// Timings carry a "prepare" stage; on a hit that stage is absent.
 	Cache string `json:"cache"`
+	// Scheme echoes the request's publication-scheme declaration in
+	// canonical form (defaults applied); absent when the request carried
+	// none.
+	Scheme *SchemeSpec `json:"scheme,omitempty"`
 	// KnowledgeApplied counts the ME knowledge constraints applied.
 	KnowledgeApplied int     `json:"knowledge_applied"`
 	Eps              float64 `json:"eps,omitempty"`
@@ -112,6 +124,9 @@ type ErrorResponse struct {
 	// "interrupted", "deadline", "overloaded", "draining", "not_found"
 	// or "internal".
 	Kind string `json:"kind"`
+	// Supported lists the valid scheme names when the failure was an
+	// unknown or malformed publication-scheme declaration.
+	Supported []string `json:"supported,omitempty"`
 }
 
 // SolveStatus is one row of GET /debug/solves: the live progress of a
@@ -131,8 +146,10 @@ type SolveStatus struct {
 	// journaled summary and its elapsed time is frozen.
 	State     string `json:"state"`
 	Recovered bool   `json:"recovered,omitempty"`
-	// Digest, Knowledge, Eps, Audit describe the request being solved.
+	// Digest, Scheme, Knowledge, Eps, Audit describe the request being
+	// solved; Scheme is empty for the classic anatomy default.
 	Digest    string  `json:"digest"`
+	Scheme    string  `json:"scheme,omitempty"`
 	Knowledge int     `json:"knowledge"`
 	Eps       float64 `json:"eps,omitempty"`
 	Audit     bool    `json:"audit,omitempty"`
@@ -176,6 +193,10 @@ type HealthzResponse struct {
 	Commit    string `json:"commit,omitempty"`
 	Modified  bool   `json:"modified,omitempty"`
 	GoVersion string `json:"go_version,omitempty"`
+	// Schemes lists the supported publication schemes with their
+	// parameter schemas — the capability-discovery surface a client
+	// checks before declaring a scheme on /v1/quantify.
+	Schemes []scheme.Descriptor `json:"schemes"`
 }
 
 // BatchVariant is one knowledge variant of a batch quantification.
@@ -194,6 +215,9 @@ type BatchVariant struct {
 type BatchQuantifyRequest struct {
 	// Published is the published view D′, as in QuantifyRequest.
 	Published json.RawMessage `json:"published"`
+	// Scheme declares the publication scheme of the shared view, as in
+	// QuantifyRequest.Scheme; it applies to every variant.
+	Scheme *SchemeSpec `json:"scheme,omitempty"`
 	// Variants lists the knowledge sets to quantify, all against the
 	// same publication.
 	Variants []BatchVariant `json:"variants"`
@@ -227,7 +251,10 @@ type BatchVariantResult struct {
 // /v1/quantify/batch. Variants appear in request order regardless of
 // completion order.
 type BatchQuantifyResponse struct {
-	Digest    string               `json:"digest"`
+	Digest string `json:"digest"`
+	// Scheme echoes the batch's publication-scheme declaration in
+	// canonical form; absent when the request carried none.
+	Scheme    *SchemeSpec          `json:"scheme,omitempty"`
 	Variants  []BatchVariantResult `json:"variants"`
 	ElapsedMS float64              `json:"elapsed_ms"`
 }
@@ -334,10 +361,15 @@ func buildResponse(digest, cacheState string, eps float64, schema *dataset.Schem
 // deliberately excluded — it bounds the wait, not the work. The delta
 // flag is included: a delta solve reports different solver counters
 // (reused/dirty components) than a cold solve of the same knowledge.
-func requestKey(digest string, knowledge json.RawMessage, eps float64, wantAudit, delta bool) string {
+// schemeKey is the canonical scheme-declaration bytes (nil for the
+// absent default): an explicit anatomy declaration shares the default's
+// digest and cache entry but echoes a scheme field in its response, so
+// the two must not coalesce.
+func requestKey(digest string, knowledge json.RawMessage, eps float64, wantAudit, delta bool, schemeKey []byte) string {
 	h := sha256.New()
 	h.Write([]byte(digest))
 	h.Write(knowledge)
 	_ = json.NewEncoder(h).Encode([]any{eps, wantAudit, delta})
+	h.Write(schemeKey)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -36,6 +36,7 @@ import (
 	"privacymaxent/internal/maxent"
 	"privacymaxent/internal/metrics"
 	"privacymaxent/internal/randomize"
+	"privacymaxent/internal/scheme"
 	"privacymaxent/internal/solver"
 	"privacymaxent/internal/telemetry"
 	"privacymaxent/internal/worstcase"
@@ -200,6 +201,12 @@ func TrueConditional(t *Table, u *Universe) (*Conditional, error) {
 }
 
 // Anatomize publishes a table with the Anatomy bucketizer.
+//
+// Deprecated: use AnatomyScheme — the PublicationScheme unification
+// gives every mechanism the same Publish/Invariants surface, so the
+// same mined knowledge and the same solver evaluate Anatomy, Mondrian
+// and randomized response interchangeably. Anatomize remains for the
+// bucket-group return value (AnatomyScheme.Publish drops it).
 func Anatomize(t *Table, opts BucketOptions) (*Bucketized, [][]int, error) {
 	return bucket.Anatomize(t, opts)
 }
@@ -233,6 +240,50 @@ func MaxDisclosure(estimate *Conditional) float64 { return metrics.MaxDisclosure
 // distance between a bucket's SA distribution and the global one).
 func TCloseness(d *Bucketized) float64 { return metrics.TCloseness(d) }
 
+// Publication schemes (see internal/scheme): the unified interface every
+// disguising mechanism implements — Publish derives the released view
+// from the original table, Invariants derives the constraint rows that
+// view certifies — so one Quantifier (Quantifier.PrepareScheme) and one
+// mined-knowledge format evaluate Anatomy, Mondrian generalization and
+// randomized response interchangeably.
+type (
+	// PublicationScheme is the mechanism interface.
+	PublicationScheme = scheme.Scheme
+	// AnatomyScheme is bucketization with l distinct SA values per
+	// bucket (the identity scheme — its invariants are the classic
+	// Theorem 1–3 rows).
+	AnatomyScheme = scheme.Anatomy
+	// MondrianScheme is Mondrian k-anonymous generalization; its
+	// equivalence classes induce the buckets.
+	MondrianScheme = scheme.Mondrian
+	// RandomizedResponseScheme is uniform randomized response on SA; its
+	// invariants include sampling-tolerance boxes, so solves route
+	// through the inequality (boxed) dual.
+	RandomizedResponseScheme = scheme.RandomizedResponse
+	// SchemeDescriptor describes one supported scheme (name, parameter
+	// schema, whether its solves are boxed).
+	SchemeDescriptor = scheme.Descriptor
+)
+
+// NewAnatomyScheme returns an Anatomy scheme with bucket size l
+// (l <= 0 selects the default).
+func NewAnatomyScheme(l int) AnatomyScheme { return scheme.NewAnatomy(l) }
+
+// NewMondrianScheme returns a Mondrian scheme with anonymity level k
+// (k <= 0 selects the default).
+func NewMondrianScheme(k int) MondrianScheme { return scheme.NewMondrian(k) }
+
+// NewRandomizedResponseScheme returns a randomized-response scheme with
+// retention probability rho and perturbation seed.
+func NewRandomizedResponseScheme(rho float64, seed int64) RandomizedResponseScheme {
+	return scheme.NewRandomizedResponse(rho, seed)
+}
+
+// PublicationSchemes lists the supported schemes with their parameter
+// schemas, sorted by name — the same capability listing pmaxentd serves
+// on GET /healthz.
+func PublicationSchemes() []SchemeDescriptor { return scheme.Describe() }
+
 // Other disguising methods (see internal/generalize, internal/randomize)
 // and the deterministic worst-case baseline (internal/worstcase).
 type (
@@ -244,12 +295,22 @@ type (
 
 // Generalize publishes the table as Mondrian k-anonymous equivalence
 // classes; the returned Bucketized view feeds the same MaxEnt pipeline.
+//
+// Deprecated: use MondrianScheme, whose Publish returns the same view
+// (Generalize remains for the equivalence-class return value) and whose
+// Invariants plug the view into Quantifier.PrepareScheme alongside every
+// other PublicationScheme.
 func Generalize(t *Table, k int) (*Bucketized, []GeneralizationClass, error) {
 	return generalize.Publish(t, k)
 }
 
 // Randomize publishes the table under randomized response with retention
 // probability rho.
+//
+// Deprecated: use RandomizedResponseScheme, whose Publish perturbs and
+// groups in one step and whose Invariants feed the same boxed solve the
+// pmaxentd scheme API serves (Randomize remains for access to the raw
+// perturbed table and mechanism).
 func Randomize(t *Table, rho float64, seed int64) (*Table, RandomizationMechanism, error) {
 	return randomize.Perturb(t, rho, seed)
 }
